@@ -1,0 +1,151 @@
+// Ablation: how much of BIPie's speed comes from SIMD?
+//
+// Every Vector Toolbox kernel runs twice — once on the AVX2 tier and once
+// forced onto the portable scalar tier — over identical inputs. This
+// isolates pillar (ii) of the paper ("vector processing with SIMD") from
+// pillars (i) and (iii) (encoded-domain processing, specialization), which
+// both tiers share.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/cpu.h"
+#include "vector/toolbox.h"
+
+using namespace bipie;        // NOLINT
+using namespace bipie::bench;  // NOLINT
+
+namespace {
+
+struct Ablation {
+  const char* name;
+  double scalar_cycles;
+  double avx2_cycles;
+  double avx512_cycles;  // NaN-ish 0 when the machine lacks AVX-512
+};
+
+template <typename Fn>
+Ablation RunBoth(const char* name, size_t rows, Fn&& fn) {
+  Ablation result{name, 0, 0, 0};
+  SetIsaTierForTesting(IsaTier::kScalar);
+  result.scalar_cycles = MeasureCyclesPerRow(rows, fn);
+  SetIsaTierForTesting(IsaTier::kAvx2);
+  result.avx2_cycles = MeasureCyclesPerRow(rows, fn);
+  if (DetectIsaTier() >= IsaTier::kAvx512) {
+    SetIsaTierForTesting(IsaTier::kAvx512);
+    result.avx512_cycles = MeasureCyclesPerRow(rows, fn);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  PrintBenchHeader("Ablation: scalar tier vs AVX2 tier, cycles/row",
+                   "isolates the paper's SIMD pillar (§3) per kernel");
+  if (DetectIsaTier() < IsaTier::kAvx2) {
+    std::printf("AVX2 not available on this machine; ablation skipped.\n");
+    return 0;
+  }
+  const size_t n = BenchRows();
+  std::vector<Ablation> rows;
+
+  {
+    auto packed = MakePackedColumn(n, 14, 1);
+    AlignedBuffer out(n * 2);
+    rows.push_back(RunBoth("bit unpack (14b -> u16)", n, [&] {
+      BitUnpack(packed.data(), 0, n, 14, out.data());
+      Consume(out.data(), out.size());
+    }));
+  }
+  {
+    auto sel = MakeSelection(n, 0.5, 2);
+    AlignedBuffer out((n + 8) * 4);
+    rows.push_back(RunBoth("compact to index vector (50%)", n, [&] {
+      const size_t m =
+          CompactToIndexVector(sel.data(), n, out.data_as<uint32_t>());
+      Consume(out.data(), m * 4);
+    }));
+  }
+  {
+    auto packed = MakePackedColumn(n, 14, 3);
+    auto sel = MakeSelection(n, 0.2, 4);
+    AlignedBuffer idx((n + 8) * 4);
+    const size_t m =
+        CompactToIndexVector(sel.data(), n, idx.data_as<uint32_t>());
+    AlignedBuffer out(m * 2 + 64);
+    rows.push_back(RunBoth("gather selection (14b, 20%)", n, [&] {
+      GatherSelect(packed.data(), 14, idx.data_as<uint32_t>(), m, out.data(),
+                   2);
+      Consume(out.data(), m * 2);
+    }));
+  }
+  {
+    auto groups = MakeGroups(n, 6, 5);
+    auto sel = MakeSelection(n, 0.98, 6);
+    AlignedBuffer out(n);
+    rows.push_back(RunBoth("special group assignment", n, [&] {
+      ApplySpecialGroup(groups.data(), sel.data(), n, 6, out.data());
+      Consume(out.data(), n);
+    }));
+  }
+  {
+    auto groups = MakeGroups(n, 8, 7);
+    std::vector<uint64_t> counts(8);
+    rows.push_back(RunBoth("grouped count (8 groups)", n, [&] {
+      std::fill(counts.begin(), counts.end(), 0);
+      InRegisterCount(groups.data(), n, 8, counts.data());
+      Consume(counts.data(), 64);
+    }));
+  }
+  {
+    auto groups = MakeGroups(n, 8, 8);
+    auto values = MakeDecodedValues(n, 8, 1, 9);
+    std::vector<uint64_t> sums(8);
+    rows.push_back(RunBoth("grouped sum of bytes (8 groups)", n, [&] {
+      std::fill(sums.begin(), sums.end(), 0);
+      InRegisterSum8(groups.data(), values.data(), n, 8, sums.data());
+      Consume(sums.data(), 64);
+    }));
+  }
+  {
+    auto groups = MakeGroups(n, 32, 10);
+    std::vector<AlignedBuffer> arrays;
+    arrays.push_back(MakeDecodedValues(n, 40, 8, 11));
+    arrays.push_back(MakeDecodedValues(n, 40, 8, 12));
+    arrays.push_back(MakeDecodedValues(n, 15, 4, 13));
+    arrays.push_back(MakeDecodedValues(n, 15, 4, 14));
+    std::vector<const void*> ptrs;
+    for (auto& a : arrays) ptrs.push_back(a.data());
+    MultiAggregator agg;
+    BIPIE_DCHECK(agg.Configure({{8}, {8}, {4}, {4}}, 32).ok());
+    std::vector<int64_t> sums(32 * 4);
+    rows.push_back(RunBoth("multi-aggregate 4 sums (32 groups)", n, [&] {
+      agg.Process(groups.data(), ptrs.data(), n);
+      agg.Flush(sums.data());
+      Consume(sums.data(), sums.size() * 8);
+    }));
+  }
+  SetIsaTierForTesting(DetectIsaTier());
+
+  const bool have512 = DetectIsaTier() >= IsaTier::kAvx512;
+  std::printf("%-36s %10s %10s %10s %9s\n", "kernel", "scalar", "avx2",
+              have512 ? "avx512" : "-", "best");
+  for (const Ablation& a : rows) {
+    const double best =
+        have512 && a.avx512_cycles > 0
+            ? (a.avx512_cycles < a.avx2_cycles ? a.avx512_cycles
+                                               : a.avx2_cycles)
+            : a.avx2_cycles;
+    if (have512) {
+      std::printf("%-36s %10.2f %10.2f %10.2f %8.1fx\n", a.name,
+                  a.scalar_cycles, a.avx2_cycles, a.avx512_cycles,
+                  a.scalar_cycles / best);
+    } else {
+      std::printf("%-36s %10.2f %10.2f %10s %8.1fx\n", a.name,
+                  a.scalar_cycles, a.avx2_cycles, "-",
+                  a.scalar_cycles / best);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces Figure 3: comparison of scalar SUM implementations.
+//
+// 32 groups, 1..5 sums; cycles per row *per aggregate*. Paper shape:
+// row-at-a-time (row-major accumulators) beats column-at-a-time, and
+// unrolling the inner per-column loop helps further; per-aggregate cost
+// falls as sums are added.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "vector/agg_scalar.h"
+
+using namespace bipie;        // NOLINT
+using namespace bipie::bench;  // NOLINT
+
+int main() {
+  PrintBenchHeader(
+      "Figure 3: scalar SUM variants, 32 groups, cycles/row/aggregate",
+      "BIPie SIGMOD'18 Figure 3 (paper: row-at-a-time < column-at-a-time; "
+      "unrolled fastest)");
+  const size_t n = BenchRows();
+  constexpr int kGroups = 32;
+  auto groups = MakeGroups(n, kGroups, 3);
+
+  std::printf("%6s %18s %16s %16s\n", "sums", "column-at-a-time",
+              "row-at-a-time", "row-unrolled");
+  double col1 = 0, row5 = 0;
+  for (int sums = 1; sums <= 5; ++sums) {
+    std::vector<AlignedBuffer> cols;
+    std::vector<const int64_t*> ptrs;
+    for (int c = 0; c < sums; ++c) {
+      cols.push_back(MakeDecodedValues(n, 20, 8, 40 + c));
+      ptrs.push_back(cols.back().data_as<int64_t>());
+    }
+    std::vector<int64_t> acc(static_cast<size_t>(kGroups) * sums, 0);
+    auto run = [&](auto fn) {
+      return MeasureCyclesPerRow(n, [&] {
+               std::fill(acc.begin(), acc.end(), 0);
+               fn();
+               Consume(acc.data(), acc.size() * 8);
+             }) /
+             sums;
+    };
+    const double col = run([&] {
+      ScalarSumColumnAtATime(groups.data(), ptrs.data(), sums, n, acc.data());
+    });
+    const double row = run([&] {
+      ScalarSumRowAtATime(groups.data(), ptrs.data(), sums, n, acc.data());
+    });
+    const double unrolled = run([&] {
+      ScalarSumRowAtATimeUnrolled(groups.data(), ptrs.data(), sums, n,
+                                  acc.data());
+    });
+    std::printf("%6d %18.2f %16.2f %16.2f\n", sums, col, row, unrolled);
+    if (sums == 1) col1 = col;
+    if (sums == 5) row5 = unrolled;
+  }
+  std::printf(
+      "\nshape check: 5-sum unrolled row-at-a-time vs 1-sum column: %.2fx "
+      "cheaper per aggregate\n",
+      col1 / row5);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Reproduces Figure 5: performance of in-register aggregation.
+//
+// Cycles/row versus number of groups (2..32) for COUNT(*), SUM of 1-byte,
+// 2-byte and 4-byte values, with scalar COUNT(*) as the reference. Paper
+// shape: cost grows linearly with groups (one compare-add per group per
+// vector); narrower values are faster (more SIMD lanes); scalar count is a
+// flat line the SIMD variants undercut until the group count grows large.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "vector/agg_inregister.h"
+#include "vector/agg_scalar.h"
+
+using namespace bipie;        // NOLINT
+using namespace bipie::bench;  // NOLINT
+
+int main() {
+  PrintBenchHeader(
+      "Figure 5: in-register aggregation cycles/row vs group count",
+      "BIPie SIGMOD'18 Figure 5 (shape: linear in groups; narrower inputs "
+      "faster)");
+  const size_t n = BenchRows();
+  auto v8 = MakeDecodedValues(n, 8, 1, 21);
+  auto v16 = MakeDecodedValues(n, 14, 2, 22);
+  auto v32 = MakeDecodedValues(n, 28, 4, 23);
+
+  std::printf("%7s %9s %9s %10s %10s %13s\n", "groups", "count", "sum 1B",
+              "sum 2B", "sum 4B", "scalar count");
+  double count2 = 0, count32 = 0;
+  for (int groups : {2, 4, 6, 8, 12, 16, 20, 24, 28, 32}) {
+    auto ids = MakeGroups(n, groups, groups * 3 + 1);
+    std::vector<uint64_t> acc(static_cast<size_t>(groups), 0);
+    auto measure = [&](auto fn) {
+      return MeasureCyclesPerRow(n, [&] {
+        std::fill(acc.begin(), acc.end(), 0);
+        fn();
+        Consume(acc.data(), acc.size() * 8);
+      });
+    };
+    const double count = measure(
+        [&] { InRegisterCount(ids.data(), n, groups, acc.data()); });
+    const double sum8 = measure([&] {
+      InRegisterSum8(ids.data(), v8.data(), n, groups, acc.data());
+    });
+    const double sum16 = measure([&] {
+      InRegisterSum16(ids.data(), v16.data_as<uint16_t>(), n, groups,
+                      acc.data());
+    });
+    const double sum32 = measure([&] {
+      InRegisterSum32(ids.data(), v32.data_as<uint32_t>(), n, groups,
+                      (1u << 28) - 1, acc.data());
+    });
+    const double scalar = measure([&] {
+      ScalarCountMultiArray(ids.data(), n, groups, acc.data());
+    });
+    std::printf("%7d %9.2f %9.2f %10.2f %10.2f %13.2f\n", groups, count,
+                sum8, sum16, sum32, scalar);
+    if (groups == 2) count2 = count;
+    if (groups == 32) count32 = count;
+  }
+  std::printf(
+      "\nshape check: count cost grows with groups (32 vs 2 groups): "
+      "%.1fx\n",
+      count32 / count2);
+  return 0;
+}

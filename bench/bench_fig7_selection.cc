@@ -1,0 +1,62 @@
+// Reproduces Figure 7: comparison of selection strategies.
+//
+// For bit widths 4 / 7 / 14 / 21 and a selectivity sweep, measures
+// selection-with-unpack via gather and via physical compaction (unpack all
+// + compact), reporting both and the best. Paper shape: gather wins at low
+// selectivity, compaction above a crossover that moves right as the bit
+// width grows (~2% at 4 bits, ~38% at 21 bits).
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/strategy.h"
+#include "vector/compact.h"
+#include "vector/gather_select.h"
+
+using namespace bipie;        // NOLINT
+using namespace bipie::bench;  // NOLINT
+
+int main() {
+  PrintBenchHeader(
+      "Figure 7: selection with unpack — gather vs compaction, cycles/row",
+      "BIPie SIGMOD'18 Figure 7 (crossover ~2% at 4 bits ... ~38% at 21 "
+      "bits)");
+  const size_t n = BenchRows();
+  const double selectivities[] = {0.01, 0.02, 0.05, 0.10, 0.20,
+                                  0.30, 0.38, 0.50, 0.70, 0.90};
+
+  for (int w : {4, 7, 14, 21}) {
+    auto packed = MakePackedColumn(n, w, 200 + w);
+    const int word = SmallestWordBytes(w);
+    std::printf("bit width %d (model crossover at %.0f%% selectivity)\n", w,
+                GatherCrossoverSelectivity(w) * 100);
+    std::printf("  %12s %10s %10s %8s\n", "selectivity", "gather",
+                "compact", "winner");
+    AlignedBuffer unpacked(n * word);
+    AlignedBuffer out(n * word + 64);
+    AlignedBuffer idx_buf((n + 8) * sizeof(uint32_t));
+    int crossover_reported = 0;
+    for (double sel : selectivities) {
+      auto sel_bytes = MakeSelection(n, sel, static_cast<uint64_t>(sel * 1e4));
+      const double gather = MeasureCyclesPerRow(n, [&] {
+        const size_t m = CompactToIndexVector(sel_bytes.data(), n,
+                                              idx_buf.data_as<uint32_t>());
+        GatherSelect(packed.data(), w, idx_buf.data_as<uint32_t>(), m,
+                     out.data(), word);
+        Consume(out.data(), m * word);
+      });
+      const double compact = MeasureCyclesPerRow(n, [&] {
+        BitUnpack(packed.data(), 0, n, w, unpacked.data());
+        const size_t m = CompactValues(sel_bytes.data(), unpacked.data(), n,
+                                       word, out.data());
+        Consume(out.data(), m * word);
+      });
+      const bool gather_wins = gather < compact;
+      if (!gather_wins && crossover_reported == 0) crossover_reported = 1;
+      std::printf("  %11.0f%% %10.2f %10.2f %8s\n", sel * 100, gather,
+                  compact, gather_wins ? "gather" : "compact");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

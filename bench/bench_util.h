@@ -1,0 +1,134 @@
+// Shared harness for the paper-reproduction benchmarks.
+//
+// Every bench binary reproduces one table or figure of the paper and
+// prints it in the paper's own unit: elapsed CPU cycles per input row (per
+// computed sum where the paper divides). Measurements run the kernel
+// `repeats` times over an input large enough to exceed the last-level
+// cache and report the median.
+//
+// Environment knobs:
+//   BIPIE_BENCH_ROWS     input rows per measurement (default 1 << 22)
+//   BIPIE_BENCH_REPEATS  repetitions per cell, median taken (default 5)
+#ifndef BIPIE_BENCH_BENCH_UTIL_H_
+#define BIPIE_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "common/bits.h"
+#include "common/cycle_timer.h"
+#include "common/random.h"
+#include "encoding/bitpack.h"
+#include "vector/toolbox.h"
+
+namespace bipie::bench {
+
+inline size_t BenchRows() {
+  if (const char* env = std::getenv("BIPIE_BENCH_ROWS")) {
+    return static_cast<size_t>(std::strtoull(env, nullptr, 10));
+  }
+  return size_t{1} << 22;
+}
+
+inline int BenchRepeats() {
+  if (const char* env = std::getenv("BIPIE_BENCH_REPEATS")) {
+    return std::atoi(env);
+  }
+  return 5;
+}
+
+// Runs fn `repeats` times; returns median cycles / rows. One untimed
+// warm-up run absorbs first-touch page faults, cold caches and frequency
+// ramp-up so the median reflects steady state.
+inline double MeasureCyclesPerRow(size_t rows,
+                                  const std::function<void()>& fn,
+                                  int repeats = BenchRepeats()) {
+  fn();
+  std::vector<double> samples;
+  samples.reserve(repeats);
+  for (int r = 0; r < repeats; ++r) {
+    const uint64_t start = ReadCycleCounter();
+    fn();
+    const uint64_t stop = ReadCycleCounter();
+    samples.push_back(static_cast<double>(stop - start) /
+                      static_cast<double>(rows));
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+// A consumed result sink that defeats dead-code elimination.
+inline void Consume(const void* p, size_t bytes) {
+  static volatile uint64_t sink = 0;
+  uint64_t h = 0;
+  const auto* b = static_cast<const uint8_t*>(p);
+  for (size_t i = 0; i < bytes; i += 64) h += b[i];
+  sink += h;
+}
+
+// --- workload builders -------------------------------------------------------
+
+// Bit-packed stream of n random values of the given width (padded).
+inline AlignedBuffer MakePackedColumn(size_t n, int bit_width,
+                                      uint64_t seed) {
+  std::vector<uint64_t> values(n);
+  Rng rng(seed);
+  const uint64_t mask = LowBitsMask(bit_width);
+  for (auto& v : values) v = rng.Next() & mask;
+  AlignedBuffer buf(BitPackedBytes(n, bit_width) + 8);
+  BitPack(values.data(), n, bit_width, buf.data());
+  return buf;
+}
+
+// Byte group ids uniform in [0, num_groups).
+inline AlignedBuffer MakeGroups(size_t n, int num_groups, uint64_t seed) {
+  AlignedBuffer buf(n);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    buf.data()[i] = static_cast<uint8_t>(rng.NextBounded(num_groups));
+  }
+  return buf;
+}
+
+// Selection byte vector at the given selectivity.
+inline AlignedBuffer MakeSelection(size_t n, double selectivity,
+                                   uint64_t seed) {
+  AlignedBuffer buf(n);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    buf.data()[i] = rng.NextBernoulli(selectivity) ? 0xFF : 0x00;
+  }
+  return buf;
+}
+
+// Decoded unsigned values below 2^bits at the given word width.
+inline AlignedBuffer MakeDecodedValues(size_t n, int bits, int word_bytes,
+                                       uint64_t seed) {
+  AlignedBuffer buf(n * word_bytes);
+  Rng rng(seed);
+  const uint64_t mask = LowBitsMask(bits);
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t v = rng.Next() & mask;
+    std::memcpy(buf.data() + i * word_bytes, &v, word_bytes);
+  }
+  return buf;
+}
+
+// --- reporting ---------------------------------------------------------------
+
+inline void PrintBenchHeader(const std::string& title,
+                             const std::string& paper_ref) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("isa: %s | rows per cell: %zu | repeats (median): %d\n\n",
+              ToolboxIsaDescription(), BenchRows(), BenchRepeats());
+}
+
+}  // namespace bipie::bench
+
+#endif  // BIPIE_BENCH_BENCH_UTIL_H_

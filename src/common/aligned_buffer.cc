@@ -1,0 +1,41 @@
+#include "common/aligned_buffer.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace bipie {
+
+void AlignedBuffer::Resize(size_t size) {
+  const size_t needed = size + kPaddingBytes;
+  if (needed > capacity_) {
+    // Grow geometrically to keep repeated Resize calls amortized O(1).
+    size_t new_capacity = capacity_ == 0 ? needed : capacity_;
+    while (new_capacity < needed) new_capacity *= 2;
+    void* ptr = std::aligned_alloc(kAlignment,
+                                   (new_capacity + kAlignment - 1) /
+                                       kAlignment * kAlignment);
+    if (ptr == nullptr) throw std::bad_alloc();
+    auto* new_data = static_cast<uint8_t*>(ptr);
+    if (data_ != nullptr) {
+      std::memcpy(new_data, data_, size_ < size ? size_ : size);
+      std::free(data_);
+    }
+    data_ = new_data;
+    capacity_ = new_capacity;
+  }
+  // Zero everything between the preserved prefix and the end of padding so
+  // that kernels reading past size() see deterministic bytes.
+  const size_t preserved = size_ < size ? size_ : size;
+  std::memset(data_ + preserved, 0, size + kPaddingBytes - preserved);
+  size_ = size;
+}
+
+void AlignedBuffer::Free() {
+  if (data_ != nullptr) {
+    std::free(data_);
+    data_ = nullptr;
+  }
+  size_ = capacity_ = 0;
+}
+
+}  // namespace bipie

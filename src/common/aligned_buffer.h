@@ -1,0 +1,90 @@
+// 64-byte aligned, padded byte buffer used for all encoded and decoded
+// column data.
+//
+// SIMD kernels in the Vector Toolbox are allowed to *read* up to
+// `kPaddingBytes` past the logical end of any buffer (never write). Every
+// buffer handed to a kernel must therefore come from AlignedBuffer (or
+// provide equivalent padding).
+#ifndef BIPIE_COMMON_ALIGNED_BUFFER_H_
+#define BIPIE_COMMON_ALIGNED_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace bipie {
+
+class AlignedBuffer {
+ public:
+  // Kernels may read this many bytes past size(). The padding is zeroed.
+  static constexpr size_t kPaddingBytes = 64;
+  static constexpr size_t kAlignment = 64;
+
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(size_t size) { Resize(size); }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept { *this = std::move(other); }
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      Free();
+      data_ = other.data_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      other.data_ = nullptr;
+      other.size_ = other.capacity_ = 0;
+    }
+    return *this;
+  }
+
+  BIPIE_DISALLOW_COPY_AND_ASSIGN(AlignedBuffer);
+
+  ~AlignedBuffer() { Free(); }
+
+  // Resizes to `size` logical bytes. Existing contents up to
+  // min(old, new) size are preserved; the padding tail is re-zeroed.
+  void Resize(size_t size);
+
+  // Deep copy helper (copies logical contents only).
+  AlignedBuffer Clone() const {
+    AlignedBuffer out(size_);
+    std::memcpy(out.data_, data_, size_);
+    return out;
+  }
+
+  uint8_t* data() { return data_; }
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+  template <typename T>
+  T* data_as() {
+    return reinterpret_cast<T*>(data_);
+  }
+  template <typename T>
+  const T* data_as() const {
+    return reinterpret_cast<const T*>(data_);
+  }
+
+  // Number of elements of type T that fit in the logical size.
+  template <typename T>
+  size_t size_as() const {
+    return size_ / sizeof(T);
+  }
+
+  void ZeroFill() {
+    if (data_ != nullptr) std::memset(data_, 0, size_);
+  }
+
+ private:
+  void Free();
+
+  uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = 0;  // allocated bytes including padding
+};
+
+}  // namespace bipie
+
+#endif  // BIPIE_COMMON_ALIGNED_BUFFER_H_

@@ -1,0 +1,36 @@
+// Small bit-manipulation helpers shared by the encoders and the Vector
+// Toolbox.
+#ifndef BIPIE_COMMON_BITS_H_
+#define BIPIE_COMMON_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace bipie {
+
+// Number of bits needed to represent `max_value` (0 needs 1 bit so that a
+// packed stream always has a positive width).
+inline int BitsRequired(uint64_t max_value) {
+  return max_value == 0 ? 1 : 64 - std::countl_zero(max_value);
+}
+
+// Smallest power-of-two byte width (1, 2, 4, 8) that holds `bit_width` bits.
+// This is the "smallest word" rule of §2.2: unpacked output always uses the
+// smallest power-of-two element size all values fit in.
+inline int SmallestWordBytes(int bit_width) {
+  if (bit_width <= 8) return 1;
+  if (bit_width <= 16) return 2;
+  if (bit_width <= 32) return 4;
+  return 8;
+}
+
+// Mask with the low `bits` bits set; bits in [0, 64].
+inline uint64_t LowBitsMask(int bits) {
+  return bits >= 64 ? ~0ULL : (1ULL << bits) - 1;
+}
+
+inline uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+}  // namespace bipie
+
+#endif  // BIPIE_COMMON_BITS_H_

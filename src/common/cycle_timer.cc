@@ -1,0 +1,40 @@
+#include "common/cycle_timer.h"
+
+#include <chrono>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#endif
+
+namespace bipie {
+
+uint64_t ReadCycleCounter() {
+#if defined(__x86_64__) || defined(_M_X64)
+  unsigned aux;
+  return __rdtscp(&aux);
+#else
+  return static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+double TscHz() {
+  static const double hz = [] {
+    const auto t0 = std::chrono::steady_clock::now();
+    const uint64_t c0 = ReadCycleCounter();
+    // ~20ms calibration window keeps startup cheap while staying well above
+    // clock granularity.
+    for (;;) {
+      const auto t1 = std::chrono::steady_clock::now();
+      if (t1 - t0 >= std::chrono::milliseconds(20)) {
+        const uint64_t c1 = ReadCycleCounter();
+        const double secs =
+            std::chrono::duration<double>(t1 - t0).count();
+        return static_cast<double>(c1 - c0) / secs;
+      }
+    }
+  }();
+  return hz;
+}
+
+}  // namespace bipie

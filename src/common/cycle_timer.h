@@ -1,0 +1,39 @@
+// TSC-based cycle measurement.
+//
+// The paper reports all results in "elapsed CPU cycles per physical core,
+// per input row" (§6). On modern x86 the time-stamp counter ticks at the
+// nominal (base) frequency, so rdtsc deltas are the natural way to reproduce
+// that unit.
+#ifndef BIPIE_COMMON_CYCLE_TIMER_H_
+#define BIPIE_COMMON_CYCLE_TIMER_H_
+
+#include <cstdint>
+
+namespace bipie {
+
+// Reads the time-stamp counter with partial serialization (rdtscp-like
+// ordering). Monotonic on all supported platforms.
+uint64_t ReadCycleCounter();
+
+// Estimated TSC ticks per second, measured once against the steady clock.
+// Used to convert cycle counts to wall time in reports.
+double TscHz();
+
+// Convenience RAII scope: accumulates elapsed cycles into *sink.
+class CycleScope {
+ public:
+  explicit CycleScope(uint64_t* sink)
+      : sink_(sink), start_(ReadCycleCounter()) {}
+  ~CycleScope() { *sink_ += ReadCycleCounter() - start_; }
+
+  CycleScope(const CycleScope&) = delete;
+  CycleScope& operator=(const CycleScope&) = delete;
+
+ private:
+  uint64_t* sink_;
+  uint64_t start_;
+};
+
+}  // namespace bipie
+
+#endif  // BIPIE_COMMON_CYCLE_TIMER_H_

@@ -1,0 +1,38 @@
+// Common low-level macros used throughout bipie.
+#ifndef BIPIE_COMMON_MACROS_H_
+#define BIPIE_COMMON_MACROS_H_
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define BIPIE_ALWAYS_INLINE inline __attribute__((always_inline))
+#define BIPIE_NOINLINE __attribute__((noinline))
+#define BIPIE_LIKELY(x) __builtin_expect(!!(x), 1)
+#define BIPIE_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#define BIPIE_RESTRICT __restrict__
+#else
+#define BIPIE_ALWAYS_INLINE inline
+#define BIPIE_NOINLINE
+#define BIPIE_LIKELY(x) (x)
+#define BIPIE_UNLIKELY(x) (x)
+#define BIPIE_RESTRICT
+#endif
+
+// Internal invariant check, active in all build types. Used for conditions
+// that indicate a bug in bipie itself (never for user input validation).
+#define BIPIE_DCHECK(cond)                                                    \
+  do {                                                                        \
+    if (BIPIE_UNLIKELY(!(cond))) {                                            \
+      std::fprintf(stderr, "bipie check failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                          \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#define BIPIE_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;            \
+  TypeName& operator=(const TypeName&) = delete
+
+#endif  // BIPIE_COMMON_MACROS_H_

@@ -1,0 +1,66 @@
+// Deterministic pseudo-random generators for tests, benchmarks, and the
+// TPC-H data generator.
+//
+// All generators are seeded explicitly so every experiment in EXPERIMENTS.md
+// is exactly reproducible.
+#ifndef BIPIE_COMMON_RANDOM_H_
+#define BIPIE_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bipie {
+
+// xoshiro256** — fast, high-quality, deterministic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t Next();
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability p.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t s_[4];
+};
+
+// Zipf-distributed values in [0, n). `theta` in (0,1); higher = more skew.
+// Used to model the data-skew scenarios of §5.1 (high-frequency group ids).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed);
+
+  uint64_t Next();
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Rng rng_;
+};
+
+// Fills `out` with `n` uniform values in [0, cardinality).
+std::vector<uint64_t> MakeUniformValues(size_t n, uint64_t cardinality,
+                                        uint64_t seed);
+
+// A selection byte vector (0x00 / 0xFF) where each row is selected with
+// probability `selectivity`.
+std::vector<uint8_t> MakeSelectionBytes(size_t n, double selectivity,
+                                        uint64_t seed);
+
+}  // namespace bipie
+
+#endif  // BIPIE_COMMON_RANDOM_H_

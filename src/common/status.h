@@ -1,0 +1,110 @@
+// Error handling primitives: Status and Result<T>.
+//
+// bipie does not use exceptions; fallible operations return a Status (or a
+// Result<T> carrying either a value or a Status). Mirrors the conventions of
+// Arrow / RocksDB style database codebases.
+#ifndef BIPIE_COMMON_STATUS_H_
+#define BIPIE_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/macros.h"
+
+namespace bipie {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotSupported,
+  kOverflowRisk,
+  kInternal,
+};
+
+// A success-or-error value. Cheap to copy when OK (no allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status OverflowRisk(std::string msg) {
+    return Status(StatusCode::kOverflowRisk, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable "CODE: message" rendering.
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+// Either a T or an error Status. `ValueOrDie()` aborts on error and is meant
+// for tests and examples; library code checks `ok()` first.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}          // NOLINT (implicit)
+  Result(Status status) : value_(std::move(status)) {    // NOLINT (implicit)
+    BIPIE_DCHECK(!std::get<Status>(value_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(value_);
+  }
+
+  T& value() {
+    BIPIE_DCHECK(ok());
+    return std::get<T>(value_);
+  }
+  const T& value() const {
+    BIPIE_DCHECK(ok());
+    return std::get<T>(value_);
+  }
+
+  T ValueOrDie() && {
+    if (!ok()) {
+      std::fprintf(stderr, "Result error: %s\n",
+                   std::get<Status>(value_).ToString().c_str());
+      std::abort();
+    }
+    return std::move(std::get<T>(value_));
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+#define BIPIE_RETURN_NOT_OK(expr)            \
+  do {                                       \
+    ::bipie::Status _st = (expr);            \
+    if (BIPIE_UNLIKELY(!_st.ok())) return _st; \
+  } while (0)
+
+}  // namespace bipie
+
+#endif  // BIPIE_COMMON_STATUS_H_

@@ -1,0 +1,842 @@
+#include "core/aggregate_processor.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "common/bits.h"
+#include "encoding/bitpack.h"
+#include "vector/agg_inregister.h"
+#include "vector/agg_minmax.h"
+#include "vector/agg_scalar.h"
+#include "vector/compact.h"
+#include "vector/gather_select.h"
+#include "vector/selection_vector.h"
+#include "vector/special_group.h"
+
+namespace bipie {
+
+namespace {
+
+// Maximum effective group count (including the special group) per strategy.
+int GroupCapacity(AggregationStrategy s) {
+  switch (s) {
+    case AggregationStrategy::kInRegister:
+      return kMaxInRegisterGroups;
+    default:
+      return 256;
+  }
+}
+
+// Rebases a packed stream to a batch window. Batch starts are multiples of
+// kBatchRows = 4096, so start * bit_width is always a whole byte count.
+const uint8_t* RebasedPacked(const EncodedColumn& col, size_t start) {
+  BIPIE_DCHECK(start * static_cast<uint64_t>(col.bit_width()) % 8 == 0);
+  return col.packed_data() +
+         start * static_cast<uint64_t>(col.bit_width()) / 8;
+}
+
+}  // namespace
+
+Status AggregateProcessor::Bind(const Table& table, const Segment& segment,
+                                const QuerySpec& query,
+                                const StrategyOverrides& overrides) {
+  table_ = &table;
+  segment_ = &segment;
+  query_ = &query;
+  overrides_ = overrides;
+  selection_stats_ = SelectionStats{};
+  multi_agg_ready_ = false;
+
+  // --- group columns -------------------------------------------------------
+  std::vector<int> group_cols;
+  for (const std::string& name : query.group_by) {
+    const int idx = table.FindColumn(name);
+    if (idx < 0) {
+      return Status::InvalidArgument("unknown group column: " + name);
+    }
+    group_cols.push_back(idx);
+  }
+  BIPIE_RETURN_NOT_OK(mapper_.Bind(segment, group_cols));
+  const int num_groups = mapper_.num_groups();
+
+  // --- aggregate inputs ----------------------------------------------------
+  inputs_.clear();
+  spec_to_input_.clear();
+  if (query.aggregates.empty()) {
+    return Status::InvalidArgument("query needs at least one aggregate");
+  }
+  // Aggregates over the same column with the same operation share one
+  // input slot (e.g. Q1's sum(l_quantity) and avg(l_quantity)); this is
+  // what lets all of Q1's sums fit a single multi-aggregate register.
+  // Key: column * 4 + op.
+  std::vector<int> column_op_to_input(table.num_columns() * 4, -1);
+  for (const AggregateSpec& spec : query.aggregates) {
+    if (spec.kind == AggregateSpec::Kind::kCount) {
+      spec_to_input_.push_back(-1);
+      continue;
+    }
+    AggInput input;
+    switch (spec.kind) {
+      case AggregateSpec::Kind::kMin:
+        input.op = AggInput::Op::kMin;
+        break;
+      case AggregateSpec::Kind::kMax:
+        input.op = AggInput::Op::kMax;
+        break;
+      default:
+        input.op = AggInput::Op::kSum;
+        break;
+    }
+    if (spec.kind == AggregateSpec::Kind::kSumExpr) {
+      input.is_expr = true;
+      input.expr = spec.expr;
+      if (input.expr == nullptr) {
+        return Status::InvalidArgument("sum-expression aggregate missing expr");
+      }
+    } else {
+      const int idx = table.FindColumn(spec.column);
+      const int dedup_key =
+          idx < 0 ? -1 : idx * 4 + static_cast<int>(input.op);
+      if (dedup_key >= 0 && column_op_to_input[dedup_key] >= 0) {
+        spec_to_input_.push_back(column_op_to_input[dedup_key]);
+        continue;
+      }
+      if (dedup_key >= 0) {
+        column_op_to_input[dedup_key] = static_cast<int>(inputs_.size());
+      }
+      if (idx < 0) {
+        return Status::InvalidArgument("unknown aggregate column: " +
+                                       spec.column);
+      }
+      const EncodedColumn& col = segment.column(static_cast<size_t>(idx));
+      if (col.type() != ColumnType::kInt64) {
+        return Status::NotSupported("aggregates require integer columns");
+      }
+      if (col.encoding() == Encoding::kBitPacked) {
+        input.column = &col;
+        input.bit_width = col.bit_width();
+        input.base = col.base();
+        input.max_offset = col.id_bound() - 1;
+        input.compensate = true;
+      } else {
+        // Dictionary / RLE aggregate inputs go through the expression path
+        // (logical decode), matching the §2.2 assumption that raw SUM
+        // columns are plain bit-packed.
+        input.is_expr = true;
+        input.expr = Expr::Column(idx);
+      }
+    }
+    spec_to_input_.push_back(static_cast<int>(inputs_.size()));
+    inputs_.push_back(std::move(input));
+  }
+
+  // --- overflow proof from metadata (§2.1) ---------------------------------
+  const __int128 rows = static_cast<__int128>(segment.num_rows());
+  const __int128 int64_max = std::numeric_limits<int64_t>::max();
+  bool overflow_risk = false;
+  std::vector<ValueBounds> column_bounds(table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const ColumnMeta& m = segment.column(c).meta();
+    column_bounds[c] = {m.min, m.max};
+  }
+  for (AggInput& input : inputs_) {
+    if (input.op != AggInput::Op::kSum) continue;  // extrema cannot overflow
+    __int128 max_abs;
+    if (input.is_expr) {
+      Result<ValueBounds> bounds = input.expr->EvalBounds(column_bounds);
+      if (!bounds.ok()) {
+        overflow_risk = true;
+        continue;
+      }
+      max_abs = std::max<__int128>(-static_cast<__int128>(bounds.value().min),
+                                   bounds.value().max);
+    } else {
+      max_abs = static_cast<__int128>(input.max_offset) +
+                (input.base < 0 ? -static_cast<__int128>(input.base)
+                                : static_cast<__int128>(input.base));
+    }
+    if (max_abs * rows > int64_max) overflow_risk = true;
+  }
+
+  // --- strategy resolution --------------------------------------------------
+  // MIN/MAX inputs run through their own kernels per batch; only SUM inputs
+  // participate in the strategy choice and register-fit accounting.
+  sum_inputs_.clear();
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    if (inputs_[i].op == AggInput::Op::kSum) {
+      sum_inputs_.push_back(static_cast<int>(i));
+    }
+  }
+  const int num_sums = static_cast<int>(sum_inputs_.size());
+  int max_value_bits = 1;
+  bool any_expr = false;
+  for (int i : sum_inputs_) {
+    const AggInput& input = inputs_[i];
+    if (input.is_expr) {
+      any_expr = true;
+    } else {
+      max_value_bits = std::max(max_value_bits, input.bit_width);
+    }
+  }
+  if (any_expr) max_value_bits = 64;
+
+  // Multi-aggregate register fit: narrow raw inputs (<= 16 bits) take half
+  // a 64-bit lane, everything else a full lane.
+  int n64 = 0, n32 = 0;
+  for (int i : sum_inputs_) {
+    const AggInput& input = inputs_[i];
+    if (!input.is_expr && input.bit_width <= 16) {
+      ++n32;
+    } else {
+      ++n64;
+    }
+  }
+  const bool multi_fits =
+      num_sums >= 1 && (n64 + (n32 + 1) / 2) <= 4 && num_groups + 1 <= 256;
+
+  // Deleted rows reach the processor through the selection byte vector
+  // exactly like filter rejections, so they count as filtering too.
+  const bool filtered = !query.filters.empty() || segment.has_deleted_rows();
+  const double expected_selectivity = query.filters.empty() ? 1.0 : 0.5;
+  // A spare group id is only reserved when special-group selection can
+  // actually be used (not when the caller pinned selection to gather or
+  // compaction).
+  const bool may_use_special =
+      filtered && (!overrides.selection.has_value() ||
+                   *overrides.selection == SelectionStrategy::kSpecialGroup);
+  const int groups_for_choice = num_groups + (may_use_special ? 1 : 0);
+
+  if (overflow_risk) {
+    if (overrides.aggregation.has_value() &&
+        *overrides.aggregation != AggregationStrategy::kCheckedScalar) {
+      return Status::OverflowRisk(
+          "segment metadata cannot prove int64-safe sums; forced strategy "
+          "rejected");
+    }
+    agg_strategy_ = AggregationStrategy::kCheckedScalar;
+  } else if (overrides.aggregation.has_value()) {
+    agg_strategy_ = *overrides.aggregation;
+    if (agg_strategy_ == AggregationStrategy::kInRegister &&
+        (groups_for_choice > kMaxInRegisterGroups || any_expr ||
+         max_value_bits > 32)) {
+      return Status::NotSupported(
+          "in-register aggregation infeasible for this query/segment");
+    }
+    if (agg_strategy_ == AggregationStrategy::kMultiAggregate &&
+        !multi_fits) {
+      return Status::NotSupported(
+          "multi-aggregate row does not fit one SIMD register");
+    }
+    if (agg_strategy_ == AggregationStrategy::kSortBased && num_sums == 0) {
+      return Status::NotSupported("sort-based strategy needs >= 1 sum");
+    }
+  } else {
+    agg_strategy_ = ChooseAggregationStrategy(
+        groups_for_choice, num_sums, max_value_bits, expected_selectivity,
+        multi_fits);
+  }
+
+  special_group_available_ =
+      may_use_special && num_groups + 1 <= GroupCapacity(agg_strategy_);
+
+  // --- per-strategy input decode widths -------------------------------------
+  const bool scalar_like = agg_strategy_ == AggregationStrategy::kScalar ||
+                           agg_strategy_ == AggregationStrategy::kCheckedScalar;
+  for (AggInput& input : inputs_) {
+    const bool wide_minmax = input.op != AggInput::Op::kSum &&
+                             !input.is_expr && input.bit_width > 32;
+    if ((scalar_like || wide_minmax) && !input.is_expr) {
+      // Scalar paths (and extrema over >32-bit offsets) aggregate logical
+      // int64 values directly.
+      int idx = -1;
+      for (size_t c = 0; c < table.num_columns(); ++c) {
+        if (&segment.column(c) == input.column) idx = static_cast<int>(c);
+      }
+      input.is_expr = true;
+      input.expr = Expr::Column(idx);
+      input.compensate = false;
+      input.word_bytes = 8;
+      continue;
+    }
+    if (input.is_expr) {
+      input.word_bytes = 8;
+      continue;
+    }
+    if (input.op != AggInput::Op::kSum) {
+      // Extrema kernels take the smallest word regardless of strategy.
+      input.word_bytes = SmallestWordBytes(input.bit_width);
+      continue;
+    }
+    switch (agg_strategy_) {
+      case AggregationStrategy::kInRegister:
+        input.word_bytes = input.bit_width <= 8    ? 1
+                           : input.bit_width <= 15 ? 2
+                                                   : 4;
+        break;
+      case AggregationStrategy::kMultiAggregate:
+        input.word_bytes = input.bit_width <= 16 ? 4 : 8;
+        break;
+      default:
+        input.word_bytes = SmallestWordBytes(input.bit_width);
+        break;
+    }
+  }
+
+  // The gather/compact crossover depends on the widest stream selection
+  // must materialize.
+  max_materialized_bits_ = 1;
+  for (int idx : group_cols) {
+    max_materialized_bits_ = std::max(
+        max_materialized_bits_, segment.column(idx).bit_width());
+  }
+  for (const AggInput& input : inputs_) {
+    if (!input.is_expr) {
+      max_materialized_bits_ =
+          std::max(max_materialized_bits_, input.bit_width);
+    } else if (input.expr != nullptr) {
+      std::vector<int> cols;
+      input.expr->CollectColumns(&cols);
+      for (int c : cols) {
+        max_materialized_bits_ = std::max(
+            max_materialized_bits_, segment.column(c).bit_width());
+      }
+    }
+  }
+
+  // --- accumulators & engines -----------------------------------------------
+  counts_.assign(static_cast<size_t>(num_groups) + 1, 0);
+  sums_.assign(inputs_.size() * (static_cast<size_t>(num_groups) + 1), 0);
+  minmax_.assign(inputs_.size() * (static_cast<size_t>(num_groups) + 1), 0);
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    const AggInput& input = inputs_[i];
+    if (input.op == AggInput::Op::kSum) continue;
+    uint64_t sentinel;
+    if (input.is_expr) {
+      sentinel = input.op == AggInput::Op::kMin
+                     ? static_cast<uint64_t>(
+                           std::numeric_limits<int64_t>::max())
+                     : static_cast<uint64_t>(
+                           std::numeric_limits<int64_t>::min());
+    } else {
+      sentinel = input.op == AggInput::Op::kMin ? ~uint64_t{0} : 0;
+    }
+    std::fill_n(minmax_.begin() +
+                    i * (static_cast<size_t>(num_groups) + 1),
+                static_cast<size_t>(num_groups) + 1, sentinel);
+  }
+  value_bufs_.resize(inputs_.size());
+  expr_out_bufs_.resize(inputs_.size());
+  expr_out_ptrs_.assign(inputs_.size(), nullptr);
+  expr_col_bufs_.resize(table.num_columns());
+  batch_seq_ = 0;
+  col_cache_tag_.assign(table.num_columns(), 0);
+
+  if (agg_strategy_ == AggregationStrategy::kMultiAggregate) {
+    std::vector<MultiAggregator::ColumnDesc> descs;
+    for (int i : sum_inputs_) {
+      descs.push_back({inputs_[i].word_bytes == 4 ? 4 : 8});
+    }
+    const int geff = num_groups + (special_group_available_ ? 1 : 0);
+    BIPIE_RETURN_NOT_OK(multi_agg_.Configure(descs, geff));
+    multi_agg_ready_ = true;
+  }
+  return Status::OK();
+}
+
+AggregateProcessor::BatchMode AggregateProcessor::PickBatchMode(
+    size_t n, size_t selected, const uint8_t* sel) {
+  if (sel == nullptr) return BatchMode::kFull;
+  if (overrides_.selection.has_value()) {
+    switch (*overrides_.selection) {
+      case SelectionStrategy::kGather:
+        return BatchMode::kGather;
+      case SelectionStrategy::kCompact:
+        return BatchMode::kCompact;
+      case SelectionStrategy::kSpecialGroup:
+        return special_group_available_ ? BatchMode::kSpecialGroup
+                                        : BatchMode::kCompact;
+    }
+  }
+  const double selectivity =
+      static_cast<double>(selected) / static_cast<double>(n);
+  switch (ChooseSelectionStrategy(selectivity, max_materialized_bits_,
+                                  special_group_available_)) {
+    case SelectionStrategy::kGather:
+      return BatchMode::kGather;
+    case SelectionStrategy::kSpecialGroup:
+      return BatchMode::kSpecialGroup;
+    case SelectionStrategy::kCompact:
+      return BatchMode::kCompact;
+  }
+  return BatchMode::kCompact;
+}
+
+void AggregateProcessor::DecodeExprColumn(int col_idx, size_t start,
+                                          size_t n) {
+  if (col_cache_tag_[col_idx] == batch_seq_) return;  // decoded this batch
+  AlignedBuffer& buf = expr_col_bufs_[col_idx];
+  buf.Resize(n * sizeof(int64_t));
+  segment_->column(col_idx).DecodeInt64(start, n, buf.data_as<int64_t>());
+  col_cache_tag_[col_idx] = batch_seq_;
+}
+
+void AggregateProcessor::EvaluateExpr(size_t input_index, size_t start,
+                                      size_t n) {
+  const AggInput& input = inputs_[input_index];
+  if (const int64_t* cached = expr_cache_.Find(input.expr.get())) {
+    expr_out_ptrs_[input_index] = cached;  // identical tree this batch
+    return;
+  }
+  std::vector<int> cols;
+  input.expr->CollectColumns(&cols);
+  std::vector<const int64_t*> columns(table_->num_columns(), nullptr);
+  for (int c : cols) {
+    DecodeExprColumn(c, start, n);
+    columns[c] = expr_col_bufs_[c].data_as<int64_t>();
+  }
+  expr_out_bufs_[input_index].Resize(n * sizeof(int64_t));
+  int64_t* out = expr_out_bufs_[input_index].data_as<int64_t>();
+  input.expr->Evaluate(columns.data(), n, out, &expr_cache_);
+  expr_cache_.Put(input.expr.get(), out);
+  expr_out_ptrs_[input_index] = out;
+}
+
+size_t AggregateProcessor::BuildDenseBatch(size_t start, size_t n,
+                                           const uint8_t* sel,
+                                           BatchMode mode) {
+  const int num_groups = mapper_.num_groups();
+  groups_buf_.Resize(n);
+  uint8_t* groups = groups_buf_.data();
+
+  size_t m = n;
+  const uint32_t* indices = nullptr;
+  if (mode == BatchMode::kGather) {
+    indices_buf_.Resize((n + 8) * sizeof(uint32_t));
+    m = CompactToIndexVector(sel, n, indices_buf_.data_as<uint32_t>());
+    indices = indices_buf_.data_as<uint32_t>();
+    mapper_.MapSelected(start, indices, m, groups);
+  } else {
+    mapper_.MapBatch(start, n, groups);
+    if (mode == BatchMode::kSpecialGroup) {
+      ApplySpecialGroup(groups, sel, n,
+                        static_cast<uint8_t>(num_groups), groups);
+    } else if (mode == BatchMode::kCompact) {
+      compact_scratch_.Resize(n);
+      m = CompactValues(sel, groups, n, 1, compact_scratch_.data());
+      std::memcpy(groups, compact_scratch_.data(), m);
+    }
+  }
+
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    const AggInput& input = inputs_[i];
+    AlignedBuffer& buf = value_bufs_[i];
+    if (input.is_expr) {
+      switch (mode) {
+        case BatchMode::kFull:
+        case BatchMode::kSpecialGroup:
+          EvaluateExpr(i, start, n);
+          // The aggregation loop reads expr_out_bufs_ directly via the
+          // pointer set below; copy-free.
+          break;
+        case BatchMode::kGather: {
+          // Decode referenced columns densely (selected rows only), then
+          // evaluate over the dense arrays.
+          if (const int64_t* cached = expr_cache_.Find(input.expr.get())) {
+            expr_out_ptrs_[i] = cached;
+            break;
+          }
+          std::vector<int> cols;
+          input.expr->CollectColumns(&cols);
+          std::vector<const int64_t*> columns(table_->num_columns(),
+                                              nullptr);
+          for (int c : cols) {
+            const EncodedColumn& col = segment_->column(c);
+            AlignedBuffer& cbuf = expr_col_bufs_[c];
+            if (col_cache_tag_[c] != batch_seq_) {
+              cbuf.Resize(m * sizeof(int64_t));
+              if (col.encoding() == Encoding::kBitPacked) {
+                GatherSelect(RebasedPacked(col, start), col.bit_width(),
+                             indices, m, cbuf.data(), 8);
+                int64_t* vals = cbuf.data_as<int64_t>();
+                if (col.base() != 0) {
+                  for (size_t r = 0; r < m; ++r) vals[r] += col.base();
+                }
+              } else {
+                compact_scratch_.Resize(n * sizeof(int64_t));
+                col.DecodeInt64(start, n,
+                                compact_scratch_.data_as<int64_t>());
+                CompactValues(sel, compact_scratch_.data(), n, 8,
+                              cbuf.data());
+              }
+              col_cache_tag_[c] = batch_seq_;
+            }
+            columns[c] = cbuf.data_as<int64_t>();
+          }
+          expr_out_bufs_[i].Resize(m * sizeof(int64_t));
+          int64_t* out = expr_out_bufs_[i].data_as<int64_t>();
+          input.expr->Evaluate(columns.data(), m, out, &expr_cache_);
+          expr_cache_.Put(input.expr.get(), out);
+          expr_out_ptrs_[i] = out;
+          break;
+        }
+        case BatchMode::kCompact: {
+          // Post-filter processing: referenced columns are decoded once,
+          // physically compacted, and the expression runs over the
+          // surviving rows only (this is the §6.2 compact-vs-special
+          // trade: compaction pays once so later work touches m rows).
+          if (const int64_t* cached = expr_cache_.Find(input.expr.get())) {
+            expr_out_ptrs_[i] = cached;
+            break;
+          }
+          std::vector<int> cols;
+          input.expr->CollectColumns(&cols);
+          std::vector<const int64_t*> columns(table_->num_columns(),
+                                              nullptr);
+          for (int c : cols) {
+            AlignedBuffer& cbuf = expr_col_bufs_[c];
+            if (col_cache_tag_[c] != batch_seq_) {
+              compact_scratch_.Resize(n * sizeof(int64_t));
+              segment_->column(c).DecodeInt64(
+                  start, n, compact_scratch_.data_as<int64_t>());
+              cbuf.Resize(m * sizeof(int64_t));
+              CompactValues(sel, compact_scratch_.data(), n, 8, cbuf.data());
+              col_cache_tag_[c] = batch_seq_;
+            }
+            columns[c] = cbuf.data_as<int64_t>();
+          }
+          expr_out_bufs_[i].Resize(m * sizeof(int64_t));
+          int64_t* out = expr_out_bufs_[i].data_as<int64_t>();
+          input.expr->Evaluate(columns.data(), m, out, &expr_cache_);
+          expr_cache_.Put(input.expr.get(), out);
+          expr_out_ptrs_[i] = out;
+          break;
+        }
+      }
+      continue;
+    }
+    // Raw bit-packed input.
+    const int word = input.word_bytes;
+    buf.Resize(m * static_cast<size_t>(word));
+    switch (mode) {
+      case BatchMode::kFull:
+      case BatchMode::kSpecialGroup:
+        input.column->UnpackIds(start, n, buf.data(), word);
+        break;
+      case BatchMode::kGather:
+        GatherSelect(RebasedPacked(*input.column, start), input.bit_width,
+                     indices, m, buf.data(), word);
+        break;
+      case BatchMode::kCompact:
+        compact_scratch_.Resize(n * static_cast<size_t>(word));
+        input.column->UnpackIds(start, n, compact_scratch_.data(), word);
+        CompactValues(sel, compact_scratch_.data(), n, word, buf.data());
+        break;
+    }
+  }
+  return m;
+}
+
+Status AggregateProcessor::ProcessBatch(size_t start, size_t n,
+                                        const uint8_t* sel) {
+  BIPIE_DCHECK(start % kBatchRows == 0);
+  if (n == 0) return Status::OK();
+  ++batch_seq_;
+  expr_cache_.Clear();
+  size_t selected = n;
+  if (sel != nullptr) {
+    selected = CountSelected(sel, n);
+    if (selected == 0) return Status::OK();
+    if (selected == n) sel = nullptr;  // filter passed everything
+  }
+  const BatchMode mode = PickBatchMode(n, selected, sel);
+  switch (mode) {
+    case BatchMode::kFull:
+      ++selection_stats_.unfiltered;
+      break;
+    case BatchMode::kGather:
+      ++selection_stats_.gather;
+      break;
+    case BatchMode::kCompact:
+      ++selection_stats_.compact;
+      break;
+    case BatchMode::kSpecialGroup:
+      ++selection_stats_.special_group;
+      break;
+  }
+  switch (agg_strategy_) {
+    case AggregationStrategy::kInRegister:
+      return ProcessInRegister(start, n, sel, mode);
+    case AggregationStrategy::kMultiAggregate:
+      return ProcessMultiAggregate(start, n, sel, mode);
+    case AggregationStrategy::kSortBased:
+      return ProcessSortBased(start, n, sel, mode);
+    case AggregationStrategy::kScalar:
+      return ProcessScalar(start, n, sel, mode, /*checked=*/false);
+    case AggregationStrategy::kCheckedScalar:
+      return ProcessScalar(start, n, sel, mode, /*checked=*/true);
+  }
+  return Status::Internal("unknown aggregation strategy");
+}
+
+Status AggregateProcessor::ProcessInRegister(size_t start, size_t n,
+                                             const uint8_t* sel,
+                                             BatchMode mode) {
+  const int num_groups = mapper_.num_groups();
+  const size_t m = BuildDenseBatch(start, n, sel, mode);
+  const int geff =
+      num_groups + (mode == BatchMode::kSpecialGroup ? 1 : 0);
+  const uint8_t* groups = groups_buf_.data();
+  InRegisterCount(groups, m, geff, counts_.data());
+  const size_t stride = static_cast<size_t>(num_groups) + 1;
+  for (int i : sum_inputs_) {
+    const AggInput& input = inputs_[i];
+    auto* sums = reinterpret_cast<uint64_t*>(sums_.data() + i * stride);
+    switch (input.word_bytes) {
+      case 1:
+        InRegisterSum8(groups, value_bufs_[i].data(), m, geff, sums);
+        break;
+      case 2:
+        InRegisterSum16(groups, value_bufs_[i].data_as<uint16_t>(), m, geff,
+                        sums);
+        break;
+      case 4:
+        InRegisterSum32(groups, value_bufs_[i].data_as<uint32_t>(), m, geff,
+                        input.max_offset, sums);
+        break;
+      default:
+        return Status::Internal("bad in-register word");
+    }
+  }
+  ProcessMinMaxDense(mode, m, geff);
+  return Status::OK();
+}
+
+Status AggregateProcessor::ProcessMultiAggregate(size_t start, size_t n,
+                                                 const uint8_t* sel,
+                                                 BatchMode mode) {
+  const int num_groups = mapper_.num_groups();
+  const size_t m = BuildDenseBatch(start, n, sel, mode);
+  const int geff =
+      num_groups + (mode == BatchMode::kSpecialGroup ? 1 : 0);
+  const uint8_t* groups = groups_buf_.data();
+  if (geff <= kMaxInRegisterGroups) {
+    InRegisterCount(groups, m, geff, counts_.data());
+  } else {
+    ScalarCountMultiArray(groups, m, geff, counts_.data());
+  }
+  std::vector<const void*> ptrs(sum_inputs_.size());
+  for (size_t k = 0; k < sum_inputs_.size(); ++k) {
+    const int i = sum_inputs_[k];
+    const AggInput& input = inputs_[i];
+    ptrs[k] = input.is_expr ? static_cast<const void*>(expr_out_ptrs_[i])
+                            : static_cast<const void*>(value_bufs_[i].data());
+  }
+  multi_agg_.Process(groups, ptrs.data(), m);
+  ProcessMinMaxDense(mode, m, geff);
+  return Status::OK();
+}
+
+Status AggregateProcessor::ProcessSortBased(size_t start, size_t n,
+                                            const uint8_t* sel,
+                                            BatchMode mode) {
+  const int num_groups = mapper_.num_groups();
+  groups_buf_.Resize(n);
+  uint8_t* groups = groups_buf_.data();
+  int geff = num_groups;
+  size_t m = n;
+  const uint32_t* indices = nullptr;
+
+  if (mode == BatchMode::kSpecialGroup) {
+    mapper_.MapBatch(start, n, groups);
+    ApplySpecialGroup(groups, sel, n, static_cast<uint8_t>(num_groups),
+                      groups);
+    geff = num_groups + 1;
+  } else if (mode == BatchMode::kFull) {
+    mapper_.MapBatch(start, n, groups);
+  } else {
+    // Gather and compaction selection both reduce to sorting a selection
+    // index vector (§5.2: rows are excluded before sorting).
+    mapper_.MapBatch(start, n, groups);
+    indices_buf_.Resize((n + 8) * sizeof(uint32_t));
+    m = CompactToIndexVector(sel, n, indices_buf_.data_as<uint32_t>());
+    indices = indices_buf_.data_as<uint32_t>();
+  }
+  sorted_batch_.Sort(groups, indices, m, geff);
+
+  for (int g = 0; g < geff; ++g) {
+    counts_[g] += sorted_batch_.count(g);
+  }
+  const size_t stride = static_cast<size_t>(num_groups) + 1;
+  for (int i : sum_inputs_) {
+    const AggInput& input = inputs_[i];
+    int64_t* sums = sums_.data() + i * stride;
+    if (input.is_expr) {
+      EvaluateExpr(i, start, n);
+      SortedSumDecoded(expr_out_ptrs_[i], sorted_batch_, sums);
+    } else {
+      SortedGatherSum(RebasedPacked(*input.column, start), input.bit_width,
+                      sorted_batch_, reinterpret_cast<uint64_t*>(sums));
+    }
+  }
+  return ProcessMinMaxSorted(start, n, geff);
+}
+
+Status AggregateProcessor::ProcessScalar(size_t start, size_t n,
+                                         const uint8_t* sel, BatchMode mode,
+                                         bool checked) {
+  const int num_groups = mapper_.num_groups();
+  const size_t m = BuildDenseBatch(start, n, sel, mode);
+  const int geff =
+      num_groups + (mode == BatchMode::kSpecialGroup ? 1 : 0);
+  const uint8_t* groups = groups_buf_.data();
+  ScalarCountMultiArray(groups, m, geff, counts_.data());
+  const size_t stride = static_cast<size_t>(num_groups) + 1;
+  (void)mode;
+  for (int i : sum_inputs_) {
+    const int64_t* values = expr_out_ptrs_[i];
+    int64_t* sums = sums_.data() + i * stride;
+    if (checked) {
+      for (size_t r = 0; r < m; ++r) {
+        if (__builtin_add_overflow(sums[groups[r]], values[r],
+                                   &sums[groups[r]])) {
+          return Status::OverflowRisk("int64 sum overflow during scan");
+        }
+      }
+    } else {
+      ScalarSumMultiArray(groups, values, m, geff, sums);
+    }
+  }
+  ProcessMinMaxDense(mode, m, geff);
+  return Status::OK();
+}
+
+void AggregateProcessor::ProcessMinMaxDense(BatchMode mode, size_t m,
+                                            int geff) {
+  (void)mode;
+  const size_t stride = static_cast<size_t>(mapper_.num_groups()) + 1;
+  const uint8_t* groups = groups_buf_.data();
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    const AggInput& input = inputs_[i];
+    if (input.op == AggInput::Op::kSum) continue;
+    uint64_t* extrema = minmax_.data() + i * stride;
+    if (input.is_expr) {
+      const int64_t* values = expr_out_ptrs_[i];
+      if (input.op == AggInput::Op::kMin) {
+        GroupedMinI64(groups, values, m, geff,
+                      reinterpret_cast<int64_t*>(extrema));
+      } else {
+        GroupedMaxI64(groups, values, m, geff,
+                      reinterpret_cast<int64_t*>(extrema));
+      }
+    } else {
+      if (input.op == AggInput::Op::kMin) {
+        GroupedMinU(groups, value_bufs_[i].data(), input.word_bytes, m,
+                    geff, extrema);
+      } else {
+        GroupedMaxU(groups, value_bufs_[i].data(), input.word_bytes, m,
+                    geff, extrema);
+      }
+    }
+  }
+}
+
+Status AggregateProcessor::ProcessMinMaxSorted(size_t start, size_t n,
+                                               int geff) {
+  const size_t stride = static_cast<size_t>(mapper_.num_groups()) + 1;
+  const uint32_t* idx = sorted_batch_.indices();
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    const AggInput& input = inputs_[i];
+    if (input.op == AggInput::Op::kSum) continue;
+    uint64_t* extrema = minmax_.data() + i * stride;
+    if (input.is_expr) {
+      EvaluateExpr(i, start, n);  // memoized per batch
+      const int64_t* values = expr_out_ptrs_[i];
+      auto* typed = reinterpret_cast<int64_t*>(extrema);
+      for (int g = 0; g < geff; ++g) {
+        int64_t e = typed[g];
+        for (uint32_t k = sorted_batch_.offset(g);
+             k < sorted_batch_.offset(g + 1); ++k) {
+          const int64_t v = values[idx[k]];
+          e = input.op == AggInput::Op::kMin ? std::min(e, v)
+                                             : std::max(e, v);
+        }
+        typed[g] = e;
+      }
+    } else {
+      // Decode the full window once at the input's word width, then walk
+      // the sorted index ranges.
+      AlignedBuffer& buf = value_bufs_[i];
+      buf.Resize(n * static_cast<size_t>(input.word_bytes));
+      input.column->UnpackIds(start, n, buf.data(), input.word_bytes);
+      for (int g = 0; g < geff; ++g) {
+        uint64_t e = extrema[g];
+        for (uint32_t k = sorted_batch_.offset(g);
+             k < sorted_batch_.offset(g + 1); ++k) {
+          uint64_t v = 0;
+          std::memcpy(&v,
+                      buf.data() + static_cast<size_t>(idx[k]) *
+                                       input.word_bytes,
+                      input.word_bytes);
+          if (input.op == AggInput::Op::kMin ? v < e : v > e) e = v;
+        }
+        extrema[g] = e;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status AggregateProcessor::Finish(SegmentResult* out) {
+  const int num_groups = mapper_.num_groups();
+  const size_t stride = static_cast<size_t>(num_groups) + 1;
+  if (agg_strategy_ == AggregationStrategy::kMultiAggregate &&
+      multi_agg_ready_) {
+    // MultiAggregator keeps sums in [group][column] layout; fold into the
+    // [input][group] accumulators (special slot included when present).
+    const int geff = multi_agg_.num_groups();
+    const size_t ncols = sum_inputs_.size();
+    std::vector<int64_t> flat(static_cast<size_t>(geff) * ncols, 0);
+    multi_agg_.Flush(flat.data());
+    for (int g = 0; g < geff; ++g) {
+      for (size_t k = 0; k < ncols; ++k) {
+        sums_[static_cast<size_t>(sum_inputs_[k]) * stride + g] +=
+            flat[g * ncols + k];
+      }
+    }
+  }
+  out->num_groups = num_groups;
+  out->mapper = &mapper_;
+  out->counts.assign(counts_.begin(), counts_.begin() + num_groups);
+  out->values.assign(static_cast<size_t>(num_groups) *
+                         query_->aggregates.size(),
+                     0);
+  for (int g = 0; g < num_groups; ++g) {
+    const uint64_t count = counts_[g];
+    for (size_t s = 0; s < query_->aggregates.size(); ++s) {
+      int64_t value;
+      const int input_idx = spec_to_input_[s];
+      if (input_idx < 0) {
+        value = static_cast<int64_t>(count);
+      } else {
+        const AggInput& input = inputs_[input_idx];
+        if (input.op == AggInput::Op::kSum) {
+          value = sums_[static_cast<size_t>(input_idx) * stride + g];
+          if (input.compensate) {
+            value += input.base * static_cast<int64_t>(count);
+          }
+        } else {
+          const uint64_t raw =
+              minmax_[static_cast<size_t>(input_idx) * stride + g];
+          value = static_cast<int64_t>(raw);
+          if (input.compensate) value += input.base;  // monotonic rebase
+        }
+      }
+      out->values[static_cast<size_t>(g) * query_->aggregates.size() + s] =
+          value;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace bipie

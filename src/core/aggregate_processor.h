@@ -1,0 +1,162 @@
+// The Aggregate Processor (§3).
+//
+// Bound to one segment, it takes the group-id map and the selection byte
+// vector produced by the Filter component and computes all aggregates,
+// choosing among the Vector Toolbox strategies at run time:
+//
+//  * the aggregation strategy is fixed per segment, from metadata (group
+//    count bound, aggregate count and bit widths) and the §6.2 rules;
+//  * the selection strategy adapts per batch from measured selectivity.
+//
+// Raw bit-packed aggregate columns are summed in the *encoded offset
+// domain* and compensated at the end (sum = offset_sum + base * count),
+// so the hot loops never materialize logical int64 values unless the
+// strategy requires it. Per-segment metadata proves the compensated sums
+// cannot overflow int64; otherwise processing falls back to a checked
+// scalar path.
+#ifndef BIPIE_CORE_AGGREGATE_PROCESSOR_H_
+#define BIPIE_CORE_AGGREGATE_PROCESSOR_H_
+
+#include <array>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "common/status.h"
+#include "core/group_mapper.h"
+#include "core/query.h"
+#include "core/strategy.h"
+#include "storage/table.h"
+#include "vector/agg_multi.h"
+#include "vector/agg_sort.h"
+
+namespace bipie {
+
+class AggregateProcessor {
+ public:
+  AggregateProcessor() = default;
+
+  // Binds to one segment. Resolves the aggregation strategy (respecting
+  // overrides) and builds per-aggregate input descriptors.
+  Status Bind(const Table& table, const Segment& segment,
+              const QuerySpec& query, const StrategyOverrides& overrides);
+
+  // Processes rows [start, start + n) of the bound segment. `sel` is the
+  // selection byte vector for the window (filter merged with liveness), or
+  // nullptr when every row qualifies. start must be batch-aligned
+  // (a multiple of kBatchRows) so packed streams can be rebased.
+  Status ProcessBatch(size_t start, size_t n, const uint8_t* sel);
+
+  // Per-segment aggregation output, indexed by local group id.
+  struct SegmentResult {
+    int num_groups = 0;
+    const GroupMapper* mapper = nullptr;
+    std::vector<uint64_t> counts;  // [group]
+    std::vector<int64_t> values;   // [group * num_specs + spec]: counts for
+                                   // kCount specs, logical sums otherwise
+  };
+  Status Finish(SegmentResult* out);
+
+  AggregationStrategy aggregation_strategy() const { return agg_strategy_; }
+  int num_groups() const { return mapper_.num_groups(); }
+
+  // Batches processed per selection strategy (gather/compact/special/full),
+  // for tests and the strategy explorer example.
+  struct SelectionStats {
+    size_t gather = 0;
+    size_t compact = 0;
+    size_t special_group = 0;
+    size_t unfiltered = 0;
+  };
+  const SelectionStats& selection_stats() const { return selection_stats_; }
+
+ private:
+  enum class BatchMode { kFull, kGather, kCompact, kSpecialGroup };
+
+  struct AggInput {
+    enum class Op { kSum, kMin, kMax };
+
+    Op op = Op::kSum;
+    bool is_expr = false;
+    ExprPtr expr;                         // kSumExpr
+    const EncodedColumn* column = nullptr;  // raw
+    int bit_width = 0;
+    int64_t base = 0;
+    uint64_t max_offset = 0;
+    int word_bytes = 8;    // decoded element width fed to the strategy
+    bool compensate = false;
+  };
+
+  BatchMode PickBatchMode(size_t n, size_t selected, const uint8_t* sel);
+
+  // Builds dense group ids + per-input dense decoded arrays for the modes
+  // that need them (in-register / multi / scalar). Returns the dense row
+  // count.
+  size_t BuildDenseBatch(size_t start, size_t n, const uint8_t* sel,
+                         BatchMode mode);
+
+  Status ProcessInRegister(size_t start, size_t n, const uint8_t* sel,
+                           BatchMode mode);
+  Status ProcessMultiAggregate(size_t start, size_t n, const uint8_t* sel,
+                               BatchMode mode);
+  Status ProcessSortBased(size_t start, size_t n, const uint8_t* sel,
+                          BatchMode mode);
+  Status ProcessScalar(size_t start, size_t n, const uint8_t* sel,
+                       BatchMode mode, bool checked);
+
+  // Decodes logical int64 values of table column `col_idx` for the window
+  // into expr_col_bufs_[col_idx] (full window, no selection).
+  void DecodeExprColumn(int col_idx, size_t start, size_t n);
+  // Evaluates input `i` (an expression) over the full window into
+  // expr_out_bufs_[i].
+  void EvaluateExpr(size_t input_index, size_t start, size_t n);
+
+  const Table* table_ = nullptr;
+  const Segment* segment_ = nullptr;
+  const QuerySpec* query_ = nullptr;
+
+  GroupMapper mapper_;
+  AggregationStrategy agg_strategy_ = AggregationStrategy::kScalar;
+  StrategyOverrides overrides_;
+  bool special_group_available_ = false;
+  int max_materialized_bits_ = 8;  // drives the gather/compact crossover
+
+  std::vector<AggInput> inputs_;      // one per SUM-like spec
+  std::vector<int> spec_to_input_;    // query spec index -> inputs_ index, -1 for count
+
+  // MIN/MAX extrema for every dense-mode row batch; value pointers follow
+  // the same expr/raw rules the scalar strategy uses.
+  void ProcessMinMaxDense(BatchMode mode, size_t m, int geff);
+  // MIN/MAX for the sort-based path (full-window values + sorted indices).
+  Status ProcessMinMaxSorted(size_t start, size_t n, int geff);
+
+  // Accumulators sized num_groups + 1 (last slot = special group).
+  std::vector<uint64_t> counts_;
+  std::vector<int64_t> sums_;    // [input * (G + 1) + group], sum inputs
+  std::vector<uint64_t> minmax_; // [input * (G + 1) + group], min/max inputs
+  std::vector<int> sum_inputs_;  // indices of Op::kSum inputs (register fit)
+
+  MultiAggregator multi_agg_;
+  bool multi_agg_ready_ = false;
+  SortedBatch sorted_batch_;
+
+  // Scratch (reused across batches).
+  AlignedBuffer groups_buf_;
+  AlignedBuffer indices_buf_;
+  std::vector<AlignedBuffer> value_bufs_;     // per input dense values
+  std::vector<AlignedBuffer> expr_col_bufs_;  // per table column, logical i64
+  std::vector<AlignedBuffer> expr_out_bufs_;  // per input, expr results
+  std::vector<const int64_t*> expr_out_ptrs_; // per input, possibly aliased
+  AlignedBuffer compact_scratch_;
+
+  // Per-batch memoization: columns are decoded and shared subexpressions
+  // evaluated at most once per batch (Q1's charge reuses disc_price).
+  uint64_t batch_seq_ = 0;
+  std::vector<uint64_t> col_cache_tag_;  // per table column
+  ExprCache expr_cache_;
+
+  SelectionStats selection_stats_;
+};
+
+}  // namespace bipie
+
+#endif  // BIPIE_CORE_AGGREGATE_PROCESSOR_H_

@@ -1,0 +1,8 @@
+#include "core/query.h"
+
+namespace bipie {
+
+// QuerySpec and QueryResult are plain data; this translation unit anchors
+// the module and hosts future validation helpers.
+
+}  // namespace bipie

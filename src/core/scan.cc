@@ -1,0 +1,272 @@
+#include "core/scan.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <thread>
+
+#include "baseline/hash_agg.h"
+#include "storage/batch.h"
+#include "vector/selection_vector.h"
+
+namespace bipie {
+
+// Composite key for merging per-segment local groups into global results.
+// Group values decode to int64s and strings; a vector of GroupValue with
+// operator< gives deterministic ordering for the sorted output.
+using GroupKey = std::vector<GroupValue>;
+
+namespace internal_scan {
+// What one segment contributes to the global result.
+struct SegmentContribution {
+  GroupKey key;
+  uint64_t count = 0;
+  std::vector<int64_t> values;  // one per aggregate spec
+};
+}  // namespace internal_scan
+using internal_scan::SegmentContribution;
+
+BIPieScan::BIPieScan(const Table& table, QuerySpec query, ScanOptions options)
+    : table_(table), query_(std::move(query)), options_(std::move(options)) {}
+
+// Scans one segment end to end: filter evaluation, fused batch processing,
+// result decode. Thread-safe with respect to other segments (only reads the
+// table; all mutable state is local or in `stats`).
+Status BIPieScan::ScanSegment(size_t segment_index,
+                              const std::vector<int>& filter_cols,
+                              ScanStats* stats,
+                              std::vector<SegmentContribution>* out) {
+  const Segment& segment = table_.segment(segment_index);
+
+  AggregateProcessor processor;
+  BIPIE_RETURN_NOT_OK(
+      processor.Bind(table_, segment, query_, options_.overrides));
+  stats->aggregation_segments[static_cast<int>(
+      processor.aggregation_strategy())]++;
+
+  AlignedBuffer sel_buf;
+  AlignedBuffer sel_tmp;
+  BatchCursor cursor(segment);
+  BatchView view;
+  while (cursor.Next(&view)) {
+    ++stats->batches;
+    stats->rows_scanned += view.num_rows;
+    const uint8_t* sel = nullptr;
+    if (!query_.filters.empty()) {
+      sel_buf.Resize(view.num_rows);
+      sel_tmp.Resize(view.num_rows);
+      for (size_t f = 0; f < query_.filters.size(); ++f) {
+        uint8_t* dst = f == 0 ? sel_buf.data() : sel_tmp.data();
+        BIPIE_RETURN_NOT_OK(query_.filters[f].Evaluate(
+            segment.column(filter_cols[f]), view.start, view.num_rows, dst));
+        if (f > 0) {
+          AndSelection(sel_buf.data(), sel_tmp.data(), view.num_rows,
+                       sel_buf.data());
+        }
+      }
+      sel = sel_buf.data();
+    }
+    // Deleted rows are zeroed into the selection byte vector (§4).
+    if (view.alive_bytes() != nullptr) {
+      if (sel == nullptr) {
+        sel_buf.Resize(view.num_rows);
+        std::memcpy(sel_buf.data(), view.alive_bytes(), view.num_rows);
+        sel = sel_buf.data();
+      } else {
+        AndSelection(sel_buf.data(), view.alive_bytes(), view.num_rows,
+                     sel_buf.data());
+      }
+    }
+    if (sel != nullptr) {
+      stats->rows_selected += CountSelected(sel, view.num_rows);
+    } else {
+      stats->rows_selected += view.num_rows;
+    }
+    BIPIE_RETURN_NOT_OK(
+        processor.ProcessBatch(view.start, view.num_rows, sel));
+  }
+
+  const auto& pstats = processor.selection_stats();
+  stats->selection.gather += pstats.gather;
+  stats->selection.compact += pstats.compact;
+  stats->selection.special_group += pstats.special_group;
+  stats->selection.unfiltered += pstats.unfiltered;
+
+  AggregateProcessor::SegmentResult local;
+  BIPIE_RETURN_NOT_OK(processor.Finish(&local));
+
+  const size_t num_specs = query_.aggregates.size();
+  for (int g = 0; g < local.num_groups; ++g) {
+    if (local.counts[g] == 0) continue;  // group absent from this segment
+    SegmentContribution contribution;
+    for (int k = 0; k < local.mapper->num_columns(); ++k) {
+      contribution.key.push_back(local.mapper->ValueOf(g, k));
+    }
+    contribution.count = local.counts[g];
+    contribution.values.assign(
+        local.values.begin() + static_cast<size_t>(g) * num_specs,
+        local.values.begin() + (static_cast<size_t>(g) + 1) * num_specs);
+    out->push_back(std::move(contribution));
+  }
+  return Status::OK();
+}
+
+Result<QueryResult> BIPieScan::Execute() {
+  stats_ = ScanStats{};
+
+  // Resolve filter column indices once.
+  std::vector<int> filter_cols;
+  for (const ColumnPredicate& pred : query_.filters) {
+    const int idx = table_.FindColumn(pred.column_name());
+    if (idx < 0) {
+      return Status::InvalidArgument("unknown filter column: " +
+                                     pred.column_name());
+    }
+    filter_cols.push_back(idx);
+  }
+
+  // Segment elimination pass builds the scan work list.
+  std::vector<size_t> work;
+  for (size_t s = 0; s < table_.num_segments(); ++s) {
+    const Segment& segment = table_.segment(s);
+    if (segment.num_rows() == 0) continue;
+    if (options_.enable_segment_elimination) {
+      bool eliminated = false;
+      for (size_t f = 0; f < query_.filters.size(); ++f) {
+        if (query_.filters[f].EliminatesSegment(
+                segment.column(filter_cols[f]))) {
+          eliminated = true;
+          break;
+        }
+      }
+      if (eliminated) {
+        ++stats_.segments_eliminated;
+        continue;
+      }
+    }
+    work.push_back(s);
+  }
+  stats_.segments_scanned = work.size();
+
+  const size_t threads =
+      std::max<size_t>(1, std::min<size_t>(options_.num_threads, work.size()));
+  std::vector<std::vector<SegmentContribution>> contributions(work.size());
+  Status failure;
+
+  if (threads <= 1) {
+    for (size_t w = 0; w < work.size(); ++w) {
+      Status st =
+          ScanSegment(work[w], filter_cols, &stats_, &contributions[w]);
+      if (!st.ok()) {
+        failure = st;
+        break;
+      }
+    }
+  } else {
+    // Segments are independent; a shared atomic cursor load-balances them
+    // across worker threads (the paper's scan parallelism unit).
+    std::atomic<size_t> next{0};
+    std::vector<ScanStats> thread_stats(threads);
+    std::vector<Status> thread_status(threads);
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (size_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        for (;;) {
+          const size_t w = next.fetch_add(1);
+          if (w >= work.size()) return;
+          Status st = ScanSegment(work[w], filter_cols, &thread_stats[t],
+                                  &contributions[w]);
+          if (!st.ok()) {
+            thread_status[t] = st;
+            return;
+          }
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    for (size_t t = 0; t < threads; ++t) {
+      if (!thread_status[t].ok()) failure = thread_status[t];
+      stats_.batches += thread_stats[t].batches;
+      stats_.rows_scanned += thread_stats[t].rows_scanned;
+      stats_.rows_selected += thread_stats[t].rows_selected;
+      stats_.selection.gather += thread_stats[t].selection.gather;
+      stats_.selection.compact += thread_stats[t].selection.compact;
+      stats_.selection.special_group +=
+          thread_stats[t].selection.special_group;
+      stats_.selection.unfiltered += thread_stats[t].selection.unfiltered;
+      for (int a = 0; a < 5; ++a) {
+        stats_.aggregation_segments[a] +=
+            thread_stats[t].aggregation_segments[a];
+      }
+    }
+  }
+
+  if (!failure.ok()) {
+    // Outside the specialized envelope (e.g. >255 combined groups): degrade
+    // gracefully to the generic engine — unless the caller explicitly
+    // forced strategies, in which case the rejection is the answer.
+    if (failure.code() == StatusCode::kNotSupported &&
+        !options_.overrides.selection.has_value() &&
+        !options_.overrides.aggregation.has_value()) {
+      stats_.used_hash_fallback = true;
+      return ExecuteQueryHashAgg(table_, query_);
+    }
+    return failure;
+  }
+
+  // Merge contributions (deterministic: segment order, then group order).
+  const size_t num_specs = query_.aggregates.size();
+  std::map<GroupKey, ResultRow> merged;
+  for (const auto& segment_contributions : contributions) {
+    for (const SegmentContribution& c : segment_contributions) {
+      ResultRow& row = merged[c.key];
+      const bool first_contribution = row.sums.empty();
+      if (first_contribution) {
+        row.group = c.key;
+        row.sums.assign(num_specs, 0);
+      }
+      row.count += c.count;
+      for (size_t a = 0; a < num_specs; ++a) {
+        switch (query_.aggregates[a].kind) {
+          case AggregateSpec::Kind::kMin:
+            row.sums[a] = first_contribution
+                              ? c.values[a]
+                              : std::min(row.sums[a], c.values[a]);
+            break;
+          case AggregateSpec::Kind::kMax:
+            row.sums[a] = first_contribution
+                              ? c.values[a]
+                              : std::max(row.sums[a], c.values[a]);
+            break;
+          default:
+            row.sums[a] += c.values[a];
+            break;
+        }
+      }
+    }
+  }
+
+  QueryResult result;
+  result.group_column_names = query_.group_by;
+  result.rows.reserve(merged.size());
+  for (auto& [key, row] : merged) {
+    // kCount spec slots must reflect the merged count.
+    for (size_t a = 0; a < query_.aggregates.size(); ++a) {
+      if (query_.aggregates[a].kind == AggregateSpec::Kind::kCount) {
+        row.sums[a] = static_cast<int64_t>(row.count);
+      }
+    }
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+Result<QueryResult> ExecuteQuery(const Table& table, QuerySpec query,
+                                 ScanOptions options) {
+  BIPieScan scan(table, std::move(query), std::move(options));
+  return scan.Execute();
+}
+
+}  // namespace bipie

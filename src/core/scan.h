@@ -1,0 +1,81 @@
+// The BIPie columnstore scan (§3, Figure 1).
+//
+// Orchestrates the single-node scan of one table: per segment it applies
+// segment elimination, binds an Aggregate Processor (which fixes the
+// aggregation strategy for that segment), then walks 4096-row batches —
+// filter evaluation producing a selection byte vector, merge with the
+// deleted-row mask, per-batch selection strategy choice, and fused
+// decode + selection + grouped aggregation. Per-segment local results are
+// merged into global groups by decoded group value (dictionary ids are
+// segment-local).
+#ifndef BIPIE_CORE_SCAN_H_
+#define BIPIE_CORE_SCAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/aggregate_processor.h"
+#include "core/query.h"
+#include "core/strategy.h"
+#include "storage/table.h"
+
+namespace bipie {
+
+namespace internal_scan {
+struct SegmentContribution;  // defined in scan.cc
+}  // namespace internal_scan
+
+struct ScanOptions {
+  StrategyOverrides overrides;
+  // Disables min/max segment elimination (benchmarks that must touch every
+  // row regardless of the filter).
+  bool enable_segment_elimination = true;
+  // Worker threads for the scan; segments are the parallelism unit
+  // (mirroring the paper's use of all hardware threads). 1 = inline.
+  size_t num_threads = 1;
+};
+
+struct ScanStats {
+  // True when the query fell outside the BIPie envelope (e.g. combined
+  // group cardinality above 255) and the scan delegated to the generic
+  // hash-aggregation engine instead.
+  bool used_hash_fallback = false;
+  size_t segments_scanned = 0;
+  size_t segments_eliminated = 0;
+  size_t batches = 0;
+  size_t rows_scanned = 0;
+  size_t rows_selected = 0;
+  AggregateProcessor::SelectionStats selection;
+  // Segments per aggregation strategy, indexed by AggregationStrategy.
+  size_t aggregation_segments[5] = {0, 0, 0, 0, 0};
+};
+
+class BIPieScan {
+ public:
+  BIPieScan(const Table& table, QuerySpec query, ScanOptions options = {});
+
+  // Runs the scan to completion.
+  Result<QueryResult> Execute();
+
+  const ScanStats& stats() const { return stats_; }
+
+ private:
+  Status ScanSegment(size_t segment_index,
+                     const std::vector<int>& filter_cols, ScanStats* stats,
+                     std::vector<internal_scan::SegmentContribution>* out);
+
+  const Table& table_;
+  QuerySpec query_;
+  ScanOptions options_;
+  ScanStats stats_;
+};
+
+// Convenience wrapper: scan `table` with `query` and default options.
+Result<QueryResult> ExecuteQuery(const Table& table, QuerySpec query,
+                                 ScanOptions options = {});
+
+}  // namespace bipie
+
+#endif  // BIPIE_CORE_SCAN_H_

@@ -1,0 +1,68 @@
+// Runtime operator specialization (§3, §6).
+//
+// BIPie implements multiple variants of selection and aggregation and picks
+// between them at run time: the aggregation strategy per segment (from
+// metadata: group-count bound, aggregate count and widths), the selection
+// strategy per batch (from the measured selectivity of the filter for that
+// batch). The rules here encode the empirical findings of the paper's §6.1
+// and §6.2 evaluation.
+#ifndef BIPIE_CORE_STRATEGY_H_
+#define BIPIE_CORE_STRATEGY_H_
+
+#include <optional>
+#include <string>
+
+namespace bipie {
+
+enum class SelectionStrategy {
+  kGather,        // §4.2 — unpack only the selected rows
+  kCompact,       // §4.1 — unpack all, physically compact
+  kSpecialGroup,  // §4.3 — route rejected rows to an extra group
+};
+
+enum class AggregationStrategy {
+  kScalar,          // §5.1 — reference / wide-value fallback
+  kInRegister,      // §5.3 — accumulators in SIMD registers
+  kSortBased,       // §5.2 — bucket sort by group, then gather-sum
+  kMultiAggregate,  // §5.4 — horizontal SIMD across aggregates
+  kCheckedScalar,   // overflow-guarded fallback when metadata cannot prove
+                    // sums fit int64
+};
+
+const char* SelectionStrategyName(SelectionStrategy s);
+const char* AggregationStrategyName(AggregationStrategy s);
+
+// Forced choices for benchmarks / tests; unset means adaptive.
+struct StrategyOverrides {
+  std::optional<SelectionStrategy> selection;
+  std::optional<AggregationStrategy> aggregation;
+};
+
+// Picks the selection strategy for one batch.
+//  * selectivity: measured fraction of rows passing the filter;
+//  * max_input_bits: widest bit width among the columns that selection must
+//    materialize (gather's win region shrinks as widths grow — Figure 7);
+//  * special_group_available: a free group id exists and the aggregation
+//    strategy can absorb one extra group.
+SelectionStrategy ChooseSelectionStrategy(double selectivity,
+                                          int max_input_bits,
+                                          bool special_group_available);
+
+// Gather-vs-compact crossover selectivity for a bit width (Figure 7: ~2%
+// at 4 bits rising to ~38% at 21 bits).
+double GatherCrossoverSelectivity(int bit_width);
+
+// Picks the aggregation strategy for one segment.
+//  * num_groups: group-count bound from encoding metadata (incl. special);
+//  * num_sums: SUM aggregates to compute (0 = count-only);
+//  * max_value_bits: widest aggregate input in bits;
+//  * expected_selectivity: estimate (or measurement from prior batches);
+//  * multi_aggregate_fits: the expanded row fits one SIMD register.
+AggregationStrategy ChooseAggregationStrategy(int num_groups, int num_sums,
+                                              int max_value_bits,
+                                              double expected_selectivity,
+                                              bool multi_aggregate_fits);
+
+}  // namespace bipie
+
+#endif  // BIPIE_CORE_STRATEGY_H_

@@ -1,0 +1,151 @@
+// AVX-512 tier of the bit-unpacking kernels.
+//
+// Same gather/shift/mask strategy as the AVX2 tier, but 16 values per
+// iteration via 512-bit dword gathers, with single-instruction narrowing
+// (VPMOVDB / VPMOVDW) instead of the pack-and-permute dance. Widths above
+// 25 bits delegate to the AVX2 tier's 64-bit path.
+#include <immintrin.h>
+
+#include "encoding/bitpack.h"
+
+namespace bipie::internal {
+
+namespace {
+
+// 16 consecutive packed values starting at base_bit as zero-extended u32
+// lanes. Requires w <= 25 and base_bit + 16w < 2^31.
+BIPIE_ALWAYS_INLINE __m512i Gather16(const uint8_t* src, uint32_t base_bit,
+                                     __m512i lane_bits, __m512i value_mask) {
+  const __m512i bits = _mm512_add_epi32(
+      _mm512_set1_epi32(static_cast<int>(base_bit)), lane_bits);
+  const __m512i byte_off = _mm512_srli_epi32(bits, 3);
+  const __m512i shift = _mm512_and_si512(bits, _mm512_set1_epi32(7));
+  __m512i words = _mm512_i32gather_epi32(byte_off, src, 1);
+  words = _mm512_srlv_epi32(words, shift);
+  return _mm512_and_si512(words, value_mask);
+}
+
+__m512i MakeLaneBits(int w) {
+  alignas(64) int lanes[16];
+  for (int i = 0; i < 16; ++i) lanes[i] = i * w;
+  return _mm512_load_si512(lanes);
+}
+
+void UnpackNarrow512(const uint8_t* src, size_t n, int w, void* out,
+                     int word_bytes) {
+  const __m512i lane_bits = MakeLaneBits(w);
+  const __m512i value_mask =
+      _mm512_set1_epi32(static_cast<int>(LowBitsMask(w)));
+  const uint32_t wu = static_cast<uint32_t>(w);
+  size_t i = 0;
+  switch (word_bytes) {
+    case 1: {
+      auto* dst = static_cast<uint8_t*>(out);
+      for (; i + 16 <= n; i += 16) {
+        const __m512i v =
+            Gather16(src, static_cast<uint32_t>(i) * wu, lane_bits,
+                     value_mask);
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                         _mm512_cvtepi32_epi8(v));
+      }
+      BitUnpackScalar(src, i, n - i, w, dst + i);
+      return;
+    }
+    case 2: {
+      auto* dst = static_cast<uint16_t*>(out);
+      for (; i + 16 <= n; i += 16) {
+        const __m512i v =
+            Gather16(src, static_cast<uint32_t>(i) * wu, lane_bits,
+                     value_mask);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                            _mm512_cvtepi32_epi16(v));
+      }
+      BitUnpackScalar(src, i, n - i, w, dst + i);
+      return;
+    }
+    case 4: {
+      auto* dst = static_cast<uint32_t*>(out);
+      for (; i + 16 <= n; i += 16) {
+        const __m512i v =
+            Gather16(src, static_cast<uint32_t>(i) * wu, lane_bits,
+                     value_mask);
+        _mm512_storeu_si512(dst + i, v);
+      }
+      BitUnpackScalar(src, i, n - i, w, dst + i);
+      return;
+    }
+    case 8: {
+      auto* dst = static_cast<uint64_t*>(out);
+      for (; i + 16 <= n; i += 16) {
+        const __m512i v =
+            Gather16(src, static_cast<uint32_t>(i) * wu, lane_bits,
+                     value_mask);
+        const __m512i lo = _mm512_cvtepu32_epi64(_mm512_castsi512_si256(v));
+        const __m512i hi =
+            _mm512_cvtepu32_epi64(_mm512_extracti64x4_epi64(v, 1));
+        _mm512_storeu_si512(dst + i, lo);
+        _mm512_storeu_si512(dst + i + 8, hi);
+      }
+      BitUnpackScalar(src, i, n - i, w, dst + i);
+      return;
+    }
+    default:
+      BIPIE_DCHECK(false);
+  }
+}
+
+void UnpackScalarDispatch512(const uint8_t* src, size_t start, size_t n,
+                             int w, void* out, int word_bytes) {
+  switch (word_bytes) {
+    case 1:
+      BitUnpackScalar(src, start, n, w, static_cast<uint8_t*>(out));
+      break;
+    case 2:
+      BitUnpackScalar(src, start, n, w, static_cast<uint16_t*>(out));
+      break;
+    case 4:
+      BitUnpackScalar(src, start, n, w, static_cast<uint32_t*>(out));
+      break;
+    case 8:
+      BitUnpackScalar(src, start, n, w, static_cast<uint64_t*>(out));
+      break;
+    default:
+      BIPIE_DCHECK(false);
+  }
+}
+
+}  // namespace
+
+void BitUnpackAvx512(const uint8_t* src, size_t start, size_t n,
+                     int bit_width, void* out, int word_bytes) {
+  if (bit_width > 25) {
+    // The AVX2 tier's 64-bit gather path already saturates these widths.
+    BitUnpackAvx2(src, start, n, bit_width, out, word_bytes);
+    return;
+  }
+  // Same prologue/rebase discipline as the AVX2 tier: align start to a
+  // multiple of 8 so chunk starts fall on byte boundaries, then process in
+  // offset-bounded chunks.
+  auto* dst = static_cast<uint8_t*>(out);
+  size_t prologue = (8 - (start & 7)) & 7;
+  if (prologue > n) prologue = n;
+  if (prologue > 0) {
+    UnpackScalarDispatch512(src, start, prologue, bit_width, dst,
+                            word_bytes);
+    start += prologue;
+    n -= prologue;
+    dst += prologue * word_bytes;
+  }
+  src += start * static_cast<uint64_t>(bit_width) / 8;
+  const size_t chunk_values =
+      ((size_t{1} << 30) / static_cast<size_t>(bit_width)) & ~size_t{7};
+  while (n > 0) {
+    const size_t m = n < chunk_values ? n : chunk_values;
+    UnpackNarrow512(src, m, bit_width, dst, word_bytes);
+    src += m * static_cast<uint64_t>(bit_width) / 8;
+    dst += m * word_bytes;
+    n -= m;
+  }
+}
+
+}  // namespace bipie::internal

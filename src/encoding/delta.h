@@ -1,0 +1,47 @@
+// Frame-of-reference and delta encodings (§2.1).
+//
+// Frame of reference stores `base = min(values)` plus bit-packed unsigned
+// offsets `value - base`. It is how bipie packs signed or large-magnitude
+// integer columns: the offsets get the small bit width, and the base is part
+// of the column metadata. Delta encoding stores consecutive differences and
+// suits monotonically increasing columns (e.g. timestamps).
+#ifndef BIPIE_ENCODING_DELTA_H_
+#define BIPIE_ENCODING_DELTA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+
+namespace bipie {
+
+struct ForEncoded {
+  int64_t base = 0;           // minimum input value
+  int bit_width = 1;          // width of each packed offset
+  size_t num_values = 0;
+  AlignedBuffer packed;       // bit-packed (value - base) stream
+};
+
+// Frame-of-reference encodes `n` signed values.
+ForEncoded ForEncode(const int64_t* values, size_t n);
+
+// Decodes values [start, start + n) back to int64.
+void ForDecode(const ForEncoded& enc, size_t start, size_t n, int64_t* out);
+
+struct DeltaEncoded {
+  int64_t first = 0;          // first value, stored verbatim
+  int64_t min_delta = 0;      // frame of reference for the deltas
+  int bit_width = 1;
+  size_t num_values = 0;
+  AlignedBuffer packed;       // bit-packed (delta[i] - min_delta), n-1 entries
+};
+
+// Delta encodes `n` signed values (n >= 1).
+DeltaEncoded DeltaEncode(const int64_t* values, size_t n);
+
+// Decodes the full stream (delta decoding is inherently sequential).
+void DeltaDecode(const DeltaEncoded& enc, int64_t* out);
+
+}  // namespace bipie
+
+#endif  // BIPIE_ENCODING_DELTA_H_

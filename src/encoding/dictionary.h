@@ -1,0 +1,66 @@
+// Dictionary encoding (§2.1).
+//
+// Dictionary encoding has two components: a dictionary containing all
+// distinct values, and a bit-packed sequence of integer ids identifying
+// elements of that dictionary. Ids are assigned consecutively from 0, which
+// makes the id stream an injective mapping from column values to small
+// integers — the "perfect hashing" that the Group ID Mapper exploits (§3).
+#ifndef BIPIE_ENCODING_DICTIONARY_H_
+#define BIPIE_ENCODING_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace bipie {
+
+// Dictionary over int64 values. Ids are assigned in first-insertion order.
+class IntDictionary {
+ public:
+  IntDictionary() = default;
+
+  // Returns the id for `value`, inserting it if new.
+  uint32_t GetOrInsert(int64_t value);
+
+  // Returns the id for `value` or -1 if absent.
+  int64_t Find(int64_t value) const;
+
+  int64_t value(uint32_t id) const {
+    BIPIE_DCHECK(id < values_.size());
+    return values_[id];
+  }
+  size_t size() const { return values_.size(); }
+  const std::vector<int64_t>& values() const { return values_; }
+
+ private:
+  std::vector<int64_t> values_;
+  std::unordered_map<int64_t, uint32_t> index_;
+};
+
+// Dictionary over strings, e.g. TPC-H l_returnflag / l_linestatus.
+class StringDictionary {
+ public:
+  StringDictionary() = default;
+
+  uint32_t GetOrInsert(const std::string& value);
+  int64_t Find(const std::string& value) const;
+
+  const std::string& value(uint32_t id) const {
+    BIPIE_DCHECK(id < values_.size());
+    return values_[id];
+  }
+  size_t size() const { return values_.size(); }
+  const std::vector<std::string>& values() const { return values_; }
+
+ private:
+  std::vector<std::string> values_;
+  std::unordered_map<std::string, uint32_t> index_;
+};
+
+}  // namespace bipie
+
+#endif  // BIPIE_ENCODING_DICTIONARY_H_

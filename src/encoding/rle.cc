@@ -1,0 +1,64 @@
+#include "encoding/rle.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace bipie {
+
+std::vector<RleRun> RleEncode(const uint64_t* values, size_t n) {
+  std::vector<RleRun> runs;
+  size_t i = 0;
+  while (i < n) {
+    const uint64_t v = values[i];
+    size_t j = i + 1;
+    while (j < n && values[j] == v &&
+           j - i < std::numeric_limits<uint32_t>::max()) {
+      ++j;
+    }
+    runs.push_back(RleRun{v, static_cast<uint32_t>(j - i)});
+    i = j;
+  }
+  return runs;
+}
+
+size_t RleRowCount(const std::vector<RleRun>& runs) {
+  size_t total = 0;
+  for (const RleRun& r : runs) total += r.count;
+  return total;
+}
+
+void RleDecode(const std::vector<RleRun>& runs, uint64_t* out) {
+  for (const RleRun& r : runs) {
+    std::fill(out, out + r.count, r.value);
+    out += r.count;
+  }
+}
+
+void RleDecodeRange(const std::vector<RleRun>& runs, size_t start, size_t n,
+                    uint64_t* out) {
+  size_t pos = 0;
+  size_t run_idx = 0;
+  // Skip whole runs before `start`.
+  while (run_idx < runs.size() && pos + runs[run_idx].count <= start) {
+    pos += runs[run_idx].count;
+    ++run_idx;
+  }
+  size_t produced = 0;
+  while (produced < n) {
+    BIPIE_DCHECK(run_idx < runs.size());
+    const RleRun& r = runs[run_idx];
+    const size_t offset_in_run = start + produced - pos;
+    const size_t available = r.count - offset_in_run;
+    const size_t take = std::min(available, n - produced);
+    std::fill(out + produced, out + produced + take, r.value);
+    produced += take;
+    if (take == available) {
+      pos += r.count;
+      ++run_idx;
+    }
+  }
+}
+
+}  // namespace bipie

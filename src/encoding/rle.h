@@ -1,0 +1,39 @@
+// Run-length encoding (§2.1).
+//
+// An encoded RLE stream is a sequence of (value, count) pairs: the value is
+// the uncompressed value and count says how many consecutive rows repeat it.
+// MemSQL picks RLE when consecutive repetition is common; bipie's column
+// builder does the same based on measured run structure.
+#ifndef BIPIE_ENCODING_RLE_H_
+#define BIPIE_ENCODING_RLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bipie {
+
+struct RleRun {
+  uint64_t value;
+  uint32_t count;
+
+  bool operator==(const RleRun&) const = default;
+};
+
+// Encodes `n` values into runs.
+std::vector<RleRun> RleEncode(const uint64_t* values, size_t n);
+
+// Total row count across runs.
+size_t RleRowCount(const std::vector<RleRun>& runs);
+
+// Decodes all runs into `out` (must hold RleRowCount(runs) elements).
+void RleDecode(const std::vector<RleRun>& runs, uint64_t* out);
+
+// Decodes rows [start, start + n) into `out`. Runs are walked with a cached
+// cursor-free binary search over cumulative counts.
+void RleDecodeRange(const std::vector<RleRun>& runs, size_t start, size_t n,
+                    uint64_t* out);
+
+}  // namespace bipie
+
+#endif  // BIPIE_ENCODING_RLE_H_

@@ -1,0 +1,411 @@
+#include "sql/parser.h"
+
+#include <cctype>
+#include <optional>
+#include <vector>
+
+namespace bipie {
+
+namespace {
+
+enum class TokenKind {
+  kIdentifier,
+  kInteger,
+  kString,   // 'quoted'
+  kSymbol,   // ( ) , * + - < > = ! <= >= <> !=
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // identifier (original case) / symbol / string body
+  int64_t value = 0;  // kInteger
+};
+
+// Lower-cases ASCII for keyword comparison.
+std::string Lower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::tolower(c));
+  return out;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) {}
+
+  Status Tokenize(std::vector<Token>* out) {
+    size_t i = 0;
+    while (i < input_.size()) {
+      const char c = input_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t j = i;
+        while (j < input_.size() &&
+               (std::isalnum(static_cast<unsigned char>(input_[j])) ||
+                input_[j] == '_')) {
+          ++j;
+        }
+        out->push_back({TokenKind::kIdentifier, input_.substr(i, j - i), 0});
+        i = j;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        size_t j = i;
+        while (j < input_.size() &&
+               std::isdigit(static_cast<unsigned char>(input_[j]))) {
+          ++j;
+        }
+        Token t;
+        t.kind = TokenKind::kInteger;
+        t.text = input_.substr(i, j - i);
+        t.value = std::stoll(t.text);
+        out->push_back(t);
+        i = j;
+        continue;
+      }
+      if (c == '\'') {
+        const size_t close = input_.find('\'', i + 1);
+        if (close == std::string::npos) {
+          return Status::InvalidArgument("unterminated string literal");
+        }
+        out->push_back(
+            {TokenKind::kString, input_.substr(i + 1, close - i - 1), 0});
+        i = close + 1;
+        continue;
+      }
+      // Two-character comparison operators first.
+      if (i + 1 < input_.size()) {
+        const std::string two = input_.substr(i, 2);
+        if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+          out->push_back({TokenKind::kSymbol, two, 0});
+          i += 2;
+          continue;
+        }
+      }
+      if (std::string("(),*+-<>=").find(c) != std::string::npos) {
+        out->push_back({TokenKind::kSymbol, std::string(1, c), 0});
+        ++i;
+        continue;
+      }
+      return Status::InvalidArgument(std::string("unexpected character '") +
+                                     c + "' in query");
+    }
+    out->push_back({TokenKind::kEnd, "", 0});
+    return Status::OK();
+  }
+
+ private:
+  const std::string& input_;
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const Table& table)
+      : tokens_(std::move(tokens)), table_(table) {}
+
+  Result<ParsedQuery> Parse() {
+    ParsedQuery parsed;
+    BIPIE_RETURN_NOT_OK(ExpectKeyword("select"));
+
+    // SELECT list: group columns and aggregates in any order.
+    std::vector<std::string> select_columns;
+    for (;;) {
+      Result<bool> item = ParseSelectItem(&parsed.spec, &select_columns);
+      if (!item.ok()) return item.status();
+      if (!AcceptSymbol(",")) break;
+    }
+
+    BIPIE_RETURN_NOT_OK(ExpectKeyword("from"));
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Status::InvalidArgument("expected table name after FROM");
+    }
+    parsed.table_name = Next().text;
+
+    if (AcceptKeyword("where")) {
+      for (;;) {
+        BIPIE_RETURN_NOT_OK(ParsePredicate(&parsed.spec));
+        if (!AcceptKeyword("and")) break;
+      }
+    }
+
+    if (AcceptKeyword("group")) {
+      BIPIE_RETURN_NOT_OK(ExpectKeyword("by"));
+      for (;;) {
+        if (Peek().kind != TokenKind::kIdentifier) {
+          return Status::InvalidArgument("expected column in GROUP BY");
+        }
+        const std::string name = Next().text;
+        if (table_.FindColumn(name) < 0) {
+          return Status::InvalidArgument("unknown GROUP BY column: " + name);
+        }
+        parsed.spec.group_by.push_back(name);
+        if (!AcceptSymbol(",")) break;
+      }
+    }
+
+    if (Peek().kind != TokenKind::kEnd) {
+      return Status::InvalidArgument("unexpected trailing input: " +
+                                     Peek().text);
+    }
+
+    // Validate: every bare select column must be grouped.
+    for (const std::string& col : select_columns) {
+      bool grouped = false;
+      for (const std::string& g : parsed.spec.group_by) grouped |= g == col;
+      if (!grouped) {
+        return Status::InvalidArgument(
+            "column " + col + " must appear in GROUP BY or an aggregate");
+      }
+    }
+    if (parsed.spec.aggregates.empty()) {
+      return Status::InvalidArgument("query needs at least one aggregate");
+    }
+    return parsed;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Next() { return tokens_[pos_++]; }
+
+  bool AcceptSymbol(const std::string& symbol) {
+    if (Peek().kind == TokenKind::kSymbol && Peek().text == symbol) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool AcceptKeyword(const std::string& keyword) {
+    if (Peek().kind == TokenKind::kIdentifier &&
+        Lower(Peek().text) == keyword) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const std::string& keyword) {
+    if (!AcceptKeyword(keyword)) {
+      return Status::InvalidArgument("expected keyword '" + keyword +
+                                     "' near '" + Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  Status ExpectSymbol(const std::string& symbol) {
+    if (!AcceptSymbol(symbol)) {
+      return Status::InvalidArgument("expected '" + symbol + "' near '" +
+                                     Peek().text + "'");
+    }
+    return Status::OK();
+  }
+
+  // Returns true when an item was consumed; registers bare columns in
+  // `select_columns` and aggregates in the spec.
+  Result<bool> ParseSelectItem(QuerySpec* spec,
+                               std::vector<std::string>* select_columns) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Status::InvalidArgument("expected select item near '" +
+                                     Peek().text + "'");
+    }
+    const std::string word = Lower(Peek().text);
+    if (word == "count") {
+      ++pos_;
+      BIPIE_RETURN_NOT_OK(ExpectSymbol("("));
+      BIPIE_RETURN_NOT_OK(ExpectSymbol("*"));
+      BIPIE_RETURN_NOT_OK(ExpectSymbol(")"));
+      spec->aggregates.push_back(AggregateSpec::Count());
+      return true;
+    }
+    if (word == "sum" || word == "avg" || word == "min" || word == "max") {
+      ++pos_;
+      BIPIE_RETURN_NOT_OK(ExpectSymbol("("));
+      if (word == "sum") {
+        // sum() takes a full expression.
+        Result<ExprPtr> expr = ParseExpr();
+        if (!expr.ok()) return expr.status();
+        BIPIE_RETURN_NOT_OK(ExpectSymbol(")"));
+        // A plain column reference stays a column sum (fast raw path).
+        if (expr.value()->kind() == ExprKind::kColumn) {
+          spec->aggregates.push_back(AggregateSpec::Sum(
+              table_.schema()[expr.value()->column_index()].name));
+        } else {
+          spec->aggregates.push_back(AggregateSpec::SumExpr(expr.value()));
+        }
+        return true;
+      }
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return Status::InvalidArgument(word + "() takes a column name");
+      }
+      const std::string col = Next().text;
+      if (table_.FindColumn(col) < 0) {
+        return Status::InvalidArgument("unknown column: " + col);
+      }
+      BIPIE_RETURN_NOT_OK(ExpectSymbol(")"));
+      if (word == "avg") {
+        spec->aggregates.push_back(AggregateSpec::Avg(col));
+      } else if (word == "min") {
+        spec->aggregates.push_back(AggregateSpec::Min(col));
+      } else {
+        spec->aggregates.push_back(AggregateSpec::Max(col));
+      }
+      return true;
+    }
+    // Bare column reference.
+    const std::string col = Next().text;
+    if (table_.FindColumn(col) < 0) {
+      return Status::InvalidArgument("unknown column: " + col);
+    }
+    select_columns->push_back(col);
+    return true;
+  }
+
+  // expr := term (('+' | '-') term)*
+  // term := factor ('*' factor)*
+  // factor := column | integer | '-' factor | '(' expr ')'
+  Result<ExprPtr> ParseExpr() {
+    Result<ExprPtr> lhs = ParseTerm();
+    if (!lhs.ok()) return lhs;
+    ExprPtr expr = lhs.value();
+    for (;;) {
+      if (AcceptSymbol("+")) {
+        Result<ExprPtr> rhs = ParseTerm();
+        if (!rhs.ok()) return rhs;
+        expr = Expr::Add(expr, rhs.value());
+      } else if (AcceptSymbol("-")) {
+        Result<ExprPtr> rhs = ParseTerm();
+        if (!rhs.ok()) return rhs;
+        expr = Expr::Sub(expr, rhs.value());
+      } else {
+        return expr;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseTerm() {
+    Result<ExprPtr> lhs = ParseFactor();
+    if (!lhs.ok()) return lhs;
+    ExprPtr expr = lhs.value();
+    while (AcceptSymbol("*")) {
+      Result<ExprPtr> rhs = ParseFactor();
+      if (!rhs.ok()) return rhs;
+      expr = Expr::Mul(expr, rhs.value());
+    }
+    return expr;
+  }
+
+  Result<ExprPtr> ParseFactor() {
+    if (AcceptSymbol("(")) {
+      Result<ExprPtr> inner = ParseExpr();
+      if (!inner.ok()) return inner;
+      BIPIE_RETURN_NOT_OK(ExpectSymbol(")"));
+      return inner;
+    }
+    if (AcceptSymbol("-")) {
+      Result<ExprPtr> inner = ParseFactor();
+      if (!inner.ok()) return inner;
+      return Expr::Sub(Expr::Constant(0), inner.value());
+    }
+    if (Peek().kind == TokenKind::kInteger) {
+      return Expr::Constant(Next().value);
+    }
+    if (Peek().kind == TokenKind::kIdentifier) {
+      const std::string name = Next().text;
+      const int idx = table_.FindColumn(name);
+      if (idx < 0) {
+        return Status::InvalidArgument("unknown column: " + name);
+      }
+      return Expr::Column(idx);
+    }
+    return Status::InvalidArgument("expected expression near '" +
+                                   Peek().text + "'");
+  }
+
+  Result<int64_t> ParseIntLiteral() {
+    bool negative = false;
+    if (Peek().kind == TokenKind::kSymbol && Peek().text == "-") {
+      ++pos_;
+      negative = true;
+    }
+    if (Peek().kind != TokenKind::kInteger) {
+      return Status::InvalidArgument("expected integer literal near '" +
+                                     Peek().text + "'");
+    }
+    const int64_t v = Next().value;
+    return negative ? -v : v;
+  }
+
+  Status ParsePredicate(QuerySpec* spec) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Status::InvalidArgument("expected column in WHERE");
+    }
+    const std::string col = Next().text;
+    if (table_.FindColumn(col) < 0) {
+      return Status::InvalidArgument("unknown column: " + col);
+    }
+    if (AcceptKeyword("between")) {
+      Result<int64_t> lo = ParseIntLiteral();
+      if (!lo.ok()) return lo.status();
+      BIPIE_RETURN_NOT_OK(ExpectKeyword("and"));
+      Result<int64_t> hi = ParseIntLiteral();
+      if (!hi.ok()) return hi.status();
+      spec->filters.push_back(
+          ColumnPredicate::Between(col, lo.value(), hi.value()));
+      return Status::OK();
+    }
+    if (Peek().kind != TokenKind::kSymbol) {
+      return Status::InvalidArgument("expected comparison operator");
+    }
+    const std::string symbol = Next().text;
+    CompareOp op;
+    if (symbol == "=") {
+      op = CompareOp::kEq;
+    } else if (symbol == "<>" || symbol == "!=") {
+      op = CompareOp::kNe;
+    } else if (symbol == "<") {
+      op = CompareOp::kLt;
+    } else if (symbol == "<=") {
+      op = CompareOp::kLe;
+    } else if (symbol == ">") {
+      op = CompareOp::kGt;
+    } else if (symbol == ">=") {
+      op = CompareOp::kGe;
+    } else {
+      return Status::InvalidArgument("unsupported operator: " + symbol);
+    }
+    bool negative = false;
+    if (Peek().kind == TokenKind::kSymbol && Peek().text == "-") {
+      ++pos_;
+      negative = true;
+    }
+    if (Peek().kind == TokenKind::kInteger) {
+      const int64_t literal = Next().value;
+      spec->filters.emplace_back(col, op, negative ? -literal : literal);
+      return Status::OK();
+    }
+    if (Peek().kind == TokenKind::kString && !negative) {
+      spec->filters.emplace_back(col, op, Next().text);
+      return Status::OK();
+    }
+    return Status::InvalidArgument("expected literal after operator");
+  }
+
+  std::vector<Token> tokens_;
+  const Table& table_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ParsedQuery> ParseQuery(const std::string& sql, const Table& table) {
+  std::vector<Token> tokens;
+  Lexer lexer(sql);
+  BIPIE_RETURN_NOT_OK(lexer.Tokenize(&tokens));
+  Parser parser(std::move(tokens), table);
+  return parser.Parse();
+}
+
+}  // namespace bipie

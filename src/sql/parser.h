@@ -1,0 +1,37 @@
+// A small SQL frontend for the BIPie workload shape (§2.3):
+//
+//   SELECT g1 [, g2], count(*), sum(<expr>), avg(col), min(col), max(col)...
+//   FROM <table>
+//   [WHERE col <op> literal [AND ...]]
+//   [GROUP BY g1 [, g2]]
+//
+// Expressions support +, -, * over column names and integer literals with
+// the usual precedence and parentheses. String literals ('A') are allowed
+// in WHERE equality/comparison against dictionary-encoded string columns.
+// Identifiers are case-insensitive keywords / case-sensitive column names.
+//
+// The parser resolves column names against a table's schema and produces a
+// QuerySpec ready for BIPieScan. It rejects anything outside the supported
+// shape with a descriptive InvalidArgument.
+#ifndef BIPIE_SQL_PARSER_H_
+#define BIPIE_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/query.h"
+#include "storage/table.h"
+
+namespace bipie {
+
+struct ParsedQuery {
+  QuerySpec spec;
+  std::string table_name;  // whatever followed FROM (informational)
+};
+
+// Parses `sql` against `table`'s schema.
+Result<ParsedQuery> ParseQuery(const std::string& sql, const Table& table);
+
+}  // namespace bipie
+
+#endif  // BIPIE_SQL_PARSER_H_

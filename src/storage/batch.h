@@ -1,0 +1,57 @@
+// Batch-at-a-time cursor over a segment (§2.1).
+//
+// Query processing follows the MonetDB/X100 batch model: a moving window of
+// up to kBatchRows rows; one batch is processed entirely before moving on,
+// and previous batches are never revisited.
+#ifndef BIPIE_STORAGE_BATCH_H_
+#define BIPIE_STORAGE_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "storage/segment.h"
+#include "storage/types.h"
+
+namespace bipie {
+
+// A view of one window of rows of a segment. Cheap to copy.
+struct BatchView {
+  const Segment* segment = nullptr;
+  size_t start = 0;     // first row of the window within the segment
+  size_t num_rows = 0;  // window length, <= kBatchRows
+
+  // Per-row liveness bytes for this window (0xFF alive / 0x00 deleted), or
+  // nullptr when the segment has no deleted rows.
+  const uint8_t* alive_bytes() const {
+    const uint8_t* base = segment->alive_bytes();
+    return base == nullptr ? nullptr : base + start;
+  }
+};
+
+class BatchCursor {
+ public:
+  explicit BatchCursor(const Segment& segment, size_t batch_rows = kBatchRows)
+      : segment_(&segment), batch_rows_(batch_rows) {}
+
+  // Produces the next window; returns false at end of segment.
+  bool Next(BatchView* view) {
+    if (pos_ >= segment_->num_rows()) return false;
+    view->segment = segment_;
+    view->start = pos_;
+    const size_t remaining = segment_->num_rows() - pos_;
+    view->num_rows = remaining < batch_rows_ ? remaining : batch_rows_;
+    pos_ += view->num_rows;
+    return true;
+  }
+
+  void Reset() { pos_ = 0; }
+
+ private:
+  const Segment* segment_;
+  size_t batch_rows_;
+  size_t pos_ = 0;
+};
+
+}  // namespace bipie
+
+#endif  // BIPIE_STORAGE_BATCH_H_

@@ -1,0 +1,209 @@
+#include "storage/column_builder.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/bits.h"
+#include "encoding/bitpack.h"
+
+namespace bipie {
+
+namespace {
+
+// Above this distinct-value count a dictionary stops paying for itself for
+// int columns (ids approach the raw offset width and the dictionary itself
+// costs memory).
+constexpr size_t kMaxIntDictionarySize = 1u << 16;
+
+}  // namespace
+
+ColumnBuilder::ColumnBuilder(ColumnSpec spec) : spec_(std::move(spec)) {}
+
+void ColumnBuilder::AppendInt64(int64_t value) {
+  BIPIE_DCHECK(spec_.type == ColumnType::kInt64);
+  int_values_.push_back(value);
+}
+
+void ColumnBuilder::AppendString(const std::string& value) {
+  BIPIE_DCHECK(spec_.type == ColumnType::kString);
+  str_values_.push_back(value);
+}
+
+void ColumnBuilder::AppendInt64Bulk(const int64_t* values, size_t n) {
+  BIPIE_DCHECK(spec_.type == ColumnType::kInt64);
+  int_values_.insert(int_values_.end(), values, values + n);
+}
+
+EncodedColumn ColumnBuilder::Finish() {
+  EncodedColumn out = spec_.type == ColumnType::kString ? FinishString()
+                                                        : FinishInt();
+  int_values_.clear();
+  str_values_.clear();
+  return out;
+}
+
+EncodedColumn ColumnBuilder::FinishInt() {
+  const size_t n = int_values_.size();
+  EncodedColumn col;
+  col.type_ = ColumnType::kInt64;
+  col.meta_.num_rows = n;
+  if (n == 0) {
+    col.encoding_ = Encoding::kBitPacked;
+    col.packed_.Resize(8);
+    return col;
+  }
+  const auto [min_it, max_it] =
+      std::minmax_element(int_values_.begin(), int_values_.end());
+  col.meta_.min = *min_it;
+  col.meta_.max = *max_it;
+
+  // Candidate sizes.
+  const uint64_t spread = static_cast<uint64_t>(col.meta_.max) -
+                          static_cast<uint64_t>(col.meta_.min);
+  const int for_bits = BitsRequired(spread);
+  const size_t for_bytes = BitPackedBytes(n, for_bits);
+
+  size_t run_count = 1;
+  for (size_t i = 1; i < n; ++i) {
+    run_count += int_values_[i] != int_values_[i - 1];
+  }
+  const size_t rle_bytes = run_count * sizeof(RleRun);
+
+  // Delta candidate: bit width of the successive-difference spread.
+  int64_t dmin = 0, dmax = 0;
+  if (n > 1) {
+    dmin = dmax = int_values_[1] - int_values_[0];
+    for (size_t i = 2; i < n; ++i) {
+      const int64_t d = int_values_[i] - int_values_[i - 1];
+      dmin = std::min(dmin, d);
+      dmax = std::max(dmax, d);
+    }
+  }
+  const int delta_bits = BitsRequired(static_cast<uint64_t>(dmax) -
+                                      static_cast<uint64_t>(dmin));
+  const size_t delta_bytes =
+      BitPackedBytes(n > 0 ? n - 1 : 0, delta_bits) +
+      (n / kDeltaCheckpointRows + 1) * sizeof(int64_t);
+
+  std::unordered_set<int64_t> distinct;
+  for (int64_t v : int_values_) {
+    distinct.insert(v);
+    if (distinct.size() > kMaxIntDictionarySize) break;
+  }
+  const bool dict_feasible = distinct.size() <= kMaxIntDictionarySize;
+  const int dict_bits =
+      dict_feasible ? BitsRequired(distinct.size() - 1) : 64;
+  const size_t dict_bytes = dict_feasible
+                                ? BitPackedBytes(n, dict_bits) +
+                                      distinct.size() * sizeof(int64_t)
+                                : static_cast<size_t>(-1);
+
+  Encoding pick;
+  switch (spec_.encoding) {
+    case EncodingChoice::kBitPacked:
+      pick = Encoding::kBitPacked;
+      break;
+    case EncodingChoice::kDictionary:
+      BIPIE_DCHECK(dict_feasible);
+      pick = Encoding::kDictionary;
+      break;
+    case EncodingChoice::kRle:
+      pick = Encoding::kRle;
+      break;
+    case EncodingChoice::kDelta:
+      pick = Encoding::kDelta;
+      break;
+    case EncodingChoice::kAuto:
+    default:
+      // Usefulness tie-break: RLE must win by 2x to be chosen (it is the
+      // least useful for vectorized processing); dictionary must beat plain
+      // bit packing outright (ids narrower than offsets).
+      if (rle_bytes * 2 < std::min(for_bytes, dict_bytes)) {
+        pick = Encoding::kRle;
+      } else if (delta_bytes * 2 < std::min(for_bytes, dict_bytes)) {
+        // Delta must win big: it decodes sequentially and is the least
+        // useful representation for vectorized processing.
+        pick = Encoding::kDelta;
+      } else if (dict_feasible && dict_bytes < for_bytes) {
+        pick = Encoding::kDictionary;
+      } else {
+        pick = Encoding::kBitPacked;
+      }
+      break;
+  }
+
+  switch (pick) {
+    case Encoding::kBitPacked: {
+      col.encoding_ = Encoding::kBitPacked;
+      col.base_ = col.meta_.min;
+      col.bit_width_ = for_bits;
+      std::vector<uint64_t> offsets(n);
+      for (size_t i = 0; i < n; ++i) {
+        offsets[i] = static_cast<uint64_t>(int_values_[i]) -
+                     static_cast<uint64_t>(col.base_);
+      }
+      col.packed_.Resize(BitPackedBytes(n, for_bits) + 8);
+      BitPack(offsets.data(), n, for_bits, col.packed_.data());
+      break;
+    }
+    case Encoding::kDictionary: {
+      col.encoding_ = Encoding::kDictionary;
+      auto dict = std::make_shared<IntDictionary>();
+      std::vector<uint64_t> ids(n);
+      for (size_t i = 0; i < n; ++i) ids[i] = dict->GetOrInsert(int_values_[i]);
+      col.bit_width_ = BitsRequired(dict->size() - 1);
+      col.int_dict_ = std::move(dict);
+      col.packed_.Resize(BitPackedBytes(n, col.bit_width_) + 8);
+      BitPack(ids.data(), n, col.bit_width_, col.packed_.data());
+      break;
+    }
+    case Encoding::kRle: {
+      col.encoding_ = Encoding::kRle;
+      col.runs_ = RleEncode(
+          reinterpret_cast<const uint64_t*>(int_values_.data()), n);
+      break;
+    }
+    case Encoding::kDelta: {
+      col.encoding_ = Encoding::kDelta;
+      col.delta_min_ = dmin;
+      col.bit_width_ = delta_bits;
+      std::vector<uint64_t> offsets(n > 0 ? n - 1 : 0);
+      for (size_t i = 1; i < n; ++i) {
+        offsets[i - 1] =
+            static_cast<uint64_t>(int_values_[i] - int_values_[i - 1]) -
+            static_cast<uint64_t>(dmin);
+      }
+      col.packed_.Resize(BitPackedBytes(offsets.size(), delta_bits) + 8);
+      if (!offsets.empty()) {
+        BitPack(offsets.data(), offsets.size(), delta_bits,
+                col.packed_.data());
+      }
+      for (size_t row = 0; row < n; row += kDeltaCheckpointRows) {
+        col.checkpoints_.push_back(int_values_[row]);
+      }
+      break;
+    }
+  }
+  return col;
+}
+
+EncodedColumn ColumnBuilder::FinishString() {
+  const size_t n = str_values_.size();
+  EncodedColumn col;
+  col.type_ = ColumnType::kString;
+  col.encoding_ = Encoding::kDictionary;
+  col.meta_.num_rows = n;
+  auto dict = std::make_shared<StringDictionary>();
+  std::vector<uint64_t> ids(n);
+  for (size_t i = 0; i < n; ++i) ids[i] = dict->GetOrInsert(str_values_[i]);
+  col.bit_width_ = n == 0 ? 1 : BitsRequired(dict->size() - 1);
+  // Metadata for a string column tracks the id range.
+  col.meta_.min = 0;
+  col.meta_.max = n == 0 ? 0 : static_cast<int64_t>(dict->size()) - 1;
+  col.str_dict_ = std::move(dict);
+  col.packed_.Resize(BitPackedBytes(n, col.bit_width_) + 8);
+  if (n > 0) BitPack(ids.data(), n, col.bit_width_, col.packed_.data());
+  return col;
+}
+
+}  // namespace bipie

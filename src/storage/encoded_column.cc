@@ -1,0 +1,106 @@
+#include "storage/encoded_column.h"
+
+#include "common/bits.h"
+#include "encoding/bitpack.h"
+
+namespace bipie {
+
+uint64_t EncodedColumn::id_bound() const {
+  switch (encoding_) {
+    case Encoding::kDictionary:
+      return type_ == ColumnType::kString ? str_dict_->size()
+                                          : int_dict_->size();
+    case Encoding::kBitPacked:
+      // Offsets span [0, max - base]; metadata gives the exact bound.
+      return static_cast<uint64_t>(meta_.max) -
+             static_cast<uint64_t>(base_) + 1;
+    case Encoding::kRle:
+    case Encoding::kDelta:
+      return 0;  // not id-addressable
+  }
+  return 0;
+}
+
+void EncodedColumn::UnpackIds(size_t start, size_t n, void* out,
+                              int word_bytes) const {
+  BIPIE_DCHECK(encoding_ == Encoding::kBitPacked ||
+               encoding_ == Encoding::kDictionary);
+  BIPIE_DCHECK(start + n <= meta_.num_rows);
+  BitUnpackToWord(packed_.data(), start, n, bit_width_, out, word_bytes);
+}
+
+void EncodedColumn::DecodeInt64(size_t start, size_t n, int64_t* out) const {
+  BIPIE_DCHECK(start + n <= meta_.num_rows);
+  switch (encoding_) {
+    case Encoding::kBitPacked: {
+      BitUnpackToWord(packed_.data(), start, n, bit_width_, out, 8);
+      if (base_ != 0) {
+        for (size_t i = 0; i < n; ++i) {
+          out[i] = static_cast<int64_t>(static_cast<uint64_t>(out[i]) +
+                                        static_cast<uint64_t>(base_));
+        }
+      }
+      return;
+    }
+    case Encoding::kDictionary: {
+      BitUnpackToWord(packed_.data(), start, n, bit_width_, out, 8);
+      if (type_ == ColumnType::kInt64) {
+        for (size_t i = 0; i < n; ++i) {
+          out[i] = int_dict_->value(static_cast<uint32_t>(out[i]));
+        }
+      }
+      // String columns keep dictionary ids as the logical int64 values.
+      return;
+    }
+    case Encoding::kRle: {
+      RleDecodeRange(runs_, start, n, reinterpret_cast<uint64_t*>(out));
+      return;
+    }
+    case Encoding::kDelta: {
+      if (n == 0) return;
+      // Roll forward from the checkpoint at or before `start`. The delta
+      // for row i lives at packed index i - 1, so rows
+      // (block_row, start + n) consume packed indices [block_row, ...).
+      const size_t block = start / kDeltaCheckpointRows;
+      const size_t block_row = block * kDeltaCheckpointRows;
+      int64_t value = checkpoints_[block];
+      const size_t total = start + n;
+      const size_t num_deltas =
+          total > block_row + 1 ? total - block_row - 1 : 0;
+      std::vector<uint64_t> offsets(num_deltas);
+      if (num_deltas > 0) {
+        BitUnpackToWord(packed_.data(), block_row, num_deltas, bit_width_,
+                        offsets.data(), 8);
+      }
+      if (block_row >= start) out[block_row - start] = value;
+      for (size_t k = 0; k < num_deltas; ++k) {
+        const size_t row = block_row + 1 + k;
+        value += delta_min_ + static_cast<int64_t>(offsets[k]);
+        if (row >= start) out[row - start] = value;
+      }
+      return;
+    }
+  }
+}
+
+size_t EncodedColumn::encoded_bytes() const {
+  switch (encoding_) {
+    case Encoding::kBitPacked:
+      return packed_.size();
+    case Encoding::kDictionary: {
+      size_t dict_bytes = 0;
+      if (int_dict_ != nullptr) dict_bytes = int_dict_->size() * 8;
+      if (str_dict_ != nullptr) {
+        for (const auto& s : str_dict_->values()) dict_bytes += s.size() + 4;
+      }
+      return packed_.size() + dict_bytes;
+    }
+    case Encoding::kRle:
+      return runs_.size() * sizeof(RleRun);
+    case Encoding::kDelta:
+      return packed_.size() + checkpoints_.size() * sizeof(int64_t);
+  }
+  return 0;
+}
+
+}  // namespace bipie

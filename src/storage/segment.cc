@@ -1,0 +1,19 @@
+#include "storage/segment.h"
+
+#include <cstring>
+
+namespace bipie {
+
+void Segment::DeleteRow(size_t row) {
+  BIPIE_DCHECK(row < num_rows_);
+  if (alive_.size() == 0) {
+    alive_.Resize(num_rows_);
+    std::memset(alive_.data(), 0xFF, num_rows_);
+  }
+  if (alive_.data()[row] != 0) {
+    alive_.data()[row] = 0;
+    ++num_deleted_;
+  }
+}
+
+}  // namespace bipie

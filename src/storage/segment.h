@@ -1,0 +1,65 @@
+// A segment: the unit of the columnstore immutable region (§2.1).
+//
+// Rows are grouped into segments of ~1M records; each column within a
+// segment is encoded and stored separately, all preserving row order.
+// Rows can be marked deleted but never updated in place. Segment metadata
+// (per-column min/max) supports segment elimination and overflow proofs.
+#ifndef BIPIE_STORAGE_SEGMENT_H_
+#define BIPIE_STORAGE_SEGMENT_H_
+
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "storage/encoded_column.h"
+
+namespace bipie {
+
+class Segment {
+ public:
+  Segment(size_t num_rows, std::vector<EncodedColumn> columns)
+      : num_rows_(num_rows), columns_(std::move(columns)) {
+    for (const auto& c : columns_) {
+      BIPIE_DCHECK(c.num_rows() == num_rows_);
+    }
+  }
+
+  Segment(Segment&&) = default;
+  Segment& operator=(Segment&&) = default;
+  BIPIE_DISALLOW_COPY_AND_ASSIGN(Segment);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+  const EncodedColumn& column(size_t i) const {
+    BIPIE_DCHECK(i < columns_.size());
+    return columns_[i];
+  }
+
+  // Marks a row deleted. Deleted rows are excluded from every scan by
+  // zeroing their position in the selection byte vector (§4).
+  void DeleteRow(size_t row);
+  size_t num_deleted() const { return num_deleted_; }
+  bool has_deleted_rows() const { return num_deleted_ > 0; }
+
+  // Byte-per-row liveness mask (0xFF alive, 0x00 deleted); null when no row
+  // was ever deleted, letting scans skip the merge entirely.
+  const uint8_t* alive_bytes() const {
+    return has_deleted_rows() ? alive_.data() : nullptr;
+  }
+
+  // True when the column's metadata proves no row can satisfy
+  // `value in [lo, hi]`, so the whole segment can be skipped.
+  bool CanEliminate(size_t column_index, int64_t lo, int64_t hi) const {
+    const ColumnMeta& m = columns_[column_index].meta();
+    return m.max < lo || m.min > hi;
+  }
+
+ private:
+  size_t num_rows_;
+  std::vector<EncodedColumn> columns_;
+  AlignedBuffer alive_;  // lazily allocated on first delete
+  size_t num_deleted_ = 0;
+};
+
+}  // namespace bipie
+
+#endif  // BIPIE_STORAGE_SEGMENT_H_

@@ -1,0 +1,66 @@
+#include "storage/table.h"
+
+#include <algorithm>
+
+namespace bipie {
+
+int Table::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    if (schema_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+TableAppender::TableAppender(Table* table, size_t segment_rows)
+    : table_(table), segment_rows_(segment_rows) {
+  BIPIE_DCHECK(segment_rows_ > 0);
+  for (const ColumnSpec& spec : table_->schema()) {
+    builders_.emplace_back(spec);
+  }
+}
+
+void TableAppender::AppendRow(const std::vector<int64_t>& ints,
+                              const std::vector<std::string>& strings) {
+  const Schema& schema = table_->schema();
+  BIPIE_DCHECK(ints.size() == schema.size());
+  for (size_t c = 0; c < schema.size(); ++c) {
+    if (schema[c].type == ColumnType::kString) {
+      BIPIE_DCHECK(c < strings.size());
+      builders_[c].AppendString(strings[c]);
+    } else {
+      builders_[c].AppendInt64(ints[c]);
+    }
+  }
+  if (++pending_rows_ == segment_rows_) CutSegment();
+}
+
+void TableAppender::AppendInt64Chunk(
+    const std::vector<const int64_t*>& columns, size_t n) {
+  BIPIE_DCHECK(columns.size() == table_->num_columns());
+  size_t offset = 0;
+  while (n > 0) {
+    const size_t room = segment_rows_ - pending_rows_;
+    const size_t take = std::min(room, n);
+    for (size_t c = 0; c < columns.size(); ++c) {
+      builders_[c].AppendInt64Bulk(columns[c] + offset, take);
+    }
+    pending_rows_ += take;
+    offset += take;
+    n -= take;
+    if (pending_rows_ == segment_rows_) CutSegment();
+  }
+}
+
+void TableAppender::Flush() {
+  if (pending_rows_ > 0) CutSegment();
+}
+
+void TableAppender::CutSegment() {
+  std::vector<EncodedColumn> columns;
+  columns.reserve(builders_.size());
+  for (ColumnBuilder& b : builders_) columns.push_back(b.Finish());
+  table_->AddSegment(Segment(pending_rows_, std::move(columns)));
+  pending_rows_ = 0;
+}
+
+}  // namespace bipie

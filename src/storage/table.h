@@ -1,0 +1,85 @@
+// A columnstore table: a schema plus a list of immutable segments.
+//
+// This models the immutable region of the MemSQL columnstore index that
+// BIPie scans (§2.1). The mutable rowstore region and the background merger
+// are out of scope per the paper; TableAppender plays the role of the
+// compression step that turns incoming rows into encoded segments.
+#ifndef BIPIE_STORAGE_TABLE_H_
+#define BIPIE_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/column_builder.h"
+#include "storage/segment.h"
+#include "storage/types.h"
+
+namespace bipie {
+
+class Table {
+ public:
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+  BIPIE_DISALLOW_COPY_AND_ASSIGN(Table);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_columns() const { return schema_.size(); }
+
+  // Index of the column named `name`, or -1.
+  int FindColumn(const std::string& name) const;
+
+  size_t num_segments() const { return segments_.size(); }
+  const Segment& segment(size_t i) const { return *segments_[i]; }
+  Segment& mutable_segment(size_t i) { return *segments_[i]; }
+
+  size_t num_rows() const {
+    size_t total = 0;
+    for (const auto& s : segments_) total += s->num_rows();
+    return total;
+  }
+
+  void AddSegment(Segment segment) {
+    segments_.push_back(std::make_unique<Segment>(std::move(segment)));
+  }
+
+ private:
+  Schema schema_;
+  std::vector<std::unique_ptr<Segment>> segments_;
+};
+
+// Streams rows (or columnar chunks) into a table, cutting a new encoded
+// segment every `segment_rows` rows.
+class TableAppender {
+ public:
+  TableAppender(Table* table, size_t segment_rows = kDefaultSegmentRows);
+
+  // Row-wise append; values must match the schema arity and types. String
+  // cells are passed through `strings`, aligned by schema position (entries
+  // for int columns are ignored).
+  void AppendRow(const std::vector<int64_t>& ints,
+                 const std::vector<std::string>& strings = {});
+
+  // Columnar bulk append of `n` rows for an all-int64 schema.
+  void AppendInt64Chunk(const std::vector<const int64_t*>& columns, size_t n);
+
+  size_t pending_rows() const { return pending_rows_; }
+
+  // Encodes any buffered rows into a final (possibly short) segment.
+  void Flush();
+
+ private:
+  void CutSegment();
+
+  Table* table_;
+  size_t segment_rows_;
+  size_t pending_rows_ = 0;
+  std::vector<ColumnBuilder> builders_;
+};
+
+}  // namespace bipie
+
+#endif  // BIPIE_STORAGE_TABLE_H_

@@ -1,0 +1,253 @@
+#include "storage/table_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace bipie {
+
+namespace {
+
+constexpr char kMagic[8] = {'B', 'I', 'P', 'I', 'E', 'T', 'B', '1'};
+
+class Writer {
+ public:
+  explicit Writer(std::FILE* f) : f_(f) {}
+
+  void Bytes(const void* data, size_t n) {
+    ok_ = ok_ && std::fwrite(data, 1, n, f_) == n;
+  }
+  void U8(uint8_t v) { Bytes(&v, 1); }
+  void U32(uint32_t v) { Bytes(&v, 4); }
+  void U64(uint64_t v) { Bytes(&v, 8); }
+  void I64(int64_t v) { Bytes(&v, 8); }
+  void String(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Bytes(s.data(), s.size());
+  }
+
+  bool ok() const { return ok_; }
+
+ private:
+  std::FILE* f_;
+  bool ok_ = true;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::FILE* f) : f_(f) {}
+
+  bool Bytes(void* data, size_t n) {
+    ok_ = ok_ && std::fread(data, 1, n, f_) == n;
+    return ok_;
+  }
+  bool U8(uint8_t* v) { return Bytes(v, 1); }
+  bool U32(uint32_t* v) { return Bytes(v, 4); }
+  bool U64(uint64_t* v) { return Bytes(v, 8); }
+  bool I64(int64_t* v) { return Bytes(v, 8); }
+  bool String(std::string* s) {
+    uint32_t len = 0;
+    if (!U32(&len)) return false;
+    if (len > (1u << 28)) {  // sanity bound against corrupt files
+      ok_ = false;
+      return false;
+    }
+    s->resize(len);
+    return Bytes(s->data(), len);
+  }
+
+  bool ok() const { return ok_; }
+
+ private:
+  std::FILE* f_;
+  bool ok_ = true;
+};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+// Grants table_io access to EncodedColumn's encoded representation.
+struct ColumnSerde {
+  static void Write(Writer* w, const EncodedColumn& col) {
+    w->U8(static_cast<uint8_t>(col.type_));
+    w->U8(static_cast<uint8_t>(col.encoding_));
+    w->I64(col.meta_.min);
+    w->I64(col.meta_.max);
+    w->U64(col.meta_.num_rows);
+    w->I64(col.base_);
+    w->U8(static_cast<uint8_t>(col.bit_width_));
+    w->U64(col.packed_.size());
+    w->Bytes(col.packed_.data(), col.packed_.size());
+    w->U8(col.int_dict_ != nullptr ? 1 : 0);
+    if (col.int_dict_ != nullptr) {
+      w->U32(static_cast<uint32_t>(col.int_dict_->size()));
+      for (int64_t v : col.int_dict_->values()) w->I64(v);
+    }
+    w->U8(col.str_dict_ != nullptr ? 1 : 0);
+    if (col.str_dict_ != nullptr) {
+      w->U32(static_cast<uint32_t>(col.str_dict_->size()));
+      for (const std::string& s : col.str_dict_->values()) w->String(s);
+    }
+    w->U32(static_cast<uint32_t>(col.runs_.size()));
+    for (const RleRun& run : col.runs_) {
+      w->U64(run.value);
+      w->U32(run.count);
+    }
+    w->I64(col.delta_min_);
+    w->U32(static_cast<uint32_t>(col.checkpoints_.size()));
+    for (int64_t c : col.checkpoints_) w->I64(c);
+  }
+
+  static bool Read(Reader* r, EncodedColumn* col) {
+    uint8_t type = 0, encoding = 0, bit_width = 0, has_dict = 0;
+    uint64_t packed_size = 0, num_rows = 0;
+    if (!r->U8(&type) || !r->U8(&encoding)) return false;
+    if (!r->I64(&col->meta_.min) || !r->I64(&col->meta_.max) ||
+        !r->U64(&num_rows) || !r->I64(&col->base_) || !r->U8(&bit_width) ||
+        !r->U64(&packed_size)) {
+      return false;
+    }
+    col->type_ = static_cast<ColumnType>(type);
+    col->encoding_ = static_cast<Encoding>(encoding);
+    col->meta_.num_rows = num_rows;
+    col->bit_width_ = bit_width;
+    col->packed_.Resize(packed_size);
+    if (!r->Bytes(col->packed_.data(), packed_size)) return false;
+    if (!r->U8(&has_dict)) return false;
+    if (has_dict != 0) {
+      uint32_t n = 0;
+      if (!r->U32(&n)) return false;
+      auto dict = std::make_shared<IntDictionary>();
+      for (uint32_t i = 0; i < n; ++i) {
+        int64_t v = 0;
+        if (!r->I64(&v)) return false;
+        dict->GetOrInsert(v);
+      }
+      col->int_dict_ = std::move(dict);
+    }
+    if (!r->U8(&has_dict)) return false;
+    if (has_dict != 0) {
+      uint32_t n = 0;
+      if (!r->U32(&n)) return false;
+      auto dict = std::make_shared<StringDictionary>();
+      for (uint32_t i = 0; i < n; ++i) {
+        std::string s;
+        if (!r->String(&s)) return false;
+        dict->GetOrInsert(s);
+      }
+      col->str_dict_ = std::move(dict);
+    }
+    uint32_t num_runs = 0;
+    if (!r->U32(&num_runs)) return false;
+    col->runs_.resize(num_runs);
+    for (uint32_t i = 0; i < num_runs; ++i) {
+      if (!r->U64(&col->runs_[i].value) || !r->U32(&col->runs_[i].count)) {
+        return false;
+      }
+    }
+    uint32_t num_checkpoints = 0;
+    if (!r->I64(&col->delta_min_) || !r->U32(&num_checkpoints)) return false;
+    col->checkpoints_.resize(num_checkpoints);
+    for (uint32_t i = 0; i < num_checkpoints; ++i) {
+      if (!r->I64(&col->checkpoints_[i])) return false;
+    }
+    return true;
+  }
+};
+
+Status SaveTable(const Table& table, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  Writer w(f.get());
+  w.Bytes(kMagic, sizeof(kMagic));
+  w.U32(static_cast<uint32_t>(table.num_columns()));
+  for (const ColumnSpec& spec : table.schema()) {
+    w.String(spec.name);
+    w.U8(static_cast<uint8_t>(spec.type));
+    w.U8(static_cast<uint8_t>(spec.encoding));
+  }
+  w.U32(static_cast<uint32_t>(table.num_segments()));
+  for (size_t s = 0; s < table.num_segments(); ++s) {
+    const Segment& segment = table.segment(s);
+    w.U64(segment.num_rows());
+    const uint8_t* alive = segment.alive_bytes();
+    w.U8(alive != nullptr ? 1 : 0);
+    if (alive != nullptr) w.Bytes(alive, segment.num_rows());
+    for (size_t c = 0; c < segment.num_columns(); ++c) {
+      ColumnSerde::Write(&w, segment.column(c));
+    }
+  }
+  if (!w.ok()) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Table> LoadTable(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open for reading: " + path);
+  }
+  Reader r(f.get());
+  char magic[8];
+  if (!r.Bytes(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a bipie table file: " + path);
+  }
+  uint32_t num_columns = 0;
+  if (!r.U32(&num_columns) || num_columns > 4096) {
+    return Status::InvalidArgument("corrupt table file (columns)");
+  }
+  Schema schema(num_columns);
+  for (ColumnSpec& spec : schema) {
+    uint8_t type = 0, encoding = 0;
+    if (!r.String(&spec.name) || !r.U8(&type) || !r.U8(&encoding)) {
+      return Status::InvalidArgument("corrupt table file (schema)");
+    }
+    spec.type = static_cast<ColumnType>(type);
+    spec.encoding = static_cast<EncodingChoice>(encoding);
+  }
+  Table table(std::move(schema));
+  uint32_t num_segments = 0;
+  if (!r.U32(&num_segments)) {
+    return Status::InvalidArgument("corrupt table file (segments)");
+  }
+  for (uint32_t s = 0; s < num_segments; ++s) {
+    uint64_t num_rows = 0;
+    uint8_t has_alive = 0;
+    if (!r.U64(&num_rows) || !r.U8(&has_alive)) {
+      return Status::InvalidArgument("corrupt table file (segment header)");
+    }
+    std::vector<uint8_t> alive;
+    if (has_alive != 0) {
+      alive.resize(num_rows);
+      if (!r.Bytes(alive.data(), num_rows)) {
+        return Status::InvalidArgument("corrupt table file (alive mask)");
+      }
+    }
+    std::vector<EncodedColumn> columns(num_columns);
+    for (uint32_t c = 0; c < num_columns; ++c) {
+      if (!ColumnSerde::Read(&r, &columns[c])) {
+        return Status::InvalidArgument("corrupt table file (column data)");
+      }
+      if (columns[c].num_rows() != num_rows) {
+        return Status::InvalidArgument("corrupt table file (row counts)");
+      }
+    }
+    Segment segment(num_rows, std::move(columns));
+    for (uint64_t row = 0; row < alive.size(); ++row) {
+      if (alive[row] == 0) segment.DeleteRow(row);
+    }
+    table.AddSegment(std::move(segment));
+  }
+  return table;
+}
+
+}  // namespace bipie

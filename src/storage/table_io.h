@@ -1,0 +1,29 @@
+// Columnstore persistence: save/load a table's encoded form.
+//
+// A real columnstore's immutable region lives on disk (§2.1: "disk-backed,
+// column-oriented store"); this module provides that surface as a single
+// self-describing file. Columns are written in their *encoded*
+// representation — bit-packed streams, dictionaries, runs — so loading does
+// no re-encoding, and a benchmark dataset generated once (e.g. TPC-H
+// lineitem) can be reloaded instantly.
+//
+// Format (little-endian):
+//   magic "BIPIETB1", schema, then per segment the alive mask and each
+//   column's encoding, metadata, packed stream and auxiliary structures.
+#ifndef BIPIE_STORAGE_TABLE_IO_H_
+#define BIPIE_STORAGE_TABLE_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace bipie {
+
+Status SaveTable(const Table& table, const std::string& path);
+
+Result<Table> LoadTable(const std::string& path);
+
+}  // namespace bipie
+
+#endif  // BIPIE_STORAGE_TABLE_IO_H_

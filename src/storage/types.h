@@ -1,0 +1,54 @@
+// Logical column types and schema declarations for the bipie columnstore.
+//
+// The engine's logical value domain is int64 (decimals are fixed-point
+// scaled integers, dates are day numbers) plus dictionary-encoded strings,
+// matching the §2.2 simplifications without restricting the storage layer.
+#ifndef BIPIE_STORAGE_TYPES_H_
+#define BIPIE_STORAGE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bipie {
+
+enum class ColumnType {
+  kInt64,
+  kString,
+};
+
+enum class Encoding {
+  kBitPacked,   // frame-of-reference base + bit-packed offsets
+  kDictionary,  // dictionary + bit-packed ids
+  kRle,         // (value, count) runs
+  kDelta,       // first value + bit-packed successive differences
+};
+
+// Lets tests and benchmarks pin an encoding; kAuto picks by size/usefulness.
+enum class EncodingChoice {
+  kAuto,
+  kBitPacked,
+  kDictionary,
+  kRle,
+  kDelta,
+};
+
+struct ColumnSpec {
+  std::string name;
+  ColumnType type = ColumnType::kInt64;
+  EncodingChoice encoding = EncodingChoice::kAuto;
+};
+
+using Schema = std::vector<ColumnSpec>;
+
+// Number of rows processed per batch by every scan operator (§2.1: "a moving
+// window of a fixed number of rows (up to 4096 rows in MemSQL)").
+inline constexpr size_t kBatchRows = 4096;
+
+// Default segment capacity ("a segment contains approximately one million
+// records"). Tables may be built with smaller segments for tests.
+inline constexpr size_t kDefaultSegmentRows = size_t{1} << 20;
+
+}  // namespace bipie
+
+#endif  // BIPIE_STORAGE_TYPES_H_

@@ -1,0 +1,73 @@
+#include "tpch/lineitem.h"
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace bipie {
+
+Table MakeLineitemTable(const LineitemOptions& options) {
+  Table table({
+      {"l_quantity", ColumnType::kInt64, EncodingChoice::kBitPacked},
+      {"l_extendedprice", ColumnType::kInt64, EncodingChoice::kBitPacked},
+      {"l_discount", ColumnType::kInt64, EncodingChoice::kBitPacked},
+      {"l_tax", ColumnType::kInt64, EncodingChoice::kBitPacked},
+      {"l_returnflag", ColumnType::kString},
+      {"l_linestatus", ColumnType::kString},
+      {"l_shipdate", ColumnType::kInt64, EncodingChoice::kBitPacked},
+      {"l_orderkey", ColumnType::kInt64, EncodingChoice::kBitPacked},
+  });
+  TableAppender appender(&table, options.segment_rows);
+  Rng rng(options.seed);
+
+  std::vector<int64_t> ints(8, 0);
+  std::vector<std::string> strings(8);
+  int64_t orderkey = 1;
+  size_t lines_in_order = 0;
+  size_t lines_total = 1 + rng.NextBounded(7);  // 1..7 lines per order
+
+  for (size_t i = 0; i < options.num_rows; ++i) {
+    if (lines_in_order == lines_total) {
+      ++orderkey;
+      lines_in_order = 0;
+      lines_total = 1 + rng.NextBounded(7);
+    }
+    ++lines_in_order;
+
+    const int64_t qty_units = rng.NextInRange(1, 50);
+    const int64_t unit_price_cents = rng.NextInRange(90000, 209999);
+    const int64_t shipdate = rng.NextInRange(kShipDateMin, kShipDateMax);
+
+    // decimal(15,2) columns are stored as hundredths.
+    ints[kColQuantity] = qty_units * 100;
+    ints[kColExtendedPrice] = qty_units * unit_price_cents;
+    ints[kColDiscount] = rng.NextInRange(0, 10);
+    ints[kColTax] = rng.NextInRange(0, 8);
+    ints[kColShipDate] = shipdate;
+    ints[kColOrderKey] = orderkey;
+
+    // TPC-H correlation: lines received by 1995-06-17 are returnable
+    // (flag A or R); newer lines carry N. Line status flips from F to O at
+    // the same date. Q1's four populated groups (A/F, N/F, N/O, R/F)
+    // emerge from this rule, while the dictionaries make 3 x 2 = 6 groups
+    // possible — exactly the §6.3 setup.
+    const bool old_line = shipdate <= kStatusSwitchDate;
+    if (old_line) {
+      strings[kColReturnFlag] = rng.NextBernoulli(0.5) ? "A" : "R";
+    } else {
+      strings[kColReturnFlag] = "N";
+    }
+    // A thin band of F-status lines after the switch keeps the N/F group
+    // populated, as in real TPC-H (receipt lags shipment).
+    const bool status_f = shipdate <= kStatusSwitchDate + 60 &&
+                          (old_line || rng.NextBernoulli(0.5));
+    strings[kColLineStatus] = status_f ? "F" : "O";
+
+    appender.AppendRow(ints, strings);
+  }
+  appender.Flush();
+  return table;
+}
+
+}  // namespace bipie

@@ -1,0 +1,60 @@
+// Deterministic TPC-H lineitem generator (Q1 columns).
+//
+// Substitutes dbgen with an in-repo generator preserving everything Query 1
+// is sensitive to (§6.3):
+//  * l_returnflag in {A, N, R} and l_linestatus in {O, F}, correlated with
+//    l_shipdate as in TPC-H (flag = R/A for old lines, N for recent;
+//    status = F before 1995-06-17, O after);
+//  * l_shipdate uniform over ~7 years so the Q1 filter at
+//    date '1998-12-01' - 90 days selects ~98% of rows;
+//  * l_quantity in [1, 50];
+//  * l_extendedprice derived from quantity and a price scale (stored as
+//    cents, i.e. decimal(15,2) scaled by 100);
+//  * l_discount in [0.00, 0.10] and l_tax in [0.00, 0.08] (scaled by 100).
+//
+// Decimals are fixed-point int64 throughout, mirroring the §2.2 integer
+// assumption. Rows are generated in l_orderkey order, which Q1 does not
+// exploit (the paper likewise sorts on l_orderkey so the group column order
+// is arbitrary).
+#ifndef BIPIE_TPCH_LINEITEM_H_
+#define BIPIE_TPCH_LINEITEM_H_
+
+#include <cstdint>
+
+#include "storage/table.h"
+
+namespace bipie {
+
+// TPC-H dates as day numbers relative to 1992-01-01.
+inline constexpr int64_t kShipDateMin = 0;      // 1992-01-02
+inline constexpr int64_t kShipDateMax = 2526;   // 1998-12-01
+// date '1998-12-01' - interval '90' day, as a day number.
+inline constexpr int64_t kQ1CutoffDate = kShipDateMax - 90;
+// l_linestatus switches from F to O at 1995-06-17.
+inline constexpr int64_t kStatusSwitchDate = 1263;
+
+struct LineitemOptions {
+  // Rows per TPC-H scale factor is ~6,000,500 * SF; choose rows directly.
+  size_t num_rows = 1 << 20;
+  size_t segment_rows = kDefaultSegmentRows;
+  uint64_t seed = 19920101;
+};
+
+// Column order of the generated table.
+enum LineitemColumn : int {
+  kColQuantity = 0,       // decimal(15,2) as cents... stored as units*100
+  kColExtendedPrice = 1,  // cents
+  kColDiscount = 2,       // hundredths (0..10)
+  kColTax = 3,            // hundredths (0..8)
+  kColReturnFlag = 4,     // string dictionary {A, N, R}
+  kColLineStatus = 5,     // string dictionary {F, O}
+  kColShipDate = 6,       // day number
+  kColOrderKey = 7,       // int64
+};
+
+// Generates the table with columnstore encodings chosen automatically.
+Table MakeLineitemTable(const LineitemOptions& options);
+
+}  // namespace bipie
+
+#endif  // BIPIE_TPCH_LINEITEM_H_

@@ -1,0 +1,311 @@
+#include "vector/agg_inregister.h"
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <array>
+#include <utility>
+
+#include "common/cpu.h"
+#include "common/macros.h"
+#include "vector/agg_scalar.h"
+
+namespace bipie {
+
+namespace {
+
+// --- shared helpers --------------------------------------------------------
+
+BIPIE_ALWAYS_INLINE uint64_t HorizontalSumU64(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  const __m128i sum2 = _mm_add_epi64(lo, hi);
+  return static_cast<uint64_t>(_mm_extract_epi64(sum2, 0)) +
+         static_cast<uint64_t>(_mm_extract_epi64(sum2, 1));
+}
+
+// Sums 8 non-negative i32 lanes into a u64.
+BIPIE_ALWAYS_INLINE uint64_t HorizontalSumI32(__m256i v) {
+  const __m256i lo = _mm256_cvtepu32_epi64(_mm256_castsi256_si128(v));
+  const __m256i hi =
+      _mm256_cvtepu32_epi64(_mm256_extracti128_si256(v, 1));
+  return HorizontalSumU64(_mm256_add_epi64(lo, hi));
+}
+
+// Scalar tails shared by all variants.
+void ScalarCountTail(const uint8_t* groups, size_t n, uint64_t* counts) {
+  for (size_t i = 0; i < n; ++i) ++counts[groups[i]];
+}
+
+template <typename V>
+void ScalarSumTail(const uint8_t* groups, const V* values, size_t n,
+                   uint64_t* sums) {
+  for (size_t i = 0; i < n; ++i) sums[groups[i]] += values[i];
+}
+
+// --- COUNT(*) --------------------------------------------------------------
+
+// Lane accumulators are 8-bit negated counts; a lane gains at most 1 per
+// vector, so flushing every 255 vectors is safe.
+constexpr size_t kCountFlushVectors = 255;
+
+template <int N>
+void CountImpl(const uint8_t* groups, size_t n, uint64_t* counts) {
+  const size_t vectors = n / 32;
+  size_t v = 0;
+  while (v < vectors) {
+    const size_t chunk = std::min(vectors - v, kCountFlushVectors);
+    __m256i acc[N];
+    for (int g = 0; g < N; ++g) acc[g] = _mm256_setzero_si256();
+    for (size_t k = 0; k < chunk; ++k, ++v) {
+      const __m256i ids = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(groups + v * 32));
+      for (int g = 0; g < N; ++g) {
+        const __m256i mask =
+            _mm256_cmpeq_epi8(ids, _mm256_set1_epi8(static_cast<char>(g)));
+        acc[g] = _mm256_add_epi8(acc[g], mask);  // mask == -1 per match
+      }
+    }
+    const __m256i zero = _mm256_setzero_si256();
+    for (int g = 0; g < N; ++g) {
+      const __m256i pos = _mm256_sub_epi8(zero, acc[g]);
+      counts[g] += HorizontalSumU64(_mm256_sad_epu8(pos, zero));
+    }
+  }
+  ScalarCountTail(groups + vectors * 32, n - vectors * 32, counts);
+}
+
+// --- SUM of 1-byte values ----------------------------------------------------
+
+// Lane accumulators are 16-bit sums of byte pairs: each vector adds at most
+// 2*255 = 510 per lane, so 64 vectors stay below the signed-16 limit.
+constexpr size_t kSum8FlushVectors = 64;
+
+template <int N>
+void Sum8Impl(const uint8_t* groups, const uint8_t* values, size_t n,
+              uint64_t* sums) {
+  const __m256i ones8 = _mm256_set1_epi8(1);
+  const __m256i ones16 = _mm256_set1_epi16(1);
+  const size_t vectors = n / 32;
+  size_t v = 0;
+  while (v < vectors) {
+    const size_t chunk = std::min(vectors - v, kSum8FlushVectors);
+    __m256i acc[N];
+    for (int g = 0; g < N; ++g) acc[g] = _mm256_setzero_si256();
+    for (size_t k = 0; k < chunk; ++k, ++v) {
+      const __m256i ids = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(groups + v * 32));
+      const __m256i vals = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(values + v * 32));
+      for (int g = 0; g < N; ++g) {
+        const __m256i mask =
+            _mm256_cmpeq_epi8(ids, _mm256_set1_epi8(static_cast<char>(g)));
+        const __m256i masked = _mm256_and_si256(vals, mask);
+        // maddubs: unsigned bytes * signed 1, horizontally added in pairs.
+        acc[g] = _mm256_add_epi16(acc[g],
+                                  _mm256_maddubs_epi16(masked, ones8));
+      }
+    }
+    for (int g = 0; g < N; ++g) {
+      const __m256i wide = _mm256_madd_epi16(acc[g], ones16);
+      sums[g] += HorizontalSumI32(wide);
+    }
+  }
+  ScalarSumTail(groups + vectors * 32, values + vectors * 32,
+                n - vectors * 32, sums);
+}
+
+// --- SUM of 2-byte values ----------------------------------------------------
+
+// Lane accumulators are 32-bit sums of 16-bit pairs (values < 2^15): each
+// vector adds < 2^16 per lane; 2^14 vectors stay within signed-32 range.
+constexpr size_t kSum16FlushVectors = size_t{1} << 14;
+
+template <int N>
+void Sum16Impl(const uint8_t* groups, const uint16_t* values, size_t n,
+               uint64_t* sums) {
+  const __m256i ones16 = _mm256_set1_epi16(1);
+  const size_t vectors = n / 16;
+  size_t v = 0;
+  while (v < vectors) {
+    const size_t chunk = std::min(vectors - v, kSum16FlushVectors);
+    __m256i acc[N];
+    for (int g = 0; g < N; ++g) acc[g] = _mm256_setzero_si256();
+    for (size_t k = 0; k < chunk; ++k, ++v) {
+      const __m128i ids8 = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(groups + v * 16));
+      const __m256i ids = _mm256_cvtepu8_epi16(ids8);
+      const __m256i vals = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(values + v * 16));
+      for (int g = 0; g < N; ++g) {
+        const __m256i mask =
+            _mm256_cmpeq_epi16(ids, _mm256_set1_epi16(static_cast<short>(g)));
+        const __m256i masked = _mm256_and_si256(vals, mask);
+        acc[g] = _mm256_add_epi32(acc[g],
+                                  _mm256_madd_epi16(masked, ones16));
+      }
+    }
+    for (int g = 0; g < N; ++g) {
+      sums[g] += HorizontalSumI32(acc[g]);
+    }
+  }
+  ScalarSumTail(groups + vectors * 16, values + vectors * 16,
+                n - vectors * 16, sums);
+}
+
+// --- SUM of 4-byte values ----------------------------------------------------
+
+template <int N>
+void Sum32Impl(const uint8_t* groups, const uint32_t* values, size_t n,
+               size_t flush_vectors, uint64_t* sums) {
+  const size_t vectors = n / 8;
+  size_t v = 0;
+  while (v < vectors) {
+    const size_t chunk = std::min(vectors - v, flush_vectors);
+    __m256i acc[N];
+    for (int g = 0; g < N; ++g) acc[g] = _mm256_setzero_si256();
+    for (size_t k = 0; k < chunk; ++k, ++v) {
+      const __m128i ids8 = _mm_loadl_epi64(
+          reinterpret_cast<const __m128i*>(groups + v * 8));
+      const __m256i ids = _mm256_cvtepu8_epi32(ids8);
+      const __m256i vals = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(values + v * 8));
+      for (int g = 0; g < N; ++g) {
+        const __m256i mask =
+            _mm256_cmpeq_epi32(ids, _mm256_set1_epi32(g));
+        const __m256i masked = _mm256_and_si256(vals, mask);
+        acc[g] = _mm256_add_epi32(acc[g], masked);
+      }
+    }
+    for (int g = 0; g < N; ++g) {
+      sums[g] += HorizontalSumI32(acc[g]);
+    }
+  }
+  ScalarSumTail(groups + vectors * 8, values + vectors * 8, n - vectors * 8,
+                sums);
+}
+
+// --- dispatch tables ---------------------------------------------------------
+
+using CountFn = void (*)(const uint8_t*, size_t, uint64_t*);
+using Sum8Fn = void (*)(const uint8_t*, const uint8_t*, size_t, uint64_t*);
+using Sum16Fn = void (*)(const uint8_t*, const uint16_t*, size_t, uint64_t*);
+using Sum32Fn = void (*)(const uint8_t*, const uint32_t*, size_t, size_t,
+                         uint64_t*);
+
+}  // namespace
+
+void InRegisterCount(const uint8_t* groups, size_t n, int num_groups,
+                     uint64_t* counts) {
+  BIPIE_DCHECK(num_groups >= 1 && num_groups <= kMaxInRegisterGroups);
+  if (CurrentIsaTier() < IsaTier::kAvx2) {
+    ScalarCountMultiArray(groups, n, num_groups, counts);
+    return;
+  }
+  if (CurrentIsaTier() >= IsaTier::kAvx512) {
+    internal::InRegisterCountAvx512(groups, n, num_groups, counts);
+    return;
+  }
+  static constexpr CountFn kTable[kMaxInRegisterGroups + 1] = {
+      nullptr,       &CountImpl<1>,  &CountImpl<2>,  &CountImpl<3>,
+      &CountImpl<4>, &CountImpl<5>,  &CountImpl<6>,  &CountImpl<7>,
+      &CountImpl<8>, &CountImpl<9>,  &CountImpl<10>, &CountImpl<11>,
+      &CountImpl<12>, &CountImpl<13>, &CountImpl<14>, &CountImpl<15>,
+      &CountImpl<16>, &CountImpl<17>, &CountImpl<18>, &CountImpl<19>,
+      &CountImpl<20>, &CountImpl<21>, &CountImpl<22>, &CountImpl<23>,
+      &CountImpl<24>, &CountImpl<25>, &CountImpl<26>, &CountImpl<27>,
+      &CountImpl<28>, &CountImpl<29>, &CountImpl<30>, &CountImpl<31>,
+      &CountImpl<32>};
+  kTable[num_groups](groups, n, counts);
+}
+
+void InRegisterSum8(const uint8_t* groups, const uint8_t* values, size_t n,
+                    int num_groups, uint64_t* sums) {
+  BIPIE_DCHECK(num_groups >= 1 && num_groups <= kMaxInRegisterGroups);
+  if (CurrentIsaTier() < IsaTier::kAvx2) {
+    for (size_t i = 0; i < n; ++i) sums[groups[i]] += values[i];
+    return;
+  }
+  if (CurrentIsaTier() >= IsaTier::kAvx512) {
+    internal::InRegisterSum8Avx512(groups, values, n, num_groups, sums);
+    return;
+  }
+  static constexpr Sum8Fn kTable[kMaxInRegisterGroups + 1] = {
+      nullptr,      &Sum8Impl<1>,  &Sum8Impl<2>,  &Sum8Impl<3>,
+      &Sum8Impl<4>, &Sum8Impl<5>,  &Sum8Impl<6>,  &Sum8Impl<7>,
+      &Sum8Impl<8>, &Sum8Impl<9>,  &Sum8Impl<10>, &Sum8Impl<11>,
+      &Sum8Impl<12>, &Sum8Impl<13>, &Sum8Impl<14>, &Sum8Impl<15>,
+      &Sum8Impl<16>, &Sum8Impl<17>, &Sum8Impl<18>, &Sum8Impl<19>,
+      &Sum8Impl<20>, &Sum8Impl<21>, &Sum8Impl<22>, &Sum8Impl<23>,
+      &Sum8Impl<24>, &Sum8Impl<25>, &Sum8Impl<26>, &Sum8Impl<27>,
+      &Sum8Impl<28>, &Sum8Impl<29>, &Sum8Impl<30>, &Sum8Impl<31>,
+      &Sum8Impl<32>};
+  kTable[num_groups](groups, values, n, sums);
+}
+
+void InRegisterSum16(const uint8_t* groups, const uint16_t* values, size_t n,
+                     int num_groups, uint64_t* sums) {
+  BIPIE_DCHECK(num_groups >= 1 && num_groups <= kMaxInRegisterGroups);
+  if (CurrentIsaTier() < IsaTier::kAvx2) {
+    for (size_t i = 0; i < n; ++i) sums[groups[i]] += values[i];
+    return;
+  }
+  if (CurrentIsaTier() >= IsaTier::kAvx512) {
+    internal::InRegisterSum16Avx512(groups, values, n, num_groups, sums);
+    return;
+  }
+  static constexpr Sum16Fn kTable[kMaxInRegisterGroups + 1] = {
+      nullptr,       &Sum16Impl<1>,  &Sum16Impl<2>,  &Sum16Impl<3>,
+      &Sum16Impl<4>, &Sum16Impl<5>,  &Sum16Impl<6>,  &Sum16Impl<7>,
+      &Sum16Impl<8>, &Sum16Impl<9>,  &Sum16Impl<10>, &Sum16Impl<11>,
+      &Sum16Impl<12>, &Sum16Impl<13>, &Sum16Impl<14>, &Sum16Impl<15>,
+      &Sum16Impl<16>, &Sum16Impl<17>, &Sum16Impl<18>, &Sum16Impl<19>,
+      &Sum16Impl<20>, &Sum16Impl<21>, &Sum16Impl<22>, &Sum16Impl<23>,
+      &Sum16Impl<24>, &Sum16Impl<25>, &Sum16Impl<26>, &Sum16Impl<27>,
+      &Sum16Impl<28>, &Sum16Impl<29>, &Sum16Impl<30>, &Sum16Impl<31>,
+      &Sum16Impl<32>};
+  kTable[num_groups](groups, values, n, sums);
+}
+
+void InRegisterSum32(const uint8_t* groups, const uint32_t* values, size_t n,
+                     int num_groups, uint64_t max_value, uint64_t* sums) {
+  BIPIE_DCHECK(num_groups >= 1 && num_groups <= kMaxInRegisterGroups);
+  if (CurrentIsaTier() < IsaTier::kAvx2) {
+    for (size_t i = 0; i < n; ++i) sums[groups[i]] += values[i];
+    return;
+  }
+  if (CurrentIsaTier() >= IsaTier::kAvx512) {
+    internal::InRegisterSum32Avx512(groups, values, n, num_groups, max_value,
+                                    sums);
+    return;
+  }
+  // A 32-bit lane tolerates floor((2^32 - 1) / max_value) additions before
+  // it could wrap.
+  size_t flush_vectors =
+      max_value == 0 ? (size_t{1} << 30)
+                     : static_cast<size_t>(0xFFFFFFFFULL / max_value);
+  if (flush_vectors == 0) flush_vectors = 1;
+  static constexpr Sum32Fn kTable[kMaxInRegisterGroups + 1] = {
+      nullptr,       &Sum32Impl<1>,  &Sum32Impl<2>,  &Sum32Impl<3>,
+      &Sum32Impl<4>, &Sum32Impl<5>,  &Sum32Impl<6>,  &Sum32Impl<7>,
+      &Sum32Impl<8>, &Sum32Impl<9>,  &Sum32Impl<10>, &Sum32Impl<11>,
+      &Sum32Impl<12>, &Sum32Impl<13>, &Sum32Impl<14>, &Sum32Impl<15>,
+      &Sum32Impl<16>, &Sum32Impl<17>, &Sum32Impl<18>, &Sum32Impl<19>,
+      &Sum32Impl<20>, &Sum32Impl<21>, &Sum32Impl<22>, &Sum32Impl<23>,
+      &Sum32Impl<24>, &Sum32Impl<25>, &Sum32Impl<26>, &Sum32Impl<27>,
+      &Sum32Impl<28>, &Sum32Impl<29>, &Sum32Impl<30>, &Sum32Impl<31>,
+      &Sum32Impl<32>};
+  kTable[num_groups](groups, values, n, flush_vectors, sums);
+}
+
+InRegisterInstructionCounts GetInRegisterInstructionCounts() {
+  // Inner-loop SIMD instructions issued per group, normalized to 32 input
+  // values (Table 3's unit):
+  //  COUNT: cmpeq + add            = 2 per 32-value vector.
+  //  SUM8:  cmpeq + and + maddubs + add = 4 per 32-value vector.
+  //  SUM16: (cmpeq + and + madd + add) per 16 values = 8 per 32.
+  //  SUM32: (cmpeq + and + add) per 8 values = 12 per 32.
+  return InRegisterInstructionCounts{2.0, 4.0, 8.0, 12.0};
+}
+
+}  // namespace bipie

@@ -1,0 +1,74 @@
+// In-Register aggregation (§5.3).
+//
+// Intermediate results are kept entirely in SIMD registers: one accumulator
+// register per group holds that group's "virtual array", with lane i of
+// every register dedicated to the i-th row of the current input vector. Per
+// input vector, each group executes compare(group_ids, g) → mask, then a
+// masked add — so cost grows linearly with the group count, and the method
+// is limited to few groups (<= 32 on AVX2-era hardware).
+//
+// COUNT exploits the mask-is-minus-one trick: adding the 0xFF comparison
+// mask is adding -1, so lanes hold negated counts until the flush.
+//
+// Kernels accumulate into caller-zeroed uint64 outputs. Group ids are one
+// byte each and must be < num_groups. Value-width variants require values
+// strictly below the documented bound so lane arithmetic cannot overflow
+// between flushes; the Aggregate Processor guarantees this from segment
+// metadata.
+#ifndef BIPIE_VECTOR_AGG_INREGISTER_H_
+#define BIPIE_VECTOR_AGG_INREGISTER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bipie {
+
+inline constexpr int kMaxInRegisterGroups = 32;
+
+// counts[g] += per-group row counts.
+void InRegisterCount(const uint8_t* groups, size_t n, int num_groups,
+                     uint64_t* counts);
+
+// 1-byte values (any value 0..255).
+void InRegisterSum8(const uint8_t* groups, const uint8_t* values, size_t n,
+                    int num_groups, uint64_t* sums);
+
+// 2-byte values; every value must be < 2^15 (the 16-bit multiply-add path
+// is signed). Wider values go through InRegisterSum32.
+void InRegisterSum16(const uint8_t* groups, const uint16_t* values, size_t n,
+                     int num_groups, uint64_t* sums);
+
+// 4-byte values with 32-bit lane accumulators flushed based on
+// `max_value` (an inclusive upper bound on any input value, from segment
+// metadata). Any max_value up to 2^32 - 1 is handled; tighter bounds mean
+// rarer flushes.
+void InRegisterSum32(const uint8_t* groups, const uint32_t* values, size_t n,
+                     int num_groups, uint64_t max_value, uint64_t* sums);
+
+namespace internal {
+// AVX-512 tier: mask-register compares and SAD-based byte sums; defined in
+// agg_inregister_avx512.cc.
+void InRegisterCountAvx512(const uint8_t* groups, size_t n, int num_groups,
+                           uint64_t* counts);
+void InRegisterSum8Avx512(const uint8_t* groups, const uint8_t* values,
+                          size_t n, int num_groups, uint64_t* sums);
+void InRegisterSum16Avx512(const uint8_t* groups, const uint16_t* values,
+                           size_t n, int num_groups, uint64_t* sums);
+void InRegisterSum32Avx512(const uint8_t* groups, const uint32_t* values,
+                           size_t n, int num_groups, uint64_t max_value,
+                           uint64_t* sums);
+}  // namespace internal
+
+// Documented instruction counts per group per 32 input values for Table 3
+// of the paper (what our implementation's inner loop issues).
+struct InRegisterInstructionCounts {
+  double count_star;
+  double sum8;
+  double sum16;
+  double sum32;
+};
+InRegisterInstructionCounts GetInRegisterInstructionCounts();
+
+}  // namespace bipie
+
+#endif  // BIPIE_VECTOR_AGG_INREGISTER_H_

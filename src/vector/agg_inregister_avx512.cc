@@ -1,0 +1,175 @@
+// AVX-512 tier of in-register aggregation.
+//
+// Mask registers change the structure relative to AVX2:
+//  * COUNT needs no lane accumulators at all — VPCMPEQB yields a 64-bit
+//    mask whose population count goes straight into a 64-bit counter;
+//  * SUM of bytes uses VPSADBW against zero, which horizontally sums the
+//    masked bytes into 64-bit lanes — so accumulators never overflow and
+//    no flush cadence is needed;
+//  * SUM16/SUM32 keep the AVX2 structure at double width.
+#include <immintrin.h>
+
+#include <algorithm>
+#include <bit>
+
+#include "common/macros.h"
+#include "vector/agg_inregister.h"
+
+namespace bipie::internal {
+
+namespace {
+
+BIPIE_ALWAYS_INLINE uint64_t ReduceU32(__m512i v) {
+  // Lanes are unsigned; widen then reduce.
+  const __m512i lo = _mm512_cvtepu32_epi64(_mm512_castsi512_si256(v));
+  const __m512i hi =
+      _mm512_cvtepu32_epi64(_mm512_extracti64x4_epi64(v, 1));
+  return static_cast<uint64_t>(
+      _mm512_reduce_add_epi64(_mm512_add_epi64(lo, hi)));
+}
+
+template <int N>
+void CountImpl512(const uint8_t* groups, size_t n, uint64_t* counts) {
+  const size_t vectors = n / 64;
+  uint64_t local[N] = {};
+  for (size_t v = 0; v < vectors; ++v) {
+    const __m512i ids = _mm512_loadu_si512(groups + v * 64);
+    for (int g = 0; g < N; ++g) {
+      const __mmask64 match = _mm512_cmpeq_epi8_mask(
+          ids, _mm512_set1_epi8(static_cast<char>(g)));
+      local[g] += std::popcount(static_cast<uint64_t>(match));
+    }
+  }
+  for (int g = 0; g < N; ++g) counts[g] += local[g];
+  for (size_t i = vectors * 64; i < n; ++i) ++counts[groups[i]];
+}
+
+template <int N>
+void Sum8Impl512(const uint8_t* groups, const uint8_t* values, size_t n,
+                 uint64_t* sums) {
+  const __m512i zero = _mm512_setzero_si512();
+  const size_t vectors = n / 64;
+  __m512i acc[N];
+  for (int g = 0; g < N; ++g) acc[g] = zero;
+  for (size_t v = 0; v < vectors; ++v) {
+    const __m512i ids = _mm512_loadu_si512(groups + v * 64);
+    const __m512i vals = _mm512_loadu_si512(values + v * 64);
+    for (int g = 0; g < N; ++g) {
+      const __mmask64 match = _mm512_cmpeq_epi8_mask(
+          ids, _mm512_set1_epi8(static_cast<char>(g)));
+      const __m512i masked = _mm512_maskz_mov_epi8(match, vals);
+      acc[g] = _mm512_add_epi64(acc[g], _mm512_sad_epu8(masked, zero));
+    }
+  }
+  for (int g = 0; g < N; ++g) {
+    sums[g] += static_cast<uint64_t>(_mm512_reduce_add_epi64(acc[g]));
+  }
+  for (size_t i = vectors * 64; i < n; ++i) sums[groups[i]] += values[i];
+}
+
+// 32-bit pair accumulators as on the AVX2 tier: each vector adds < 2^16
+// per lane, so 2^14 vectors stay within range.
+constexpr size_t kSum16FlushVectors512 = size_t{1} << 14;
+
+template <int N>
+void Sum16Impl512(const uint8_t* groups, const uint16_t* values, size_t n,
+                  uint64_t* sums) {
+  const __m512i ones16 = _mm512_set1_epi16(1);
+  const size_t vectors = n / 32;
+  size_t v = 0;
+  while (v < vectors) {
+    const size_t chunk = std::min(vectors - v, kSum16FlushVectors512);
+    __m512i acc[N];
+    for (int g = 0; g < N; ++g) acc[g] = _mm512_setzero_si512();
+    for (size_t k = 0; k < chunk; ++k, ++v) {
+      const __m512i ids = _mm512_cvtepu8_epi16(_mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(groups + v * 32)));
+      const __m512i vals = _mm512_loadu_si512(values + v * 32);
+      for (int g = 0; g < N; ++g) {
+        const __mmask32 match = _mm512_cmpeq_epi16_mask(
+            ids, _mm512_set1_epi16(static_cast<short>(g)));
+        const __m512i masked = _mm512_maskz_mov_epi16(match, vals);
+        acc[g] = _mm512_add_epi32(acc[g],
+                                  _mm512_madd_epi16(masked, ones16));
+      }
+    }
+    for (int g = 0; g < N; ++g) sums[g] += ReduceU32(acc[g]);
+  }
+  for (size_t i = vectors * 32; i < n; ++i) sums[groups[i]] += values[i];
+}
+
+template <int N>
+void Sum32Impl512(const uint8_t* groups, const uint32_t* values, size_t n,
+                  size_t flush_vectors, uint64_t* sums) {
+  const size_t vectors = n / 16;
+  size_t v = 0;
+  while (v < vectors) {
+    const size_t chunk = std::min(vectors - v, flush_vectors);
+    __m512i acc[N];
+    for (int g = 0; g < N; ++g) acc[g] = _mm512_setzero_si512();
+    for (size_t k = 0; k < chunk; ++k, ++v) {
+      const __m512i ids = _mm512_cvtepu8_epi32(_mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(groups + v * 16)));
+      const __m512i vals = _mm512_loadu_si512(values + v * 16);
+      for (int g = 0; g < N; ++g) {
+        const __mmask16 match =
+            _mm512_cmpeq_epi32_mask(ids, _mm512_set1_epi32(g));
+        acc[g] = _mm512_add_epi32(acc[g],
+                                  _mm512_maskz_mov_epi32(match, vals));
+      }
+    }
+    for (int g = 0; g < N; ++g) sums[g] += ReduceU32(acc[g]);
+  }
+  for (size_t i = vectors * 16; i < n; ++i) sums[groups[i]] += values[i];
+}
+
+#define BIPIE_TABLE32(F)                                                  \
+  {nullptr, &F<1>,  &F<2>,  &F<3>,  &F<4>,  &F<5>,  &F<6>,  &F<7>,       \
+   &F<8>,   &F<9>,  &F<10>, &F<11>, &F<12>, &F<13>, &F<14>, &F<15>,      \
+   &F<16>,  &F<17>, &F<18>, &F<19>, &F<20>, &F<21>, &F<22>, &F<23>,      \
+   &F<24>,  &F<25>, &F<26>, &F<27>, &F<28>, &F<29>, &F<30>, &F<31>,      \
+   &F<32>}
+
+}  // namespace
+
+void InRegisterCountAvx512(const uint8_t* groups, size_t n, int num_groups,
+                           uint64_t* counts) {
+  using Fn = void (*)(const uint8_t*, size_t, uint64_t*);
+  static constexpr Fn kTable[kMaxInRegisterGroups + 1] =
+      BIPIE_TABLE32(CountImpl512);
+  kTable[num_groups](groups, n, counts);
+}
+
+void InRegisterSum8Avx512(const uint8_t* groups, const uint8_t* values,
+                          size_t n, int num_groups, uint64_t* sums) {
+  using Fn = void (*)(const uint8_t*, const uint8_t*, size_t, uint64_t*);
+  static constexpr Fn kTable[kMaxInRegisterGroups + 1] =
+      BIPIE_TABLE32(Sum8Impl512);
+  kTable[num_groups](groups, values, n, sums);
+}
+
+void InRegisterSum16Avx512(const uint8_t* groups, const uint16_t* values,
+                           size_t n, int num_groups, uint64_t* sums) {
+  using Fn = void (*)(const uint8_t*, const uint16_t*, size_t, uint64_t*);
+  static constexpr Fn kTable[kMaxInRegisterGroups + 1] =
+      BIPIE_TABLE32(Sum16Impl512);
+  kTable[num_groups](groups, values, n, sums);
+}
+
+void InRegisterSum32Avx512(const uint8_t* groups, const uint32_t* values,
+                           size_t n, int num_groups, uint64_t max_value,
+                           uint64_t* sums) {
+  size_t flush_vectors =
+      max_value == 0 ? (size_t{1} << 30)
+                     : static_cast<size_t>(0xFFFFFFFFULL / max_value);
+  if (flush_vectors == 0) flush_vectors = 1;
+  using Fn = void (*)(const uint8_t*, const uint32_t*, size_t, size_t,
+                      uint64_t*);
+  static constexpr Fn kTable[kMaxInRegisterGroups + 1] =
+      BIPIE_TABLE32(Sum32Impl512);
+  kTable[num_groups](groups, values, n, flush_vectors, sums);
+}
+
+#undef BIPIE_TABLE32
+
+}  // namespace bipie::internal

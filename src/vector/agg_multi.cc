@@ -1,0 +1,219 @@
+#include "vector/agg_multi.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/cpu.h"
+#include "common/macros.h"
+
+namespace bipie {
+
+namespace {
+
+// SIMD accumulator lanes holding sums of values < 2^16 wrap only after
+// 65536 additions; drain at that cadence (§5.4's 65536-row guarantee).
+constexpr size_t kDrainRows = 65536;
+
+// Accumulates `n` rows (n % 4 == 0) with N64 full qword columns and NP
+// 32-bit pairs. acc holds one 256-bit accumulator per group.
+template <int N64, int NP>
+void ProcessChunk(const int64_t* const* cols64, const uint32_t* const* pair_a,
+                  const uint32_t* const* pair_b, const uint8_t* groups,
+                  size_t base, size_t n, __m256i* acc) {
+  for (size_t i = base; i + 4 <= base + n; i += 4) {
+    __m256i q[4];
+    int s = 0;
+    for (int j = 0; j < N64; ++j, ++s) {
+      q[s] = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(cols64[j] + i));
+    }
+    for (int j = 0; j < NP; ++j, ++s) {
+      const __m128i a = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(pair_a[j] + i));
+      const __m128i b = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(pair_b[j] + i));
+      // Interleave the two 32-bit columns into one pseudo-64-bit column.
+      const __m128i lo = _mm_unpacklo_epi32(a, b);
+      const __m128i hi = _mm_unpackhi_epi32(a, b);
+      q[s] = _mm256_set_m128i(hi, lo);
+    }
+    for (; s < 4; ++s) q[s] = _mm256_setzero_si256();
+
+    // 4x4 qword transpose: q[s] lane r -> row r lane s.
+    const __m256i t0 = _mm256_unpacklo_epi64(q[0], q[1]);
+    const __m256i t1 = _mm256_unpackhi_epi64(q[0], q[1]);
+    const __m256i t2 = _mm256_unpacklo_epi64(q[2], q[3]);
+    const __m256i t3 = _mm256_unpackhi_epi64(q[2], q[3]);
+    const __m256i r0 = _mm256_permute2x128_si256(t0, t2, 0x20);
+    const __m256i r1 = _mm256_permute2x128_si256(t1, t3, 0x20);
+    const __m256i r2 = _mm256_permute2x128_si256(t0, t2, 0x31);
+    const __m256i r3 = _mm256_permute2x128_si256(t1, t3, 0x31);
+
+    // One load-add-store per row updates every sum (the paper's pitch).
+    __m256i* a0 = acc + groups[i];
+    *a0 = _mm256_add_epi64(*a0, r0);
+    __m256i* a1 = acc + groups[i + 1];
+    *a1 = _mm256_add_epi64(*a1, r1);
+    __m256i* a2 = acc + groups[i + 2];
+    *a2 = _mm256_add_epi64(*a2, r2);
+    __m256i* a3 = acc + groups[i + 3];
+    *a3 = _mm256_add_epi64(*a3, r3);
+  }
+}
+
+using ChunkFn = void (*)(const int64_t* const*, const uint32_t* const*,
+                         const uint32_t* const*, const uint8_t*, size_t,
+                         size_t, __m256i*);
+
+ChunkFn ResolveChunkFn(int n64, int np) {
+  switch (n64 * 8 + np) {
+    case 0 * 8 + 1: return &ProcessChunk<0, 1>;
+    case 0 * 8 + 2: return &ProcessChunk<0, 2>;
+    case 0 * 8 + 3: return &ProcessChunk<0, 3>;
+    case 0 * 8 + 4: return &ProcessChunk<0, 4>;
+    case 1 * 8 + 0: return &ProcessChunk<1, 0>;
+    case 1 * 8 + 1: return &ProcessChunk<1, 1>;
+    case 1 * 8 + 2: return &ProcessChunk<1, 2>;
+    case 1 * 8 + 3: return &ProcessChunk<1, 3>;
+    case 2 * 8 + 0: return &ProcessChunk<2, 0>;
+    case 2 * 8 + 1: return &ProcessChunk<2, 1>;
+    case 2 * 8 + 2: return &ProcessChunk<2, 2>;
+    case 3 * 8 + 0: return &ProcessChunk<3, 0>;
+    case 3 * 8 + 1: return &ProcessChunk<3, 1>;
+    case 4 * 8 + 0: return &ProcessChunk<4, 0>;
+    default:
+      BIPIE_DCHECK(false);
+      return nullptr;
+  }
+}
+
+}  // namespace
+
+Status MultiAggregator::Configure(const std::vector<ColumnDesc>& columns,
+                                  int num_groups) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("multi-aggregate needs >= 1 column");
+  }
+  if (num_groups < 1 || num_groups > kMaxGroups) {
+    return Status::InvalidArgument("multi-aggregate group count out of range");
+  }
+  columns_ = columns;
+  num_groups_ = num_groups;
+  qword_cols_.clear();
+  pairs_.clear();
+
+  std::vector<int> narrow_cols;
+  for (size_t c = 0; c < columns.size(); ++c) {
+    if (columns[c].input_bytes == 8) {
+      qword_cols_.push_back(static_cast<int>(c));
+    } else if (columns[c].input_bytes == 4) {
+      narrow_cols.push_back(static_cast<int>(c));
+    } else {
+      return Status::InvalidArgument(
+          "multi-aggregate input arrays must be 4 or 8 bytes per element");
+    }
+  }
+  for (size_t i = 0; i < narrow_cols.size(); i += 2) {
+    Pair p;
+    p.col_a = narrow_cols[i];
+    p.col_b = i + 1 < narrow_cols.size() ? narrow_cols[i + 1] : -1;
+    pairs_.push_back(p);
+  }
+  num_qword_slots_ = static_cast<int>(qword_cols_.size());
+  num_pairs_ = static_cast<int>(pairs_.size());
+  if (num_qword_slots_ + num_pairs_ > 4) {
+    return Status::NotSupported(
+        "expanded aggregate row exceeds one 256-bit register");
+  }
+
+  acc_.Resize(static_cast<size_t>(num_groups_) * sizeof(__m256i));
+  acc_.ZeroFill();
+  partials_.assign(static_cast<size_t>(num_groups_) * columns_.size(), 0);
+  rows_since_drain_ = 0;
+  return Status::OK();
+}
+
+void MultiAggregator::Process(const uint8_t* groups,
+                              const void* const* col_data, size_t n) {
+  const size_t ncols = columns_.size();
+  if (CurrentIsaTier() < IsaTier::kAvx2) {
+    for (size_t i = 0; i < n; ++i) {
+      int64_t* row = partials_.data() + groups[i] * ncols;
+      for (size_t c = 0; c < ncols; ++c) {
+        row[c] += columns_[c].input_bytes == 8
+                      ? static_cast<const int64_t*>(col_data[c])[i]
+                      : static_cast<const uint32_t*>(col_data[c])[i];
+      }
+    }
+    return;
+  }
+
+  // Resolve typed pointer arrays once per call.
+  const int64_t* cols64[4];
+  const uint32_t* pair_a[4];
+  const uint32_t* pair_b[4];
+  for (int j = 0; j < num_qword_slots_; ++j) {
+    cols64[j] = static_cast<const int64_t*>(col_data[qword_cols_[j]]);
+  }
+  for (int j = 0; j < num_pairs_; ++j) {
+    pair_a[j] = static_cast<const uint32_t*>(col_data[pairs_[j].col_a]);
+    // A dummy half duplicates col_a; its lane is discarded at drain time.
+    pair_b[j] = pairs_[j].col_b >= 0
+                    ? static_cast<const uint32_t*>(col_data[pairs_[j].col_b])
+                    : pair_a[j];
+  }
+  const ChunkFn chunk_fn = ResolveChunkFn(num_qword_slots_, num_pairs_);
+  auto* acc = acc_.data_as<__m256i>();
+
+  size_t i = 0;
+  while (i + 4 <= n) {
+    const size_t room = kDrainRows - rows_since_drain_;
+    const size_t m = std::min((n - i) & ~size_t{3}, room);
+    chunk_fn(cols64, pair_a, pair_b, groups, i, m, acc);
+    i += m;
+    rows_since_drain_ += m;
+    if (rows_since_drain_ >= kDrainRows) DrainSimdAccumulators();
+  }
+  // Scalar tail goes straight to the 64-bit partials.
+  for (; i < n; ++i) {
+    int64_t* row = partials_.data() + groups[i] * ncols;
+    for (size_t c = 0; c < ncols; ++c) {
+      row[c] += columns_[c].input_bytes == 8
+                    ? static_cast<const int64_t*>(col_data[c])[i]
+                    : static_cast<const uint32_t*>(col_data[c])[i];
+    }
+  }
+}
+
+void MultiAggregator::DrainSimdAccumulators() {
+  const size_t ncols = columns_.size();
+  auto* acc = acc_.data_as<__m256i>();
+  for (int g = 0; g < num_groups_; ++g) {
+    alignas(32) uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc[g]);
+    acc[g] = _mm256_setzero_si256();
+    int64_t* row = partials_.data() + static_cast<size_t>(g) * ncols;
+    for (int j = 0; j < num_qword_slots_; ++j) {
+      row[qword_cols_[j]] += static_cast<int64_t>(lanes[j]);
+    }
+    for (int j = 0; j < num_pairs_; ++j) {
+      const uint64_t lane = lanes[num_qword_slots_ + j];
+      row[pairs_[j].col_a] += static_cast<int64_t>(lane & 0xFFFFFFFFULL);
+      if (pairs_[j].col_b >= 0) {
+        row[pairs_[j].col_b] += static_cast<int64_t>(lane >> 32);
+      }
+    }
+  }
+  rows_since_drain_ = 0;
+}
+
+void MultiAggregator::Flush(int64_t* sums) {
+  if (CurrentIsaTier() >= IsaTier::kAvx2) DrainSimdAccumulators();
+  const size_t total = partials_.size();
+  for (size_t i = 0; i < total; ++i) {
+    sums[i] += partials_[i];
+    partials_[i] = 0;
+  }
+}
+
+}  // namespace bipie

@@ -1,0 +1,84 @@
+// Multi-Aggregate SUM aggregation (§5.4).
+//
+// Uses data-level parallelism *horizontally*: the values of several
+// aggregate columns for the same row are transposed into one 256-bit
+// register, so a single load-add-store updates every sum for that row.
+//
+// Packing rules follow the paper: inputs of 1–2 bytes are expanded to
+// 32-bit slots, anything larger to 64-bit slots; 32-bit slots are paired
+// into aligned 64-bit lanes. The whole packed row is accumulated with one
+// 64-bit SIMD addition — a 32-bit lane holding sums of values < 2^16 cannot
+// carry into its neighbor within 65536 rows, which is the flush cadence.
+//
+// Column-major inputs become row-major via a 4x4 64-bit SIMD transpose
+// (pairs of 32-bit columns are first interleaved into pseudo-64-bit
+// columns with PUNPCKL/HDQ, the paper's Figure 6 layout).
+#ifndef BIPIE_VECTOR_AGG_MULTI_H_
+#define BIPIE_VECTOR_AGG_MULTI_H_
+
+#include <immintrin.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "common/status.h"
+
+namespace bipie {
+
+class MultiAggregator {
+ public:
+  // One aggregate input column.
+  struct ColumnDesc {
+    // Width of the *decoded* input array elements: 4 => uint32_t values
+    // strictly below 2^16 (expanded from 1–2 byte inputs); 8 => int64
+    // values (4–8 byte inputs and expression results).
+    int input_bytes = 8;
+  };
+
+  static constexpr int kMaxGroups = 256;
+
+  MultiAggregator() = default;
+
+  // Plans the register layout. Fails with OverflowRisk-free NotSupported if
+  // the expanded row does not fit a 256-bit register (more than four 64-bit
+  // lanes).
+  Status Configure(const std::vector<ColumnDesc>& columns, int num_groups);
+
+  // Accumulates n rows. groups[i] < num_groups. col_data[c] must point to
+  // the decoded array for column c with the configured element width, with
+  // 32 bytes of read slack past the end.
+  void Process(const uint8_t* groups, const void* const* col_data, size_t n);
+
+  // Adds the accumulated per-group per-column sums into
+  // sums[g * num_columns + c] and resets the accumulators.
+  void Flush(int64_t* sums);
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  int num_groups() const { return num_groups_; }
+  // Bytes of one packed row after expansion (diagnostics / tests).
+  int packed_row_bytes() const { return 8 * (num_qword_slots_ + num_pairs_); }
+
+ private:
+  struct Pair {
+    int col_a = -1;
+    int col_b = -1;  // -1: dummy half (duplicates col_a, discarded at flush)
+  };
+
+  void DrainSimdAccumulators();
+
+  std::vector<ColumnDesc> columns_;
+  int num_groups_ = 0;
+  std::vector<int> qword_cols_;  // columns owning full 64-bit lanes
+  std::vector<Pair> pairs_;      // paired 32-bit lanes
+  int num_qword_slots_ = 0;
+  int num_pairs_ = 0;
+
+  AlignedBuffer acc_;               // one __m256i per group
+  std::vector<int64_t> partials_;   // [group][column] drained sums
+  size_t rows_since_drain_ = 0;
+};
+
+}  // namespace bipie
+
+#endif  // BIPIE_VECTOR_AGG_MULTI_H_

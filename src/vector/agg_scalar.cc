@@ -1,0 +1,129 @@
+#include "vector/agg_scalar.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace bipie {
+
+void ScalarCountSingleArray(const uint8_t* groups, size_t n,
+                            uint64_t* counts) {
+  for (size_t i = 0; i < n; ++i) {
+    ++counts[groups[i]];
+  }
+}
+
+void ScalarCountMultiArray(const uint8_t* groups, size_t n, int num_groups,
+                           uint64_t* counts) {
+  BIPIE_DCHECK(num_groups <= kMaxScalarGroups);
+  // Two interleaved accumulator arrays so consecutive rows hitting the same
+  // group write to different addresses.
+  uint64_t partial[2][kMaxScalarGroups];
+  std::memset(partial, 0, sizeof(partial));
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    ++partial[0][groups[i]];
+    ++partial[1][groups[i + 1]];
+  }
+  if (i < n) ++partial[0][groups[i]];
+  for (int g = 0; g < num_groups; ++g) {
+    counts[g] += partial[0][g] + partial[1][g];
+  }
+}
+
+void ScalarSumSingleArray(const uint8_t* groups, const int64_t* values,
+                          size_t n, int64_t* sums) {
+  for (size_t i = 0; i < n; ++i) {
+    sums[groups[i]] += values[i];
+  }
+}
+
+void ScalarSumMultiArray(const uint8_t* groups, const int64_t* values,
+                         size_t n, int num_groups, int64_t* sums) {
+  BIPIE_DCHECK(num_groups <= kMaxScalarGroups);
+  int64_t partial[2][kMaxScalarGroups];
+  std::memset(partial, 0, sizeof(partial));
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    partial[0][groups[i]] += values[i];
+    partial[1][groups[i + 1]] += values[i + 1];
+  }
+  if (i < n) partial[0][groups[i]] += values[i];
+  for (int g = 0; g < num_groups; ++g) {
+    sums[g] += partial[0][g] + partial[1][g];
+  }
+}
+
+void ScalarSumColumnAtATime(const uint8_t* groups,
+                            const int64_t* const* cols, int num_cols,
+                            size_t n, int64_t* sums) {
+  for (int c = 0; c < num_cols; ++c) {
+    const int64_t* values = cols[c];
+    for (size_t i = 0; i < n; ++i) {
+      sums[groups[i] * static_cast<size_t>(num_cols) + c] += values[i];
+    }
+  }
+}
+
+void ScalarSumRowAtATime(const uint8_t* groups, const int64_t* const* cols,
+                         int num_cols, size_t n, int64_t* sums) {
+  for (size_t i = 0; i < n; ++i) {
+    int64_t* row = sums + groups[i] * static_cast<size_t>(num_cols);
+    for (int c = 0; c < num_cols; ++c) {
+      row[c] += cols[c][i];
+    }
+  }
+}
+
+namespace {
+
+template <int kCols>
+void RowAtATimeUnrolledImpl(const uint8_t* groups,
+                            const int64_t* const* cols, size_t n,
+                            int64_t* sums) {
+  for (size_t i = 0; i < n; ++i) {
+    int64_t* row = sums + groups[i] * static_cast<size_t>(kCols);
+    // Fixed trip count: the compiler fully unrolls this loop.
+    for (int c = 0; c < kCols; ++c) {
+      row[c] += cols[c][i];
+    }
+  }
+}
+
+}  // namespace
+
+void ScalarSumRowAtATimeUnrolled(const uint8_t* groups,
+                                 const int64_t* const* cols, int num_cols,
+                                 size_t n, int64_t* sums) {
+  switch (num_cols) {
+    case 1:
+      RowAtATimeUnrolledImpl<1>(groups, cols, n, sums);
+      return;
+    case 2:
+      RowAtATimeUnrolledImpl<2>(groups, cols, n, sums);
+      return;
+    case 3:
+      RowAtATimeUnrolledImpl<3>(groups, cols, n, sums);
+      return;
+    case 4:
+      RowAtATimeUnrolledImpl<4>(groups, cols, n, sums);
+      return;
+    case 5:
+      RowAtATimeUnrolledImpl<5>(groups, cols, n, sums);
+      return;
+    case 6:
+      RowAtATimeUnrolledImpl<6>(groups, cols, n, sums);
+      return;
+    case 7:
+      RowAtATimeUnrolledImpl<7>(groups, cols, n, sums);
+      return;
+    case 8:
+      RowAtATimeUnrolledImpl<8>(groups, cols, n, sums);
+      return;
+    default:
+      ScalarSumRowAtATime(groups, cols, num_cols, n, sums);
+      return;
+  }
+}
+
+}  // namespace bipie

@@ -1,0 +1,59 @@
+// Scalar (non-SIMD) grouped aggregation (§5.1).
+//
+// These are both the paper's baseline and the reference implementations the
+// SIMD strategies are tested against. The multi-array variants demonstrate
+// the fix for CPU pipeline stalls caused by adjacent rows updating the same
+// accumulator address (few groups, or skewed/partially-sorted group
+// columns): round-robin between several accumulator arrays and merge at the
+// end.
+//
+// All kernels accumulate into caller-zeroed output arrays, so one batch at a
+// time can be streamed through them.
+#ifndef BIPIE_VECTOR_AGG_SCALAR_H_
+#define BIPIE_VECTOR_AGG_SCALAR_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bipie {
+
+// counts[g] += |{i : groups[i] == g}| using a single accumulator array.
+void ScalarCountSingleArray(const uint8_t* groups, size_t n,
+                            uint64_t* counts);
+
+// Same, alternating between `kScalarAccumArrays` internal arrays.
+void ScalarCountMultiArray(const uint8_t* groups, size_t n, int num_groups,
+                           uint64_t* counts);
+
+inline constexpr int kScalarAccumArrays = 2;
+inline constexpr int kMaxScalarGroups = 256;
+
+// sums[g] += sum of values[i] with groups[i] == g (single array).
+void ScalarSumSingleArray(const uint8_t* groups, const int64_t* values,
+                          size_t n, int64_t* sums);
+
+// Same with round-robin accumulator arrays.
+void ScalarSumMultiArray(const uint8_t* groups, const int64_t* values,
+                         size_t n, int num_groups, int64_t* sums);
+
+// Multiple sums, column-at-a-time: processes each aggregate column fully
+// before the next one. sums layout: sums[g * num_cols + c].
+void ScalarSumColumnAtATime(const uint8_t* groups,
+                            const int64_t* const* cols, int num_cols,
+                            size_t n, int64_t* sums);
+
+// Multiple sums, row-at-a-time: updates every aggregate of a row before
+// moving to the next row (row-major accumulator layout — the faster variant
+// per Figure 3).
+void ScalarSumRowAtATime(const uint8_t* groups, const int64_t* const* cols,
+                         int num_cols, size_t n, int64_t* sums);
+
+// Row-at-a-time with the inner per-column loop unrolled (num_cols <= 8
+// takes a specialized path).
+void ScalarSumRowAtATimeUnrolled(const uint8_t* groups,
+                                 const int64_t* const* cols, int num_cols,
+                                 size_t n, int64_t* sums);
+
+}  // namespace bipie
+
+#endif  // BIPIE_VECTOR_AGG_SCALAR_H_

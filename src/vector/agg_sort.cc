@@ -1,0 +1,155 @@
+#include "vector/agg_sort.h"
+
+#include <cstring>
+
+#include "common/bits.h"
+#include "common/cpu.h"
+#include "common/macros.h"
+#include "encoding/bitpack.h"
+#include "vector/simd_util.h"
+
+namespace bipie {
+
+namespace {
+
+constexpr int kMaxSortGroups = 256;
+
+}  // namespace
+
+void SortedBatch::Sort(const uint8_t* groups, const uint32_t* row_ids,
+                       size_t n, int num_groups) {
+  BIPIE_DCHECK(num_groups >= 1 && num_groups <= kMaxSortGroups);
+  num_groups_ = num_groups;
+  indices_.Resize(n * sizeof(uint32_t));
+  offsets_.assign(static_cast<size_t>(num_groups) + 1, 0);
+
+  // Counting pass with separate even/odd-row counters to avoid back-to-back
+  // increments of the same address (§5.2).
+  uint32_t cnt[2][kMaxSortGroups];
+  std::memset(cnt, 0, sizeof(cnt));
+  if (row_ids == nullptr) {
+    size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+      ++cnt[0][groups[i]];
+      ++cnt[1][groups[i + 1]];
+    }
+    if (i < n) ++cnt[0][groups[i]];
+  } else {
+    size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+      ++cnt[0][groups[row_ids[i]]];
+      ++cnt[1][groups[row_ids[i + 1]]];
+    }
+    if (i < n) ++cnt[0][groups[row_ids[i]]];
+  }
+
+  // Region layout: group g owns [offsets_[g], offsets_[g+1]); within it the
+  // even-row indices come first, then the odd-row indices.
+  uint32_t running = 0;
+  for (int g = 0; g < num_groups; ++g) {
+    offsets_[g] = running;
+    running += cnt[0][g] + cnt[1][g];
+  }
+  offsets_[num_groups] = running;
+  BIPIE_DCHECK(running == n);
+
+  uint32_t pos[2][kMaxSortGroups];
+  for (int g = 0; g < num_groups; ++g) {
+    pos[0][g] = offsets_[g];
+    pos[1][g] = offsets_[g] + cnt[0][g];
+  }
+
+  auto* out = indices_.data_as<uint32_t>();
+  if (row_ids == nullptr) {
+    size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+      out[pos[0][groups[i]]++] = static_cast<uint32_t>(i);
+      out[pos[1][groups[i + 1]]++] = static_cast<uint32_t>(i + 1);
+    }
+    if (i < n) out[pos[0][groups[i]]++] = static_cast<uint32_t>(i);
+  } else {
+    size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+      out[pos[0][groups[row_ids[i]]]++] = row_ids[i];
+      out[pos[1][groups[row_ids[i + 1]]]++] = row_ids[i + 1];
+    }
+    if (i < n) out[pos[0][groups[row_ids[i]]]++] = row_ids[i];
+  }
+}
+
+void SortedGatherSum(const uint8_t* packed, int bit_width,
+                     const SortedBatch& batch, uint64_t* sums) {
+  const uint32_t* idx = batch.indices();
+  const bool use_avx2 = CurrentIsaTier() >= IsaTier::kAvx2;
+  for (int g = 0; g < batch.num_groups(); ++g) {
+    const uint32_t begin = batch.offset(g);
+    const uint32_t end = batch.offset(g + 1);
+    uint64_t sum = 0;
+    uint32_t i = begin;
+    if (use_avx2 && bit_width <= 25) {
+      const __m256i vw = _mm256_set1_epi32(bit_width);
+      const __m256i value_mask =
+          _mm256_set1_epi32(static_cast<int>(LowBitsMask(bit_width)));
+      __m256i acc = _mm256_setzero_si256();
+      // u32 lanes are flushed before they could wrap: each add is
+      // < 2^bit_width <= 2^25, so ~2^7 adds are always safe and larger
+      // widths allow fewer adds per flush.
+      const uint32_t flush = 0xFFFFFFFFu >> bit_width;
+      uint32_t since_flush = 0;
+      for (; i + 8 <= end; i += 8) {
+        const __m256i v =
+            simd::GatherPacked8(packed, idx + i, vw, value_mask);
+        acc = _mm256_add_epi32(acc, v);
+        if (++since_flush >= flush) {
+          sum += simd::HorizontalSumU32(acc);
+          acc = _mm256_setzero_si256();
+          since_flush = 0;
+        }
+      }
+      sum += simd::HorizontalSumU32(acc);
+    } else if (use_avx2 && bit_width <= 57) {
+      const __m256i vw64 = _mm256_set1_epi64x(bit_width);
+      const __m256i value_mask64 =
+          _mm256_set1_epi64x(static_cast<long long>(LowBitsMask(bit_width)));
+      __m256i acc = _mm256_setzero_si256();
+      for (; i + 4 <= end; i += 4) {
+        const __m256i v =
+            simd::GatherPacked4(packed, idx + i, vw64, value_mask64);
+        acc = _mm256_add_epi64(acc, v);
+      }
+      sum += simd::HorizontalSumU64(acc);
+    }
+    for (; i < end; ++i) {
+      sum += BitUnpackOne(packed, idx[i], bit_width);
+    }
+    sums[g] += sum;
+  }
+}
+
+void SortedSumDecoded(const int64_t* values, const SortedBatch& batch,
+                      int64_t* sums) {
+  const uint32_t* idx = batch.indices();
+  for (int g = 0; g < batch.num_groups(); ++g) {
+    const uint32_t begin = batch.offset(g);
+    const uint32_t end = batch.offset(g + 1);
+    int64_t sum = 0;
+    uint32_t i = begin;
+    if (CurrentIsaTier() >= IsaTier::kAvx2) {
+      __m256i acc = _mm256_setzero_si256();
+      for (; i + 4 <= end; i += 4) {
+        const __m128i idx32 =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + i));
+        const __m256i v = _mm256_i32gather_epi64(
+            reinterpret_cast<const long long*>(values), idx32, 8);
+        acc = _mm256_add_epi64(acc, v);
+      }
+      sum += static_cast<int64_t>(simd::HorizontalSumU64(acc));
+    }
+    for (; i < end; ++i) {
+      sum += values[idx[i]];
+    }
+    sums[g] += sum;
+  }
+}
+
+}  // namespace bipie

@@ -1,0 +1,293 @@
+#include "vector/compact.h"
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cstring>
+
+#include "common/cpu.h"
+#include "common/macros.h"
+
+namespace bipie {
+
+namespace internal {
+
+size_t CompactToIndexVectorScalar(const uint8_t* sel, size_t n, uint32_t base,
+                                  uint32_t* out) {
+  // Branch-free: always store, conditionally advance (§4.1 pseudocode).
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    out[count] = base + static_cast<uint32_t>(i);
+    count += sel[i] & 1;
+  }
+  return count;
+}
+
+size_t CompactValuesScalar(const uint8_t* sel, const void* values, size_t n,
+                           int elem_bytes, void* out) {
+  size_t count = 0;
+  switch (elem_bytes) {
+    case 1: {
+      const auto* v = static_cast<const uint8_t*>(values);
+      auto* o = static_cast<uint8_t*>(out);
+      for (size_t i = 0; i < n; ++i) {
+        o[count] = v[i];
+        count += sel[i] & 1;
+      }
+      return count;
+    }
+    case 2: {
+      const auto* v = static_cast<const uint16_t*>(values);
+      auto* o = static_cast<uint16_t*>(out);
+      for (size_t i = 0; i < n; ++i) {
+        o[count] = v[i];
+        count += sel[i] & 1;
+      }
+      return count;
+    }
+    case 4: {
+      const auto* v = static_cast<const uint32_t*>(values);
+      auto* o = static_cast<uint32_t*>(out);
+      for (size_t i = 0; i < n; ++i) {
+        o[count] = v[i];
+        count += sel[i] & 1;
+      }
+      return count;
+    }
+    case 8: {
+      const auto* v = static_cast<const uint64_t*>(values);
+      auto* o = static_cast<uint64_t*>(out);
+      for (size_t i = 0; i < n; ++i) {
+        o[count] = v[i];
+        count += sel[i] & 1;
+      }
+      return count;
+    }
+    default:
+      BIPIE_DCHECK(false);
+      return 0;
+  }
+}
+
+}  // namespace internal
+
+namespace {
+
+// perm32_[m] lists, as 32-bit lane ids, the positions of the set bits of the
+// 8-bit mask m (remaining lanes repeat 0; they are overwritten by the next
+// iteration's store).
+struct CompactLut {
+  alignas(32) uint32_t perm32[256][8];
+};
+
+CompactLut MakeCompactLut() {
+  CompactLut lut{};
+  for (int m = 0; m < 256; ++m) {
+    int k = 0;
+    for (int bit = 0; bit < 8; ++bit) {
+      if (m & (1 << bit)) lut.perm32[m][k++] = static_cast<uint32_t>(bit);
+    }
+    for (; k < 8; ++k) lut.perm32[m][k] = 0;
+  }
+  return lut;
+}
+
+const CompactLut& Lut() {
+  static const CompactLut lut = MakeCompactLut();
+  return lut;
+}
+
+// 8-bit selection mask for rows [i, i+8) of the byte vector.
+BIPIE_ALWAYS_INLINE uint32_t Mask8(const uint8_t* sel) {
+  const __m128i bytes =
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(sel));
+  return static_cast<uint32_t>(_mm_movemask_epi8(bytes)) & 0xFF;
+}
+
+size_t CompactToIndexVectorAvx2(const uint8_t* sel, size_t n, uint32_t base,
+                                uint32_t* out) {
+  const CompactLut& lut = Lut();
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const uint32_t m = Mask8(sel + i);
+    const __m256i perm = _mm256_load_si256(
+        reinterpret_cast<const __m256i*>(lut.perm32[m]));
+    // perm holds in-block offsets; add the block base to get row ids.
+    const __m256i ids = _mm256_add_epi32(
+        perm, _mm256_set1_epi32(static_cast<int>(base + i)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + count), ids);
+    count += std::popcount(m);
+  }
+  for (; i < n; ++i) {
+    out[count] = base + static_cast<uint32_t>(i);
+    count += sel[i] & 1;
+  }
+  return count;
+}
+
+size_t CompactValues1Avx2(const uint8_t* sel, const uint8_t* values, size_t n,
+                          uint8_t* out) {
+  size_t count = 0;
+  size_t i = 0;
+  // BMI2 PEXT compacts 8 one-byte elements at once: the selection bytes are
+  // already a full 0x00/0xFF per-byte mask.
+  for (; i + 8 <= n; i += 8) {
+    uint64_t mask, data;
+    std::memcpy(&mask, sel + i, 8);
+    std::memcpy(&data, values + i, 8);
+    const uint64_t packed = _pext_u64(data, mask);
+    std::memcpy(out + count, &packed, 8);
+    count += static_cast<size_t>(std::popcount(mask)) / 8;
+  }
+  for (; i < n; ++i) {
+    out[count] = values[i];
+    count += sel[i] & 1;
+  }
+  return count;
+}
+
+size_t CompactValues2Avx2(const uint8_t* sel, const uint16_t* values,
+                          size_t n, uint16_t* out) {
+  auto* out_bytes = reinterpret_cast<uint8_t*>(out);
+  size_t count = 0;
+  size_t i = 0;
+  // Double each selection byte to a 16-bit mask, then PEXT 4 elements per
+  // 64-bit word.
+  for (; i + 8 <= n; i += 8) {
+    const __m128i s =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(sel + i));
+    const __m128i doubled = _mm_unpacklo_epi8(s, s);
+    alignas(16) uint64_t masks[2];
+    _mm_store_si128(reinterpret_cast<__m128i*>(masks), doubled);
+    uint64_t data;
+    std::memcpy(&data, values + i, 8);
+    uint64_t packed = _pext_u64(data, masks[0]);
+    std::memcpy(out_bytes + count * 2, &packed, 8);
+    count += static_cast<size_t>(std::popcount(masks[0])) / 16;
+    std::memcpy(&data, values + i + 4, 8);
+    packed = _pext_u64(data, masks[1]);
+    std::memcpy(out_bytes + count * 2, &packed, 8);
+    count += static_cast<size_t>(std::popcount(masks[1])) / 16;
+  }
+  for (; i < n; ++i) {
+    out[count] = values[i];
+    count += sel[i] & 1;
+  }
+  return count;
+}
+
+size_t CompactValues4Avx2(const uint8_t* sel, const uint32_t* values,
+                          size_t n, uint32_t* out) {
+  const CompactLut& lut = Lut();
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const uint32_t m = Mask8(sel + i);
+    const __m256i perm = _mm256_load_si256(
+        reinterpret_cast<const __m256i*>(lut.perm32[m]));
+    const __m256i data =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(values + i));
+    const __m256i packed = _mm256_permutevar8x32_epi32(data, perm);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + count), packed);
+    count += std::popcount(m);
+  }
+  for (; i < n; ++i) {
+    out[count] = values[i];
+    count += sel[i] & 1;
+  }
+  return count;
+}
+
+size_t CompactValues8Avx2(const uint8_t* sel, const uint64_t* values,
+                          size_t n, uint64_t* out) {
+  // 16-entry LUT over 4-bit masks; qwords moved as 32-bit lane pairs.
+  alignas(32) static constexpr uint32_t kPerm64[16][8] = {
+      {0, 1, 0, 1, 0, 1, 0, 1}, {0, 1, 0, 1, 0, 1, 0, 1},
+      {2, 3, 0, 1, 0, 1, 0, 1}, {0, 1, 2, 3, 0, 1, 0, 1},
+      {4, 5, 0, 1, 0, 1, 0, 1}, {0, 1, 4, 5, 0, 1, 0, 1},
+      {2, 3, 4, 5, 0, 1, 0, 1}, {0, 1, 2, 3, 4, 5, 0, 1},
+      {6, 7, 0, 1, 0, 1, 0, 1}, {0, 1, 6, 7, 0, 1, 0, 1},
+      {2, 3, 6, 7, 0, 1, 0, 1}, {0, 1, 2, 3, 6, 7, 0, 1},
+      {4, 5, 6, 7, 0, 1, 0, 1}, {0, 1, 4, 5, 6, 7, 0, 1},
+      {2, 3, 4, 5, 6, 7, 0, 1}, {0, 1, 2, 3, 4, 5, 6, 7}};
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    uint32_t m = 0;
+    m |= (sel[i] & 1) << 0;
+    m |= (sel[i + 1] & 1) << 1;
+    m |= (sel[i + 2] & 1) << 2;
+    m |= (sel[i + 3] & 1) << 3;
+    const __m256i perm = _mm256_load_si256(
+        reinterpret_cast<const __m256i*>(kPerm64[m]));
+    const __m256i data =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(values + i));
+    const __m256i packed = _mm256_permutevar8x32_epi32(data, perm);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + count), packed);
+    count += std::popcount(m);
+  }
+  for (; i < n; ++i) {
+    out[count] = values[i];
+    count += sel[i] & 1;
+  }
+  return count;
+}
+
+}  // namespace
+
+size_t CompactToIndexVector(const uint8_t* sel, size_t n, uint32_t* out) {
+  return CompactToIndexVector(sel, n, 0, out);
+}
+
+size_t CompactToIndexVector(const uint8_t* sel, size_t n, uint32_t base,
+                            uint32_t* out) {
+  const IsaTier tier = CurrentIsaTier();
+  if (tier >= IsaTier::kAvx512) {
+    return internal::CompactToIndexVectorAvx512(sel, n, base, out);
+  }
+  if (tier >= IsaTier::kAvx2) {
+    return CompactToIndexVectorAvx2(sel, n, base, out);
+  }
+  return internal::CompactToIndexVectorScalar(sel, n, base, out);
+}
+
+size_t CompactValues(const uint8_t* sel, const void* values, size_t n,
+                     int elem_bytes, void* out) {
+  const IsaTier tier = CurrentIsaTier();
+  if (tier >= IsaTier::kAvx512) {
+    // 4- and 8-byte elements use compress-store; narrower elements would
+    // need VBMI2, so they stay on the AVX2 PEXT kernels.
+    if (elem_bytes == 4) {
+      return internal::CompactValues4Avx512(
+          sel, static_cast<const uint32_t*>(values), n,
+          static_cast<uint32_t*>(out));
+    }
+    if (elem_bytes == 8) {
+      return internal::CompactValues8Avx512(
+          sel, static_cast<const uint64_t*>(values), n,
+          static_cast<uint64_t*>(out));
+    }
+  }
+  if (tier >= IsaTier::kAvx2) {
+    switch (elem_bytes) {
+      case 1:
+        return CompactValues1Avx2(sel, static_cast<const uint8_t*>(values),
+                                  n, static_cast<uint8_t*>(out));
+      case 2:
+        return CompactValues2Avx2(sel, static_cast<const uint16_t*>(values),
+                                  n, static_cast<uint16_t*>(out));
+      case 4:
+        return CompactValues4Avx2(sel, static_cast<const uint32_t*>(values),
+                                  n, static_cast<uint32_t*>(out));
+      case 8:
+        return CompactValues8Avx2(sel, static_cast<const uint64_t*>(values),
+                                  n, static_cast<uint64_t*>(out));
+      default:
+        BIPIE_DCHECK(false);
+    }
+  }
+  return internal::CompactValuesScalar(sel, values, n, elem_bytes, out);
+}
+
+}  // namespace bipie

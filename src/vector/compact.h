@@ -1,0 +1,54 @@
+// The compacting operator (§4.1).
+//
+// Takes a selection byte vector plus an input and removes unselected
+// positions without conditional branches on the filter result. Two modes:
+//
+//  * index vector mode   — emits the ordinal positions of selected rows;
+//  * physical compaction — emits the selected values of an unpacked input
+//                          vector (element sizes must be powers of two).
+//
+// Both modes write full SIMD registers and advance the output cursor by the
+// selected count, so output buffers must tolerate writes up to 32 bytes past
+// the returned count (AlignedBuffer's padding satisfies this).
+#ifndef BIPIE_VECTOR_COMPACT_H_
+#define BIPIE_VECTOR_COMPACT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bipie {
+
+// Index vector mode: writes the positions (0-based, as uint32) of selected
+// rows to `out`; returns how many were selected.
+size_t CompactToIndexVector(const uint8_t* sel, size_t n, uint32_t* out);
+
+// As above but offsets every emitted position by `base` (used when chaining
+// batch-local selection into segment-absolute row ids).
+size_t CompactToIndexVector(const uint8_t* sel, size_t n, uint32_t base,
+                            uint32_t* out);
+
+// Physical compaction mode: copies values[i] for every selected i to `out`.
+// elem_bytes must be 1, 2, 4 or 8 and `values` must be an unpacked array of
+// that element width. Returns the selected count.
+size_t CompactValues(const uint8_t* sel, const void* values, size_t n,
+                     int elem_bytes, void* out);
+
+namespace internal {
+// Scalar reference implementations (used on the scalar tier and by tests).
+size_t CompactToIndexVectorScalar(const uint8_t* sel, size_t n, uint32_t base,
+                                  uint32_t* out);
+size_t CompactValuesScalar(const uint8_t* sel, const void* values, size_t n,
+                           int elem_bytes, void* out);
+
+// AVX-512 tier (compress-store based), defined in compact_avx512.cc.
+size_t CompactToIndexVectorAvx512(const uint8_t* sel, size_t n,
+                                  uint32_t base, uint32_t* out);
+size_t CompactValues4Avx512(const uint8_t* sel, const uint32_t* values,
+                            size_t n, uint32_t* out);
+size_t CompactValues8Avx512(const uint8_t* sel, const uint64_t* values,
+                            size_t n, uint64_t* out);
+}  // namespace internal
+
+}  // namespace bipie
+
+#endif  // BIPIE_VECTOR_COMPACT_H_

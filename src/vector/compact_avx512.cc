@@ -1,0 +1,76 @@
+// AVX-512 tier of the compacting operator.
+//
+// The selection byte vector converts to a lane mask with one VPTESTMB, and
+// VPCOMPRESSD / VPCOMPRESSQ write only the selected lanes — no permutation
+// lookup tables needed.
+#include <immintrin.h>
+
+#include <bit>
+
+#include "common/macros.h"
+#include "vector/compact.h"
+
+namespace bipie::internal {
+
+size_t CompactToIndexVectorAvx512(const uint8_t* sel, size_t n,
+                                  uint32_t base, uint32_t* out) {
+  const __m512i iota = _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
+                                         11, 12, 13, 14, 15);
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i bytes =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(sel + i));
+    const __mmask16 m = _mm_test_epi8_mask(bytes, bytes);
+    const __m512i ids = _mm512_add_epi32(
+        iota, _mm512_set1_epi32(static_cast<int>(base + i)));
+    _mm512_mask_compressstoreu_epi32(out + count, m, ids);
+    count += std::popcount(static_cast<uint32_t>(m));
+  }
+  for (; i < n; ++i) {
+    out[count] = base + static_cast<uint32_t>(i);
+    count += sel[i] & 1;
+  }
+  return count;
+}
+
+size_t CompactValues4Avx512(const uint8_t* sel, const uint32_t* values,
+                            size_t n, uint32_t* out) {
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i bytes =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(sel + i));
+    const __mmask16 m = _mm_test_epi8_mask(bytes, bytes);
+    const __m512i data = _mm512_loadu_si512(values + i);
+    _mm512_mask_compressstoreu_epi32(out + count, m, data);
+    count += std::popcount(static_cast<uint32_t>(m));
+  }
+  for (; i < n; ++i) {
+    out[count] = values[i];
+    count += sel[i] & 1;
+  }
+  return count;
+}
+
+size_t CompactValues8Avx512(const uint8_t* sel, const uint64_t* values,
+                            size_t n, uint64_t* out) {
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i bytes =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(sel + i));
+    const __mmask16 m16 = _mm_test_epi8_mask(bytes, bytes);
+    const __mmask8 m = static_cast<__mmask8>(m16);
+    const __m512i data = _mm512_loadu_si512(values + i);
+    _mm512_mask_compressstoreu_epi64(out + count, m, data);
+    count += std::popcount(static_cast<uint32_t>(m));
+  }
+  for (; i < n; ++i) {
+    out[count] = values[i];
+    count += sel[i] & 1;
+  }
+  return count;
+}
+
+}  // namespace bipie::internal

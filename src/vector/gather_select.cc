@@ -1,0 +1,216 @@
+#include "vector/gather_select.h"
+
+#include <immintrin.h>
+
+#include "common/bits.h"
+#include "common/cpu.h"
+#include "common/macros.h"
+#include "encoding/bitpack.h"
+
+namespace bipie {
+
+namespace internal {
+
+void GatherSelectScalar(const uint8_t* packed, int bit_width,
+                        const uint32_t* indices, size_t n, void* out,
+                        int word_bytes) {
+  switch (word_bytes) {
+    case 1: {
+      auto* o = static_cast<uint8_t*>(out);
+      for (size_t i = 0; i < n; ++i) {
+        o[i] = static_cast<uint8_t>(
+            BitUnpackOne(packed, indices[i], bit_width));
+      }
+      return;
+    }
+    case 2: {
+      auto* o = static_cast<uint16_t*>(out);
+      for (size_t i = 0; i < n; ++i) {
+        o[i] = static_cast<uint16_t>(
+            BitUnpackOne(packed, indices[i], bit_width));
+      }
+      return;
+    }
+    case 4: {
+      auto* o = static_cast<uint32_t*>(out);
+      for (size_t i = 0; i < n; ++i) {
+        o[i] = static_cast<uint32_t>(
+            BitUnpackOne(packed, indices[i], bit_width));
+      }
+      return;
+    }
+    case 8: {
+      auto* o = static_cast<uint64_t*>(out);
+      for (size_t i = 0; i < n; ++i) {
+        o[i] = BitUnpackOne(packed, indices[i], bit_width);
+      }
+      return;
+    }
+    default:
+      BIPIE_DCHECK(false);
+  }
+}
+
+}  // namespace internal
+
+namespace {
+
+// 8 packed values at 8 arbitrary indices as uint32 lanes. Requires
+// bit_width <= 25 and index * bit_width < 2^31 - 32 for every index.
+BIPIE_ALWAYS_INLINE __m256i GatherAt8(const uint8_t* packed,
+                                      const uint32_t* indices, __m256i vw,
+                                      __m256i value_mask) {
+  const __m256i idx =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(indices));
+  const __m256i bits = _mm256_mullo_epi32(idx, vw);
+  const __m256i byte_off = _mm256_srli_epi32(bits, 3);
+  const __m256i shift = _mm256_and_si256(bits, _mm256_set1_epi32(7));
+  __m256i words = _mm256_i32gather_epi32(
+      reinterpret_cast<const int*>(packed), byte_off, 1);
+  words = _mm256_srlv_epi32(words, shift);
+  return _mm256_and_si256(words, value_mask);
+}
+
+// 4 packed values at 4 indices (uint32, widened) as uint64 lanes.
+// Requires bit_width <= 57.
+BIPIE_ALWAYS_INLINE __m256i GatherAt4(const uint8_t* packed,
+                                      const uint32_t* indices, __m256i vw64,
+                                      __m256i value_mask64) {
+  const __m128i idx32 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(indices));
+  const __m256i idx = _mm256_cvtepu32_epi64(idx32);
+  const __m256i bits = _mm256_mul_epu32(
+      _mm256_shuffle_epi32(idx, _MM_SHUFFLE(2, 2, 0, 0)), vw64);
+  const __m256i byte_off = _mm256_srli_epi64(bits, 3);
+  const __m256i shift = _mm256_and_si256(bits, _mm256_set1_epi64x(7));
+  __m256i words = _mm256_i64gather_epi64(
+      reinterpret_cast<const long long*>(packed), byte_off, 1);
+  words = _mm256_srlv_epi64(words, shift);
+  return _mm256_and_si256(words, value_mask64);
+}
+
+void GatherNarrowAvx2(const uint8_t* packed, int w, const uint32_t* indices,
+                      size_t n, void* out, int word_bytes) {
+  const __m256i vw = _mm256_set1_epi32(w);
+  const __m256i value_mask =
+      _mm256_set1_epi32(static_cast<int>(LowBitsMask(w)));
+  size_t i = 0;
+  switch (word_bytes) {
+    case 1: {
+      auto* dst = static_cast<uint8_t*>(out);
+      const __m256i fix = _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7);
+      for (; i + 32 <= n; i += 32) {
+        const __m256i v0 = GatherAt8(packed, indices + i, vw, value_mask);
+        const __m256i v1 = GatherAt8(packed, indices + i + 8, vw, value_mask);
+        const __m256i v2 =
+            GatherAt8(packed, indices + i + 16, vw, value_mask);
+        const __m256i v3 =
+            GatherAt8(packed, indices + i + 24, vw, value_mask);
+        const __m256i p01 = _mm256_packus_epi32(v0, v1);
+        const __m256i p23 = _mm256_packus_epi32(v2, v3);
+        __m256i bytes = _mm256_packus_epi16(p01, p23);
+        bytes = _mm256_permutevar8x32_epi32(bytes, fix);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), bytes);
+      }
+      internal::GatherSelectScalar(packed, w, indices + i, n - i, dst + i, 1);
+      return;
+    }
+    case 2: {
+      auto* dst = static_cast<uint16_t*>(out);
+      for (; i + 16 <= n; i += 16) {
+        const __m256i v0 = GatherAt8(packed, indices + i, vw, value_mask);
+        const __m256i v1 = GatherAt8(packed, indices + i + 8, vw, value_mask);
+        __m256i p = _mm256_packus_epi32(v0, v1);
+        p = _mm256_permute4x64_epi64(p, 0xD8);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), p);
+      }
+      internal::GatherSelectScalar(packed, w, indices + i, n - i, dst + i, 2);
+      return;
+    }
+    case 4: {
+      auto* dst = static_cast<uint32_t*>(out);
+      for (; i + 8 <= n; i += 8) {
+        const __m256i v = GatherAt8(packed, indices + i, vw, value_mask);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), v);
+      }
+      internal::GatherSelectScalar(packed, w, indices + i, n - i, dst + i, 4);
+      return;
+    }
+    case 8: {
+      auto* dst = static_cast<uint64_t*>(out);
+      for (; i + 8 <= n; i += 8) {
+        const __m256i v = GatherAt8(packed, indices + i, vw, value_mask);
+        const __m256i lo = _mm256_cvtepu32_epi64(_mm256_castsi256_si128(v));
+        const __m256i hi =
+            _mm256_cvtepu32_epi64(_mm256_extracti128_si256(v, 1));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), lo);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 4), hi);
+      }
+      internal::GatherSelectScalar(packed, w, indices + i, n - i, dst + i, 8);
+      return;
+    }
+    default:
+      BIPIE_DCHECK(false);
+  }
+}
+
+void GatherWideAvx2(const uint8_t* packed, int w, const uint32_t* indices,
+                    size_t n, void* out, int word_bytes) {
+  const __m256i vw64 = _mm256_set1_epi64x(w);
+  const __m256i value_mask64 =
+      _mm256_set1_epi64x(static_cast<long long>(LowBitsMask(w)));
+  size_t i = 0;
+  if (word_bytes == 8) {
+    auto* dst = static_cast<uint64_t*>(out);
+    for (; i + 4 <= n; i += 4) {
+      const __m256i v = GatherAt4(packed, indices + i, vw64, value_mask64);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), v);
+    }
+    internal::GatherSelectScalar(packed, w, indices + i, n - i, dst + i, 8);
+  } else {
+    BIPIE_DCHECK(word_bytes == 4);
+    auto* dst = static_cast<uint32_t*>(out);
+    const __m256i pick_even = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+    for (; i + 4 <= n; i += 4) {
+      const __m256i v = GatherAt4(packed, indices + i, vw64, value_mask64);
+      const __m256i narrowed = _mm256_permutevar8x32_epi32(v, pick_even);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                       _mm256_castsi256_si128(narrowed));
+    }
+    internal::GatherSelectScalar(packed, w, indices + i, n - i, dst + i, 4);
+  }
+}
+
+}  // namespace
+
+void GatherSelect(const uint8_t* packed, int bit_width,
+                  const uint32_t* indices, size_t n, void* out,
+                  int word_bytes) {
+  BIPIE_DCHECK(word_bytes >= SmallestWordBytes(bit_width));
+  if (n == 0) return;
+  if (CurrentIsaTier() >= IsaTier::kAvx512 &&
+      internal::GatherSelectAvx512(packed, bit_width, indices, n, out,
+                                   word_bytes)) {
+    return;
+  }
+  if (CurrentIsaTier() >= IsaTier::kAvx2) {
+    if (bit_width <= 25) {
+      // The 32-bit lane math covers the largest index actually used; fall
+      // through to the 64-bit path for oversized streams.
+      const uint64_t max_index = indices[n - 1];  // callers pass sorted ids
+      if ((max_index + 8) * static_cast<uint64_t>(bit_width) <
+          (1ULL << 31)) {
+        GatherNarrowAvx2(packed, bit_width, indices, n, out, word_bytes);
+        return;
+      }
+    }
+    if (bit_width <= 57) {
+      GatherWideAvx2(packed, bit_width, indices, n, out, word_bytes);
+      return;
+    }
+  }
+  internal::GatherSelectScalar(packed, bit_width, indices, n, out,
+                               word_bytes);
+}
+
+}  // namespace bipie

@@ -1,0 +1,40 @@
+// Gather selection (§4.2).
+//
+// Given a selection index vector and a bit-packed column, fetches and
+// unpacks *only the selected* values: for each index the SIMD gather
+// instruction loads the word containing the packed value, which is then
+// shifted and masked into place. In contrast, physical compaction requires
+// the entire column to be unpacked first — gather selection wins at low
+// selectivity for exactly that reason.
+#ifndef BIPIE_VECTOR_GATHER_SELECT_H_
+#define BIPIE_VECTOR_GATHER_SELECT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bipie {
+
+// Unpacks packed values at the given row ids into `out`, one element of
+// `word_bytes` (1/2/4/8, >= smallest word for bit_width) per index.
+// `indices` must be ascending (the compacting operator emits them that way).
+// `packed` must carry AlignedBuffer padding. Output needs 32 bytes of slack
+// past the last element.
+void GatherSelect(const uint8_t* packed, int bit_width,
+                  const uint32_t* indices, size_t n, void* out,
+                  int word_bytes);
+
+namespace internal {
+void GatherSelectScalar(const uint8_t* packed, int bit_width,
+                        const uint32_t* indices, size_t n, void* out,
+                        int word_bytes);
+// AVX-512 tier (16-lane gathers), defined in gather_select_avx512.cc.
+// Handles bit_width <= 25 with in-range offsets; returns false when the
+// caller should use another tier.
+bool GatherSelectAvx512(const uint8_t* packed, int bit_width,
+                        const uint32_t* indices, size_t n, void* out,
+                        int word_bytes);
+}  // namespace internal
+
+}  // namespace bipie
+
+#endif  // BIPIE_VECTOR_GATHER_SELECT_H_

@@ -1,0 +1,89 @@
+// AVX-512 tier of gather selection: 16 packed values fetched per 512-bit
+// dword gather, narrowed with single VPMOV instructions.
+#include <immintrin.h>
+
+#include "common/bits.h"
+#include "common/macros.h"
+#include "vector/gather_select.h"
+
+namespace bipie::internal {
+
+namespace {
+
+BIPIE_ALWAYS_INLINE __m512i GatherAt16(const uint8_t* packed,
+                                       const uint32_t* indices, __m512i vw,
+                                       __m512i value_mask) {
+  const __m512i idx = _mm512_loadu_si512(indices);
+  const __m512i bits = _mm512_mullo_epi32(idx, vw);
+  const __m512i byte_off = _mm512_srli_epi32(bits, 3);
+  const __m512i shift = _mm512_and_si512(bits, _mm512_set1_epi32(7));
+  __m512i words = _mm512_i32gather_epi32(byte_off, packed, 1);
+  words = _mm512_srlv_epi32(words, shift);
+  return _mm512_and_si512(words, value_mask);
+}
+
+}  // namespace
+
+bool GatherSelectAvx512(const uint8_t* packed, int bit_width,
+                        const uint32_t* indices, size_t n, void* out,
+                        int word_bytes) {
+  if (bit_width > 25 || n == 0) return false;
+  // 32-bit lane offset math must not overflow (indices ascend).
+  if ((static_cast<uint64_t>(indices[n - 1]) + 16) *
+          static_cast<uint64_t>(bit_width) >=
+      (1ULL << 31)) {
+    return false;
+  }
+  const __m512i vw = _mm512_set1_epi32(bit_width);
+  const __m512i value_mask =
+      _mm512_set1_epi32(static_cast<int>(LowBitsMask(bit_width)));
+  size_t i = 0;
+  switch (word_bytes) {
+    case 1: {
+      auto* dst = static_cast<uint8_t*>(out);
+      for (; i + 16 <= n; i += 16) {
+        const __m512i v = GatherAt16(packed, indices + i, vw, value_mask);
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                         _mm512_cvtepi32_epi8(v));
+      }
+      GatherSelectScalar(packed, bit_width, indices + i, n - i, dst + i, 1);
+      return true;
+    }
+    case 2: {
+      auto* dst = static_cast<uint16_t*>(out);
+      for (; i + 16 <= n; i += 16) {
+        const __m512i v = GatherAt16(packed, indices + i, vw, value_mask);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                            _mm512_cvtepi32_epi16(v));
+      }
+      GatherSelectScalar(packed, bit_width, indices + i, n - i, dst + i, 2);
+      return true;
+    }
+    case 4: {
+      auto* dst = static_cast<uint32_t*>(out);
+      for (; i + 16 <= n; i += 16) {
+        const __m512i v = GatherAt16(packed, indices + i, vw, value_mask);
+        _mm512_storeu_si512(dst + i, v);
+      }
+      GatherSelectScalar(packed, bit_width, indices + i, n - i, dst + i, 4);
+      return true;
+    }
+    case 8: {
+      auto* dst = static_cast<uint64_t*>(out);
+      for (; i + 16 <= n; i += 16) {
+        const __m512i v = GatherAt16(packed, indices + i, vw, value_mask);
+        _mm512_storeu_si512(
+            dst + i, _mm512_cvtepu32_epi64(_mm512_castsi512_si256(v)));
+        _mm512_storeu_si512(
+            dst + i + 8,
+            _mm512_cvtepu32_epi64(_mm512_extracti64x4_epi64(v, 1)));
+      }
+      GatherSelectScalar(packed, bit_width, indices + i, n - i, dst + i, 8);
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace bipie::internal

@@ -1,0 +1,43 @@
+#include "vector/selection_vector.h"
+
+#include <immintrin.h>
+
+#include <bit>
+
+#include "common/cpu.h"
+#include "common/macros.h"
+
+namespace bipie {
+
+size_t CountSelected(const uint8_t* sel, size_t n) {
+  size_t count = 0;
+  size_t i = 0;
+  if (CurrentIsaTier() >= IsaTier::kAvx2) {
+    for (; i + 32 <= n; i += 32) {
+      const __m256i v = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(sel + i));
+      count += std::popcount(
+          static_cast<uint32_t>(_mm256_movemask_epi8(v)));
+    }
+  }
+  for (; i < n; ++i) count += sel[i] & 1;
+  return count;
+}
+
+void AndSelection(const uint8_t* a, const uint8_t* b, size_t n,
+                  uint8_t* dst) {
+  size_t i = 0;
+  if (CurrentIsaTier() >= IsaTier::kAvx2) {
+    for (; i + 32 <= n; i += 32) {
+      const __m256i va =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+      const __m256i vb =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                          _mm256_and_si256(va, vb));
+    }
+  }
+  for (; i < n; ++i) dst[i] = a[i] & b[i];
+}
+
+}  // namespace bipie

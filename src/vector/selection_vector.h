@@ -1,0 +1,28 @@
+// Selection vector representations (§4).
+//
+// A *selection byte vector* has one byte per row: 0x00 marks a rejected row,
+// 0xFF a selected one — exactly the layout AVX2 byte comparisons produce, so
+// filter evaluation writes it for free. A *selection index vector* lists the
+// ordinal positions of qualifying rows as uint32.
+#ifndef BIPIE_VECTOR_SELECTION_VECTOR_H_
+#define BIPIE_VECTOR_SELECTION_VECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bipie {
+
+inline constexpr uint8_t kRowSelected = 0xFF;
+inline constexpr uint8_t kRowRejected = 0x00;
+
+// Number of selected rows in a byte vector. SIMD on the AVX2 tier.
+size_t CountSelected(const uint8_t* sel, size_t n);
+
+// dst[i] = a[i] & b[i] — merges two byte vectors, e.g. a filter result with
+// the segment's deleted-row liveness mask (§4: "we write a zero in the
+// selection byte vector position for each deleted record").
+void AndSelection(const uint8_t* a, const uint8_t* b, size_t n, uint8_t* dst);
+
+}  // namespace bipie
+
+#endif  // BIPIE_VECTOR_SELECTION_VECTOR_H_

@@ -1,0 +1,69 @@
+// Internal SIMD helpers shared by Vector Toolbox kernels. Not part of the
+// public API.
+#ifndef BIPIE_VECTOR_SIMD_UTIL_H_
+#define BIPIE_VECTOR_SIMD_UTIL_H_
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace bipie::simd {
+
+// Sum of the four u64 lanes.
+BIPIE_ALWAYS_INLINE uint64_t HorizontalSumU64(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  const __m128i sum2 = _mm_add_epi64(lo, hi);
+  return static_cast<uint64_t>(_mm_extract_epi64(sum2, 0)) +
+         static_cast<uint64_t>(_mm_extract_epi64(sum2, 1));
+}
+
+// Sum of eight u32 lanes, zero-extended.
+BIPIE_ALWAYS_INLINE uint64_t HorizontalSumU32(__m256i v) {
+  const __m256i lo = _mm256_cvtepu32_epi64(_mm256_castsi256_si128(v));
+  const __m256i hi = _mm256_cvtepu32_epi64(_mm256_extracti128_si256(v, 1));
+  return HorizontalSumU64(_mm256_add_epi64(lo, hi));
+}
+
+// Eight packed values of width w (<= 25) at eight arbitrary row indices,
+// as zero-extended u32 lanes. Every index * w must stay below 2^31 - 256.
+// vw = set1_epi32(w); value_mask = set1_epi32((1 << w) - 1).
+BIPIE_ALWAYS_INLINE __m256i GatherPacked8(const uint8_t* packed,
+                                          const uint32_t* indices,
+                                          __m256i vw, __m256i value_mask) {
+  const __m256i idx =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(indices));
+  const __m256i bits = _mm256_mullo_epi32(idx, vw);
+  const __m256i byte_off = _mm256_srli_epi32(bits, 3);
+  const __m256i shift = _mm256_and_si256(bits, _mm256_set1_epi32(7));
+  __m256i words =
+      _mm256_i32gather_epi32(reinterpret_cast<const int*>(packed), byte_off, 1);
+  words = _mm256_srlv_epi32(words, shift);
+  return _mm256_and_si256(words, value_mask);
+}
+
+// Four packed values of width w (<= 57) at four row indices, as u64 lanes.
+// vw64 = set1_epi64x(w); value_mask64 = set1_epi64x(mask).
+BIPIE_ALWAYS_INLINE __m256i GatherPacked4(const uint8_t* packed,
+                                          const uint32_t* indices,
+                                          __m256i vw64,
+                                          __m256i value_mask64) {
+  const __m128i idx32 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(indices));
+  const __m256i idx = _mm256_cvtepu32_epi64(idx32);
+  // Full 64-bit products of 32-bit indices and width.
+  const __m256i bits = _mm256_mul_epu32(
+      _mm256_shuffle_epi32(idx, _MM_SHUFFLE(2, 2, 0, 0)), vw64);
+  const __m256i byte_off = _mm256_srli_epi64(bits, 3);
+  const __m256i shift = _mm256_and_si256(bits, _mm256_set1_epi64x(7));
+  __m256i words = _mm256_i64gather_epi64(
+      reinterpret_cast<const long long*>(packed), byte_off, 1);
+  words = _mm256_srlv_epi64(words, shift);
+  return _mm256_and_si256(words, value_mask64);
+}
+
+}  // namespace bipie::simd
+
+#endif  // BIPIE_VECTOR_SIMD_UTIL_H_

@@ -1,0 +1,46 @@
+#include "vector/special_group.h"
+
+#include <immintrin.h>
+
+#include "common/cpu.h"
+
+namespace bipie {
+
+namespace internal {
+
+void ApplySpecialGroupScalar(const uint8_t* group_ids, const uint8_t* sel,
+                             size_t n, uint8_t special_group, uint8_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    // Branch-free select: sel is 0x00 or 0xFF.
+    out[i] = static_cast<uint8_t>((group_ids[i] & sel[i]) |
+                                  (special_group & ~sel[i]));
+  }
+}
+
+}  // namespace internal
+
+void ApplySpecialGroup(const uint8_t* group_ids, const uint8_t* sel,
+                       size_t n, uint8_t special_group, uint8_t* out) {
+  if (CurrentIsaTier() >= IsaTier::kAvx512) {
+    internal::ApplySpecialGroupAvx512(group_ids, sel, n, special_group, out);
+    return;
+  }
+  size_t i = 0;
+  if (CurrentIsaTier() >= IsaTier::kAvx2) {
+    const __m256i special = _mm256_set1_epi8(static_cast<char>(special_group));
+    for (; i + 32 <= n; i += 32) {
+      const __m256i g = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(group_ids + i));
+      const __m256i s =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sel + i));
+      // blendv picks from the second operand where the mask byte's high bit
+      // is set — i.e. keeps the group id for selected rows.
+      const __m256i merged = _mm256_blendv_epi8(special, g, s);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), merged);
+    }
+  }
+  internal::ApplySpecialGroupScalar(group_ids + i, sel + i, n - i,
+                                    special_group, out + i);
+}
+
+}  // namespace bipie

@@ -1,0 +1,32 @@
+// Selection by Special Group Assignment (§4.3).
+//
+// Instead of removing filtered-out rows, assign them a dedicated, otherwise
+// unused group id and let the aggregation strategy process every row; the
+// special group's results are discarded when the output is produced. This
+// keeps the scan perfectly sequential — no index-driven fetches — which is
+// why it wins at high selectivity.
+#ifndef BIPIE_VECTOR_SPECIAL_GROUP_H_
+#define BIPIE_VECTOR_SPECIAL_GROUP_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bipie {
+
+// out[i] = sel[i] ? group_ids[i] : special_group. `out` may alias
+// `group_ids` for in-place operation. Group ids and the special id are
+// single bytes (group count <= 255 after adding the special group).
+void ApplySpecialGroup(const uint8_t* group_ids, const uint8_t* sel,
+                       size_t n, uint8_t special_group, uint8_t* out);
+
+namespace internal {
+void ApplySpecialGroupScalar(const uint8_t* group_ids, const uint8_t* sel,
+                             size_t n, uint8_t special_group, uint8_t* out);
+// AVX-512 tier (64-byte mask blend), defined in special_group_avx512.cc.
+void ApplySpecialGroupAvx512(const uint8_t* group_ids, const uint8_t* sel,
+                             size_t n, uint8_t special_group, uint8_t* out);
+}  // namespace internal
+
+}  // namespace bipie
+
+#endif  // BIPIE_VECTOR_SPECIAL_GROUP_H_

@@ -1,0 +1,24 @@
+// AVX-512 tier of special-group assignment: one VPTESTMB to derive the
+// 64-row mask, one masked blend to merge.
+#include <immintrin.h>
+
+#include "vector/special_group.h"
+
+namespace bipie::internal {
+
+void ApplySpecialGroupAvx512(const uint8_t* group_ids, const uint8_t* sel,
+                             size_t n, uint8_t special_group, uint8_t* out) {
+  const __m512i special = _mm512_set1_epi8(static_cast<char>(special_group));
+  size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m512i g = _mm512_loadu_si512(group_ids + i);
+    const __m512i s = _mm512_loadu_si512(sel + i);
+    const __mmask64 selected = _mm512_test_epi8_mask(s, s);
+    _mm512_storeu_si512(out + i,
+                        _mm512_mask_blend_epi8(selected, special, g));
+  }
+  ApplySpecialGroupScalar(group_ids + i, sel + i, n - i, special_group,
+                          out + i);
+}
+
+}  // namespace bipie::internal

@@ -1,0 +1,16 @@
+#include "vector/toolbox.h"
+
+#include <cstdio>
+
+#include "common/cpu.h"
+
+namespace bipie {
+
+const char* ToolboxIsaDescription() {
+  static char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s (detected %s)",
+                IsaTierName(CurrentIsaTier()), IsaTierName(DetectIsaTier()));
+  return buf;
+}
+
+}  // namespace bipie

@@ -1,0 +1,28 @@
+// Umbrella header for the Vector Toolbox (§3).
+//
+// The Vector Toolbox is bipie's library of low-level vector functions:
+// highly optimized, runtime-dispatched between ISA tiers, and free of
+// dependencies on the rest of the engine. Operators above it (the Aggregate
+// Processor, the Filter component, the Group ID Mapper) compose these
+// kernels.
+#ifndef BIPIE_VECTOR_TOOLBOX_H_
+#define BIPIE_VECTOR_TOOLBOX_H_
+
+#include "vector/agg_inregister.h"
+#include "vector/agg_multi.h"
+#include "vector/agg_scalar.h"
+#include "vector/agg_sort.h"
+#include "vector/compact.h"
+#include "vector/gather_select.h"
+#include "vector/selection_vector.h"
+#include "vector/special_group.h"
+
+namespace bipie {
+
+// Human-readable description of the dispatch state, e.g. "avx2 (detected
+// avx2)". Examples print this so runs are interpretable.
+const char* ToolboxIsaDescription();
+
+}  // namespace bipie
+
+#endif  // BIPIE_VECTOR_TOOLBOX_H_

@@ -1,0 +1,150 @@
+#include "vector/agg_inregister.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "test_util.h"
+
+namespace bipie {
+namespace {
+
+class InRegisterGroups : public ::testing::TestWithParam<int> {};
+
+TEST_P(InRegisterGroups, CountMatchesReference) {
+  const int num_groups = GetParam();
+  // Length exceeds the 255-vector flush cadence (255 * 32 = 8160 rows) so
+  // the lane-saturation drain path is exercised.
+  const size_t n = 9000;
+  auto groups = test::RandomGroups(n, num_groups, 40 + num_groups);
+  std::vector<uint64_t> expected(num_groups, 0);
+  for (size_t i = 0; i < n; ++i) ++expected[groups.data()[i]];
+  test::ForEachIsaTier([&](IsaTier tier) {
+    std::vector<uint64_t> counts(num_groups, 0);
+    InRegisterCount(groups.data(), n, num_groups, counts.data());
+    ASSERT_EQ(counts, expected)
+        << "groups=" << num_groups << " tier=" << IsaTierName(tier);
+  });
+}
+
+TEST_P(InRegisterGroups, Sum8MatchesReference) {
+  const int num_groups = GetParam();
+  // Exceeds the 64-vector (2048-row) flush cadence with max-valued bytes.
+  const size_t n = 5000;
+  auto groups = test::RandomGroups(n, num_groups, 50 + num_groups);
+  AlignedBuffer values(n);
+  Rng rng(60 + num_groups);
+  for (size_t i = 0; i < n; ++i) {
+    values.data()[i] = static_cast<uint8_t>(rng.NextBounded(256));
+  }
+  std::vector<uint64_t> expected(num_groups, 0);
+  for (size_t i = 0; i < n; ++i) {
+    expected[groups.data()[i]] += values.data()[i];
+  }
+  test::ForEachIsaTier([&](IsaTier tier) {
+    std::vector<uint64_t> sums(num_groups, 0);
+    InRegisterSum8(groups.data(), values.data(), n, num_groups, sums.data());
+    ASSERT_EQ(sums, expected)
+        << "groups=" << num_groups << " tier=" << IsaTierName(tier);
+  });
+}
+
+TEST_P(InRegisterGroups, Sum16MatchesReference) {
+  const int num_groups = GetParam();
+  const size_t n = 4001;
+  auto groups = test::RandomGroups(n, num_groups, 70 + num_groups);
+  AlignedBuffer values(n * 2);
+  Rng rng(80 + num_groups);
+  for (size_t i = 0; i < n; ++i) {
+    // Contract: values < 2^15.
+    values.data_as<uint16_t>()[i] =
+        static_cast<uint16_t>(rng.NextBounded(1 << 15));
+  }
+  std::vector<uint64_t> expected(num_groups, 0);
+  for (size_t i = 0; i < n; ++i) {
+    expected[groups.data()[i]] += values.data_as<uint16_t>()[i];
+  }
+  test::ForEachIsaTier([&](IsaTier tier) {
+    std::vector<uint64_t> sums(num_groups, 0);
+    InRegisterSum16(groups.data(), values.data_as<uint16_t>(), n, num_groups,
+                    sums.data());
+    ASSERT_EQ(sums, expected)
+        << "groups=" << num_groups << " tier=" << IsaTierName(tier);
+  });
+}
+
+TEST_P(InRegisterGroups, Sum32MatchesReference) {
+  const int num_groups = GetParam();
+  const size_t n = 3007;
+  auto groups = test::RandomGroups(n, num_groups, 90 + num_groups);
+  AlignedBuffer values(n * 4);
+  Rng rng(95 + num_groups);
+  const uint64_t max_value = (1u << 28) - 1;
+  for (size_t i = 0; i < n; ++i) {
+    values.data_as<uint32_t>()[i] =
+        static_cast<uint32_t>(rng.NextBounded(max_value + 1));
+  }
+  std::vector<uint64_t> expected(num_groups, 0);
+  for (size_t i = 0; i < n; ++i) {
+    expected[groups.data()[i]] += values.data_as<uint32_t>()[i];
+  }
+  test::ForEachIsaTier([&](IsaTier tier) {
+    std::vector<uint64_t> sums(num_groups, 0);
+    InRegisterSum32(groups.data(), values.data_as<uint32_t>(), n, num_groups,
+                    max_value, sums.data());
+    ASSERT_EQ(sums, expected)
+        << "groups=" << num_groups << " tier=" << IsaTierName(tier);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupCounts, InRegisterGroups,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 8, 12, 16, 24,
+                                           31, 32));
+
+TEST(InRegisterTest, Sum32MaxValueForcesPerVectorFlush) {
+  // max_value near 2^32 makes every vector flush; correctness must hold.
+  const size_t n = 200;
+  auto groups = test::RandomGroups(n, 4, 7);
+  AlignedBuffer values(n * 4);
+  Rng rng(8);
+  uint64_t expected[4] = {0, 0, 0, 0};
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t v = static_cast<uint32_t>(rng.Next());
+    values.data_as<uint32_t>()[i] = v;
+    expected[groups.data()[i]] += v;
+  }
+  std::vector<uint64_t> sums(4, 0);
+  InRegisterSum32(groups.data(), values.data_as<uint32_t>(), n, 4,
+                  0xFFFFFFFFULL, sums.data());
+  for (int g = 0; g < 4; ++g) EXPECT_EQ(sums[g], expected[g]);
+}
+
+TEST(InRegisterTest, CountShortTail) {
+  // Fewer rows than one SIMD vector.
+  std::vector<uint8_t> groups = {0, 1, 1, 2};
+  std::vector<uint64_t> counts(3, 0);
+  InRegisterCount(groups.data(), groups.size(), 3, counts.data());
+  EXPECT_EQ(counts, (std::vector<uint64_t>{1, 2, 1}));
+}
+
+TEST(InRegisterTest, AccumulatesAcrossCalls) {
+  auto groups = test::RandomGroups(1000, 8, 3);
+  std::vector<uint64_t> expected(8, 0);
+  for (size_t i = 0; i < 1000; ++i) ++expected[groups.data()[i]];
+  std::vector<uint64_t> counts(8, 0);
+  InRegisterCount(groups.data(), 400, 8, counts.data());
+  InRegisterCount(groups.data() + 400, 600, 8, counts.data());
+  EXPECT_EQ(counts, expected);
+}
+
+TEST(InRegisterTest, InstructionCountsMatchPaperTable3Shape) {
+  const auto counts = GetInRegisterInstructionCounts();
+  // Monotonic cost growth with value width, count cheapest — Table 3's
+  // qualitative shape.
+  EXPECT_LT(counts.count_star, counts.sum8);
+  EXPECT_LT(counts.sum8, counts.sum16);
+  EXPECT_LT(counts.sum16, counts.sum32);
+}
+
+}  // namespace
+}  // namespace bipie

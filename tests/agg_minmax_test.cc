@@ -1,0 +1,193 @@
+#include "vector/agg_minmax.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "baseline/scalar_engine.h"
+#include "core/scan.h"
+#include "test_util.h"
+
+namespace bipie {
+namespace {
+
+class MinMaxKernelSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MinMaxKernelSweep, MatchesScalarReference) {
+  const int word = std::get<0>(GetParam());
+  const int num_groups = std::get<1>(GetParam());
+  const size_t n = 4099;
+  auto groups = test::RandomGroups(n, num_groups, word * 31 + num_groups);
+  AlignedBuffer values(n * word);
+  Rng rng(word * 77 + num_groups);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values.data()[i] = static_cast<uint8_t>(rng.Next());
+  }
+
+  std::vector<uint64_t> expected_min(num_groups, ~uint64_t{0});
+  std::vector<uint64_t> expected_max(num_groups, 0);
+  internal::GroupedMinUScalar(groups.data(), values.data(), word, n,
+                              expected_min.data());
+  internal::GroupedMaxUScalar(groups.data(), values.data(), word, n,
+                              expected_max.data());
+
+  test::ForEachIsaTier([&](IsaTier tier) {
+    std::vector<uint64_t> got_min(num_groups, ~uint64_t{0});
+    std::vector<uint64_t> got_max(num_groups, 0);
+    GroupedMinU(groups.data(), values.data(), word, n, num_groups,
+                got_min.data());
+    GroupedMaxU(groups.data(), values.data(), word, n, num_groups,
+                got_max.data());
+    ASSERT_EQ(got_min, expected_min)
+        << "word=" << word << " tier=" << IsaTierName(tier);
+    ASSERT_EQ(got_max, expected_max)
+        << "word=" << word << " tier=" << IsaTierName(tier);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WordsAndGroups, MinMaxKernelSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4),
+                       ::testing::Values(1, 3, 8, 32, 100, 256)));
+
+TEST(MinMaxKernelTest, I64HandlesNegatives) {
+  const size_t n = 2000;
+  auto groups = test::RandomGroups(n, 5, 9);
+  std::vector<int64_t> values(n);
+  Rng rng(10);
+  for (auto& v : values) v = rng.NextInRange(-1000000, 1000000);
+  std::vector<int64_t> mins(5, std::numeric_limits<int64_t>::max());
+  std::vector<int64_t> maxs(5, std::numeric_limits<int64_t>::min());
+  GroupedMinI64(groups.data(), values.data(), n, 5, mins.data());
+  GroupedMaxI64(groups.data(), values.data(), n, 5, maxs.data());
+  std::vector<int64_t> emin(5, std::numeric_limits<int64_t>::max());
+  std::vector<int64_t> emax(5, std::numeric_limits<int64_t>::min());
+  for (size_t i = 0; i < n; ++i) {
+    emin[groups.data()[i]] = std::min(emin[groups.data()[i]], values[i]);
+    emax[groups.data()[i]] = std::max(emax[groups.data()[i]], values[i]);
+  }
+  EXPECT_EQ(mins, emin);
+  EXPECT_EQ(maxs, emax);
+}
+
+TEST(MinMaxKernelTest, AccumulatesAcrossCalls) {
+  std::vector<uint8_t> groups = {0, 1, 0, 1};
+  std::vector<uint32_t> chunk1 = {10, 20, 30, 40};
+  std::vector<uint32_t> chunk2 = {5, 50, 15, 25};
+  std::vector<uint64_t> mins(2, ~uint64_t{0});
+  GroupedMinU(groups.data(), chunk1.data(), 4, 4, 2, mins.data());
+  GroupedMinU(groups.data(), chunk2.data(), 4, 4, 2, mins.data());
+  EXPECT_EQ(mins[0], 5u);
+  EXPECT_EQ(mins[1], 20u);
+}
+
+// --- end-to-end through the scan ---------------------------------------------
+
+Table MakeTable(size_t rows, uint64_t seed) {
+  Table table({{"g", ColumnType::kString},
+               {"v", ColumnType::kInt64, EncodingChoice::kBitPacked},
+               {"signed_v", ColumnType::kInt64, EncodingChoice::kBitPacked},
+               {"f", ColumnType::kInt64, EncodingChoice::kBitPacked}});
+  TableAppender app(&table, 4096);
+  Rng rng(seed);
+  const char* gs[4] = {"a", "b", "c", "d"};
+  for (size_t i = 0; i < rows; ++i) {
+    app.AppendRow({0, rng.NextInRange(0, 100000),
+                   rng.NextInRange(-5000, 5000), rng.NextInRange(0, 99)},
+                  {gs[rng.NextBounded(4)], "", "", ""});
+  }
+  app.Flush();
+  return table;
+}
+
+TEST(MinMaxScanTest, EveryStrategyComboMatchesOracle) {
+  Table table = MakeTable(12000, 71);
+  QuerySpec query;
+  query.group_by = {"g"};
+  query.aggregates = {AggregateSpec::Count(),  AggregateSpec::Min("v"),
+                      AggregateSpec::Max("v"), AggregateSpec::Min("signed_v"),
+                      AggregateSpec::Max("signed_v"),
+                      AggregateSpec::Sum("v")};
+  query.filters.emplace_back("f", CompareOp::kLt, int64_t{70});
+  auto expected = ExecuteQueryNaive(table, query);
+  ASSERT_TRUE(expected.ok());
+
+  for (auto sel : {SelectionStrategy::kGather, SelectionStrategy::kCompact,
+                   SelectionStrategy::kSpecialGroup}) {
+    for (auto agg :
+         {AggregationStrategy::kScalar, AggregationStrategy::kInRegister,
+          AggregationStrategy::kSortBased,
+          AggregationStrategy::kMultiAggregate}) {
+      ScanOptions options;
+      options.overrides.selection = sel;
+      options.overrides.aggregation = agg;
+      auto got = ExecuteQuery(table, query, options);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ASSERT_EQ(got.value().rows.size(), expected.value().rows.size());
+      for (size_t r = 0; r < got.value().rows.size(); ++r) {
+        ASSERT_EQ(got.value().rows[r].sums, expected.value().rows[r].sums)
+            << SelectionStrategyName(sel) << "+"
+            << AggregationStrategyName(agg) << " row " << r;
+      }
+    }
+  }
+}
+
+TEST(MinMaxScanTest, MinMaxOnlyQueryAdaptive) {
+  Table table = MakeTable(6000, 73);
+  QuerySpec query;
+  query.group_by = {"g"};
+  query.aggregates = {AggregateSpec::Min("signed_v"),
+                      AggregateSpec::Max("signed_v")};
+  auto expected = ExecuteQueryNaive(table, query);
+  auto got = ExecuteQuery(table, query);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_EQ(got.value().rows.size(), expected.value().rows.size());
+  for (size_t r = 0; r < got.value().rows.size(); ++r) {
+    EXPECT_EQ(got.value().rows[r].sums, expected.value().rows[r].sums);
+    // Min <= max always.
+    EXPECT_LE(got.value().rows[r].sums[0], got.value().rows[r].sums[1]);
+  }
+}
+
+TEST(MinMaxScanTest, MultiSegmentMergeTakesExtremes) {
+  Table table = MakeTable(9000, 79);
+  QuerySpec query;
+  query.group_by = {"g"};
+  query.aggregates = {AggregateSpec::Min("v"), AggregateSpec::Max("v"),
+                      AggregateSpec::Count()};
+  EXPECT_GT(table.num_segments(), 1u);
+  auto expected = ExecuteQueryNaive(table, query);
+  auto got = ExecuteQuery(table, query);
+  ASSERT_TRUE(got.ok());
+  for (size_t r = 0; r < got.value().rows.size(); ++r) {
+    EXPECT_EQ(got.value().rows[r].sums, expected.value().rows[r].sums);
+  }
+}
+
+TEST(MinMaxScanTest, WideColumnFallsBackToLogicalPath) {
+  // > 32-bit offsets route min/max through the expression (int64) path.
+  Table table({{"g", ColumnType::kInt64, EncodingChoice::kDictionary},
+               {"wide", ColumnType::kInt64, EncodingChoice::kBitPacked}});
+  TableAppender app(&table, 4096);
+  Rng rng(83);
+  for (int i = 0; i < 5000; ++i) {
+    app.AppendRow({static_cast<int64_t>(rng.NextBounded(3)),
+                   rng.NextInRange(0, int64_t{1} << 40)});
+  }
+  app.Flush();
+  QuerySpec query;
+  query.group_by = {"g"};
+  query.aggregates = {AggregateSpec::Min("wide"), AggregateSpec::Max("wide")};
+  auto expected = ExecuteQueryNaive(table, query);
+  auto got = ExecuteQuery(table, query);
+  ASSERT_TRUE(got.ok());
+  for (size_t r = 0; r < got.value().rows.size(); ++r) {
+    EXPECT_EQ(got.value().rows[r].sums, expected.value().rows[r].sums);
+  }
+}
+
+}  // namespace
+}  // namespace bipie

@@ -1,0 +1,145 @@
+#include "vector/agg_scalar.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "test_util.h"
+
+namespace bipie {
+namespace {
+
+struct Fixture {
+  std::vector<uint8_t> groups;
+  std::vector<std::vector<int64_t>> cols;
+  std::vector<const int64_t*> col_ptrs;
+  int num_groups;
+
+  Fixture(size_t n, int num_groups_in, int num_cols, uint64_t seed)
+      : num_groups(num_groups_in) {
+    Rng rng(seed);
+    groups.resize(n);
+    for (auto& g : groups) {
+      g = static_cast<uint8_t>(rng.NextBounded(num_groups));
+    }
+    cols.resize(num_cols);
+    for (auto& col : cols) {
+      col.resize(n);
+      for (auto& v : col) v = rng.NextInRange(-1000, 1000);
+    }
+    for (auto& col : cols) col_ptrs.push_back(col.data());
+  }
+
+  std::vector<uint64_t> ReferenceCounts() const {
+    std::vector<uint64_t> counts(num_groups, 0);
+    for (uint8_t g : groups) ++counts[g];
+    return counts;
+  }
+
+  // sums[g * cols + c]
+  std::vector<int64_t> ReferenceSums() const {
+    std::vector<int64_t> sums(num_groups * cols.size(), 0);
+    for (size_t i = 0; i < groups.size(); ++i) {
+      for (size_t c = 0; c < cols.size(); ++c) {
+        sums[groups[i] * cols.size() + c] += cols[c][i];
+      }
+    }
+    return sums;
+  }
+};
+
+TEST(ScalarCountTest, SingleAndMultiArrayAgree) {
+  for (int num_groups : {1, 2, 6, 32, 200}) {
+    Fixture f(4097, num_groups, 0, num_groups);
+    auto expected = f.ReferenceCounts();
+
+    std::vector<uint64_t> single(num_groups, 0);
+    ScalarCountSingleArray(f.groups.data(), f.groups.size(), single.data());
+    EXPECT_EQ(single, expected) << "groups=" << num_groups;
+
+    std::vector<uint64_t> multi(num_groups, 0);
+    ScalarCountMultiArray(f.groups.data(), f.groups.size(), num_groups,
+                          multi.data());
+    EXPECT_EQ(multi, expected) << "groups=" << num_groups;
+  }
+}
+
+TEST(ScalarCountTest, AccumulatesAcrossCalls) {
+  Fixture f(100, 4, 0, 9);
+  std::vector<uint64_t> counts(4, 0);
+  ScalarCountSingleArray(f.groups.data(), 50, counts.data());
+  ScalarCountSingleArray(f.groups.data() + 50, 50, counts.data());
+  EXPECT_EQ(counts, f.ReferenceCounts());
+}
+
+TEST(ScalarCountTest, OddRowCountMultiArray) {
+  Fixture f(7, 3, 0, 5);
+  std::vector<uint64_t> counts(3, 0);
+  ScalarCountMultiArray(f.groups.data(), 7, 3, counts.data());
+  EXPECT_EQ(counts, f.ReferenceCounts());
+}
+
+TEST(ScalarSumTest, SingleArray) {
+  Fixture f(3000, 8, 1, 13);
+  std::vector<int64_t> sums(8, 0);
+  ScalarSumSingleArray(f.groups.data(), f.cols[0].data(), f.groups.size(),
+                       sums.data());
+  EXPECT_EQ(sums, f.ReferenceSums());
+}
+
+TEST(ScalarSumTest, MultiArray) {
+  Fixture f(3001, 8, 1, 14);
+  std::vector<int64_t> sums(8, 0);
+  ScalarSumMultiArray(f.groups.data(), f.cols[0].data(), f.groups.size(), 8,
+                      sums.data());
+  EXPECT_EQ(sums, f.ReferenceSums());
+}
+
+class ScalarMultiSum : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScalarMultiSum, AllVariantsAgree) {
+  const int num_cols = GetParam();
+  Fixture f(2111, 32, num_cols, 100 + num_cols);
+  auto expected = f.ReferenceSums();
+
+  std::vector<int64_t> col_at_a_time(32 * num_cols, 0);
+  ScalarSumColumnAtATime(f.groups.data(), f.col_ptrs.data(), num_cols,
+                         f.groups.size(), col_at_a_time.data());
+  EXPECT_EQ(col_at_a_time, expected);
+
+  std::vector<int64_t> row_at_a_time(32 * num_cols, 0);
+  ScalarSumRowAtATime(f.groups.data(), f.col_ptrs.data(), num_cols,
+                      f.groups.size(), row_at_a_time.data());
+  EXPECT_EQ(row_at_a_time, expected);
+
+  std::vector<int64_t> unrolled(32 * num_cols, 0);
+  ScalarSumRowAtATimeUnrolled(f.groups.data(), f.col_ptrs.data(), num_cols,
+                              f.groups.size(), unrolled.data());
+  EXPECT_EQ(unrolled, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(OneToTenSums, ScalarMultiSum,
+                         ::testing::Range(1, 11));
+
+TEST(ScalarSumTest, SkewedGroupDistribution) {
+  // All rows in one group — the exact case the multi-array variant exists
+  // for; results must still be exact.
+  const size_t n = 1000;
+  std::vector<uint8_t> groups(n, 3);
+  std::vector<int64_t> values(n, 7);
+  std::vector<int64_t> single(8, 0), multi(8, 0);
+  ScalarSumSingleArray(groups.data(), values.data(), n, single.data());
+  ScalarSumMultiArray(groups.data(), values.data(), n, 8, multi.data());
+  EXPECT_EQ(single[3], 7000);
+  EXPECT_EQ(multi, single);
+}
+
+TEST(ScalarSumTest, EmptyInput) {
+  std::vector<int64_t> sums(4, 0);
+  ScalarSumSingleArray(nullptr, nullptr, 0, sums.data());
+  EXPECT_EQ(sums, std::vector<int64_t>(4, 0));
+}
+
+}  // namespace
+}  // namespace bipie

@@ -1,0 +1,158 @@
+#include "vector/agg_sort.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "vector/compact.h"
+#include "test_util.h"
+
+namespace bipie {
+namespace {
+
+TEST(SortedBatchTest, PartitionsRowsByGroup) {
+  const size_t n = 4096;
+  const int num_groups = 7;
+  auto groups = test::RandomGroups(n, num_groups, 1);
+  SortedBatch batch;
+  batch.Sort(groups.data(), nullptr, n, num_groups);
+
+  std::vector<uint64_t> expected(num_groups, 0);
+  for (size_t i = 0; i < n; ++i) ++expected[groups.data()[i]];
+
+  std::vector<bool> seen(n, false);
+  for (int g = 0; g < num_groups; ++g) {
+    ASSERT_EQ(batch.count(g), expected[g]) << "g=" << g;
+    for (uint32_t i = batch.offset(g); i < batch.offset(g + 1); ++i) {
+      const uint32_t row = batch.indices()[i];
+      ASSERT_LT(row, n);
+      ASSERT_FALSE(seen[row]) << "row emitted twice";
+      seen[row] = true;
+      ASSERT_EQ(groups.data()[row], g);
+    }
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TEST(SortedBatchTest, RespectsSelectionIndexVector) {
+  const size_t n = 2000;
+  const int num_groups = 5;
+  auto groups = test::RandomGroups(n, num_groups, 2);
+  auto sel = MakeSelectionBytes(n, 0.3, 3);
+  AlignedBuffer idx_buf((n + 8) * sizeof(uint32_t));
+  const size_t count =
+      CompactToIndexVector(sel.data(), n, idx_buf.data_as<uint32_t>());
+
+  SortedBatch batch;
+  batch.Sort(groups.data(), idx_buf.data_as<uint32_t>(), count, num_groups);
+
+  size_t total = 0;
+  for (int g = 0; g < num_groups; ++g) {
+    for (uint32_t i = batch.offset(g); i < batch.offset(g + 1); ++i) {
+      const uint32_t row = batch.indices()[i];
+      ASSERT_EQ(sel[row], 0xFF) << "unselected row in sorted output";
+      ASSERT_EQ(groups.data()[row], g);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, count);
+}
+
+TEST(SortedBatchTest, EmptyGroupsProduceEmptyRanges) {
+  std::vector<uint8_t> groups = {0, 0, 3, 3, 3};
+  SortedBatch batch;
+  batch.Sort(groups.data(), nullptr, groups.size(), 4);
+  EXPECT_EQ(batch.count(0), 2u);
+  EXPECT_EQ(batch.count(1), 0u);
+  EXPECT_EQ(batch.count(2), 0u);
+  EXPECT_EQ(batch.count(3), 3u);
+}
+
+TEST(SortedBatchTest, SkewedInputStillCorrect) {
+  // Everything in one group stresses the even/odd cursor pairing.
+  const size_t n = 1001;
+  std::vector<uint8_t> groups(n, 2);
+  SortedBatch batch;
+  batch.Sort(groups.data(), nullptr, n, 4);
+  EXPECT_EQ(batch.count(2), n);
+  std::vector<bool> seen(n, false);
+  for (uint32_t i = batch.offset(2); i < batch.offset(3); ++i) {
+    seen[batch.indices()[i]] = true;
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+class SortedGatherSumWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(SortedGatherSumWidths, MatchesReference) {
+  const int w = GetParam();
+  const size_t n = 4096;
+  const int num_groups = 9;
+  auto groups = test::RandomGroups(n, num_groups, 4 + w);
+  auto values = test::RandomPackedValues(n, w, 5 + w);
+  auto packed = test::Pack(values, w);
+
+  std::vector<uint64_t> expected(num_groups, 0);
+  for (size_t i = 0; i < n; ++i) expected[groups.data()[i]] += values[i];
+
+  SortedBatch batch;
+  batch.Sort(groups.data(), nullptr, n, num_groups);
+  test::ForEachIsaTier([&](IsaTier tier) {
+    std::vector<uint64_t> sums(num_groups, 0);
+    SortedGatherSum(packed.data(), w, batch, sums.data());
+    ASSERT_EQ(sums, expected) << "w=" << w << " tier=" << IsaTierName(tier);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(BitWidths, SortedGatherSumWidths,
+                         ::testing::Values(1, 5, 8, 10, 14, 20, 23, 25, 26,
+                                           33, 57, 58, 64));
+
+TEST(SortedGatherSumTest, WithSelection) {
+  const int w = 23;
+  const size_t n = 3000;
+  const int num_groups = 4;
+  auto groups = test::RandomGroups(n, num_groups, 6);
+  auto values = test::RandomPackedValues(n, w, 7);
+  auto packed = test::Pack(values, w);
+  auto sel = MakeSelectionBytes(n, 0.4, 8);
+  AlignedBuffer idx_buf((n + 8) * sizeof(uint32_t));
+  const size_t count =
+      CompactToIndexVector(sel.data(), n, idx_buf.data_as<uint32_t>());
+
+  std::vector<uint64_t> expected(num_groups, 0);
+  for (size_t i = 0; i < n; ++i) {
+    if (sel[i]) expected[groups.data()[i]] += values[i];
+  }
+
+  SortedBatch batch;
+  batch.Sort(groups.data(), idx_buf.data_as<uint32_t>(), count, num_groups);
+  std::vector<uint64_t> sums(num_groups, 0);
+  SortedGatherSum(packed.data(), w, batch, sums.data());
+  EXPECT_EQ(sums, expected);
+}
+
+TEST(SortedSumDecodedTest, MatchesReferenceWithNegatives) {
+  const size_t n = 2500;
+  const int num_groups = 6;
+  auto groups = test::RandomGroups(n, num_groups, 10);
+  AlignedBuffer values(n * 8);
+  Rng rng(11);
+  std::vector<int64_t> expected(num_groups, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t v = rng.NextInRange(-1000000, 1000000);
+    values.data_as<int64_t>()[i] = v;
+    expected[groups.data()[i]] += v;
+  }
+  SortedBatch batch;
+  batch.Sort(groups.data(), nullptr, n, num_groups);
+  test::ForEachIsaTier([&](IsaTier) {
+    std::vector<int64_t> sums(num_groups, 0);
+    SortedSumDecoded(values.data_as<int64_t>(), batch, sums.data());
+    ASSERT_EQ(sums, expected);
+  });
+}
+
+}  // namespace
+}  // namespace bipie

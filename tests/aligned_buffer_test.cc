@@ -1,0 +1,96 @@
+#include "common/aligned_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace bipie {
+namespace {
+
+TEST(AlignedBufferTest, EmptyBuffer) {
+  AlignedBuffer b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.data(), nullptr);
+}
+
+TEST(AlignedBufferTest, AllocationIsAligned) {
+  AlignedBuffer b(100);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b.data()) % AlignedBuffer::kAlignment,
+            0u);
+  EXPECT_EQ(b.size(), 100u);
+}
+
+TEST(AlignedBufferTest, PaddingIsReadableAndZero) {
+  AlignedBuffer b(17);
+  for (size_t i = 0; i < 17; ++i) b.data()[i] = 0xAB;
+  // Kernels are allowed to read kPaddingBytes past size(); those bytes must
+  // be deterministic (zero).
+  for (size_t i = 17; i < 17 + AlignedBuffer::kPaddingBytes; ++i) {
+    EXPECT_EQ(b.data()[i], 0u) << "padding byte " << i;
+  }
+}
+
+TEST(AlignedBufferTest, ResizePreservesPrefix) {
+  AlignedBuffer b(8);
+  for (size_t i = 0; i < 8; ++i) b.data()[i] = static_cast<uint8_t>(i + 1);
+  b.Resize(4096);
+  for (size_t i = 0; i < 8; ++i) EXPECT_EQ(b.data()[i], i + 1);
+  // Newly exposed bytes are zero.
+  for (size_t i = 8; i < 4096; ++i) ASSERT_EQ(b.data()[i], 0u);
+}
+
+TEST(AlignedBufferTest, ShrinkRezerosPadding) {
+  AlignedBuffer b(64);
+  for (size_t i = 0; i < 64; ++i) b.data()[i] = 0xFF;
+  b.Resize(16);
+  EXPECT_EQ(b.size(), 16u);
+  for (size_t i = 0; i < 16; ++i) EXPECT_EQ(b.data()[i], 0xFF);
+  for (size_t i = 16; i < 16 + AlignedBuffer::kPaddingBytes; ++i) {
+    EXPECT_EQ(b.data()[i], 0u);
+  }
+}
+
+TEST(AlignedBufferTest, MoveTransfersOwnership) {
+  AlignedBuffer a(32);
+  a.data()[0] = 7;
+  uint8_t* ptr = a.data();
+  AlignedBuffer b(std::move(a));
+  EXPECT_EQ(b.data(), ptr);
+  EXPECT_EQ(b.data()[0], 7);
+  EXPECT_EQ(a.data(), nullptr);  // NOLINT: intentional use-after-move check
+  EXPECT_EQ(a.size(), 0u);       // NOLINT
+}
+
+TEST(AlignedBufferTest, CloneCopiesContents) {
+  AlignedBuffer a(16);
+  for (size_t i = 0; i < 16; ++i) a.data()[i] = static_cast<uint8_t>(i);
+  AlignedBuffer b = a.Clone();
+  EXPECT_NE(a.data(), b.data());
+  for (size_t i = 0; i < 16; ++i) EXPECT_EQ(b.data()[i], i);
+}
+
+TEST(AlignedBufferTest, TypedAccessors) {
+  AlignedBuffer b(8 * sizeof(uint32_t));
+  EXPECT_EQ(b.size_as<uint32_t>(), 8u);
+  b.data_as<uint32_t>()[3] = 0xDEADBEEF;
+  EXPECT_EQ(b.data_as<uint32_t>()[3], 0xDEADBEEFu);
+}
+
+TEST(AlignedBufferTest, ZeroFill) {
+  AlignedBuffer b(32);
+  for (size_t i = 0; i < 32; ++i) b.data()[i] = 0xCC;
+  b.ZeroFill();
+  for (size_t i = 0; i < 32; ++i) EXPECT_EQ(b.data()[i], 0u);
+}
+
+TEST(AlignedBufferTest, GrowthIsGeometricAcrossManyResizes) {
+  AlignedBuffer b;
+  for (size_t size = 1; size <= (1u << 16); size *= 3) {
+    b.Resize(size);
+    ASSERT_EQ(b.size(), size);
+    b.data()[size - 1] = 1;
+  }
+}
+
+}  // namespace
+}  // namespace bipie

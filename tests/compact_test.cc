@@ -1,0 +1,132 @@
+#include "vector/compact.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "test_util.h"
+
+namespace bipie {
+namespace {
+
+// Selectivity sweep shared by the parameterized suites.
+const double kSelectivities[] = {0.0, 0.02, 0.1, 0.38, 0.5, 0.9, 0.98, 1.0};
+
+size_t CountSelectedNaive(const std::vector<uint8_t>& sel) {
+  size_t c = 0;
+  for (uint8_t b : sel) c += b != 0;
+  return c;
+}
+
+class CompactIndexVector : public ::testing::TestWithParam<double> {};
+
+TEST_P(CompactIndexVector, MatchesScalarReference) {
+  const double selectivity = GetParam();
+  const size_t n = 4099;  // deliberately not a multiple of 8
+  auto sel = MakeSelectionBytes(n, selectivity, 1234);
+  AlignedBuffer expected_buf((n + 8) * sizeof(uint32_t));
+  const size_t expected_count = internal::CompactToIndexVectorScalar(
+      sel.data(), n, 0, expected_buf.data_as<uint32_t>());
+  test::ForEachIsaTier([&](IsaTier tier) {
+    AlignedBuffer out((n + 8) * sizeof(uint32_t));
+    const size_t count = CompactToIndexVector(sel.data(), n,
+                                              out.data_as<uint32_t>());
+    ASSERT_EQ(count, expected_count) << IsaTierName(tier);
+    for (size_t i = 0; i < count; ++i) {
+      ASSERT_EQ(out.data_as<uint32_t>()[i],
+                expected_buf.data_as<uint32_t>()[i])
+          << "i=" << i << " tier=" << IsaTierName(tier);
+    }
+  });
+}
+
+TEST_P(CompactIndexVector, EmittedPositionsAreSelectedAndAscending) {
+  const size_t n = 777;
+  auto sel = MakeSelectionBytes(n, GetParam(), 99);
+  AlignedBuffer out((n + 8) * sizeof(uint32_t));
+  const size_t count =
+      CompactToIndexVector(sel.data(), n, out.data_as<uint32_t>());
+  const uint32_t* idx = out.data_as<uint32_t>();
+  for (size_t i = 0; i < count; ++i) {
+    ASSERT_EQ(sel[idx[i]], 0xFF);
+    if (i > 0) ASSERT_LT(idx[i - 1], idx[i]);
+  }
+  EXPECT_EQ(count, CountSelectedNaive(sel));
+}
+
+INSTANTIATE_TEST_SUITE_P(Selectivities, CompactIndexVector,
+                         ::testing::ValuesIn(kSelectivities));
+
+TEST(CompactIndexVectorTest, BaseOffsetApplied) {
+  auto sel = MakeSelectionBytes(100, 0.5, 7);
+  AlignedBuffer a((100 + 8) * sizeof(uint32_t));
+  AlignedBuffer b((100 + 8) * sizeof(uint32_t));
+  const size_t ca = CompactToIndexVector(sel.data(), 100, 0,
+                                         a.data_as<uint32_t>());
+  const size_t cb = CompactToIndexVector(sel.data(), 100, 5000,
+                                         b.data_as<uint32_t>());
+  ASSERT_EQ(ca, cb);
+  for (size_t i = 0; i < ca; ++i) {
+    EXPECT_EQ(b.data_as<uint32_t>()[i], a.data_as<uint32_t>()[i] + 5000);
+  }
+}
+
+class CompactValuesSweep
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(CompactValuesSweep, MatchesScalarReference) {
+  const int elem_bytes = std::get<0>(GetParam());
+  const double selectivity = std::get<1>(GetParam());
+  const size_t n = 2053;
+  auto sel = MakeSelectionBytes(n, selectivity, 555);
+  // Random raw bytes as element payloads.
+  AlignedBuffer values(n * elem_bytes);
+  Rng rng(91);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values.data()[i] = static_cast<uint8_t>(rng.Next());
+  }
+  AlignedBuffer expected(n * elem_bytes);
+  const size_t expected_count = internal::CompactValuesScalar(
+      sel.data(), values.data(), n, elem_bytes, expected.data());
+  test::ForEachIsaTier([&](IsaTier tier) {
+    AlignedBuffer out(n * elem_bytes);
+    const size_t count =
+        CompactValues(sel.data(), values.data(), n, elem_bytes, out.data());
+    ASSERT_EQ(count, expected_count)
+        << "elem=" << elem_bytes << " tier=" << IsaTierName(tier);
+    ASSERT_EQ(std::memcmp(out.data(), expected.data(), count * elem_bytes), 0)
+        << "elem=" << elem_bytes << " sel=" << selectivity << " tier="
+        << IsaTierName(tier);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWidthsAndSelectivities, CompactValuesSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::ValuesIn(kSelectivities)));
+
+TEST(CompactValuesTest, PreservesValueOrder) {
+  const size_t n = 64;
+  std::vector<uint32_t> values(n);
+  for (size_t i = 0; i < n; ++i) values[i] = static_cast<uint32_t>(i * 10);
+  std::vector<uint8_t> sel(n, 0x00);
+  sel[3] = sel[5] = sel[40] = sel[63] = 0xFF;
+  AlignedBuffer out((n + 8) * 4);
+  const size_t count =
+      CompactValues(sel.data(), values.data(), n, 4, out.data());
+  ASSERT_EQ(count, 4u);
+  EXPECT_EQ(out.data_as<uint32_t>()[0], 30u);
+  EXPECT_EQ(out.data_as<uint32_t>()[1], 50u);
+  EXPECT_EQ(out.data_as<uint32_t>()[2], 400u);
+  EXPECT_EQ(out.data_as<uint32_t>()[3], 630u);
+}
+
+TEST(CompactValuesTest, EmptyInput) {
+  uint32_t v = 0;
+  AlignedBuffer out(64);
+  EXPECT_EQ(CompactValues(nullptr, &v, 0, 4, out.data()), 0u);
+}
+
+}  // namespace
+}  // namespace bipie

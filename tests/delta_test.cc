@@ -1,0 +1,99 @@
+#include "encoding/delta.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "common/random.h"
+
+namespace bipie {
+namespace {
+
+TEST(ForEncodeTest, RoundTripUniform) {
+  Rng rng(5);
+  std::vector<int64_t> v(1000);
+  for (auto& x : v) x = rng.NextInRange(-500, 500);
+  auto enc = ForEncode(v.data(), v.size());
+  std::vector<int64_t> out(v.size());
+  ForDecode(enc, 0, v.size(), out.data());
+  EXPECT_EQ(out, v);
+}
+
+TEST(ForEncodeTest, BitWidthMatchesSpread) {
+  std::vector<int64_t> v = {100, 101, 102, 103};
+  auto enc = ForEncode(v.data(), v.size());
+  EXPECT_EQ(enc.base, 100);
+  EXPECT_EQ(enc.bit_width, 2);  // spread 3
+}
+
+TEST(ForEncodeTest, ConstantColumnUsesOneBit) {
+  std::vector<int64_t> v(64, -7);
+  auto enc = ForEncode(v.data(), v.size());
+  EXPECT_EQ(enc.base, -7);
+  EXPECT_EQ(enc.bit_width, 1);
+  std::vector<int64_t> out(64);
+  ForDecode(enc, 0, 64, out.data());
+  EXPECT_EQ(out, v);
+}
+
+TEST(ForEncodeTest, PartialDecode) {
+  std::vector<int64_t> v;
+  for (int64_t i = 0; i < 200; ++i) v.push_back(i * 3 - 100);
+  auto enc = ForEncode(v.data(), v.size());
+  std::vector<int64_t> out(10);
+  ForDecode(enc, 50, 10, out.data());
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(out[i], v[50 + i]);
+}
+
+TEST(ForEncodeTest, ExtremeRange) {
+  std::vector<int64_t> v = {std::numeric_limits<int64_t>::min(),
+                            std::numeric_limits<int64_t>::max(), 0, -1, 1};
+  auto enc = ForEncode(v.data(), v.size());
+  EXPECT_EQ(enc.bit_width, 64);
+  std::vector<int64_t> out(v.size());
+  ForDecode(enc, 0, v.size(), out.data());
+  EXPECT_EQ(out, v);
+}
+
+TEST(ForEncodeTest, Empty) {
+  auto enc = ForEncode(nullptr, 0);
+  EXPECT_EQ(enc.num_values, 0u);
+}
+
+TEST(DeltaEncodeTest, RoundTripMonotonic) {
+  Rng rng(6);
+  std::vector<int64_t> v;
+  int64_t x = 1000000;
+  for (int i = 0; i < 500; ++i) {
+    v.push_back(x);
+    x += static_cast<int64_t>(rng.NextBounded(10));
+  }
+  auto enc = DeltaEncode(v.data(), v.size());
+  // Monotonic column with small steps packs very tightly.
+  EXPECT_LE(enc.bit_width, 4);
+  std::vector<int64_t> out(v.size());
+  DeltaDecode(enc, out.data());
+  EXPECT_EQ(out, v);
+}
+
+TEST(DeltaEncodeTest, RoundTripNonMonotonic) {
+  Rng rng(8);
+  std::vector<int64_t> v(300);
+  for (auto& x : v) x = rng.NextInRange(-1000000, 1000000);
+  auto enc = DeltaEncode(v.data(), v.size());
+  std::vector<int64_t> out(v.size());
+  DeltaDecode(enc, out.data());
+  EXPECT_EQ(out, v);
+}
+
+TEST(DeltaEncodeTest, SingleValue) {
+  int64_t v = -12345;
+  auto enc = DeltaEncode(&v, 1);
+  int64_t out = 0;
+  DeltaDecode(enc, &out);
+  EXPECT_EQ(out, v);
+}
+
+}  // namespace
+}  // namespace bipie

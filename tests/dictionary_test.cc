@@ -1,0 +1,55 @@
+#include "encoding/dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace bipie {
+namespace {
+
+TEST(IntDictionaryTest, AssignsConsecutiveIds) {
+  IntDictionary dict;
+  EXPECT_EQ(dict.GetOrInsert(100), 0u);
+  EXPECT_EQ(dict.GetOrInsert(-5), 1u);
+  EXPECT_EQ(dict.GetOrInsert(100), 0u);  // idempotent
+  EXPECT_EQ(dict.GetOrInsert(7), 2u);
+  EXPECT_EQ(dict.size(), 3u);
+}
+
+TEST(IntDictionaryTest, ValueLookupInverts) {
+  IntDictionary dict;
+  for (int64_t v : {5, 10, -3, 0}) dict.GetOrInsert(v);
+  for (uint32_t id = 0; id < dict.size(); ++id) {
+    EXPECT_EQ(dict.Find(dict.value(id)), static_cast<int64_t>(id));
+  }
+}
+
+TEST(IntDictionaryTest, FindMissing) {
+  IntDictionary dict;
+  dict.GetOrInsert(1);
+  EXPECT_EQ(dict.Find(2), -1);
+}
+
+TEST(StringDictionaryTest, AssignsConsecutiveIds) {
+  StringDictionary dict;
+  EXPECT_EQ(dict.GetOrInsert("A"), 0u);
+  EXPECT_EQ(dict.GetOrInsert("N"), 1u);
+  EXPECT_EQ(dict.GetOrInsert("R"), 2u);
+  EXPECT_EQ(dict.GetOrInsert("A"), 0u);
+  EXPECT_EQ(dict.size(), 3u);
+  EXPECT_EQ(dict.value(1), "N");
+}
+
+TEST(StringDictionaryTest, FindMissing) {
+  StringDictionary dict;
+  dict.GetOrInsert("x");
+  EXPECT_EQ(dict.Find("y"), -1);
+  EXPECT_EQ(dict.Find("x"), 0);
+}
+
+TEST(StringDictionaryTest, EmptyStringIsAValue) {
+  StringDictionary dict;
+  EXPECT_EQ(dict.GetOrInsert(""), 0u);
+  EXPECT_EQ(dict.Find(""), 0);
+}
+
+}  // namespace
+}  // namespace bipie

@@ -1,0 +1,202 @@
+// Randomized differential testing: generate random schemas, data, queries
+// and strategy choices; the BIPie scan must agree exactly with the naive
+// decode-everything oracle on every one of them.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "baseline/hash_agg.h"
+#include "baseline/scalar_engine.h"
+#include "common/random.h"
+#include "core/scan.h"
+
+namespace bipie {
+namespace {
+
+struct RandomCase {
+  Table table;
+  QuerySpec query;
+  std::string description;
+
+  explicit RandomCase(uint64_t seed) : table(MakeSchema(seed)) {
+    Rng rng(seed * 7919 + 1);
+    const size_t rows = 1000 + rng.NextBounded(12000);
+    const size_t segment_rows = 512 + rng.NextBounded(8192);
+    TableAppender app(&table, segment_rows);
+    const int group_card = 2 + static_cast<int>(rng.NextBounded(9));
+    const char* flags[10] = {"a", "b", "c", "d", "e",
+                             "f", "g", "h", "i", "j"};
+    for (size_t i = 0; i < rows; ++i) {
+      std::vector<int64_t> ints(table.num_columns(), 0);
+      std::vector<std::string> strings(table.num_columns());
+      for (size_t c = 0; c < table.num_columns(); ++c) {
+        if (table.schema()[c].type == ColumnType::kString) {
+          strings[c] = flags[rng.NextBounded(group_card)];
+        } else if (table.schema()[c].name == "g2") {
+          ints[c] = rng.NextInRange(5, 5 + 3);  // small domain for grouping
+        } else {
+          // Mix of ranges: narrow non-negative, signed, wide.
+          switch (c % 3) {
+            case 0: ints[c] = rng.NextInRange(0, 63); break;
+            case 1: ints[c] = rng.NextInRange(-4000, 4000); break;
+            default: ints[c] = rng.NextInRange(0, 1 << 22); break;
+          }
+        }
+      }
+      app.AppendRow(ints, strings);
+    }
+    app.Flush();
+
+    // Random deletions in ~half the cases.
+    if (rng.NextBernoulli(0.5)) {
+      const size_t dels = rng.NextBounded(rows / 10 + 1);
+      for (size_t d = 0; d < dels; ++d) {
+        const size_t seg = rng.NextBounded(table.num_segments());
+        table.mutable_segment(seg).DeleteRow(
+            rng.NextBounded(table.segment(seg).num_rows()));
+      }
+      description += " deletions";
+    }
+
+    // Group by 0..2 columns.
+    const int ngroup = static_cast<int>(rng.NextBounded(3));
+    if (ngroup >= 1) query.group_by.push_back("g1");
+    if (ngroup >= 2) query.group_by.push_back("g2");
+    description += " groupby=" + std::to_string(ngroup);
+
+    // 1..5 aggregates of random kinds.
+    query.aggregates.push_back(AggregateSpec::Count());
+    const int naggs = 1 + static_cast<int>(rng.NextBounded(4));
+    const char* value_cols[3] = {"v0", "v1", "v2"};
+    for (int a = 0; a < naggs; ++a) {
+      switch (rng.NextBounded(5)) {
+        case 0:
+          query.aggregates.push_back(
+              AggregateSpec::Sum(value_cols[rng.NextBounded(3)]));
+          break;
+        case 1:
+          query.aggregates.push_back(
+              AggregateSpec::Avg(value_cols[rng.NextBounded(3)]));
+          break;
+        case 3:
+          query.aggregates.push_back(
+              AggregateSpec::Min(value_cols[rng.NextBounded(3)]));
+          break;
+        case 4:
+          query.aggregates.push_back(
+              AggregateSpec::Max(value_cols[rng.NextBounded(3)]));
+          break;
+        default: {
+          const int c0 = table.FindColumn(value_cols[rng.NextBounded(3)]);
+          const int c1 = table.FindColumn(value_cols[rng.NextBounded(3)]);
+          query.aggregates.push_back(AggregateSpec::SumExpr(Expr::Add(
+              Expr::Mul(Expr::Column(c0), Expr::Constant(
+                                              1 + rng.NextBounded(50))),
+              Expr::Column(c1))));
+          break;
+        }
+      }
+    }
+    description += " aggs=" + std::to_string(naggs);
+
+    // 0..2 filters.
+    const int nfilters = static_cast<int>(rng.NextBounded(3));
+    const CompareOp ops[6] = {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                              CompareOp::kLe, CompareOp::kGt, CompareOp::kGe};
+    for (int fidx = 0; fidx < nfilters; ++fidx) {
+      query.filters.emplace_back(value_cols[rng.NextBounded(3)],
+                                 ops[rng.NextBounded(6)],
+                                 rng.NextInRange(-5000, 5000));
+    }
+    description += " filters=" + std::to_string(nfilters);
+  }
+
+  static Schema MakeSchema(uint64_t seed) {
+    Rng rng(seed);
+    Schema schema;
+    schema.push_back({"g1", rng.NextBernoulli(0.5) ? ColumnType::kString
+                                                   : ColumnType::kInt64,
+                      EncodingChoice::kAuto});
+    if (schema[0].type == ColumnType::kInt64) {
+      schema[0].encoding = EncodingChoice::kDictionary;
+    }
+    schema.push_back({"g2", ColumnType::kInt64,
+                      rng.NextBernoulli(0.3) ? EncodingChoice::kRle
+                                             : EncodingChoice::kDictionary});
+    const EncodingChoice encodings[3] = {EncodingChoice::kBitPacked,
+                                         EncodingChoice::kAuto,
+                                         EncodingChoice::kDictionary};
+    schema.push_back({"v0", ColumnType::kInt64, EncodingChoice::kBitPacked});
+    schema.push_back(
+        {"v1", ColumnType::kInt64, encodings[rng.NextBounded(3)]});
+    schema.push_back(
+        {"v2", ColumnType::kInt64, encodings[rng.NextBounded(3)]});
+    return schema;
+  }
+};
+
+void ExpectAgreement(const QueryResult& got, const QueryResult& expected,
+                     const std::string& context) {
+  ASSERT_EQ(got.rows.size(), expected.rows.size()) << context;
+  for (size_t r = 0; r < got.rows.size(); ++r) {
+    ASSERT_EQ(got.rows[r].group, expected.rows[r].group) << context;
+    ASSERT_EQ(got.rows[r].count, expected.rows[r].count) << context;
+    ASSERT_EQ(got.rows[r].sums, expected.rows[r].sums) << context;
+  }
+}
+
+class DifferentialProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferentialProperty, BIPieMatchesOracleOnRandomWorkloads) {
+  const uint64_t seed = 1000 + GetParam();
+  RandomCase c(seed);
+  auto expected = ExecuteQueryNaive(c.table, c.query);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+  // Adaptive run.
+  auto adaptive = ExecuteQuery(c.table, c.query);
+  ASSERT_TRUE(adaptive.ok())
+      << adaptive.status().ToString() << " case:" << c.description;
+  ExpectAgreement(adaptive.value(), expected.value(),
+                  "adaptive seed=" + std::to_string(seed) + c.description);
+
+  // Hash baseline.
+  auto hashed = ExecuteQueryHashAgg(c.table, c.query);
+  ASSERT_TRUE(hashed.ok());
+  ExpectAgreement(hashed.value(), expected.value(),
+                  "hash seed=" + std::to_string(seed));
+
+  // Two pseudo-random forced combinations (skipping infeasible ones).
+  Rng rng(seed + 5);
+  const SelectionStrategy sels[3] = {SelectionStrategy::kGather,
+                                     SelectionStrategy::kCompact,
+                                     SelectionStrategy::kSpecialGroup};
+  const AggregationStrategy aggs[4] = {
+      AggregationStrategy::kScalar, AggregationStrategy::kInRegister,
+      AggregationStrategy::kSortBased, AggregationStrategy::kMultiAggregate};
+  for (int k = 0; k < 2; ++k) {
+    ScanOptions options;
+    options.overrides.selection = sels[rng.NextBounded(3)];
+    options.overrides.aggregation = aggs[rng.NextBounded(4)];
+    auto forced = ExecuteQuery(c.table, c.query, options);
+    if (!forced.ok()) {
+      // Infeasible strategy for this shape — must be a clean rejection.
+      ASSERT_EQ(forced.status().code(), StatusCode::kNotSupported)
+          << forced.status().ToString();
+      continue;
+    }
+    ExpectAgreement(
+        forced.value(), expected.value(),
+        std::string("forced ") +
+            SelectionStrategyName(*options.overrides.selection) + "+" +
+            AggregationStrategyName(*options.overrides.aggregation) +
+            " seed=" + std::to_string(seed));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FortyRandomWorkloads, DifferentialProperty,
+                         ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace bipie

@@ -1,0 +1,146 @@
+#include "storage/hybrid_table.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/scalar_engine.h"
+#include "common/random.h"
+
+namespace bipie {
+namespace {
+
+Schema MakeSchema() {
+  return {{"region", ColumnType::kString},
+          {"amount", ColumnType::kInt64},
+          {"qty", ColumnType::kInt64}};
+}
+
+void InsertRandomRows(HybridTable* table, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  const char* regions[3] = {"n", "s", "e"};
+  for (size_t i = 0; i < n; ++i) {
+    table->Insert({0, rng.NextInRange(0, 9999), rng.NextInRange(1, 50)},
+                  {regions[rng.NextBounded(3)], "", ""});
+  }
+}
+
+TEST(HybridTableTest, InsertsVisibleBeforeMerge) {
+  HybridTable table(MakeSchema(), /*segment_rows=*/1 << 16);
+  table.set_merge_threshold(1 << 20);  // no auto merge
+  InsertRandomRows(&table, 1000, 1);
+  EXPECT_EQ(table.mutable_rows(), 1000u);
+  EXPECT_EQ(table.immutable().num_rows(), 0u);
+
+  QuerySpec query;
+  query.group_by = {"region"};
+  query.aggregates = {AggregateSpec::Count(), AggregateSpec::Sum("amount")};
+  auto result = ExecuteQueryHybrid(table, query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  uint64_t total = 0;
+  for (const ResultRow& row : result.value().rows) total += row.count;
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST(HybridTableTest, MergeMovesRowsToImmutableRegion) {
+  HybridTable table(MakeSchema(), 512);
+  table.set_merge_threshold(1 << 20);
+  InsertRandomRows(&table, 1500, 2);
+
+  QuerySpec query;
+  query.group_by = {"region"};
+  query.aggregates = {AggregateSpec::Count(), AggregateSpec::Sum("amount"),
+                      AggregateSpec::Min("qty"), AggregateSpec::Max("qty")};
+  auto before = ExecuteQueryHybrid(table, query);
+  ASSERT_TRUE(before.ok());
+
+  table.Merge();
+  EXPECT_EQ(table.mutable_rows(), 0u);
+  EXPECT_EQ(table.immutable().num_rows(), 1500u);
+  EXPECT_EQ(table.immutable().num_segments(), 3u);  // 512-row segments
+
+  auto after = ExecuteQueryHybrid(table, query);
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(before.value().rows.size(), after.value().rows.size());
+  for (size_t r = 0; r < after.value().rows.size(); ++r) {
+    EXPECT_EQ(before.value().rows[r].sums, after.value().rows[r].sums);
+    EXPECT_EQ(before.value().rows[r].count, after.value().rows[r].count);
+  }
+}
+
+TEST(HybridTableTest, StraddlingQueryMergesBothRegions) {
+  HybridTable table(MakeSchema(), 4096);
+  table.set_merge_threshold(1 << 20);
+  InsertRandomRows(&table, 5000, 3);
+  table.Merge();                      // first 5000 rows immutable
+  InsertRandomRows(&table, 777, 4);   // fresh rows in the rowstore
+  EXPECT_EQ(table.mutable_rows(), 777u);
+
+  QuerySpec query;
+  query.group_by = {"region"};
+  query.aggregates = {AggregateSpec::Count(), AggregateSpec::Sum("amount"),
+                      AggregateSpec::SumExpr(Expr::Mul(
+                          Expr::Column(1), Expr::Column(2))),
+                      AggregateSpec::Max("amount")};
+  query.filters.emplace_back("amount", CompareOp::kLt, int64_t{8000});
+
+  auto straddling = ExecuteQueryHybrid(table, query);
+  ASSERT_TRUE(straddling.ok()) << straddling.status().ToString();
+
+  // Reference: force-merge a copy... instead merge this table and re-ask.
+  table.Merge();
+  auto merged = ExecuteQueryHybrid(table, query);
+  ASSERT_TRUE(merged.ok());
+  ASSERT_EQ(straddling.value().rows.size(), merged.value().rows.size());
+  for (size_t r = 0; r < merged.value().rows.size(); ++r) {
+    EXPECT_EQ(straddling.value().rows[r].sums, merged.value().rows[r].sums);
+    EXPECT_EQ(straddling.value().rows[r].count,
+              merged.value().rows[r].count);
+    EXPECT_EQ(straddling.value().rows[r].group,
+              merged.value().rows[r].group);
+  }
+}
+
+TEST(HybridTableTest, AutoMergeAtThreshold) {
+  HybridTable table(MakeSchema(), 256);
+  table.set_merge_threshold(256);
+  InsertRandomRows(&table, 1000, 5);
+  // Threshold-triggered merges keep the mutable region small.
+  EXPECT_LT(table.mutable_rows(), 256u);
+  EXPECT_GE(table.immutable().num_rows(), 768u);
+  EXPECT_EQ(table.num_rows(), 1000u);
+}
+
+TEST(HybridTableTest, StringFilterAcrossRegions) {
+  HybridTable table(MakeSchema(), 4096);
+  table.set_merge_threshold(1 << 20);
+  InsertRandomRows(&table, 2000, 6);
+  table.Merge();
+  InsertRandomRows(&table, 300, 7);
+
+  QuerySpec query;
+  query.aggregates = {AggregateSpec::Count()};
+  query.filters.emplace_back("region", CompareOp::kEq, std::string("s"));
+  auto result = ExecuteQueryHybrid(table, query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().rows.size(), 1u);
+  // ~1/3 of 2300 rows.
+  EXPECT_GT(result.value().rows[0].count, 600u);
+  EXPECT_LT(result.value().rows[0].count, 950u);
+
+  table.Merge();
+  auto merged = ExecuteQueryHybrid(table, query);
+  EXPECT_EQ(result.value().rows[0].count, merged.value().rows[0].count);
+}
+
+TEST(HybridTableTest, EmptyRegionsAreFine) {
+  HybridTable table(MakeSchema());
+  QuerySpec query;
+  query.aggregates = {AggregateSpec::Count()};
+  auto result = ExecuteQueryHybrid(table, query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().rows.empty());
+  table.Merge();  // no-op
+  EXPECT_EQ(table.num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace bipie

@@ -1,0 +1,195 @@
+#include "expr/predicate.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "storage/column_builder.h"
+#include "test_util.h"
+
+namespace bipie {
+namespace {
+
+const CompareOp kAllOps[] = {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                             CompareOp::kLe, CompareOp::kGt, CompareOp::kGe};
+
+TEST(CompareInt64Test, AllOps) {
+  EXPECT_TRUE(CompareInt64(5, CompareOp::kEq, 5));
+  EXPECT_FALSE(CompareInt64(5, CompareOp::kEq, 6));
+  EXPECT_TRUE(CompareInt64(5, CompareOp::kNe, 6));
+  EXPECT_TRUE(CompareInt64(-5, CompareOp::kLt, 0));
+  EXPECT_TRUE(CompareInt64(5, CompareOp::kLe, 5));
+  EXPECT_TRUE(CompareInt64(7, CompareOp::kGt, 5));
+  EXPECT_TRUE(CompareInt64(5, CompareOp::kGe, 5));
+  EXPECT_FALSE(CompareInt64(4, CompareOp::kGe, 5));
+}
+
+class CompareWordsSweep
+    : public ::testing::TestWithParam<std::tuple<int, CompareOp>> {};
+
+TEST_P(CompareWordsSweep, MatchesScalarSemantics) {
+  const int word = std::get<0>(GetParam());
+  const CompareOp op = std::get<1>(GetParam());
+  const size_t n = 1037;
+  AlignedBuffer values(n * word);
+  Rng rng(word * 100 + static_cast<int>(op));
+  const uint64_t domain = word == 8 ? 1000 : (1ULL << (word * 8));
+  std::vector<uint64_t> raw(n);
+  for (size_t i = 0; i < n; ++i) {
+    raw[i] = rng.NextBounded(domain);
+    std::memcpy(values.data() + i * word, &raw[i], word);
+  }
+  const uint64_t literal = rng.NextBounded(domain);
+  test::ForEachIsaTier([&](IsaTier tier) {
+    AlignedBuffer sel(n);
+    internal::CompareUnsignedWords(values.data(), n, word, op, literal,
+                                   sel.data());
+    for (size_t i = 0; i < n; ++i) {
+      bool expected = false;
+      switch (op) {
+        case CompareOp::kEq: expected = raw[i] == literal; break;
+        case CompareOp::kNe: expected = raw[i] != literal; break;
+        case CompareOp::kLt: expected = raw[i] < literal; break;
+        case CompareOp::kLe: expected = raw[i] <= literal; break;
+        case CompareOp::kGt: expected = raw[i] > literal; break;
+        case CompareOp::kGe: expected = raw[i] >= literal; break;
+      }
+      ASSERT_EQ(sel.data()[i], expected ? 0xFF : 0x00)
+          << "word=" << word << " i=" << i << " tier=" << IsaTierName(tier);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthsAndOps, CompareWordsSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::ValuesIn(kAllOps)));
+
+EncodedColumn MakeColumn(EncodingChoice choice, const std::vector<int64_t>& v) {
+  ColumnBuilder b({"c", ColumnType::kInt64, choice});
+  for (int64_t x : v) b.AppendInt64(x);
+  return b.Finish();
+}
+
+class PredicateEncodings : public ::testing::TestWithParam<EncodingChoice> {};
+
+TEST_P(PredicateEncodings, MatchesRowByRowEvaluation) {
+  Rng rng(55);
+  std::vector<int64_t> v(3000);
+  for (auto& x : v) x = rng.NextInRange(-50, 50);
+  EncodedColumn col = MakeColumn(GetParam(), v);
+  for (CompareOp op : kAllOps) {
+    for (int64_t literal : {-100, -50, -1, 0, 13, 50, 99}) {
+      ColumnPredicate pred("c", op, literal);
+      test::ForEachIsaTier([&](IsaTier) {
+        AlignedBuffer sel(v.size());
+        ASSERT_TRUE(pred.Evaluate(col, 0, v.size(), sel.data()).ok());
+        for (size_t i = 0; i < v.size(); ++i) {
+          ASSERT_EQ(sel.data()[i] != 0, CompareInt64(v[i], op, literal))
+              << "op=" << static_cast<int>(op) << " lit=" << literal
+              << " i=" << i;
+        }
+      });
+    }
+  }
+}
+
+TEST_P(PredicateEncodings, WindowedEvaluation) {
+  std::vector<int64_t> v(500);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = static_cast<int64_t>(i % 10);
+  EncodedColumn col = MakeColumn(GetParam(), v);
+  ColumnPredicate pred("c", CompareOp::kLt, 5);
+  AlignedBuffer sel(100);
+  ASSERT_TRUE(pred.Evaluate(col, 250, 100, sel.data()).ok());
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(sel.data()[i] != 0, v[250 + i] < 5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Encodings, PredicateEncodings,
+                         ::testing::Values(EncodingChoice::kBitPacked,
+                                           EncodingChoice::kDictionary,
+                                           EncodingChoice::kRle));
+
+TEST_P(PredicateEncodings, BetweenMatchesRowByRow) {
+  Rng rng(77);
+  std::vector<int64_t> v(2500);
+  for (auto& x : v) x = rng.NextInRange(-50, 50);
+  EncodedColumn col = MakeColumn(GetParam(), v);
+  const std::pair<int64_t, int64_t> ranges[] = {
+      {-10, 10}, {-100, 100}, {40, 60}, {-60, -51}, {7, 7}, {5, -5}};
+  for (const auto& [lo, hi] : ranges) {
+    ColumnPredicate pred = ColumnPredicate::Between("c", lo, hi);
+    test::ForEachIsaTier([&](IsaTier) {
+      AlignedBuffer sel(v.size());
+      ASSERT_TRUE(pred.Evaluate(col, 0, v.size(), sel.data()).ok());
+      for (size_t i = 0; i < v.size(); ++i) {
+        ASSERT_EQ(sel.data()[i] != 0, v[i] >= lo && v[i] <= hi)
+            << "lo=" << lo << " hi=" << hi << " i=" << i;
+      }
+    });
+  }
+}
+
+TEST(PredicateTest, BetweenSegmentElimination) {
+  std::vector<int64_t> v;
+  for (int64_t i = 100; i < 200; ++i) v.push_back(i);
+  EncodedColumn col = MakeColumn(EncodingChoice::kBitPacked, v);
+  EXPECT_TRUE(
+      ColumnPredicate::Between("c", 0, 99).EliminatesSegment(col));
+  EXPECT_TRUE(
+      ColumnPredicate::Between("c", 200, 300).EliminatesSegment(col));
+  EXPECT_FALSE(
+      ColumnPredicate::Between("c", 150, 160).EliminatesSegment(col));
+  EXPECT_TRUE(ColumnPredicate::Between("c", 160, 150).EliminatesSegment(col));
+}
+
+TEST(PredicateTest, StringDictionaryEquality) {
+  ColumnBuilder b({"flag", ColumnType::kString});
+  const char* flags[3] = {"A", "N", "R"};
+  std::vector<int> raw;
+  Rng rng(66);
+  for (int i = 0; i < 1000; ++i) {
+    const int f = static_cast<int>(rng.NextBounded(3));
+    raw.push_back(f);
+    b.AppendString(flags[f]);
+  }
+  EncodedColumn col = b.Finish();
+  ColumnPredicate pred("flag", CompareOp::kEq, std::string("N"));
+  AlignedBuffer sel(1000);
+  ASSERT_TRUE(pred.Evaluate(col, 0, 1000, sel.data()).ok());
+  for (size_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(sel.data()[i] != 0, std::string(flags[raw[i]]) == "N");
+  }
+}
+
+TEST(PredicateTest, SegmentElimination) {
+  std::vector<int64_t> v;
+  for (int64_t i = 100; i < 200; ++i) v.push_back(i);
+  EncodedColumn col = MakeColumn(EncodingChoice::kBitPacked, v);
+  EXPECT_TRUE(ColumnPredicate("c", CompareOp::kLt, 100).EliminatesSegment(col));
+  EXPECT_FALSE(ColumnPredicate("c", CompareOp::kLt, 101).EliminatesSegment(col));
+  EXPECT_TRUE(ColumnPredicate("c", CompareOp::kGt, 199).EliminatesSegment(col));
+  EXPECT_TRUE(ColumnPredicate("c", CompareOp::kEq, 500).EliminatesSegment(col));
+  EXPECT_FALSE(ColumnPredicate("c", CompareOp::kEq, 150).EliminatesSegment(col));
+  EXPECT_TRUE(ColumnPredicate("c", CompareOp::kLe, 99).EliminatesSegment(col));
+  EXPECT_FALSE(ColumnPredicate("c", CompareOp::kNe, 0).EliminatesSegment(col));
+}
+
+TEST(PredicateTest, LiteralOutsideDomainShortCircuits) {
+  std::vector<int64_t> v = {10, 20, 30};
+  EncodedColumn col = MakeColumn(EncodingChoice::kBitPacked, v);
+  AlignedBuffer sel(3);
+  // literal below base: every row is > literal.
+  ColumnPredicate gt("c", CompareOp::kGt, -5);
+  ASSERT_TRUE(gt.Evaluate(col, 0, 3, sel.data()).ok());
+  EXPECT_EQ(sel.data()[0], 0xFF);
+  EXPECT_EQ(sel.data()[2], 0xFF);
+  // literal above max: no row is >= literal.
+  ColumnPredicate ge("c", CompareOp::kGe, 100);
+  ASSERT_TRUE(ge.Evaluate(col, 0, 3, sel.data()).ok());
+  EXPECT_EQ(sel.data()[0], 0x00);
+}
+
+}  // namespace
+}  // namespace bipie

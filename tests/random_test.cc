@@ -1,0 +1,111 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace bipie {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BoundedStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedCoversAllResidues) {
+  Rng rng(11);
+  std::vector<int> seen(13, 0);
+  for (int i = 0; i < 5000; ++i) ++seen[rng.NextBounded(13)];
+  for (int v : seen) EXPECT_GT(v, 0);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 20000; ++i) {
+    const int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) hits += rng.NextBernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(ZipfTest, StaysInRangeAndIsSkewed) {
+  ZipfGenerator zipf(100, 0.9, 42);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) {
+    const uint64_t v = zipf.Next();
+    ASSERT_LT(v, 100u);
+    ++counts[v];
+  }
+  // Rank 0 must dominate the tail by a wide margin.
+  EXPECT_GT(counts[0], counts[50] * 5);
+}
+
+TEST(MakeUniformValuesTest, RespectsCardinality) {
+  auto values = MakeUniformValues(10000, 6, 99);
+  ASSERT_EQ(values.size(), 10000u);
+  for (uint64_t v : values) EXPECT_LT(v, 6u);
+  // Every group id should appear.
+  for (uint64_t g = 0; g < 6; ++g) {
+    EXPECT_NE(std::count(values.begin(), values.end(), g), 0);
+  }
+}
+
+TEST(MakeSelectionBytesTest, OnlyCanonicalBytes) {
+  auto sel = MakeSelectionBytes(10000, 0.5, 17);
+  size_t selected = 0;
+  for (uint8_t b : sel) {
+    ASSERT_TRUE(b == 0x00 || b == 0xFF);
+    selected += b != 0;
+  }
+  EXPECT_NEAR(static_cast<double>(selected) / sel.size(), 0.5, 0.03);
+}
+
+TEST(MakeSelectionBytesTest, ExtremeSelectivities) {
+  auto none = MakeSelectionBytes(1000, 0.0, 3);
+  EXPECT_TRUE(std::all_of(none.begin(), none.end(),
+                          [](uint8_t b) { return b == 0; }));
+  auto all = MakeSelectionBytes(1000, 1.0, 3);
+  EXPECT_TRUE(std::all_of(all.begin(), all.end(),
+                          [](uint8_t b) { return b == 0xFF; }));
+}
+
+}  // namespace
+}  // namespace bipie

@@ -1,0 +1,80 @@
+#include "encoding/rle.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace bipie {
+namespace {
+
+TEST(RleTest, EncodeEmpty) {
+  EXPECT_TRUE(RleEncode(nullptr, 0).empty());
+}
+
+TEST(RleTest, EncodeSingleRun) {
+  std::vector<uint64_t> v(100, 42);
+  auto runs = RleEncode(v.data(), v.size());
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0], (RleRun{42, 100}));
+}
+
+TEST(RleTest, EncodeAlternating) {
+  std::vector<uint64_t> v = {1, 1, 2, 2, 2, 1, 3};
+  auto runs = RleEncode(v.data(), v.size());
+  ASSERT_EQ(runs.size(), 4u);
+  EXPECT_EQ(runs[0], (RleRun{1, 2}));
+  EXPECT_EQ(runs[1], (RleRun{2, 3}));
+  EXPECT_EQ(runs[2], (RleRun{1, 1}));
+  EXPECT_EQ(runs[3], (RleRun{3, 1}));
+  EXPECT_EQ(RleRowCount(runs), v.size());
+}
+
+TEST(RleTest, RoundTrip) {
+  Rng rng(77);
+  std::vector<uint64_t> v;
+  for (int run = 0; run < 50; ++run) {
+    const uint64_t value = rng.NextBounded(5);
+    const size_t len = 1 + rng.NextBounded(20);
+    v.insert(v.end(), len, value);
+  }
+  auto runs = RleEncode(v.data(), v.size());
+  std::vector<uint64_t> decoded(v.size());
+  RleDecode(runs, decoded.data());
+  EXPECT_EQ(decoded, v);
+}
+
+TEST(RleTest, DecodeRangeMatchesFullDecode) {
+  Rng rng(78);
+  std::vector<uint64_t> v;
+  for (int run = 0; run < 40; ++run) {
+    v.insert(v.end(), 1 + rng.NextBounded(9), rng.NextBounded(4));
+  }
+  auto runs = RleEncode(v.data(), v.size());
+  for (size_t start : {size_t{0}, size_t{1}, size_t{7}, v.size() / 2,
+                       v.size() - 1}) {
+    for (size_t len : {size_t{0}, size_t{1}, size_t{5},
+                       v.size() - start}) {
+      if (start + len > v.size()) continue;
+      std::vector<uint64_t> out(len, ~0ULL);
+      RleDecodeRange(runs, start, len, out.data());
+      for (size_t i = 0; i < len; ++i) {
+        ASSERT_EQ(out[i], v[start + i]) << "start=" << start << " len=" << len;
+      }
+    }
+  }
+}
+
+TEST(RleTest, DecodeRangeCrossingManyRuns) {
+  std::vector<uint64_t> v;
+  for (uint64_t i = 0; i < 100; ++i) v.push_back(i);  // all runs length 1
+  auto runs = RleEncode(v.data(), v.size());
+  ASSERT_EQ(runs.size(), 100u);
+  std::vector<uint64_t> out(50);
+  RleDecodeRange(runs, 25, 50, out.data());
+  for (size_t i = 0; i < 50; ++i) EXPECT_EQ(out[i], 25 + i);
+}
+
+}  // namespace
+}  // namespace bipie

@@ -1,0 +1,56 @@
+#include "vector/selection_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "test_util.h"
+
+namespace bipie {
+namespace {
+
+TEST(CountSelectedTest, MatchesNaiveCountAcrossTiers) {
+  for (double sel : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    auto bytes = MakeSelectionBytes(10007, sel, 42);
+    size_t expected = 0;
+    for (uint8_t b : bytes) expected += b != 0;
+    test::ForEachIsaTier([&](IsaTier tier) {
+      EXPECT_EQ(CountSelected(bytes.data(), bytes.size()), expected)
+          << "sel=" << sel << " tier=" << IsaTierName(tier);
+    });
+  }
+}
+
+TEST(CountSelectedTest, EmptyAndTinyInputs) {
+  uint8_t one = 0xFF;
+  EXPECT_EQ(CountSelected(&one, 0), 0u);
+  EXPECT_EQ(CountSelected(&one, 1), 1u);
+  one = 0;
+  EXPECT_EQ(CountSelected(&one, 1), 0u);
+}
+
+TEST(AndSelectionTest, MergesFilterWithAliveMask) {
+  const size_t n = 1000;
+  auto filter = MakeSelectionBytes(n, 0.7, 1);
+  auto alive = MakeSelectionBytes(n, 0.9, 2);
+  test::ForEachIsaTier([&](IsaTier) {
+    std::vector<uint8_t> merged(n + 32);
+    AndSelection(filter.data(), alive.data(), n, merged.data());
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(merged[i], filter[i] & alive[i]);
+    }
+  });
+}
+
+TEST(AndSelectionTest, InPlaceOperation) {
+  const size_t n = 257;
+  auto a = MakeSelectionBytes(n, 0.5, 3);
+  auto b = MakeSelectionBytes(n, 0.5, 4);
+  auto expected = a;
+  for (size_t i = 0; i < n; ++i) expected[i] &= b[i];
+  AndSelection(a.data(), b.data(), n, a.data());
+  EXPECT_EQ(a, expected);
+}
+
+}  // namespace
+}  // namespace bipie

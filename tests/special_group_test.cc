@@ -1,0 +1,65 @@
+#include "vector/special_group.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "test_util.h"
+
+namespace bipie {
+namespace {
+
+TEST(SpecialGroupTest, MatchesScalarAcrossTiers) {
+  const size_t n = 4099;
+  auto groups = test::RandomGroups(n, 6, 11);
+  for (double selectivity : {0.0, 0.1, 0.5, 0.98, 1.0}) {
+    auto sel = MakeSelectionBytes(n, selectivity, 22);
+    std::vector<uint8_t> expected(n);
+    internal::ApplySpecialGroupScalar(groups.data(), sel.data(), n, 6,
+                                      expected.data());
+    test::ForEachIsaTier([&](IsaTier tier) {
+      std::vector<uint8_t> out(n);
+      ApplySpecialGroup(groups.data(), sel.data(), n, 6, out.data());
+      ASSERT_EQ(out, expected)
+          << "sel=" << selectivity << " tier=" << IsaTierName(tier);
+    });
+  }
+}
+
+TEST(SpecialGroupTest, SelectedRowsKeepTheirGroup) {
+  const size_t n = 100;
+  auto groups = test::RandomGroups(n, 4, 5);
+  auto sel = MakeSelectionBytes(n, 0.5, 6);
+  std::vector<uint8_t> out(n);
+  ApplySpecialGroup(groups.data(), sel.data(), n, 4, out.data());
+  for (size_t i = 0; i < n; ++i) {
+    if (sel[i]) {
+      EXPECT_EQ(out[i], groups.data()[i]);
+    } else {
+      EXPECT_EQ(out[i], 4);
+    }
+  }
+}
+
+TEST(SpecialGroupTest, InPlaceOperation) {
+  const size_t n = 300;
+  auto groups = test::RandomGroups(n, 5, 7);
+  auto sel = MakeSelectionBytes(n, 0.7, 8);
+  std::vector<uint8_t> expected(n);
+  internal::ApplySpecialGroupScalar(groups.data(), sel.data(), n, 5,
+                                    expected.data());
+  ApplySpecialGroup(groups.data(), sel.data(), n, 5, groups.data());
+  for (size_t i = 0; i < n; ++i) ASSERT_EQ(groups.data()[i], expected[i]);
+}
+
+TEST(SpecialGroupTest, SpecialIdCanBe255) {
+  const size_t n = 40;
+  auto groups = test::RandomGroups(n, 255, 9);
+  std::vector<uint8_t> sel(n, 0x00);
+  std::vector<uint8_t> out(n);
+  ApplySpecialGroup(groups.data(), sel.data(), n, 255, out.data());
+  for (uint8_t g : out) EXPECT_EQ(g, 255);
+}
+
+}  // namespace
+}  // namespace bipie

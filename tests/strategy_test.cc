@@ -1,0 +1,86 @@
+#include "core/strategy.h"
+
+#include <gtest/gtest.h>
+
+namespace bipie {
+namespace {
+
+TEST(SelectionStrategyTest, CrossoverGrowsWithBitWidth) {
+  // Figure 7: gather's win region expands as packed values get wider.
+  EXPECT_NEAR(GatherCrossoverSelectivity(4), 0.02, 1e-9);
+  EXPECT_NEAR(GatherCrossoverSelectivity(21), 0.38, 1e-9);
+  EXPECT_LT(GatherCrossoverSelectivity(7), GatherCrossoverSelectivity(14));
+  EXPECT_LT(GatherCrossoverSelectivity(14), GatherCrossoverSelectivity(21));
+  // Clamped at both ends.
+  EXPECT_GE(GatherCrossoverSelectivity(1), 0.02);
+  EXPECT_LE(GatherCrossoverSelectivity(64), 0.45);
+}
+
+TEST(SelectionStrategyTest, LowSelectivityPicksGather) {
+  EXPECT_EQ(ChooseSelectionStrategy(0.01, 14, true),
+            SelectionStrategy::kGather);
+  EXPECT_EQ(ChooseSelectionStrategy(0.30, 21, true),
+            SelectionStrategy::kGather);
+}
+
+TEST(SelectionStrategyTest, HighSelectivityPicksSpecialGroup) {
+  EXPECT_EQ(ChooseSelectionStrategy(0.98, 14, true),
+            SelectionStrategy::kSpecialGroup);
+  EXPECT_EQ(ChooseSelectionStrategy(0.50, 4, true),
+            SelectionStrategy::kSpecialGroup);
+}
+
+TEST(SelectionStrategyTest, CompactionIsTheFallback) {
+  EXPECT_EQ(ChooseSelectionStrategy(0.98, 14, false),
+            SelectionStrategy::kCompact);
+}
+
+TEST(AggregationStrategyTest, CountOnlyPrefersInRegister) {
+  EXPECT_EQ(ChooseAggregationStrategy(6, 0, 8, 1.0, false),
+            AggregationStrategy::kInRegister);
+  EXPECT_EQ(ChooseAggregationStrategy(200, 0, 8, 1.0, false),
+            AggregationStrategy::kScalar);
+}
+
+TEST(AggregationStrategyTest, SmallBitsSmallGroupsPicksInRegister) {
+  // Figure 8's regime: 8 groups, 7-bit values.
+  EXPECT_EQ(ChooseAggregationStrategy(8, 1, 7, 1.0, true),
+            AggregationStrategy::kInRegister);
+}
+
+TEST(AggregationStrategyTest, LowSelectivityManySumsPicksSortBased) {
+  // Figure 9/10 left region: sort + gather wins at 10-20% selectivity.
+  EXPECT_EQ(ChooseAggregationStrategy(12, 3, 14, 0.1, true),
+            AggregationStrategy::kSortBased);
+}
+
+TEST(AggregationStrategyTest, WideValuesManyGroupsPickMultiAggregate) {
+  // Figure 10's regime: 32 groups, 28-bit values, several sums.
+  EXPECT_EQ(ChooseAggregationStrategy(32, 4, 28, 0.8, true),
+            AggregationStrategy::kMultiAggregate);
+}
+
+TEST(AggregationStrategyTest, ScalarIsTheLastResort) {
+  // > 256-capable strategies unavailable: expression-wide values, no
+  // register fit, many groups.
+  EXPECT_EQ(ChooseAggregationStrategy(200, 6, 64, 0.9, false),
+            AggregationStrategy::kScalar);
+}
+
+TEST(StrategyNamesTest, AllNamed) {
+  EXPECT_STREQ(SelectionStrategyName(SelectionStrategy::kGather), "gather");
+  EXPECT_STREQ(SelectionStrategyName(SelectionStrategy::kCompact), "compact");
+  EXPECT_STREQ(SelectionStrategyName(SelectionStrategy::kSpecialGroup),
+               "special-group");
+  EXPECT_STREQ(AggregationStrategyName(AggregationStrategy::kInRegister),
+               "in-register");
+  EXPECT_STREQ(AggregationStrategyName(AggregationStrategy::kSortBased),
+               "sort-based");
+  EXPECT_STREQ(AggregationStrategyName(AggregationStrategy::kMultiAggregate),
+               "multi-aggregate");
+  EXPECT_STREQ(AggregationStrategyName(AggregationStrategy::kCheckedScalar),
+               "checked-scalar");
+}
+
+}  // namespace
+}  // namespace bipie

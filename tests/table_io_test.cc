@@ -1,0 +1,145 @@
+#include "storage/table_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "baseline/scalar_engine.h"
+#include "common/random.h"
+#include "core/scan.h"
+
+namespace bipie {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+Table MakeRichTable(size_t rows, uint64_t seed) {
+  Table table({{"flag", ColumnType::kString},
+               {"packed", ColumnType::kInt64, EncodingChoice::kBitPacked},
+               {"dict", ColumnType::kInt64, EncodingChoice::kDictionary},
+               {"runs", ColumnType::kInt64, EncodingChoice::kRle},
+               {"mono", ColumnType::kInt64, EncodingChoice::kDelta}});
+  TableAppender app(&table, 2048);
+  Rng rng(seed);
+  const char* flags[3] = {"A", "N", "R"};
+  for (size_t i = 0; i < rows; ++i) {
+    app.AppendRow({0, rng.NextInRange(-200, 200),
+                   1000 * static_cast<int64_t>(rng.NextBounded(5)),
+                   static_cast<int64_t>(i / 100),
+                   static_cast<int64_t>(i * 3) + rng.NextInRange(0, 2)},
+                  {flags[rng.NextBounded(3)], "", "", "", ""});
+  }
+  app.Flush();
+  return table;
+}
+
+TEST(TableIoTest, RoundTripPreservesEverything) {
+  Table original = MakeRichTable(5000, 11);
+  original.mutable_segment(0).DeleteRow(7);
+  original.mutable_segment(1).DeleteRow(100);
+  const std::string path = TempPath("roundtrip.bipie");
+  ASSERT_TRUE(SaveTable(original, path).ok());
+
+  auto loaded = LoadTable(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Table& t = loaded.value();
+  EXPECT_EQ(t.num_rows(), original.num_rows());
+  EXPECT_EQ(t.num_segments(), original.num_segments());
+  EXPECT_EQ(t.num_columns(), original.num_columns());
+  EXPECT_EQ(t.schema()[0].name, "flag");
+  EXPECT_EQ(t.segment(0).num_deleted(), 1u);
+  EXPECT_EQ(t.segment(0).alive_bytes()[7], 0x00);
+
+  // Encodings survived.
+  EXPECT_EQ(t.segment(0).column(1).encoding(), Encoding::kBitPacked);
+  EXPECT_EQ(t.segment(0).column(2).encoding(), Encoding::kDictionary);
+  EXPECT_EQ(t.segment(0).column(3).encoding(), Encoding::kRle);
+  EXPECT_EQ(t.segment(0).column(4).encoding(), Encoding::kDelta);
+  EXPECT_EQ(t.segment(0).column(0).string_dictionary()->size(), 3u);
+
+  // Decoded contents identical in every segment/column.
+  for (size_t s = 0; s < t.num_segments(); ++s) {
+    const size_t n = t.segment(s).num_rows();
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      std::vector<int64_t> a(n), b(n);
+      original.segment(s).column(c).DecodeInt64(0, n, a.data());
+      t.segment(s).column(c).DecodeInt64(0, n, b.data());
+      ASSERT_EQ(a, b) << "segment " << s << " column " << c;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TableIoTest, QueriesAgreeAfterReload) {
+  Table original = MakeRichTable(8000, 13);
+  const std::string path = TempPath("query.bipie");
+  ASSERT_TRUE(SaveTable(original, path).ok());
+  auto loaded = LoadTable(path);
+  ASSERT_TRUE(loaded.ok());
+
+  QuerySpec query;
+  query.group_by = {"flag"};
+  query.aggregates = {AggregateSpec::Count(), AggregateSpec::Sum("packed"),
+                      AggregateSpec::Min("dict"), AggregateSpec::Max("runs")};
+  query.filters.emplace_back("packed", CompareOp::kGe, int64_t{-50});
+  auto before = ExecuteQuery(original, query);
+  auto after = ExecuteQuery(loaded.value(), query);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(before.value().rows.size(), after.value().rows.size());
+  for (size_t r = 0; r < before.value().rows.size(); ++r) {
+    EXPECT_EQ(before.value().rows[r].sums, after.value().rows[r].sums);
+    EXPECT_EQ(before.value().rows[r].count, after.value().rows[r].count);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TableIoTest, EmptyTable) {
+  Table table({{"x", ColumnType::kInt64}});
+  const std::string path = TempPath("empty.bipie");
+  ASSERT_TRUE(SaveTable(table, path).ok());
+  auto loaded = LoadTable(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_rows(), 0u);
+  EXPECT_EQ(loaded.value().num_segments(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(TableIoTest, MissingFileIsAnError) {
+  auto loaded = LoadTable(TempPath("does-not-exist.bipie"));
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableIoTest, WrongMagicIsRejected) {
+  const std::string path = TempPath("garbage.bipie");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("NOTBIPIE-and-some-extra-garbage", 1, 31, f);
+  std::fclose(f);
+  auto loaded = LoadTable(path);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(TableIoTest, TruncatedFileIsRejected) {
+  Table table = MakeRichTable(1000, 15);
+  const std::string path = TempPath("truncated.bipie");
+  ASSERT_TRUE(SaveTable(table, path).ok());
+  // Truncate to the first 100 bytes.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  char head[100];
+  ASSERT_EQ(std::fread(head, 1, 100, f), 100u);
+  std::fclose(f);
+  f = std::fopen(path.c_str(), "wb");
+  std::fwrite(head, 1, 100, f);
+  std::fclose(f);
+  auto loaded = LoadTable(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bipie

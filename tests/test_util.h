@@ -1,0 +1,72 @@
+// Shared helpers for bipie tests.
+#ifndef BIPIE_TESTS_TEST_UTIL_H_
+#define BIPIE_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "common/bits.h"
+#include "common/cpu.h"
+#include "common/random.h"
+#include "encoding/bitpack.h"
+
+namespace bipie::test {
+
+// Runs the test body once per ISA tier actually available on this machine,
+// restoring the default tier afterwards.
+template <typename Fn>
+void ForEachIsaTier(Fn&& fn) {
+  const IsaTier detected = DetectIsaTier();
+  SetIsaTierForTesting(IsaTier::kScalar);
+  fn(IsaTier::kScalar);
+  if (detected >= IsaTier::kAvx2) {
+    SetIsaTierForTesting(IsaTier::kAvx2);
+    fn(IsaTier::kAvx2);
+  }
+  if (detected >= IsaTier::kAvx512) {
+    SetIsaTierForTesting(IsaTier::kAvx512);
+    fn(IsaTier::kAvx512);
+  }
+  SetIsaTierForTesting(detected);
+}
+
+// Random values each fitting in `bit_width` bits.
+inline std::vector<uint64_t> RandomPackedValues(size_t n, int bit_width,
+                                                uint64_t seed) {
+  std::vector<uint64_t> values(n);
+  Rng rng(seed);
+  const uint64_t mask = LowBitsMask(bit_width);
+  for (auto& v : values) v = rng.Next() & mask;
+  return values;
+}
+
+// Bit-packs values into a padded buffer.
+inline AlignedBuffer Pack(const std::vector<uint64_t>& values,
+                          int bit_width) {
+  AlignedBuffer buf(BitPackedBytes(values.size(), bit_width) + 8);
+  BitPack(values.data(), values.size(), bit_width, buf.data());
+  return buf;
+}
+
+// Random byte group ids below num_groups, in a padded buffer.
+inline AlignedBuffer RandomGroups(size_t n, int num_groups, uint64_t seed) {
+  AlignedBuffer buf(n);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    buf.data()[i] = static_cast<uint8_t>(rng.NextBounded(num_groups));
+  }
+  return buf;
+}
+
+// Copies a vector into a padded AlignedBuffer.
+template <typename T>
+AlignedBuffer ToPadded(const std::vector<T>& v) {
+  AlignedBuffer buf(v.size() * sizeof(T));
+  std::memcpy(buf.data(), v.data(), v.size() * sizeof(T));
+  return buf;
+}
+
+}  // namespace bipie::test
+
+#endif  // BIPIE_TESTS_TEST_UTIL_H_

@@ -1,0 +1,110 @@
+#include "tpch/q6.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baseline/hash_agg.h"
+#include "common/random.h"
+#include "baseline/scalar_engine.h"
+
+namespace bipie {
+namespace {
+
+LineitemOptions SmallOptions() {
+  LineitemOptions options;
+  options.num_rows = 60000;
+  options.segment_rows = 16384;
+  options.seed = 6;
+  return options;
+}
+
+TEST(Q6Test, SelectivityIsLow) {
+  Table t = MakeLineitemTable(SmallOptions());
+  BIPieScan scan(t, MakeQ6Query(t));
+  auto result = scan.Execute();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const double selectivity =
+      static_cast<double>(scan.stats().rows_selected) /
+      static_cast<double>(scan.stats().rows_scanned);
+  // Year window ~1/7, discount 3/11, quantity 23/50 -> ~1.8%.
+  EXPECT_GT(selectivity, 0.005);
+  EXPECT_LT(selectivity, 0.05);
+  // Low selectivity must route batches through gather selection.
+  EXPECT_GT(scan.stats().selection.gather, 0u);
+  EXPECT_EQ(scan.stats().selection.special_group, 0u);
+}
+
+TEST(Q6Test, MatchesOracleAndHashEngine) {
+  Table t = MakeLineitemTable(SmallOptions());
+  const QuerySpec query = MakeQ6Query(t);
+  auto expected = ExecuteQueryNaive(t, query);
+  auto got = RunQ6(t);
+  auto hashed = ExecuteQueryHashAgg(t, query);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_TRUE(hashed.ok());
+  ASSERT_EQ(got.value().rows.size(), 1u);
+  EXPECT_EQ(got.value().rows[0].sums, expected.value().rows[0].sums);
+  EXPECT_EQ(hashed.value().rows[0].sums, expected.value().rows[0].sums);
+  EXPECT_GT(Q6RevenueDollars(got.value()), 0.0);
+}
+
+TEST(Q6Test, ManualRevenueCrossCheck) {
+  Table t = MakeLineitemTable(SmallOptions());
+  auto got = RunQ6(t);
+  ASSERT_TRUE(got.ok());
+  // Recompute row by row from decoded columns.
+  __int128 revenue = 0;
+  uint64_t count = 0;
+  for (size_t s = 0; s < t.num_segments(); ++s) {
+    const Segment& seg = t.segment(s);
+    const size_t n = seg.num_rows();
+    std::vector<int64_t> ship(n), disc(n), qty(n), ext(n);
+    seg.column(kColShipDate).DecodeInt64(0, n, ship.data());
+    seg.column(kColDiscount).DecodeInt64(0, n, disc.data());
+    seg.column(kColQuantity).DecodeInt64(0, n, qty.data());
+    seg.column(kColExtendedPrice).DecodeInt64(0, n, ext.data());
+    for (size_t i = 0; i < n; ++i) {
+      if (ship[i] >= kQ6DateLo && ship[i] < kQ6DateHi && disc[i] >= 5 &&
+          disc[i] <= 7 && qty[i] < 2400) {
+        revenue += static_cast<__int128>(ext[i]) * disc[i];
+        ++count;
+      }
+    }
+  }
+  EXPECT_EQ(got.value().rows[0].sums[0], static_cast<int64_t>(revenue));
+  EXPECT_EQ(got.value().rows[0].count, count);
+}
+
+TEST(Q6Test, SegmentEliminationOnDateSortedData) {
+  // When lineitem is (synthetically) sorted by shipdate, per-segment date
+  // ranges are tight and the one-year window eliminates most segments.
+  Table sorted({{"l_quantity", ColumnType::kInt64, EncodingChoice::kBitPacked},
+                {"l_extendedprice", ColumnType::kInt64,
+                 EncodingChoice::kBitPacked},
+                {"l_discount", ColumnType::kInt64, EncodingChoice::kBitPacked},
+                {"l_shipdate", ColumnType::kInt64,
+                 EncodingChoice::kBitPacked}});
+  TableAppender app(&sorted, 8192);
+  Rng rng(60);
+  const size_t rows = 80000;
+  for (size_t i = 0; i < rows; ++i) {
+    const int64_t day = static_cast<int64_t>(i * (kShipDateMax + 1) / rows);
+    app.AppendRow({rng.NextInRange(100, 5000),
+                   rng.NextInRange(90000, 10000000),
+                   rng.NextInRange(0, 10), day});
+  }
+  app.Flush();
+  QuerySpec query;
+  query.aggregates = {AggregateSpec::Count()};
+  query.filters.emplace_back("l_shipdate", CompareOp::kGe, kQ6DateLo);
+  query.filters.emplace_back("l_shipdate", CompareOp::kLt, kQ6DateHi);
+  BIPieScan scan(sorted, query);
+  auto result = scan.Execute();
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(scan.stats().segments_eliminated, scan.stats().segments_scanned);
+}
+
+}  // namespace
+}  // namespace bipie

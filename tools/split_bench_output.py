@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""Splits bench_output.txt into per-binary files under bench_results/.
+
+Usage: python3 tools/split_bench_output.py [bench_output.txt] [bench_results/]
+Keeps EXPERIMENTS.md's per-experiment pointers valid after regenerating the
+combined output with the loop in the README.
+"""
+import os
+import sys
+
+
+def main() -> None:
+    src = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    out_dir = sys.argv[2] if len(sys.argv) > 2 else "bench_results"
+    os.makedirs(out_dir, exist_ok=True)
+    current = None
+    handle = None
+    with open(src) as f:
+        for line in f:
+            if line.startswith("################ "):
+                name = line.strip("#\n ").strip()
+                if handle:
+                    handle.close()
+                current = os.path.join(out_dir, f"{name}.txt")
+                handle = open(current, "w")
+                continue
+            if handle:
+                handle.write(line)
+    if handle:
+        handle.close()
+    print(f"split {src} into {out_dir}/")
+
+
+if __name__ == "__main__":
+    main()
