@@ -78,6 +78,9 @@ Status BIPieScan::ScanSegment(size_t segment_index,
                      sel_buf.data());
       }
     }
+    // The merged vector (filter results ANDed with the liveness mask) is the
+    // last point before the kernels consume it; every byte must be canonical.
+    BIPIE_DCHECK_SEL_CANONICAL(sel, view.num_rows);
     if (sel != nullptr) {
       stats->rows_selected += CountSelected(sel, view.num_rows);
     } else {
@@ -152,14 +155,22 @@ Result<QueryResult> BIPieScan::Execute() {
   const size_t threads =
       std::max<size_t>(1, std::min<size_t>(options_.num_threads, work.size()));
   std::vector<std::vector<SegmentContribution>> contributions(work.size());
-  Status failure;
+  // Per-work-item status so error selection cannot depend on thread
+  // scheduling: the failure reported to the caller is always the
+  // lowest-indexed real error, falling back to the lowest-indexed
+  // kNotSupported rejection. A real error (e.g. kOverflowRisk) must never be
+  // masked by another segment's kNotSupported, which would silently flip the
+  // hash-fallback decision with thread ordering.
+  std::vector<Status> work_status(work.size());
 
   if (threads <= 1) {
     for (size_t w = 0; w < work.size(); ++w) {
-      Status st =
+      work_status[w] =
           ScanSegment(work[w], filter_cols, &stats_, &contributions[w]);
-      if (!st.ok()) {
-        failure = st;
+      // Keep scanning past kNotSupported (a later segment may surface a real
+      // error that must take precedence); stop on real errors.
+      if (!work_status[w].ok() &&
+          work_status[w].code() != StatusCode::kNotSupported) {
         break;
       }
     }
@@ -168,7 +179,6 @@ Result<QueryResult> BIPieScan::Execute() {
     // across worker threads (the paper's scan parallelism unit).
     std::atomic<size_t> next{0};
     std::vector<ScanStats> thread_stats(threads);
-    std::vector<Status> thread_status(threads);
     std::vector<std::thread> pool;
     pool.reserve(threads);
     for (size_t t = 0; t < threads; ++t) {
@@ -176,10 +186,10 @@ Result<QueryResult> BIPieScan::Execute() {
         for (;;) {
           const size_t w = next.fetch_add(1);
           if (w >= work.size()) return;
-          Status st = ScanSegment(work[w], filter_cols, &thread_stats[t],
-                                  &contributions[w]);
-          if (!st.ok()) {
-            thread_status[t] = st;
+          work_status[w] = ScanSegment(work[w], filter_cols,
+                                       &thread_stats[t], &contributions[w]);
+          if (!work_status[w].ok() &&
+              work_status[w].code() != StatusCode::kNotSupported) {
             return;
           }
         }
@@ -187,7 +197,6 @@ Result<QueryResult> BIPieScan::Execute() {
     }
     for (std::thread& t : pool) t.join();
     for (size_t t = 0; t < threads; ++t) {
-      if (!thread_status[t].ok()) failure = thread_status[t];
       stats_.batches += thread_stats[t].batches;
       stats_.rows_scanned += thread_stats[t].rows_scanned;
       stats_.rows_selected += thread_stats[t].rows_selected;
@@ -203,6 +212,18 @@ Result<QueryResult> BIPieScan::Execute() {
     }
   }
 
+  // Deterministic failure choice: lowest-indexed non-kNotSupported error
+  // first, then lowest-indexed kNotSupported rejection.
+  Status failure;
+  for (const Status& st : work_status) {
+    if (st.ok()) continue;
+    if (failure.ok() || (failure.code() == StatusCode::kNotSupported &&
+                         st.code() != StatusCode::kNotSupported)) {
+      failure = st;
+    }
+    if (failure.code() != StatusCode::kNotSupported) break;
+  }
+
   if (!failure.ok()) {
     // Outside the specialized envelope (e.g. >255 combined groups): degrade
     // gracefully to the generic engine — unless the caller explicitly
@@ -210,6 +231,14 @@ Result<QueryResult> BIPieScan::Execute() {
     if (failure.code() == StatusCode::kNotSupported &&
         !options_.overrides.selection.has_value() &&
         !options_.overrides.aggregation.has_value()) {
+      // The progress counters describe the aborted specialized scan, not the
+      // query that is about to run; reset them so callers never see a mix of
+      // the two runs. The segment plan (scanned/eliminated) still stands.
+      stats_.batches = 0;
+      stats_.rows_scanned = 0;
+      stats_.rows_selected = 0;
+      stats_.selection = AggregateProcessor::SelectionStats{};
+      for (size_t a = 0; a < 5; ++a) stats_.aggregation_segments[a] = 0;
       stats_.used_hash_fallback = true;
       return ExecuteQueryHashAgg(table_, query_);
     }
@@ -221,8 +250,12 @@ Result<QueryResult> BIPieScan::Execute() {
   std::map<GroupKey, ResultRow> merged;
   for (const auto& segment_contributions : contributions) {
     for (const SegmentContribution& c : segment_contributions) {
-      ResultRow& row = merged[c.key];
-      const bool first_contribution = row.sums.empty();
+      // try_emplace makes first-contribution detection structural: testing
+      // row.sums.empty() breaks down for count-only queries (num_specs == 0
+      // keeps sums empty forever, so MIN/MAX seeding and group assignment
+      // would re-trigger on every contribution).
+      auto [it, first_contribution] = merged.try_emplace(c.key);
+      ResultRow& row = it->second;
       if (first_contribution) {
         row.group = c.key;
         row.sums.assign(num_specs, 0);

@@ -16,7 +16,9 @@ class Writer {
   explicit Writer(std::FILE* f) : f_(f) {}
 
   void Bytes(const void* data, size_t n) {
-    ok_ = ok_ && std::fwrite(data, 1, n, f_) == n;
+    // n == 0 short-circuits: empty payloads (e.g. zero-length strings) may
+    // legally pass a null pointer, which fwrite must not receive.
+    ok_ = ok_ && (n == 0 || std::fwrite(data, 1, n, f_) == n);
   }
   void U8(uint8_t v) { Bytes(&v, 1); }
   void U32(uint32_t v) { Bytes(&v, 4); }
@@ -39,7 +41,7 @@ class Reader {
   explicit Reader(std::FILE* f) : f_(f) {}
 
   bool Bytes(void* data, size_t n) {
-    ok_ = ok_ && std::fread(data, 1, n, f_) == n;
+    ok_ = ok_ && (n == 0 || std::fread(data, 1, n, f_) == n);
     return ok_;
   }
   bool U8(uint8_t* v) { return Bytes(v, 1); }

@@ -7,6 +7,7 @@
 
 #include "common/cpu.h"
 #include "common/macros.h"
+#include "vector/selection_vector.h"
 
 namespace bipie {
 
@@ -18,7 +19,7 @@ size_t CompactToIndexVectorScalar(const uint8_t* sel, size_t n, uint32_t base,
   size_t count = 0;
   for (size_t i = 0; i < n; ++i) {
     out[count] = base + static_cast<uint32_t>(i);
-    count += sel[i] & 1;
+    count += SelectionByteIsSet(sel[i]);
   }
   return count;
 }
@@ -32,7 +33,7 @@ size_t CompactValuesScalar(const uint8_t* sel, const void* values, size_t n,
       auto* o = static_cast<uint8_t*>(out);
       for (size_t i = 0; i < n; ++i) {
         o[count] = v[i];
-        count += sel[i] & 1;
+        count += SelectionByteIsSet(sel[i]);
       }
       return count;
     }
@@ -41,7 +42,7 @@ size_t CompactValuesScalar(const uint8_t* sel, const void* values, size_t n,
       auto* o = static_cast<uint16_t*>(out);
       for (size_t i = 0; i < n; ++i) {
         o[count] = v[i];
-        count += sel[i] & 1;
+        count += SelectionByteIsSet(sel[i]);
       }
       return count;
     }
@@ -50,7 +51,7 @@ size_t CompactValuesScalar(const uint8_t* sel, const void* values, size_t n,
       auto* o = static_cast<uint32_t*>(out);
       for (size_t i = 0; i < n; ++i) {
         o[count] = v[i];
-        count += sel[i] & 1;
+        count += SelectionByteIsSet(sel[i]);
       }
       return count;
     }
@@ -59,7 +60,7 @@ size_t CompactValuesScalar(const uint8_t* sel, const void* values, size_t n,
       auto* o = static_cast<uint64_t*>(out);
       for (size_t i = 0; i < n; ++i) {
         o[count] = v[i];
-        count += sel[i] & 1;
+        count += SelectionByteIsSet(sel[i]);
       }
       return count;
     }
@@ -121,7 +122,7 @@ size_t CompactToIndexVectorAvx2(const uint8_t* sel, size_t n, uint32_t base,
   }
   for (; i < n; ++i) {
     out[count] = base + static_cast<uint32_t>(i);
-    count += sel[i] & 1;
+    count += SelectionByteIsSet(sel[i]);
   }
   return count;
 }
@@ -142,7 +143,7 @@ size_t CompactValues1Avx2(const uint8_t* sel, const uint8_t* values, size_t n,
   }
   for (; i < n; ++i) {
     out[count] = values[i];
-    count += sel[i] & 1;
+    count += SelectionByteIsSet(sel[i]);
   }
   return count;
 }
@@ -172,7 +173,7 @@ size_t CompactValues2Avx2(const uint8_t* sel, const uint16_t* values,
   }
   for (; i < n; ++i) {
     out[count] = values[i];
-    count += sel[i] & 1;
+    count += SelectionByteIsSet(sel[i]);
   }
   return count;
 }
@@ -194,7 +195,7 @@ size_t CompactValues4Avx2(const uint8_t* sel, const uint32_t* values,
   }
   for (; i < n; ++i) {
     out[count] = values[i];
-    count += sel[i] & 1;
+    count += SelectionByteIsSet(sel[i]);
   }
   return count;
 }
@@ -215,10 +216,10 @@ size_t CompactValues8Avx2(const uint8_t* sel, const uint64_t* values,
   size_t i = 0;
   for (; i + 4 <= n; i += 4) {
     uint32_t m = 0;
-    m |= (sel[i] & 1) << 0;
-    m |= (sel[i + 1] & 1) << 1;
-    m |= (sel[i + 2] & 1) << 2;
-    m |= (sel[i + 3] & 1) << 3;
+    m |= static_cast<uint32_t>(SelectionByteIsSet(sel[i])) << 0;
+    m |= static_cast<uint32_t>(SelectionByteIsSet(sel[i + 1])) << 1;
+    m |= static_cast<uint32_t>(SelectionByteIsSet(sel[i + 2])) << 2;
+    m |= static_cast<uint32_t>(SelectionByteIsSet(sel[i + 3])) << 3;
     const __m256i perm = _mm256_load_si256(
         reinterpret_cast<const __m256i*>(kPerm64[m]));
     const __m256i data =
@@ -229,7 +230,7 @@ size_t CompactValues8Avx2(const uint8_t* sel, const uint64_t* values,
   }
   for (; i < n; ++i) {
     out[count] = values[i];
-    count += sel[i] & 1;
+    count += SelectionByteIsSet(sel[i]);
   }
   return count;
 }
@@ -242,6 +243,7 @@ size_t CompactToIndexVector(const uint8_t* sel, size_t n, uint32_t* out) {
 
 size_t CompactToIndexVector(const uint8_t* sel, size_t n, uint32_t base,
                             uint32_t* out) {
+  BIPIE_DCHECK_SEL_CANONICAL(sel, n);
   const IsaTier tier = CurrentIsaTier();
   if (tier >= IsaTier::kAvx512) {
     return internal::CompactToIndexVectorAvx512(sel, n, base, out);
@@ -254,6 +256,7 @@ size_t CompactToIndexVector(const uint8_t* sel, size_t n, uint32_t base,
 
 size_t CompactValues(const uint8_t* sel, const void* values, size_t n,
                      int elem_bytes, void* out) {
+  BIPIE_DCHECK_SEL_CANONICAL(sel, n);
   const IsaTier tier = CurrentIsaTier();
   if (tier >= IsaTier::kAvx512) {
     // 4- and 8-byte elements use compress-store; narrower elements would

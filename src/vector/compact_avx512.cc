@@ -9,6 +9,7 @@
 
 #include "common/macros.h"
 #include "vector/compact.h"
+#include "vector/selection_vector.h"
 
 namespace bipie::internal {
 
@@ -29,7 +30,7 @@ size_t CompactToIndexVectorAvx512(const uint8_t* sel, size_t n,
   }
   for (; i < n; ++i) {
     out[count] = base + static_cast<uint32_t>(i);
-    count += sel[i] & 1;
+    count += SelectionByteIsSet(sel[i]);
   }
   return count;
 }
@@ -48,7 +49,7 @@ size_t CompactValues4Avx512(const uint8_t* sel, const uint32_t* values,
   }
   for (; i < n; ++i) {
     out[count] = values[i];
-    count += sel[i] & 1;
+    count += SelectionByteIsSet(sel[i]);
   }
   return count;
 }
@@ -68,7 +69,7 @@ size_t CompactValues8Avx512(const uint8_t* sel, const uint64_t* values,
   }
   for (; i < n; ++i) {
     out[count] = values[i];
-    count += sel[i] & 1;
+    count += SelectionByteIsSet(sel[i]);
   }
   return count;
 }

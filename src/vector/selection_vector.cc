@@ -9,7 +9,15 @@
 
 namespace bipie {
 
+bool SelectionBytesAreCanonical(const uint8_t* sel, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (sel[i] != kRowSelected && sel[i] != kRowRejected) return false;
+  }
+  return true;
+}
+
 size_t CountSelected(const uint8_t* sel, size_t n) {
+  BIPIE_DCHECK_SEL_CANONICAL(sel, n);
   size_t count = 0;
   size_t i = 0;
   if (CurrentIsaTier() >= IsaTier::kAvx2) {
@@ -20,7 +28,7 @@ size_t CountSelected(const uint8_t* sel, size_t n) {
           static_cast<uint32_t>(_mm256_movemask_epi8(v)));
     }
   }
-  for (; i < n; ++i) count += sel[i] & 1;
+  for (; i < n; ++i) count += SelectionByteIsSet(sel[i]);
   return count;
 }
 

@@ -1,26 +1,71 @@
 // Selection vector representations (§4).
 //
-// A *selection byte vector* has one byte per row: 0x00 marks a rejected row,
-// 0xFF a selected one — exactly the layout AVX2 byte comparisons produce, so
-// filter evaluation writes it for free. A *selection index vector* lists the
-// ordinal positions of qualifying rows as uint32.
+// A *selection byte vector* has one byte per row. The canonical encoding is
+//   0x00  — rejected row
+//   0xFF  — selected row
+// and no other value is legal. This is exactly the layout AVX2/AVX-512 byte
+// comparisons produce, so filter evaluation writes it for free — and it is
+// the only encoding on which every kernel tier agrees:
+//
+//   * the scalar tails test the sign bit (`sel[i] >> 7`),
+//   * the AVX2 kernels read the sign bit via VPMOVMSKB,
+//   * the AVX2 PEXT kernels consume the *full* byte as an 8-bit lane mask,
+//   * the AVX-512 kernels derive lane masks with VPTESTMB (byte != 0).
+//
+// A byte like 0x01 would be "selected" to VPTESTMB but "rejected" to
+// VPMOVMSKB; 0x80 would satisfy VPMOVMSKB but corrupt a PEXT compaction.
+// Every producer (predicate evaluation, the deleted-row liveness mask,
+// AndSelection merges) must therefore emit full 0x00/0xFF bytes; builds with
+// BIPIE_VALIDATE_SELECTION defined verify this at every kernel boundary.
+//
+// A *selection index vector* lists the ordinal positions of qualifying rows
+// as uint32.
 #ifndef BIPIE_VECTOR_SELECTION_VECTOR_H_
 #define BIPIE_VECTOR_SELECTION_VECTOR_H_
 
 #include <cstddef>
 #include <cstdint>
 
+#include "common/macros.h"
+
 namespace bipie {
 
 inline constexpr uint8_t kRowSelected = 0xFF;
 inline constexpr uint8_t kRowRejected = 0x00;
+
+// 1 when the selection byte marks a selected row, else 0. Scalar kernels
+// must use this instead of ad-hoc bit tests so they share the sign-bit
+// semantics of the SIMD movemask tiers for any (even non-canonical) input.
+BIPIE_ALWAYS_INLINE uint8_t SelectionByteIsSet(uint8_t b) { return b >> 7; }
+
+// True when every byte of `sel` is canonical (0x00 or 0xFF). O(n); meant
+// for validation, not hot paths.
+bool SelectionBytesAreCanonical(const uint8_t* sel, size_t n);
+
+// Aborts (via BIPIE_DCHECK) when a selection byte vector violates the
+// canonical 0x00/0xFF convention. Compiled in only when
+// BIPIE_VALIDATE_SELECTION is defined (debug and sanitizer presets); the
+// release hot path pays nothing.
+#ifdef BIPIE_VALIDATE_SELECTION
+#define BIPIE_DCHECK_SEL_CANONICAL(sel, n)                                \
+  do {                                                                    \
+    if ((sel) != nullptr) {                                               \
+      BIPIE_DCHECK(::bipie::SelectionBytesAreCanonical((sel), (n)));      \
+    }                                                                     \
+  } while (0)
+#else
+#define BIPIE_DCHECK_SEL_CANONICAL(sel, n) \
+  do {                                     \
+  } while (0)
+#endif
 
 // Number of selected rows in a byte vector. SIMD on the AVX2 tier.
 size_t CountSelected(const uint8_t* sel, size_t n);
 
 // dst[i] = a[i] & b[i] — merges two byte vectors, e.g. a filter result with
 // the segment's deleted-row liveness mask (§4: "we write a zero in the
-// selection byte vector position for each deleted record").
+// selection byte vector position for each deleted record"). Canonical inputs
+// yield canonical output.
 void AndSelection(const uint8_t* a, const uint8_t* b, size_t n, uint8_t* dst);
 
 }  // namespace bipie

@@ -3,6 +3,7 @@
 #include <immintrin.h>
 
 #include "common/cpu.h"
+#include "vector/selection_vector.h"
 
 namespace bipie {
 
@@ -21,6 +22,9 @@ void ApplySpecialGroupScalar(const uint8_t* group_ids, const uint8_t* sel,
 
 void ApplySpecialGroup(const uint8_t* group_ids, const uint8_t* sel,
                        size_t n, uint8_t special_group, uint8_t* out) {
+  // The branch-free scalar select and the AVX2 blendv both require canonical
+  // full-byte masks; 0x01 would merge garbage group ids.
+  BIPIE_DCHECK_SEL_CANONICAL(sel, n);
   if (CurrentIsaTier() >= IsaTier::kAvx512) {
     internal::ApplySpecialGroupAvx512(group_ids, sel, n, special_group, out);
     return;

@@ -128,5 +128,109 @@ TEST(CompactValuesTest, EmptyInput) {
   EXPECT_EQ(CompactValues(nullptr, &v, 0, 4, out.data()), 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Tail and boundary coverage at every ISA tier. The SIMD kernels stride 4
+// (AVX2 8-byte LUT), 8 (AVX2 4-byte LUT, AVX-512 64-bit compress) or 16
+// (AVX-512 32-bit compress) selection bytes per step, so every residue class
+// of those strides — and lengths too short to enter any main loop — must hit
+// the scalar tail correctly.
+// ---------------------------------------------------------------------------
+
+const size_t kBoundaryLengths[] = {0, 1, 2,  3,  4,  5,  6,  7, 8,
+                                   9, 12, 15, 17, 23, 31, 33, 41};
+
+// Masks that stress the tails hardest: nothing selected, everything
+// selected, and an alternating pattern that differs in every lane.
+std::vector<std::vector<uint8_t>> BoundaryMasks(size_t n) {
+  std::vector<std::vector<uint8_t>> masks;
+  masks.emplace_back(n, uint8_t{0x00});
+  masks.emplace_back(n, uint8_t{0xFF});
+  std::vector<uint8_t> alternating(n);
+  for (size_t i = 0; i < n; ++i) alternating[i] = i % 2 ? 0xFF : 0x00;
+  masks.push_back(std::move(alternating));
+  return masks;
+}
+
+TEST(CompactBoundary, IndexVectorTailsEveryTier) {
+  for (size_t n : kBoundaryLengths) {
+    for (const auto& sel : BoundaryMasks(n)) {
+      // Independent naive reference (not the kernel's own scalar tail).
+      std::vector<uint32_t> expected;
+      for (size_t i = 0; i < n; ++i) {
+        if (sel[i] == 0xFF) expected.push_back(static_cast<uint32_t>(i));
+      }
+      test::ForEachIsaTier([&](IsaTier tier) {
+        AlignedBuffer out((n + 16) * sizeof(uint32_t));
+        const size_t count = CompactToIndexVector(
+            n == 0 ? nullptr : sel.data(), n, out.data_as<uint32_t>());
+        ASSERT_EQ(count, expected.size())
+            << "n=" << n << " tier=" << IsaTierName(tier);
+        for (size_t i = 0; i < count; ++i) {
+          ASSERT_EQ(out.data_as<uint32_t>()[i], expected[i])
+              << "n=" << n << " i=" << i << " tier=" << IsaTierName(tier);
+        }
+      });
+    }
+  }
+}
+
+TEST(CompactBoundary, ValueTailsEveryWidthAndTier) {
+  for (size_t n : kBoundaryLengths) {
+    for (const auto& sel : BoundaryMasks(n)) {
+      for (int elem_bytes : {1, 2, 4, 8}) {
+        AlignedBuffer values(n * elem_bytes + 8);
+        Rng rng(1000 + n);
+        for (size_t i = 0; i < values.size(); ++i) {
+          values.data()[i] = static_cast<uint8_t>(rng.Next());
+        }
+        std::vector<uint8_t> expected;
+        for (size_t i = 0; i < n; ++i) {
+          if (sel[i] != 0xFF) continue;
+          for (int b = 0; b < elem_bytes; ++b) {
+            expected.push_back(values.data()[i * elem_bytes + b]);
+          }
+        }
+        test::ForEachIsaTier([&](IsaTier tier) {
+          AlignedBuffer out(n * elem_bytes + 64);
+          const size_t count =
+              CompactValues(n == 0 ? nullptr : sel.data(), values.data(), n,
+                            elem_bytes, out.data());
+          ASSERT_EQ(count * elem_bytes, expected.size())
+              << "n=" << n << " elem=" << elem_bytes
+              << " tier=" << IsaTierName(tier);
+          if (!expected.empty()) {
+            ASSERT_EQ(
+                std::memcmp(out.data(), expected.data(), expected.size()), 0)
+                << "n=" << n << " elem=" << elem_bytes
+                << " tier=" << IsaTierName(tier);
+          }
+        });
+      }
+    }
+  }
+}
+
+TEST(CompactBoundary, BaseNearUint32Max) {
+  // Row ids are uint32; a segment whose batch starts near the top of that
+  // range must not wrap in the SIMD id-materialization (iota + base).
+  const size_t n = 41;
+  const uint32_t base = UINT32_MAX - static_cast<uint32_t>(n) + 1;
+  auto sel = MakeSelectionBytes(n, 0.5, 4242);
+  std::vector<uint32_t> expected;
+  for (size_t i = 0; i < n; ++i) {
+    if (sel[i] == 0xFF) expected.push_back(base + static_cast<uint32_t>(i));
+  }
+  test::ForEachIsaTier([&](IsaTier tier) {
+    AlignedBuffer out((n + 16) * sizeof(uint32_t));
+    const size_t count =
+        CompactToIndexVector(sel.data(), n, base, out.data_as<uint32_t>());
+    ASSERT_EQ(count, expected.size()) << IsaTierName(tier);
+    for (size_t i = 0; i < count; ++i) {
+      ASSERT_EQ(out.data_as<uint32_t>()[i], expected[i])
+          << "i=" << i << " tier=" << IsaTierName(tier);
+    }
+  });
+}
+
 }  // namespace
 }  // namespace bipie

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <tuple>
 #include <vector>
@@ -70,6 +71,41 @@ TEST(GatherSelectTest, SingleSelectedRow) {
   AlignedBuffer out(4 + 32);
   GatherSelect(packed.data(), 21, &index, 1, out.data(), 4);
   EXPECT_EQ(out.data_as<uint32_t>()[0], values[4095]);
+}
+
+// Index-vector lengths too short to fill a SIMD stride, and lengths that
+// leave every possible scalar-tail remainder (strides of 4 and 8 lanes
+// depending on word width and tier), must all decode exactly.
+TEST(GatherSelectTest, ShortAndUnalignedCountsEveryTier) {
+  const size_t n = 509;  // prime: no count below divides it evenly
+  for (int w : {1, 5, 8, 13, 21, 33, 64}) {
+    auto values = test::RandomPackedValues(n, w, 7000 + w);
+    auto packed = test::Pack(values, w);
+    for (size_t count : {size_t{1}, size_t{2}, size_t{3}, size_t{5},
+                         size_t{7}, size_t{9}, size_t{13}, size_t{31},
+                         size_t{33}}) {
+      // Spread the indices across the batch, ending at the last row so the
+      // gather touches the final (partially packed) word.
+      std::vector<uint32_t> idx(count);
+      for (size_t i = 0; i < count; ++i) {
+        idx[i] = static_cast<uint32_t>(i * (n - 1) / std::max<size_t>(
+                                                         1, count - 1));
+      }
+      for (int word = SmallestWordBytes(w); word <= 8; word *= 2) {
+        test::ForEachIsaTier([&](IsaTier tier) {
+          AlignedBuffer out(count * word + 32);
+          GatherSelect(packed.data(), w, idx.data(), count, out.data(), word);
+          for (size_t i = 0; i < count; ++i) {
+            uint64_t got = 0;
+            std::memcpy(&got, out.data() + i * word, word);
+            ASSERT_EQ(got, values[idx[i]])
+                << "w=" << w << " count=" << count << " word=" << word
+                << " i=" << i << " tier=" << IsaTierName(tier);
+          }
+        });
+      }
+    }
+  }
 }
 
 TEST(GatherSelectTest, RepeatedIndicesAllowedWithinAscendingRuns) {

@@ -1,0 +1,92 @@
+// Command-line driver for the differential correctness harness.
+//
+// Usage:
+//   bipie_fuzz [--seed N] [--iters N] [--budget-seconds S] [--verbose]
+//   bipie_fuzz --replay "seed=42 rows=375 segment_rows=128 ..."
+//
+// The first form runs seeds [seed, seed+iters), stopping early when the
+// wall-clock budget (if any) runs out, and exits non-zero at the first
+// failing case after shrinking it and printing a --replay line. The second
+// form re-runs exactly one case from a printed replay line.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "fuzz_harness.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seed N] [--iters N] [--budget-seconds S] "
+               "[--verbose]\n"
+               "       %s --replay \"seed=N rows=N ...\"\n",
+               argv0, argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t seed = 1;
+  uint64_t iters = 200;
+  double budget_seconds = 0.0;
+  bool verbose = false;
+  std::string replay;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        Usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      seed = std::strtoull(need_value("--seed"), nullptr, 10);
+    } else if (arg == "--iters") {
+      iters = std::strtoull(need_value("--iters"), nullptr, 10);
+    } else if (arg == "--budget-seconds") {
+      budget_seconds = std::strtod(need_value("--budget-seconds"), nullptr);
+    } else if (arg == "--replay") {
+      replay = need_value("--replay");
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  if (!replay.empty()) {
+    bipie::fuzz::CaseParams params;
+    std::string error;
+    if (!bipie::fuzz::ParseCaseParams(replay, &params, &error)) {
+      std::fprintf(stderr, "bad --replay line: %s\n", error.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "[bipie_fuzz] replaying %s\n",
+                 params.ToString().c_str());
+    if (bipie::fuzz::RunOneCase(params, &error)) {
+      std::fprintf(stderr, "[bipie_fuzz] case is green\n");
+      return 0;
+    }
+    std::fprintf(stderr, "[bipie_fuzz] FAILURE: %s\n", error.c_str());
+    return 1;
+  }
+
+  const bipie::fuzz::FuzzResult result =
+      bipie::fuzz::RunFuzz(seed, iters, budget_seconds, verbose);
+  std::fprintf(stderr,
+               "[bipie_fuzz] %" PRIu64 " iteration(s), %" PRIu64
+               " failure(s)\n",
+               result.iterations, result.failures);
+  return result.failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,521 @@
+#include "fuzz_harness.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baseline/hash_agg.h"
+#include "common/random.h"
+#include "core/scan.h"
+#include "storage/table.h"
+
+namespace bipie::fuzz {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Case construction. Everything below must be a pure function of CaseParams:
+// the shrinker relies on field overrides keeping the rest of the case stable.
+// ---------------------------------------------------------------------------
+
+struct BuiltCase {
+  Table table;
+  QuerySpec query;
+
+  explicit BuiltCase(Schema schema) : table(std::move(schema)) {}
+};
+
+// Value domain of one generated aggregate/filter column.
+struct ValueColumn {
+  int64_t lo = 0;
+  int64_t hi = 0;
+  EncodingChoice encoding = EncodingChoice::kAuto;
+};
+
+std::string GroupString(int id) { return "grp" + std::to_string(id); }
+
+Schema MakeFuzzSchema(const CaseParams& p, Rng* rng,
+                      std::vector<ValueColumn>* value_cols,
+                      bool* g1_is_string) {
+  Schema schema;
+  *g1_is_string = rng->NextBernoulli(0.5);
+  if (p.group_columns >= 1) {
+    schema.push_back({"g1",
+                      *g1_is_string ? ColumnType::kString : ColumnType::kInt64,
+                      EncodingChoice::kDictionary});
+  }
+  if (p.group_columns >= 2) {
+    schema.push_back({"g2", ColumnType::kInt64,
+                      rng->NextBernoulli(0.3) ? EncodingChoice::kRle
+                                              : EncodingChoice::kDictionary});
+  }
+  // Three aggregate/filter value columns spanning the encoding and bit-width
+  // matrix. Dictionary is only forced when the domain provably fits the
+  // 2^16-entry cap; the other encodings take any range.
+  for (int c = 0; c < 3; ++c) {
+    ValueColumn vc;
+    const int bits = 1 + static_cast<int>(rng->NextBounded(40));
+    const int64_t base =
+        rng->NextInRange(-(int64_t{1} << 20), int64_t{1} << 20);
+    vc.lo = base;
+    vc.hi = base + (bits >= 62 ? (int64_t{1} << 40)
+                               : std::max<int64_t>(0, (int64_t{1} << bits) - 1));
+    switch (rng->NextBounded(5)) {
+      case 0:
+        vc.encoding = EncodingChoice::kBitPacked;
+        break;
+      case 1:
+        vc.encoding = (vc.hi - vc.lo) < (1 << 12) ? EncodingChoice::kDictionary
+                                                  : EncodingChoice::kAuto;
+        break;
+      case 2:
+        vc.encoding = EncodingChoice::kDelta;
+        break;
+      case 3:
+        vc.encoding = EncodingChoice::kRle;
+        break;
+      default:
+        vc.encoding = EncodingChoice::kAuto;
+        break;
+    }
+    value_cols->push_back(vc);
+    schema.push_back(
+        {"v" + std::to_string(c), ColumnType::kInt64, vc.encoding});
+  }
+  if (p.wide_bits > 0) {
+    // Wide filter-only column: exercises 41..63-bit unpack/compare paths.
+    // Never aggregated (a 2^62-magnitude sum would overflow int64 and turn
+    // every plan into an overflow abort).
+    ValueColumn vc;
+    vc.lo = 0;
+    vc.hi = (int64_t{1} << std::min(p.wide_bits, 62)) - 1;
+    vc.encoding = EncodingChoice::kBitPacked;
+    value_cols->push_back(vc);
+    schema.push_back({"w", ColumnType::kInt64, EncodingChoice::kBitPacked});
+  }
+  return schema;
+}
+
+BuiltCase BuildCase(const CaseParams& p) {
+  Rng rng(p.seed * 6364136223846793005ULL + 1442695040888963407ULL);
+  std::vector<ValueColumn> value_cols;
+  bool g1_is_string = false;
+  BuiltCase built(MakeFuzzSchema(p, &rng, &value_cols, &g1_is_string));
+  Table& table = built.table;
+  QuerySpec& query = built.query;
+
+  const int g2_card = 1 + static_cast<int>(rng.NextBounded(8));
+  const size_t first_value_col = static_cast<size_t>(p.group_columns);
+
+  TableAppender app(&table, std::max<size_t>(64, p.segment_rows));
+  std::vector<int64_t> ints(table.num_columns(), 0);
+  std::vector<std::string> strings(table.num_columns());
+  for (size_t i = 0; i < p.rows; ++i) {
+    if (p.group_columns >= 1) {
+      const int g = static_cast<int>(rng.NextBounded(p.group_card));
+      if (g1_is_string) {
+        strings[0] = GroupString(g);
+      } else {
+        ints[0] = 100 + g;
+      }
+    }
+    if (p.group_columns >= 2) {
+      ints[1] = -3 + static_cast<int>(rng.NextBounded(g2_card));
+    }
+    for (size_t c = 0; c < value_cols.size(); ++c) {
+      const ValueColumn& vc = value_cols[c];
+      // RLE-friendly runs now and then, else uniform over the domain.
+      if (vc.encoding == EncodingChoice::kRle && rng.NextBernoulli(0.9) &&
+          i > 0) {
+        continue;  // keep previous value -> longer runs
+      }
+      ints[first_value_col + c] = rng.NextInRange(vc.lo, vc.hi);
+    }
+    app.AppendRow(ints, strings);
+  }
+  app.Flush();
+
+  if (p.delete_frac > 0 && table.num_rows() > 0) {
+    const size_t dels =
+        static_cast<size_t>(p.delete_frac * static_cast<double>(p.rows));
+    for (size_t d = 0; d < dels; ++d) {
+      const size_t seg = rng.NextBounded(table.num_segments());
+      table.mutable_segment(seg).DeleteRow(
+          rng.NextBounded(table.segment(seg).num_rows()));
+    }
+  }
+
+  // --- query ---------------------------------------------------------------
+  if (p.group_columns >= 1) query.group_by.push_back("g1");
+  if (p.group_columns >= 2) query.group_by.push_back("g2");
+
+  query.aggregates.push_back(AggregateSpec::Count());
+  const char* value_names[3] = {"v0", "v1", "v2"};
+  for (int a = 0; a < p.num_aggs; ++a) {
+    const char* col = value_names[rng.NextBounded(3)];
+    switch (rng.NextBounded(6)) {
+      case 0:
+        query.aggregates.push_back(AggregateSpec::Sum(col));
+        break;
+      case 1:
+        query.aggregates.push_back(AggregateSpec::Avg(col));
+        break;
+      case 2:
+        query.aggregates.push_back(AggregateSpec::Min(col));
+        break;
+      case 3:
+        query.aggregates.push_back(AggregateSpec::Max(col));
+        break;
+      default: {
+        const int c0 = table.FindColumn(value_names[rng.NextBounded(3)]);
+        const int c1 = table.FindColumn(col);
+        query.aggregates.push_back(AggregateSpec::SumExpr(Expr::Add(
+            Expr::Mul(Expr::Column(c0),
+                      Expr::Constant(1 + static_cast<int64_t>(
+                                             rng.NextBounded(50)))),
+            Expr::Column(c1))));
+        break;
+      }
+    }
+  }
+
+  for (int f = 0; f < p.num_filters; ++f) {
+    // First filter aims at target_selectivity via the uniform-domain
+    // quantile; later conjuncts and special forms scatter around it.
+    if (f == 0 && g1_is_string && p.group_columns >= 1 &&
+        rng.NextBernoulli(0.15)) {
+      query.filters.emplace_back(
+          "g1", CompareOp::kEq,
+          GroupString(static_cast<int>(rng.NextBounded(p.group_card))));
+      continue;
+    }
+    const size_t vi = rng.NextBounded(value_cols.size());
+    const ValueColumn& vc = value_cols[vi];
+    const std::string name = vi < 3 ? value_names[vi] : "w";
+    const double span = static_cast<double>(vc.hi - vc.lo);
+    const double q = f == 0 ? p.target_selectivity
+                            : 0.2 + 0.6 * rng.NextDouble();
+    const int64_t quantile =
+        vc.lo + static_cast<int64_t>(q * span);
+    switch (rng.NextBounded(5)) {
+      case 0:
+        query.filters.emplace_back(name, CompareOp::kLe, quantile);
+        break;
+      case 1:
+        query.filters.emplace_back(name, CompareOp::kGt, quantile);
+        break;
+      case 2:
+        query.filters.push_back(ColumnPredicate::Between(
+            name, vc.lo + static_cast<int64_t>(0.5 * (1.0 - q) * span),
+            vc.hi - static_cast<int64_t>(0.5 * (1.0 - q) * span)));
+        break;
+      case 3:
+        query.filters.emplace_back(name, CompareOp::kNe,
+                                   rng.NextInRange(vc.lo, vc.hi));
+        break;
+      default:
+        query.filters.emplace_back(name, CompareOp::kEq,
+                                   rng.NextInRange(vc.lo, vc.hi));
+        break;
+    }
+  }
+  return built;
+}
+
+// ---------------------------------------------------------------------------
+// Result comparison.
+// ---------------------------------------------------------------------------
+
+std::string GroupValueToString(const GroupValue& v) {
+  return v.is_string ? "\"" + v.string_value + "\""
+                     : std::to_string(v.int_value);
+}
+
+std::string RowToString(const ResultRow& row) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < row.group.size(); ++i) {
+    os << (i ? "," : "") << GroupValueToString(row.group[i]);
+  }
+  os << "] count=" << row.count << " sums=(";
+  for (size_t i = 0; i < row.sums.size(); ++i) {
+    os << (i ? "," : "") << row.sums[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+// Exact row-by-row diff (both engines emit rows sorted by group value).
+bool ResultsAgree(const QueryResult& got, const QueryResult& expected,
+                  const std::string& plan, std::string* error) {
+  if (got.rows.size() != expected.rows.size()) {
+    *error = plan + ": row count " + std::to_string(got.rows.size()) +
+             " != oracle " + std::to_string(expected.rows.size());
+    return false;
+  }
+  for (size_t r = 0; r < got.rows.size(); ++r) {
+    const ResultRow& g = got.rows[r];
+    const ResultRow& e = expected.rows[r];
+    if (g.group != e.group || g.count != e.count || g.sums != e.sums) {
+      *error = plan + ": row " + std::to_string(r) + " got " +
+               RowToString(g) + " oracle " + RowToString(e);
+      return false;
+    }
+  }
+  return true;
+}
+
+struct Plan {
+  std::string name;
+  ScanOptions options;
+};
+
+std::vector<Plan> MakePlans(const CaseParams& p) {
+  std::vector<Plan> plans;
+  plans.push_back({"adaptive/t1", {}});
+  if (p.num_threads > 1) {
+    Plan mt{"adaptive/t" + std::to_string(p.num_threads), {}};
+    mt.options.num_threads = p.num_threads;
+    plans.push_back(std::move(mt));
+  }
+  const SelectionStrategy sels[3] = {SelectionStrategy::kGather,
+                                     SelectionStrategy::kCompact,
+                                     SelectionStrategy::kSpecialGroup};
+  const AggregationStrategy aggs[5] = {AggregationStrategy::kScalar,
+                                       AggregationStrategy::kInRegister,
+                                       AggregationStrategy::kSortBased,
+                                       AggregationStrategy::kMultiAggregate,
+                                       AggregationStrategy::kCheckedScalar};
+  // Full override matrix: each strategy forced alone and every pairwise
+  // combination (sel_idx/agg_idx of -1 = adaptive for that dimension).
+  for (int s = -1; s < 3; ++s) {
+    for (int a = -1; a < 5; ++a) {
+      if (s < 0 && a < 0) continue;  // pure adaptive already covered
+      Plan plan;
+      plan.name = std::string("forced ") +
+                  (s < 0 ? "auto" : SelectionStrategyName(sels[s])) + "+" +
+                  (a < 0 ? "auto" : AggregationStrategyName(aggs[a]));
+      if (s >= 0) plan.options.overrides.selection = sels[s];
+      if (a >= 0) plan.options.overrides.aggregation = aggs[a];
+      plans.push_back(std::move(plan));
+    }
+  }
+  return plans;
+}
+
+}  // namespace
+
+std::string CaseParams::ToString() const {
+  std::ostringstream os;
+  os << "seed=" << seed << " rows=" << rows
+     << " segment_rows=" << segment_rows
+     << " group_columns=" << group_columns << " group_card=" << group_card
+     << " num_aggs=" << num_aggs << " num_filters=" << num_filters
+     << " delete_frac=" << delete_frac
+     << " target_selectivity=" << target_selectivity
+     << " wide_bits=" << wide_bits << " num_threads=" << num_threads;
+  return os.str();
+}
+
+CaseParams MakeCaseParams(uint64_t seed) {
+  Rng rng(seed ^ 0x9E3779B97F4A7C15ULL);
+  CaseParams p;
+  p.seed = seed;
+  p.rows = 200 + rng.NextBounded(12000);
+  p.segment_rows = 64 + rng.NextBounded(6000);
+  p.group_columns = static_cast<int>(rng.NextBounded(3));
+  // Cardinality sweep crosses the 255-group specialized envelope: ~1/6 of
+  // cases land in 200..300, where (with two group columns) the combined
+  // count forces the hash fallback and forced plans must reject cleanly.
+  p.group_card = rng.NextBernoulli(0.17)
+                     ? 200 + static_cast<int>(rng.NextBounded(101))
+                     : 1 + static_cast<int>(rng.NextBounded(40));
+  p.num_aggs = static_cast<int>(rng.NextBounded(5));
+  p.num_filters = static_cast<int>(rng.NextBounded(4));
+  p.delete_frac = rng.NextBernoulli(0.4) ? 0.12 * rng.NextDouble() : 0.0;
+  // Selectivity sweep hits the exact endpoints (0 and 1) as well as the
+  // interior, since strategy choice branches at both extremes.
+  switch (rng.NextBounded(8)) {
+    case 0: p.target_selectivity = 0.0; break;
+    case 1: p.target_selectivity = 1.0; break;
+    case 2: p.target_selectivity = 0.01; break;
+    case 3: p.target_selectivity = 0.99; break;
+    default: p.target_selectivity = rng.NextDouble(); break;
+  }
+  p.wide_bits =
+      rng.NextBernoulli(0.3) ? 41 + static_cast<int>(rng.NextBounded(23)) : 0;
+  p.num_threads = 1 + rng.NextBounded(4);
+  return p;
+}
+
+bool ParseCaseParams(const std::string& text, CaseParams* out,
+                     std::string* error) {
+  CaseParams p;
+  std::istringstream is(text);
+  std::string token;
+  while (is >> token) {
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      *error = "malformed token (want key=value): " + token;
+      return false;
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string val = token.substr(eq + 1);
+    try {
+      if (key == "seed") {
+        p.seed = std::stoull(val);
+      } else if (key == "rows") {
+        p.rows = std::stoull(val);
+      } else if (key == "segment_rows") {
+        p.segment_rows = std::stoull(val);
+      } else if (key == "group_columns") {
+        p.group_columns = std::stoi(val);
+      } else if (key == "group_card") {
+        p.group_card = std::stoi(val);
+      } else if (key == "num_aggs") {
+        p.num_aggs = std::stoi(val);
+      } else if (key == "num_filters") {
+        p.num_filters = std::stoi(val);
+      } else if (key == "delete_frac") {
+        p.delete_frac = std::stod(val);
+      } else if (key == "target_selectivity") {
+        p.target_selectivity = std::stod(val);
+      } else if (key == "wide_bits") {
+        p.wide_bits = std::stoi(val);
+      } else if (key == "num_threads") {
+        p.num_threads = std::stoull(val);
+      } else {
+        *error = "unknown key: " + key;
+        return false;
+      }
+    } catch (const std::exception&) {
+      *error = "bad value for " + key + ": " + val;
+      return false;
+    }
+  }
+  *out = p;
+  return true;
+}
+
+bool RunOneCase(const CaseParams& p, std::string* error) {
+  const BuiltCase built = BuildCase(p);
+
+  auto oracle = ExecuteQueryHashAgg(built.table, built.query);
+  if (!oracle.ok()) {
+    *error = "oracle failed: " + oracle.status().ToString();
+    return false;
+  }
+
+  for (const Plan& plan : MakePlans(p)) {
+    BIPieScan scan(built.table, built.query, plan.options);
+    auto got = scan.Execute();
+    if (!got.ok()) {
+      const StatusCode code = got.status().code();
+      const bool forced = plan.options.overrides.selection.has_value() ||
+                          plan.options.overrides.aggregation.has_value();
+      // Forced plans may reject shapes outside their envelope; the checked
+      // scalar path may abort instead of overflowing. Anything else is a
+      // bug, as is a clean rejection from the adaptive plan (it must fall
+      // back to hash aggregation instead).
+      if (forced && code == StatusCode::kNotSupported) continue;
+      if (code == StatusCode::kOverflowRisk) continue;
+      *error = plan.name + ": unexpected error " + got.status().ToString();
+      return false;
+    }
+    if (scan.stats().used_hash_fallback &&
+        (scan.stats().batches != 0 || scan.stats().rows_scanned != 0)) {
+      *error = plan.name +
+               ": hash fallback left stale specialized-scan progress stats "
+               "(batches=" +
+               std::to_string(scan.stats().batches) +
+               " rows_scanned=" + std::to_string(scan.stats().rows_scanned) +
+               ")";
+      return false;
+    }
+    std::string diff;
+    if (!ResultsAgree(got.value(), oracle.value(), plan.name, &diff)) {
+      *error = diff;
+      return false;
+    }
+  }
+  return true;
+}
+
+CaseParams Shrink(const CaseParams& p) {
+  CaseParams best = p;
+  std::string scratch;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    std::vector<CaseParams> candidates;
+    auto add = [&](auto mutate) {
+      CaseParams c = best;
+      mutate(c);
+      candidates.push_back(c);
+    };
+    if (best.rows > 64) add([](CaseParams& c) { c.rows /= 2; });
+    if (best.segment_rows > 64) add([](CaseParams& c) { c.segment_rows /= 2; });
+    if (best.num_filters > 0) add([](CaseParams& c) { c.num_filters--; });
+    if (best.num_aggs > 0) add([](CaseParams& c) { c.num_aggs--; });
+    if (best.group_columns > 0) add([](CaseParams& c) { c.group_columns--; });
+    if (best.group_card > 1) add([](CaseParams& c) { c.group_card /= 2; });
+    if (best.delete_frac > 0) add([](CaseParams& c) { c.delete_frac = 0; });
+    if (best.wide_bits > 0) add([](CaseParams& c) { c.wide_bits = 0; });
+    if (best.num_threads > 1) add([](CaseParams& c) { c.num_threads = 1; });
+    for (const CaseParams& c : candidates) {
+      if (!RunOneCase(c, &scratch)) {  // still fails -> keep the reduction
+        best = c;
+        progress = true;
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+FuzzResult RunFuzz(uint64_t seed, uint64_t iters, double budget_seconds,
+                   bool verbose) {
+  const auto start = std::chrono::steady_clock::now();
+  FuzzResult result;
+  for (uint64_t i = 0; i < iters; ++i) {
+    if (budget_seconds > 0) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      if (elapsed >= budget_seconds) break;
+    }
+    const CaseParams p = MakeCaseParams(seed + i);
+    ++result.iterations;
+    std::string error;
+    if (verbose) {
+      std::fprintf(stderr, "[bipie_fuzz] seed %" PRIu64 ": %s\n", seed + i,
+                   p.ToString().c_str());
+    }
+    if (RunOneCase(p, &error)) continue;
+    ++result.failures;
+    std::fprintf(stderr, "[bipie_fuzz] FAILURE at seed %" PRIu64 ": %s\n",
+                 seed + i, error.c_str());
+    std::fprintf(stderr, "[bipie_fuzz] shrinking...\n");
+    result.first_failing = Shrink(p);
+    std::string shrunk_error;
+    if (!RunOneCase(result.first_failing, &shrunk_error)) {
+      error = shrunk_error;
+    }
+    result.first_error = error;
+    std::fprintf(stderr,
+                 "[bipie_fuzz] minimal failing case: %s\n"
+                 "[bipie_fuzz]   %s\n"
+                 "[bipie_fuzz] replay: bipie_fuzz --replay '%s'\n",
+                 result.first_failing.ToString().c_str(), error.c_str(),
+                 result.first_failing.ToString().c_str());
+    break;
+  }
+  return result;
+}
+
+}  // namespace bipie::fuzz

@@ -1,0 +1,89 @@
+// Differential correctness harness (the driver behind tools/bipie_fuzz and
+// tests/fuzz_driver_test).
+//
+// BIPie's correctness surface is combinatorial: 3 selection strategies x 5
+// aggregation strategies x ISA tiers x encodings x bit widths x selectivity
+// x group counts, all of which must compute exactly the answer of the
+// generic hash-aggregation engine. The harness generates random tables and
+// queries across that whole matrix from a single seed, executes every
+// specialized plan, and diffs each result against the oracle. Failures
+// shrink greedily to a minimal parameter set and print a replay line that
+// reproduces the exact case locally.
+//
+// Everything is deterministic: a CaseParams value fully determines the
+// table, the query, and the plans run, so a CI seed replays bit-identically
+// on any machine (modulo the ISA tiers the hardware offers).
+#ifndef BIPIE_TOOLS_FUZZ_HARNESS_H_
+#define BIPIE_TOOLS_FUZZ_HARNESS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace bipie::fuzz {
+
+// Every knob of one generated differential case. MakeCaseParams derives all
+// fields from a master seed; the shrinker then overrides individual fields
+// and re-runs, so generation must depend only on the explicit field values.
+struct CaseParams {
+  uint64_t seed = 1;
+  size_t rows = 6000;
+  size_t segment_rows = 2048;
+  int group_columns = 1;  // 0..2 grouping columns
+  int group_card = 8;     // per-column group cardinality, 1..300 (values
+                          // above 255 push the combined count outside the
+                          // specialized envelope -> hash fallback path)
+  int num_aggs = 2;       // aggregates beyond the implicit count(*)
+  int num_filters = 1;    // 0..3 conjunctive filters
+  double delete_frac = 0.0;        // fraction of rows deleted
+  double target_selectivity = 0.5; // drives numeric filter literal choice
+  int wide_bits = 0;      // >0 adds a wide (41..63 bit) bit-packed column
+                          // that filters (and sometimes aggregates) touch
+  size_t num_threads = 1; // thread count for the parallel adaptive plan
+
+  // Replay line, e.g. "seed=42 rows=375 segment_rows=128 ...". Parsed back
+  // by ParseCaseParams.
+  std::string ToString() const;
+};
+
+// Derives a full parameter set from a master seed.
+CaseParams MakeCaseParams(uint64_t seed);
+
+// Parses a ToString() replay line (space-separated key=value pairs; unknown
+// keys are errors). Returns false on malformed input.
+bool ParseCaseParams(const std::string& text, CaseParams* out,
+                     std::string* error);
+
+// Builds the case and runs the full differential matrix:
+//   * the hash-aggregation oracle,
+//   * the adaptive plan at 1 thread and at p.num_threads threads,
+//   * every selection x aggregation override combination, plus each
+//     selection-only and aggregation-only override.
+// A plan may reject cleanly with kNotSupported (infeasible strategy for the
+// shape) or abort with kOverflowRisk (checked path); any other error, or any
+// result row differing from the oracle, is a failure. Returns true when the
+// case is green; otherwise fills *error with a human-readable diagnosis.
+bool RunOneCase(const CaseParams& p, std::string* error);
+
+// Greedily shrinks a failing case: tries field reductions in a fixed order,
+// keeping each one that still fails, until a fixed point. Returns the
+// minimal failing params (callers should re-run RunOneCase on the result to
+// obtain the final error text).
+CaseParams Shrink(const CaseParams& p);
+
+struct FuzzResult {
+  uint64_t iterations = 0;
+  uint64_t failures = 0;
+  std::string first_error;    // diagnosis of the first failing case
+  CaseParams first_failing;   // shrunk params of the first failing case
+};
+
+// Runs seeds [seed, seed + iters); stops early once `budget_seconds` of wall
+// clock elapse (0 = no budget). Stops at the first failure (after shrinking
+// it). When `verbose`, prints one line per iteration to stderr.
+FuzzResult RunFuzz(uint64_t seed, uint64_t iters, double budget_seconds,
+                   bool verbose);
+
+}  // namespace bipie::fuzz
+
+#endif  // BIPIE_TOOLS_FUZZ_HARNESS_H_
