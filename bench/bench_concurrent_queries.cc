@@ -1,0 +1,159 @@
+// Concurrent-query throughput: shared morsel pool vs per-query threads.
+//
+// N client threads each run a closed loop of TPC-H Q1- and Q6-shaped scans
+// against one shared lineitem table, under two execution models:
+//   * pool  — ScanOptions::num_threads = 0: every query submits morsels to
+//     the process-wide work-stealing scheduler (src/exec);
+//   * spawn — the legacy model: every query spawns its own max(2, hw)
+//     threads for the duration of the scan.
+// Reported per (model, clients) cell: aggregate queries/sec and p50/p99
+// per-query wall latency. The pool should win once clients oversubscribe
+// the machine (>= 4 concurrent queries), because spawn pays thread
+// creation per query and floods the OS scheduler with clients x threads
+// runnable threads, while the pool multiplexes every query onto one
+// hardware-sized worker set. With a single client the pool must stay
+// within a few percent of spawn (morsel splitting is the only overhead).
+//
+// Environment knobs (plus the usual BIPIE_BENCH_ROWS / BIPIE_BENCH_REPEATS):
+//   BIPIE_BENCH_CLIENTS  comma-free max client count, default 8
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/status.h"
+#include "exec/scheduler.h"
+#include "tpch/q1.h"
+#include "tpch/q6.h"
+
+using namespace bipie;         // NOLINT
+using namespace bipie::bench;  // NOLINT
+
+namespace {
+
+struct CellResult {
+  double qps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
+double PercentileMs(std::vector<double>& latencies_ms, double p) {
+  if (latencies_ms.empty()) return 0;
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(latencies_ms.size() - 1) + 0.5);
+  return latencies_ms[idx];
+}
+
+// Runs `clients` closed-loop client threads, each issuing `iters` queries
+// alternating Q1 and Q6, and gathers per-query latencies.
+CellResult RunCell(const Table& lineitem, size_t clients, int iters,
+                   size_t num_threads) {
+  std::vector<std::vector<double>> latencies(clients);
+  const auto bench_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      latencies[c].reserve(iters);
+      for (int i = 0; i < iters; ++i) {
+        ScanOptions options;
+        options.num_threads = num_threads;
+        const auto start = std::chrono::steady_clock::now();
+        auto r = (c + i) % 2 == 0 ? RunQ1(lineitem, options)
+                                  : RunQ6(lineitem, options);
+        const auto stop = std::chrono::steady_clock::now();
+        BIPIE_DCHECK(r.ok());
+        latencies[c].push_back(
+            std::chrono::duration<double, std::milli>(stop - start).count());
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const double total_secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    bench_start)
+          .count();
+
+  std::vector<double> all;
+  for (const auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  CellResult result;
+  result.qps =
+      total_secs > 0 ? static_cast<double>(all.size()) / total_secs : 0;
+  result.p50_ms = PercentileMs(all, 0.50);
+  result.p99_ms = PercentileMs(all, 0.99);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  PrintBenchHeader(
+      "Concurrent queries: shared morsel pool vs per-query threads",
+      "beyond the paper; morsel-driven execution (Leis et al.) applied to "
+      "the BIPie scan");
+
+  const size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
+  const size_t spawn_threads = std::max<size_t>(2, hw);
+  size_t max_clients = 8;
+  if (const char* env = std::getenv("BIPIE_BENCH_CLIENTS")) {
+    max_clients = std::max<size_t>(1, std::strtoull(env, nullptr, 10));
+  }
+  const int iters = std::max(2, BenchRepeats());
+
+  LineitemOptions options;
+  options.num_rows = BenchRows();
+  // Several segments even at smoke sizes, so the pool has morsels to steal.
+  options.segment_rows = std::max<size_t>(
+      kBatchRows, std::min<size_t>(kDefaultSegmentRows, options.num_rows / 8));
+  std::printf("generating lineitem (%zu rows, %zu-row segments)...\n",
+              options.num_rows, options.segment_rows);
+  Table lineitem = MakeLineitemTable(options);
+
+  // Warm the pool (lazy start) and fault in the table before timing.
+  { auto warm = RunQ1(lineitem, {.num_threads = 0}); BIPIE_DCHECK(warm.ok()); }
+
+  std::printf("pool workers: %zu | spawn threads/query: %zu | "
+              "iters/client: %d\n\n",
+              Scheduler::Global().num_workers(), spawn_threads, iters);
+  std::printf("%8s %8s %12s %12s %12s\n", "clients", "model", "QPS",
+              "p50 [ms]", "p99 [ms]");
+
+  BenchJsonReport& report = BenchJsonReport::Get();
+  report.SetConfig("pool_workers",
+                   std::to_string(Scheduler::Global().num_workers()));
+  report.SetConfig("spawn_threads_per_query", std::to_string(spawn_threads));
+  report.SetConfig("iters_per_client", std::to_string(iters));
+
+  double pool_qps_at_max = 0, spawn_qps_at_max = 0;
+  double pool_qps_single = 0, spawn_qps_single = 0;
+  for (size_t clients = 1; clients <= max_clients; clients *= 2) {
+    for (const bool pool : {true, false}) {
+      const size_t num_threads = pool ? 0 : spawn_threads;
+      const CellResult cell = RunCell(lineitem, clients, iters, num_threads);
+      const char* model = pool ? "pool" : "spawn";
+      std::printf("%8zu %8s %12.1f %12.2f %12.2f\n", clients, model, cell.qps,
+                  cell.p50_ms, cell.p99_ms);
+      report.Add(std::string(model) + "_clients_" + std::to_string(clients),
+                 {{"qps", cell.qps},
+                  {"p50_ms", cell.p50_ms},
+                  {"p99_ms", cell.p99_ms},
+                  {"clients", static_cast<double>(clients)}});
+      if (clients == 1) (pool ? pool_qps_single : spawn_qps_single) = cell.qps;
+      if (clients == max_clients) {
+        (pool ? pool_qps_at_max : spawn_qps_at_max) = cell.qps;
+      }
+    }
+  }
+
+  std::printf("\nshape check: pool vs spawn at %zu clients: %.2fx "
+              "(single client: %.2fx)\n",
+              max_clients, pool_qps_at_max / spawn_qps_at_max,
+              pool_qps_single / spawn_qps_single);
+  return 0;
+}

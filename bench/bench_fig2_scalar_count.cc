@@ -25,12 +25,13 @@ int main() {
   for (int groups : {1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}) {
     auto group_ids = MakeGroups(n, groups, groups);
     std::vector<uint64_t> counts(static_cast<size_t>(groups), 0);
-    const double single = MeasureCyclesPerRow(n, [&] {
+    const std::string suffix = "_groups_" + std::to_string(groups);
+    const double single = MeasureCyclesPerRow(n, "single_array" + suffix, [&] {
       std::fill(counts.begin(), counts.end(), 0);
       ScalarCountSingleArray(group_ids.data(), n, counts.data());
       Consume(counts.data(), counts.size() * 8);
     });
-    const double multi = MeasureCyclesPerRow(n, [&] {
+    const double multi = MeasureCyclesPerRow(n, "multi_array" + suffix, [&] {
       std::fill(counts.begin(), counts.end(), 0);
       ScalarCountMultiArray(group_ids.data(), n, groups, counts.data());
       Consume(counts.data(), counts.size() * 8);

@@ -32,11 +32,12 @@ int main() {
     // Cycles are normalized per *input* row (as in the paper), and the
     // cost of producing the index vector is excluded — Table 1 measures
     // the gather step itself.
-    results[i] = MeasureCyclesPerRow(n, [&] {
-      GatherSelect(packed.data(), w, idx_buf.data_as<uint32_t>(), count,
-                   out.data(), word);
-      Consume(out.data(), out.size());
-    });
+    results[i] =
+        MeasureCyclesPerRow(n, "gather_width_" + std::to_string(w), [&] {
+          GatherSelect(packed.data(), w, idx_buf.data_as<uint32_t>(), count,
+                       out.data(), word);
+          Consume(out.data(), out.size());
+        });
     std::printf(" %8.2f", results[i]);
   }
   std::printf("\n%-28s", "Bit width of input column");

@@ -47,7 +47,7 @@ int main() {
         BIPIE_DCHECK(r.ok());
         bipie_result = std::move(r).ValueOrDie();
       },
-      repeats);
+      repeats, "bipie");
   BIPIE_DCHECK(bipie_result.rows.size() == reference.value().rows.size());
   for (size_t r = 0; r < bipie_result.rows.size(); ++r) {
     BIPIE_DCHECK(bipie_result.rows[r].sums == reference.value().rows[r].sums);
@@ -60,7 +60,7 @@ int main() {
         BIPIE_DCHECK(r.ok());
         Consume(&r.value().rows[0], sizeof(ResultRow));
       },
-      std::min(repeats, 3));
+      std::min(repeats, 3), "hash_agg_baseline");
   const double naive_cycles = MeasureCyclesPerRow(
       rows,
       [&] {
@@ -68,7 +68,7 @@ int main() {
         BIPIE_DCHECK(r.ok());
         Consume(&r.value().rows[0], sizeof(ResultRow));
       },
-      1);
+      1, "naive_baseline");
 
   const double hz = TscHz();
   std::printf("\nQ1 result (this run):\n%s\n",

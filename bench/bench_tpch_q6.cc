@@ -30,7 +30,7 @@ int main() {
 
   QueryResult q6;
   ScanStats stats;
-  const double bipie_cycles = MeasureCyclesPerRow(rows, [&] {
+  const double bipie_cycles = MeasureCyclesPerRow(rows, "bipie", [&] {
     BIPieScan scan(lineitem, query);
     auto r = scan.Execute();
     BIPIE_DCHECK(r.ok());
@@ -45,14 +45,14 @@ int main() {
         auto r = ExecuteQueryHashAgg(lineitem, query);
         BIPIE_DCHECK(r.ok());
       },
-      3);
+      3, "hash_agg_baseline");
   const double naive_cycles = MeasureCyclesPerRow(
       rows,
       [&] {
         auto r = ExecuteQueryNaive(lineitem, query);
         BIPIE_DCHECK(r.ok());
       },
-      1);
+      1, "naive_baseline");
 
   std::printf("revenue = %.2f over %llu qualifying rows (%.2f%% selectivity)\n",
               Q6RevenueDollars(q6),

@@ -16,6 +16,8 @@ const char* CodeName(StatusCode code) {
       return "NotSupported";
     case StatusCode::kOverflowRisk:
       return "OverflowRisk";
+    case StatusCode::kCancelled:
+      return "Cancelled";
     case StatusCode::kInternal:
       return "Internal";
   }

@@ -20,6 +20,7 @@ enum class StatusCode {
   kOutOfRange,
   kNotSupported,
   kOverflowRisk,
+  kCancelled,
   kInternal,
 };
 
@@ -40,6 +41,9 @@ class Status {
   }
   static Status OverflowRisk(std::string msg) {
     return Status(StatusCode::kOverflowRisk, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

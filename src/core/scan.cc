@@ -4,9 +4,12 @@
 #include <atomic>
 #include <cstring>
 #include <map>
+#include <numeric>
 #include <thread>
 
 #include "baseline/hash_agg.h"
+#include "exec/scheduler.h"
+#include "exec/task_group.h"
 #include "storage/batch.h"
 #include "vector/selection_vector.h"
 
@@ -18,38 +21,53 @@ namespace bipie {
 using GroupKey = std::vector<GroupValue>;
 
 namespace internal_scan {
-// What one segment contributes to the global result.
+// What one morsel contributes to the global result.
 struct SegmentContribution {
   GroupKey key;
   uint64_t count = 0;
   std::vector<int64_t> values;  // one per aggregate spec
 };
+
+std::vector<size_t> LargestFirstOrder(const std::vector<size_t>& sizes) {
+  std::vector<size_t> order(sizes.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&sizes](size_t a, size_t b) { return sizes[a] > sizes[b]; });
+  return order;
+}
 }  // namespace internal_scan
 using internal_scan::SegmentContribution;
 
 BIPieScan::BIPieScan(const Table& table, QuerySpec query, ScanOptions options)
     : table_(table), query_(std::move(query)), options_(std::move(options)) {}
 
-// Scans one segment end to end: filter evaluation, fused batch processing,
-// result decode. Thread-safe with respect to other segments (only reads the
-// table; all mutable state is local or in `stats`).
-Status BIPieScan::ScanSegment(size_t segment_index,
-                              const std::vector<int>& filter_cols,
-                              ScanStats* stats,
-                              std::vector<SegmentContribution>* out) {
-  const Segment& segment = table_.segment(segment_index);
+// Scans one morsel (a batch-aligned row range of one segment) end to end:
+// filter evaluation, fused batch processing, result decode. Thread-safe with
+// respect to other morsels (only reads the table; all mutable state is local
+// or in `stats`, which is private to this morsel).
+Status BIPieScan::ScanMorsel(const Morsel& morsel,
+                             const std::vector<int>& filter_cols,
+                             ScanStats* stats,
+                             std::vector<SegmentContribution>* out) {
+  const Segment& segment = table_.segment(morsel.segment_index);
+  QueryContext* ctx = options_.context;
 
   AggregateProcessor processor;
   BIPIE_RETURN_NOT_OK(
       processor.Bind(table_, segment, query_, options_.overrides));
-  stats->aggregation_segments[static_cast<int>(
-      processor.aggregation_strategy())]++;
+  if (morsel.counts_segment) {
+    stats->aggregation_segments[static_cast<int>(
+        processor.aggregation_strategy())]++;
+  }
 
   AlignedBuffer sel_buf;
   AlignedBuffer sel_tmp;
-  BatchCursor cursor(segment);
+  BatchCursor cursor(segment, kBatchRows, morsel.start_row, morsel.num_rows);
   BatchView view;
   while (cursor.Next(&view)) {
+    // Cancellation point: batch granularity bounds the latency of Cancel()
+    // to one 4096-row batch per executing worker.
+    if (ctx != nullptr) BIPIE_RETURN_NOT_OK(ctx->CheckNotCancelled());
     ++stats->batches;
     stats->rows_scanned += view.num_rows;
     const uint8_t* sel = nullptr;
@@ -101,7 +119,7 @@ Status BIPieScan::ScanSegment(size_t segment_index,
 
   const size_t num_specs = query_.aggregates.size();
   for (int g = 0; g < local.num_groups; ++g) {
-    if (local.counts[g] == 0) continue;  // group absent from this segment
+    if (local.counts[g] == 0) continue;  // group absent from this morsel
     SegmentContribution contribution;
     for (int k = 0; k < local.mapper->num_columns(); ++k) {
       contribution.key.push_back(local.mapper->ValueOf(g, k));
@@ -117,6 +135,8 @@ Status BIPieScan::ScanSegment(size_t segment_index,
 
 Result<QueryResult> BIPieScan::Execute() {
   stats_ = ScanStats{};
+  QueryContext* ctx = options_.context;
+  if (ctx != nullptr) BIPIE_RETURN_NOT_OK(ctx->CheckNotCancelled());
 
   // Resolve filter column indices once.
   std::vector<int> filter_cols;
@@ -152,70 +172,149 @@ Result<QueryResult> BIPieScan::Execute() {
   }
   stats_.segments_scanned = work.size();
 
-  const size_t threads =
-      std::max<size_t>(1, std::min<size_t>(options_.num_threads, work.size()));
-  std::vector<std::vector<SegmentContribution>> contributions(work.size());
-  // Per-work-item status so error selection cannot depend on thread
-  // scheduling: the failure reported to the caller is always the
-  // lowest-indexed real error, falling back to the lowest-indexed
-  // kNotSupported rejection. A real error (e.g. kOverflowRisk) must never be
-  // masked by another segment's kNotSupported, which would silently flip the
-  // hash-fallback decision with thread ordering.
-  std::vector<Status> work_status(work.size());
-
-  if (threads <= 1) {
-    for (size_t w = 0; w < work.size(); ++w) {
-      work_status[w] =
-          ScanSegment(work[w], filter_cols, &stats_, &contributions[w]);
-      // Keep scanning past kNotSupported (a later segment may surface a real
-      // error that must take precedence); stop on real errors.
-      if (!work_status[w].ok() &&
-          work_status[w].code() != StatusCode::kNotSupported) {
-        break;
+  // The work list becomes morsels. Pooled scans chunk large segments into
+  // batch-aligned ~64K-row ranges so work stealing rebalances skew; the
+  // inline and legacy-spawn paths keep whole segments. Morsel order (the
+  // work_index) is canonical — segment order then range order — and every
+  // reduction below is ordered by it, never by completion order.
+  // A pooled scan only pays off when the pool adds parallelism beyond the
+  // calling thread (which already helps drain its own task group). On a
+  // single-hardware-thread host with a 1-worker pool the pooled path would
+  // only buy thread ping-pong, so run inline instead; BIPIE_SCHEDULER_THREADS
+  // (tests, CI) widens the pool and keeps the morsel path exercised anywhere.
+  const bool pooled =
+      options_.num_threads == 0 &&
+      (Scheduler::Global().num_workers() > 1 ||
+       std::thread::hardware_concurrency() > 1);
+  size_t morsel_rows =
+      options_.morsel_rows == 0 ? kDefaultMorselRows : options_.morsel_rows;
+  morsel_rows = (morsel_rows + kBatchRows - 1) / kBatchRows * kBatchRows;
+  std::vector<Morsel> morsels;
+  for (const size_t s : work) {
+    const size_t rows = table_.segment(s).num_rows();
+    if (pooled) {
+      for (size_t start = 0; start < rows; start += morsel_rows) {
+        morsels.push_back({morsels.size(), s, start,
+                           std::min(morsel_rows, rows - start), start == 0});
       }
+    } else {
+      morsels.push_back({morsels.size(), s, 0, rows, true});
     }
-  } else {
-    // Segments are independent; a shared atomic cursor load-balances them
-    // across worker threads (the paper's scan parallelism unit).
-    std::atomic<size_t> next{0};
-    std::vector<ScanStats> thread_stats(threads);
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (size_t t = 0; t < threads; ++t) {
-      pool.emplace_back([&, t] {
-        for (;;) {
-          const size_t w = next.fetch_add(1);
-          if (w >= work.size()) return;
-          work_status[w] = ScanSegment(work[w], filter_cols,
-                                       &thread_stats[t], &contributions[w]);
-          if (!work_status[w].ok() &&
-              work_status[w].code() != StatusCode::kNotSupported) {
-            return;
+  }
+
+  std::vector<std::vector<SegmentContribution>> contributions(morsels.size());
+  // Per-morsel status so error selection cannot depend on scheduling: the
+  // failure reported to the caller is always the lowest-indexed real error,
+  // falling back to the lowest-indexed kNotSupported rejection. A real error
+  // (e.g. kOverflowRisk) must never be masked by another morsel's
+  // kNotSupported, which would silently flip the hash-fallback decision with
+  // execution ordering.
+  std::vector<Status> morsel_status(morsels.size());
+  std::vector<ScanStats> morsel_stats(morsels.size());
+
+  if (pooled) {
+    // Morsels above the lowest real-error index recorded so far may be
+    // skipped: they can never win the deterministic error selection (real
+    // errors outrank kNotSupported, lower index outranks higher), and their
+    // contributions would be discarded with the failure anyway. Morsels at
+    // or below it always run, so the true minimum is always found and, when
+    // no real error exists at all, nothing is skipped and the kNotSupported
+    // reduction sees every morsel.
+    std::atomic<size_t> first_real_error{SIZE_MAX};
+    TaskGroup group(&Scheduler::Global(), ctx);
+    for (const Morsel& morsel : morsels) {
+      group.Submit([this, morsel, &filter_cols, &morsel_status, &morsel_stats,
+                    &contributions, &first_real_error] {
+        if (morsel.work_index >
+            first_real_error.load(std::memory_order_acquire)) {
+          return;
+        }
+        Status st =
+            ScanMorsel(morsel, filter_cols, &morsel_stats[morsel.work_index],
+                       &contributions[morsel.work_index]);
+        if (!st.ok() && st.code() != StatusCode::kNotSupported) {
+          size_t cur = first_real_error.load(std::memory_order_relaxed);
+          while (morsel.work_index < cur &&
+                 !first_real_error.compare_exchange_weak(
+                     cur, morsel.work_index, std::memory_order_acq_rel)) {
           }
         }
+        morsel_status[morsel.work_index] = std::move(st);
       });
     }
-    for (std::thread& t : pool) t.join();
-    for (size_t t = 0; t < threads; ++t) {
-      stats_.batches += thread_stats[t].batches;
-      stats_.rows_scanned += thread_stats[t].rows_scanned;
-      stats_.rows_selected += thread_stats[t].rows_selected;
-      stats_.selection.gather += thread_stats[t].selection.gather;
-      stats_.selection.compact += thread_stats[t].selection.compact;
-      stats_.selection.special_group +=
-          thread_stats[t].selection.special_group;
-      stats_.selection.unfiltered += thread_stats[t].selection.unfiltered;
-      for (int a = 0; a < 5; ++a) {
-        stats_.aggregation_segments[a] +=
-            thread_stats[t].aggregation_segments[a];
+    group.Wait();
+  } else {
+    const size_t threads = std::max<size_t>(
+        1, std::min<size_t>(options_.num_threads, morsels.size()));
+    if (threads <= 1) {
+      // Inline path: drain the largest work items first so a pathological
+      // segment (RLE-heavy, or the only survivor of elimination) is started
+      // as early as possible — the order any future chunking or handoff of
+      // the tail would want. Result and error selection stay canonical: the
+      // reductions below run over work_index, not execution order.
+      std::vector<size_t> sizes(morsels.size());
+      for (size_t m = 0; m < morsels.size(); ++m) {
+        sizes[m] = morsels[m].num_rows;
       }
+      for (const size_t m : internal_scan::LargestFirstOrder(sizes)) {
+        morsel_status[m] = ScanMorsel(morsels[m], filter_cols,
+                                      &morsel_stats[m], &contributions[m]);
+        // Keep scanning past kNotSupported (a later work item may surface a
+        // real error that must take precedence); stop on real errors.
+        if (!morsel_status[m].ok() &&
+            morsel_status[m].code() != StatusCode::kNotSupported) {
+          break;
+        }
+      }
+    } else {
+      // Legacy per-query model: fresh threads, whole segments claimed off a
+      // shared atomic cursor (the paper's scan parallelism unit). Kept as
+      // the explicit comparator the shared pool is benchmarked against.
+      std::atomic<size_t> next{0};
+      std::vector<std::thread> pool;
+      pool.reserve(threads);
+      for (size_t t = 0; t < threads; ++t) {
+        pool.emplace_back([&] {
+          for (;;) {
+            const size_t m = next.fetch_add(1);
+            if (m >= morsels.size()) return;
+            morsel_status[m] = ScanMorsel(morsels[m], filter_cols,
+                                          &morsel_stats[m], &contributions[m]);
+            if (!morsel_status[m].ok() &&
+                morsel_status[m].code() != StatusCode::kNotSupported) {
+              return;
+            }
+          }
+        });
+      }
+      for (std::thread& t : pool) t.join();
     }
+  }
+
+  // Merge per-morsel progress stats in canonical order.
+  for (const ScanStats& ms : morsel_stats) {
+    stats_.batches += ms.batches;
+    stats_.rows_scanned += ms.rows_scanned;
+    stats_.rows_selected += ms.rows_selected;
+    stats_.selection.gather += ms.selection.gather;
+    stats_.selection.compact += ms.selection.compact;
+    stats_.selection.special_group += ms.selection.special_group;
+    stats_.selection.unfiltered += ms.selection.unfiltered;
+    for (int a = 0; a < 5; ++a) {
+      stats_.aggregation_segments[a] += ms.aggregation_segments[a];
+    }
+  }
+
+  // A cancelled query never returns a (possibly partial) result, whatever
+  // mix of statuses the morsels recorded before the flag landed.
+  if (ctx != nullptr && ctx->is_cancelled()) {
+    return Status::Cancelled("query cancelled");
   }
 
   // Deterministic failure choice: lowest-indexed non-kNotSupported error
   // first, then lowest-indexed kNotSupported rejection.
   Status failure;
-  for (const Status& st : work_status) {
+  for (const Status& st : morsel_status) {
     if (st.ok()) continue;
     if (failure.ok() || (failure.code() == StatusCode::kNotSupported &&
                          st.code() != StatusCode::kNotSupported)) {
@@ -245,11 +344,11 @@ Result<QueryResult> BIPieScan::Execute() {
     return failure;
   }
 
-  // Merge contributions (deterministic: segment order, then group order).
+  // Merge contributions (deterministic: morsel order, then group order).
   const size_t num_specs = query_.aggregates.size();
   std::map<GroupKey, ResultRow> merged;
-  for (const auto& segment_contributions : contributions) {
-    for (const SegmentContribution& c : segment_contributions) {
+  for (const auto& morsel_contributions : contributions) {
+    for (const SegmentContribution& c : morsel_contributions) {
       // try_emplace makes first-contribution detection structural: testing
       // row.sums.empty() breaks down for count-only queries (num_specs == 0
       // keeps sums empty forever, so MIN/MAX seeding and group assignment

@@ -8,6 +8,11 @@
 // decode + selection + grouped aggregation. Per-segment local results are
 // merged into global groups by decoded group value (dictionary ids are
 // segment-local).
+//
+// Parallelism is morsel-driven (src/exec): with num_threads == 0 the scan
+// splits segments into ~64K-row morsels and runs them on the process-wide
+// work-stealing pool, so skewed morsels are rebalanced by stealing and
+// concurrent queries share one set of hardware threads.
 #ifndef BIPIE_CORE_SCAN_H_
 #define BIPIE_CORE_SCAN_H_
 
@@ -19,12 +24,25 @@
 #include "core/aggregate_processor.h"
 #include "core/query.h"
 #include "core/strategy.h"
+#include "exec/query_context.h"
 #include "storage/table.h"
 
 namespace bipie {
 
+// Default rows per morsel when the scan runs on the shared pool: 16 batches
+// of kBatchRows — small enough that stealing fixes skew (an RLE-heavy or
+// mostly-eliminated sibling), large enough that per-morsel bind and queue
+// costs stay far below decode cost.
+inline constexpr size_t kDefaultMorselRows = size_t{1} << 16;
+
 namespace internal_scan {
 struct SegmentContribution;  // defined in scan.cc
+
+// Execution order for the inline (single-threaded) path: indices into
+// `sizes` sorted largest first (ties: lower index first). Draining the
+// biggest work items first degrades gracefully if the tail is later
+// chunked or handed to other executors. Exposed for tests.
+std::vector<size_t> LargestFirstOrder(const std::vector<size_t>& sizes);
 }  // namespace internal_scan
 
 struct ScanOptions {
@@ -32,9 +50,22 @@ struct ScanOptions {
   // Disables min/max segment elimination (benchmarks that must touch every
   // row regardless of the filter).
   bool enable_segment_elimination = true;
-  // Worker threads for the scan; segments are the parallelism unit
-  // (mirroring the paper's use of all hardware threads). 1 = inline.
+  // Scan parallelism:
+  //   0  — shared morsel-driven pool (Scheduler::Global()) at hardware
+  //        concurrency; segments split into morsel_rows-row morsels.
+  //   1  — inline on the calling thread (whole segments, largest first).
+  //   k>1 — legacy per-query model: spawns k fresh threads, whole segments
+  //        via an atomic cursor (the paper's "one segment per hardware
+  //        thread"; kept as the comparator bench_concurrent_queries beats).
   size_t num_threads = 1;
+  // Rows per morsel for the pooled path; 0 = kDefaultMorselRows. Rounded up
+  // to a multiple of kBatchRows so batch boundaries (and therefore per-batch
+  // strategy decisions) match a whole-segment walk exactly.
+  size_t morsel_rows = 0;
+  // Optional cancellation/deadline context (non-owning; must outlive the
+  // scan). Checked between batches; a cancelled scan returns kCancelled and
+  // never a partial result.
+  QueryContext* context = nullptr;
 };
 
 struct ScanStats {
@@ -49,6 +80,7 @@ struct ScanStats {
   size_t rows_selected = 0;
   AggregateProcessor::SelectionStats selection;
   // Segments per aggregation strategy, indexed by AggregationStrategy.
+  // Counted once per segment regardless of how many morsels scanned it.
   size_t aggregation_segments[5] = {0, 0, 0, 0, 0};
 };
 
@@ -62,9 +94,20 @@ class BIPieScan {
   const ScanStats& stats() const { return stats_; }
 
  private:
-  Status ScanSegment(size_t segment_index,
-                     const std::vector<int>& filter_cols, ScanStats* stats,
-                     std::vector<internal_scan::SegmentContribution>* out);
+  // One unit of scan work: a batch-aligned row range of one segment.
+  // work_index orders morsels canonically (segment order, then range order)
+  // independent of execution order.
+  struct Morsel {
+    size_t work_index = 0;
+    size_t segment_index = 0;
+    size_t start_row = 0;
+    size_t num_rows = 0;
+    bool counts_segment = false;  // first morsel of its segment
+  };
+
+  Status ScanMorsel(const Morsel& morsel, const std::vector<int>& filter_cols,
+                    ScanStats* stats,
+                    std::vector<internal_scan::SegmentContribution>* out);
 
   const Table& table_;
   QuerySpec query_;

@@ -1,0 +1,88 @@
+// Per-query execution context: cooperative cancellation and deadlines.
+//
+// A QueryContext is owned by the client issuing a query and shared (by
+// non-owning pointer) with every operator the query runs. Cancellation is
+// cooperative: kernels call CheckNotCancelled() at batch granularity — a
+// cancelled query stops within one 4096-row batch per worker and surfaces
+// StatusCode::kCancelled to the caller, never a partial result.
+//
+// Thread-safety: Cancel(), is_cancelled() and CheckNotCancelled() may be
+// called concurrently from any thread. set_deadline / CancelAfterChecks are
+// atomic too, but are meant to be configured before execution starts.
+#ifndef BIPIE_EXEC_QUERY_CONTEXT_H_
+#define BIPIE_EXEC_QUERY_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace bipie {
+
+class QueryContext {
+ public:
+  QueryContext() = default;
+  QueryContext(const QueryContext&) = delete;
+  QueryContext& operator=(const QueryContext&) = delete;
+
+  // Requests cancellation. Idempotent; takes effect at the next
+  // cancellation point of every worker processing the query.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  bool is_cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  // Absolute deadline; once it passes, the next CheckNotCancelled() latches
+  // the cancelled flag and reports kCancelled.
+  void set_deadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ns_.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            deadline.time_since_epoch())
+            .count(),
+        std::memory_order_release);
+  }
+
+  // Test / fuzz hook: latch cancellation after `checks` further calls to
+  // CheckNotCancelled(), injecting a mid-scan cancel at a deterministic
+  // cancellation point (exactly deterministic single-threaded; approximately
+  // so across workers, which is what the cancellation invariants need).
+  void CancelAfterChecks(int64_t checks) {
+    checks_remaining_.store(checks, std::memory_order_release);
+  }
+
+  // The cancellation point. Cheap when armed with neither a deadline nor a
+  // check budget: one relaxed flag load.
+  Status CheckNotCancelled() {
+    if (is_cancelled()) return MakeCancelledStatus();
+    if (checks_remaining_.load(std::memory_order_relaxed) >= 0 &&
+        checks_remaining_.fetch_sub(1, std::memory_order_acq_rel) <= 0) {
+      Cancel();
+      return MakeCancelledStatus();
+    }
+    const int64_t deadline = deadline_ns_.load(std::memory_order_acquire);
+    if (deadline != kNoDeadline &&
+        std::chrono::steady_clock::now().time_since_epoch() >=
+            std::chrono::nanoseconds(deadline)) {
+      Cancel();
+      return Status::Cancelled("query deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+ private:
+  static constexpr int64_t kNoDeadline = INT64_MIN;
+
+  static Status MakeCancelledStatus() {
+    return Status::Cancelled("query cancelled");
+  }
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int64_t> deadline_ns_{kNoDeadline};
+  std::atomic<int64_t> checks_remaining_{-1};  // < 0 = disarmed
+};
+
+}  // namespace bipie
+
+#endif  // BIPIE_EXEC_QUERY_CONTEXT_H_

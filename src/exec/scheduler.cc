@@ -1,0 +1,133 @@
+#include "exec/scheduler.h"
+
+#include <cstdlib>
+
+namespace bipie {
+
+namespace {
+
+// Identifies the calling thread as worker `tls_worker_index` of
+// `tls_scheduler`, so Submit can push to the local deque and FindTask can
+// skip it during the steal sweep.
+thread_local Scheduler* tls_scheduler = nullptr;
+thread_local size_t tls_worker_index = 0;
+
+size_t DefaultWorkerCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+Scheduler::Scheduler(size_t num_workers) {
+  if (num_workers == 0) num_workers = DefaultWorkerCount();
+  queues_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    stop_.store(true, std::memory_order_release);
+  }
+  idle_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+Scheduler& Scheduler::Global() {
+  static Scheduler global = [] {
+    size_t workers = 0;
+    if (const char* env = std::getenv("BIPIE_SCHEDULER_THREADS")) {
+      workers = static_cast<size_t>(std::strtoull(env, nullptr, 10));
+    }
+    return Scheduler(workers);
+  }();
+  return global;
+}
+
+void Scheduler::Submit(Task task) {
+  size_t target;
+  if (tls_scheduler == this) {
+    target = tls_worker_index;  // worker: local LIFO push
+  } else {
+    target = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+             queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  queued_.fetch_add(1, std::memory_order_release);
+  // Taking idle_mu_ orders the increment against a worker's predicate
+  // check, so a worker that just saw queued_ == 0 either re-reads it as
+  // nonzero or is asleep when the notification lands — no lost wakeups.
+  { std::lock_guard<std::mutex> lock(idle_mu_); }
+  idle_cv_.notify_one();
+}
+
+bool Scheduler::FindTask(size_t self, Task* task) {
+  if (queued_.load(std::memory_order_acquire) == 0) return false;
+  if (self != SIZE_MAX) {
+    WorkerQueue& own = *queues_[self];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      *task = std::move(own.tasks.back());  // LIFO: newest local work
+      own.tasks.pop_back();
+      queued_.fetch_sub(1, std::memory_order_release);
+      return true;
+    }
+  }
+  const size_t n = queues_.size();
+  const size_t base = self == SIZE_MAX ? 0 : self + 1;
+  for (size_t k = 0; k < n; ++k) {
+    const size_t victim = (base + k) % n;
+    if (victim == self) continue;
+    WorkerQueue& q = *queues_[victim];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.tasks.empty()) {
+      *task = std::move(q.tasks.front());  // FIFO steal: oldest work
+      q.tasks.pop_front();
+      queued_.fetch_sub(1, std::memory_order_release);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Scheduler::TryRunOneTask() {
+  Task task;
+  const size_t self = tls_scheduler == this ? tls_worker_index : SIZE_MAX;
+  if (!FindTask(self, &task)) return false;
+  task();
+  return true;
+}
+
+void Scheduler::WorkerLoop(size_t worker_index) {
+  tls_scheduler = this;
+  tls_worker_index = worker_index;
+  Task task;
+  for (;;) {
+    if (FindTask(worker_index, &task)) {
+      task();
+      task = nullptr;  // release captures before sleeping
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    idle_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             queued_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_acquire) &&
+        queued_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+}  // namespace bipie

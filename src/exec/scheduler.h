@@ -1,0 +1,82 @@
+// Process-wide work-stealing task scheduler.
+//
+// The morsel-driven execution model (Leis et al., "Morsel-Driven
+// Parallelism") replaces per-query thread spawning with one shared pool
+// sized to the hardware: queries split their work into small morsels and
+// submit them through a TaskGroup; a skewed or slow morsel no longer stalls
+// the query (idle workers steal the rest), and N concurrent queries share
+// the machine instead of oversubscribing it N-fold.
+//
+// Topology: one deque per worker. A worker pops its own deque LIFO (back),
+// keeping its working set cache-hot, and steals FIFO (front) from victims,
+// taking the oldest — and for a splitting producer, largest-remaining —
+// work first. External submitters distribute round-robin across deques.
+// Deques are mutex-guarded (one uncontended lock per push/pop, at morsel —
+// not batch — granularity, so the cost is ~tens of nanoseconds per ~64K
+// rows of work); idle workers sleep on a condition variable.
+#ifndef BIPIE_EXEC_SCHEDULER_H_
+#define BIPIE_EXEC_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bipie {
+
+class Scheduler {
+ public:
+  using Task = std::function<void()>;
+
+  // 0 = one worker per hardware thread. Tests construct private pools;
+  // library code uses Global().
+  explicit Scheduler(size_t num_workers = 0);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // The lazily-started process-wide pool. Sized to hardware concurrency
+  // unless the BIPIE_SCHEDULER_THREADS environment variable overrides it.
+  static Scheduler& Global();
+
+  // Enqueues a task. Called from any thread; a submitting worker pushes to
+  // its own deque (LIFO pairing), other threads distribute round-robin.
+  void Submit(Task task);
+
+  // Runs one queued task on the calling thread if any is available.
+  // TaskGroup::Wait uses this so a blocked submitter acts as an extra
+  // worker instead of idling (and so joins make progress even when every
+  // pool worker is busy with other queries).
+  bool TryRunOneTask();
+
+  size_t num_workers() const { return workers_.size(); }
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
+
+  void WorkerLoop(size_t worker_index);
+  // Local LIFO pop, then FIFO steal sweep over the other deques starting
+  // after `self` (SIZE_MAX = external caller: pure steal sweep).
+  bool FindTask(size_t self, Task* task);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+  std::atomic<size_t> next_queue_{0};   // round-robin cursor for Submit
+  std::atomic<size_t> queued_{0};       // tasks sitting in deques
+  std::atomic<bool> stop_{false};
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+};
+
+}  // namespace bipie
+
+#endif  // BIPIE_EXEC_SCHEDULER_H_

@@ -1,0 +1,74 @@
+#include "exec/task_group.h"
+
+#include <chrono>
+#include <utility>
+
+namespace bipie {
+
+TaskGroup::TaskGroup(Scheduler* scheduler, QueryContext* context)
+    : scheduler_(scheduler != nullptr ? scheduler : &Scheduler::Global()),
+      state_(std::make_shared<State>()) {
+  state_->context = context;
+}
+
+TaskGroup::~TaskGroup() { WaitNoRethrow(); }
+
+void TaskGroup::Submit(std::function<void()> fn) {
+  state_->pending.fetch_add(1, std::memory_order_acq_rel);
+  scheduler_->Submit(
+      [state = state_, fn = std::move(fn)]() mutable { RunTask(state, fn); });
+}
+
+void TaskGroup::RunTask(const std::shared_ptr<State>& state,
+                        std::function<void()>& fn) {
+  // Cancelled groups drain without running bodies: a Cancel() issued before
+  // (or while) tasks sit queued skips them entirely, which is what bounds
+  // cancellation latency to one in-flight morsel per worker.
+  if (state->context == nullptr || !state->context->is_cancelled()) {
+    try {
+      fn();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (!state->first_exception) {
+        state->first_exception = std::current_exception();
+      }
+    }
+  }
+  if (state->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last task out: synchronize with Wait's predicate check, then wake it.
+    { std::lock_guard<std::mutex> lock(state->mu); }
+    state->cv.notify_all();
+  }
+}
+
+void TaskGroup::WaitNoRethrow() {
+  while (state_->pending.load(std::memory_order_acquire) != 0) {
+    // Help first: run queued tasks (ours or another query's — work
+    // conservation either way) on this thread.
+    if (scheduler_->TryRunOneTask()) continue;
+    std::unique_lock<std::mutex> lock(state_->mu);
+    // Timed wait rather than pure blocking: new scheduler work can appear
+    // while we sleep (queued behind busy workers), and helping it along is
+    // the only way to make progress when every worker is long-occupied.
+    state_->cv.wait_for(lock, std::chrono::microseconds(500), [this] {
+      return state_->pending.load(std::memory_order_acquire) == 0;
+    });
+  }
+}
+
+void TaskGroup::Wait() {
+  WaitNoRethrow();
+  std::exception_ptr rethrow;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    rethrow = std::exchange(state_->first_exception, nullptr);
+  }
+  if (rethrow) std::rethrow_exception(rethrow);
+}
+
+bool TaskGroup::has_exception() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->first_exception != nullptr;
+}
+
+}  // namespace bipie

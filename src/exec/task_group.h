@@ -1,0 +1,70 @@
+// TaskGroup: the unit a query uses to fan work out onto the Scheduler.
+//
+// A query submits its morsels into one TaskGroup and joins on it; the
+// group tracks completion, applies per-query cancellation (tasks submitted
+// into a cancelled group, or still queued when the group's QueryContext is
+// cancelled, are skipped rather than run), and captures the first task
+// exception to rethrow at the join point. Wait() runs queued scheduler
+// tasks on the calling thread while it blocks, so the submitter acts as an
+// extra worker and joins cannot deadlock behind a saturated pool.
+#ifndef BIPIE_EXEC_TASK_GROUP_H_
+#define BIPIE_EXEC_TASK_GROUP_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "exec/query_context.h"
+#include "exec/scheduler.h"
+
+namespace bipie {
+
+class TaskGroup {
+ public:
+  // `scheduler` defaults to the process-wide pool; `context` (optional,
+  // non-owning, must outlive the group) supplies the cancellation flag.
+  explicit TaskGroup(Scheduler* scheduler = nullptr,
+                     QueryContext* context = nullptr);
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  // Joins (without rethrowing) so submitted tasks never outlive the group.
+  ~TaskGroup();
+
+  // Enqueues one work item. If the group's context is already cancelled the
+  // task completes immediately without running its body.
+  void Submit(std::function<void()> fn);
+
+  // Blocks until every submitted task has completed, helping the scheduler
+  // drain while waiting. Rethrows the first exception any task threw.
+  void Wait();
+
+  bool has_exception() const;
+
+ private:
+  // Shared with every in-flight task wrapper: a finishing task may signal
+  // completion concurrently with (or after) the group object being torn
+  // down, so the synchronization state must outlive both.
+  struct State {
+    QueryContext* context = nullptr;
+    std::atomic<size_t> pending{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    std::exception_ptr first_exception;  // guarded by mu
+  };
+
+  static void RunTask(const std::shared_ptr<State>& state,
+                      std::function<void()>& fn);
+  void WaitNoRethrow();
+
+  Scheduler* scheduler_;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace bipie
+
+#endif  // BIPIE_EXEC_TASK_GROUP_H_

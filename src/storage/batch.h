@@ -31,24 +31,41 @@ struct BatchView {
 class BatchCursor {
  public:
   explicit BatchCursor(const Segment& segment, size_t batch_rows = kBatchRows)
-      : segment_(&segment), batch_rows_(batch_rows) {}
+      : BatchCursor(segment, batch_rows, 0, segment.num_rows()) {}
 
-  // Produces the next window; returns false at end of segment.
+  // Cursor over the row range [start, start + num_rows) only — the shape a
+  // morsel of a segment scans. `start` should be a multiple of `batch_rows`
+  // so window boundaries match a whole-segment walk (AggregateProcessor
+  // requires batch-aligned window starts). The range is clamped to the
+  // segment.
+  BatchCursor(const Segment& segment, size_t batch_rows, size_t start,
+              size_t num_rows)
+      : segment_(&segment), batch_rows_(batch_rows), start_(start) {
+    const size_t total = segment.num_rows();
+    start_ = start_ < total ? start_ : total;
+    const size_t available = total - start_;
+    end_ = start_ + (num_rows < available ? num_rows : available);
+    pos_ = start_;
+  }
+
+  // Produces the next window; returns false at end of range.
   bool Next(BatchView* view) {
-    if (pos_ >= segment_->num_rows()) return false;
+    if (pos_ >= end_) return false;
     view->segment = segment_;
     view->start = pos_;
-    const size_t remaining = segment_->num_rows() - pos_;
+    const size_t remaining = end_ - pos_;
     view->num_rows = remaining < batch_rows_ ? remaining : batch_rows_;
     pos_ += view->num_rows;
     return true;
   }
 
-  void Reset() { pos_ = 0; }
+  void Reset() { pos_ = start_; }
 
  private:
   const Segment* segment_;
   size_t batch_rows_;
+  size_t start_ = 0;
+  size_t end_ = 0;
   size_t pos_ = 0;
 };
 

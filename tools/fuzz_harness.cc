@@ -11,6 +11,7 @@
 #include "baseline/hash_agg.h"
 #include "common/random.h"
 #include "core/scan.h"
+#include "exec/query_context.h"
 #include "storage/table.h"
 
 namespace bipie::fuzz {
@@ -277,7 +278,11 @@ struct Plan {
 std::vector<Plan> MakePlans(const CaseParams& p) {
   std::vector<Plan> plans;
   plans.push_back({"adaptive/t1", {}});
-  if (p.num_threads > 1) {
+  if (p.num_threads == 0) {
+    Plan pool{"adaptive/pool", {}};
+    pool.options.num_threads = 0;
+    plans.push_back(std::move(pool));
+  } else if (p.num_threads > 1) {
     Plan mt{"adaptive/t" + std::to_string(p.num_threads), {}};
     mt.options.num_threads = p.num_threads;
     plans.push_back(std::move(mt));
@@ -317,7 +322,8 @@ std::string CaseParams::ToString() const {
      << " num_aggs=" << num_aggs << " num_filters=" << num_filters
      << " delete_frac=" << delete_frac
      << " target_selectivity=" << target_selectivity
-     << " wide_bits=" << wide_bits << " num_threads=" << num_threads;
+     << " wide_bits=" << wide_bits << " num_threads=" << num_threads
+     << " cancel_after=" << cancel_after;
   return os.str();
 }
 
@@ -348,7 +354,18 @@ CaseParams MakeCaseParams(uint64_t seed) {
   }
   p.wide_bits =
       rng.NextBernoulli(0.3) ? 41 + static_cast<int>(rng.NextBounded(23)) : 0;
-  p.num_threads = 1 + rng.NextBounded(4);
+  // Execution model: shared morsel pool, inline, or legacy per-query
+  // threads, weighted evenly so every model soaks the same case diversity.
+  switch (rng.NextBounded(3)) {
+    case 0: p.num_threads = 0; break;
+    case 1: p.num_threads = 1; break;
+    default: p.num_threads = 2 + rng.NextBounded(3); break;
+  }
+  // A quarter of cases also exercise mid-scan cancellation; small check
+  // budgets land the trigger inside the scan rather than after it.
+  p.cancel_after = rng.NextBernoulli(0.25)
+                       ? 1 + static_cast<int64_t>(rng.NextBounded(48))
+                       : 0;
   return p;
 }
 
@@ -388,6 +405,8 @@ bool ParseCaseParams(const std::string& text, CaseParams* out,
         p.wide_bits = std::stoi(val);
       } else if (key == "num_threads") {
         p.num_threads = std::stoull(val);
+      } else if (key == "cancel_after") {
+        p.cancel_after = std::stoll(val);
       } else {
         *error = "unknown key: " + key;
         return false;
@@ -442,6 +461,42 @@ bool RunOneCase(const CaseParams& p, std::string* error) {
       return false;
     }
   }
+
+  // Cancellation pass: with a context that trips after p.cancel_after
+  // checks, every execution model must either report kCancelled (or abort
+  // with kOverflowRisk before the trigger) or — when the scan completed
+  // before noticing the cancel — return the exact oracle result. A row
+  // count or sum differing from the oracle means a partial result escaped.
+  if (p.cancel_after > 0) {
+    std::vector<size_t> models = {0, 1};
+    if (p.num_threads > 1) models.push_back(p.num_threads);
+    for (size_t threads : models) {
+      QueryContext context;
+      context.CancelAfterChecks(p.cancel_after);
+      ScanOptions options;
+      options.num_threads = threads;
+      options.context = &context;
+      const std::string plan_name =
+          "cancel@" + std::to_string(p.cancel_after) + "/t" +
+          std::to_string(threads);
+      BIPieScan scan(built.table, built.query, options);
+      auto got = scan.Execute();
+      if (!got.ok()) {
+        const StatusCode code = got.status().code();
+        if (code == StatusCode::kCancelled ||
+            code == StatusCode::kOverflowRisk) {
+          continue;
+        }
+        *error = plan_name + ": unexpected error " + got.status().ToString();
+        return false;
+      }
+      std::string diff;
+      if (!ResultsAgree(got.value(), oracle.value(), plan_name, &diff)) {
+        *error = diff + " (partial result escaped a cancelled scan?)";
+        return false;
+      }
+    }
+  }
   return true;
 }
 
@@ -465,7 +520,8 @@ CaseParams Shrink(const CaseParams& p) {
     if (best.group_card > 1) add([](CaseParams& c) { c.group_card /= 2; });
     if (best.delete_frac > 0) add([](CaseParams& c) { c.delete_frac = 0; });
     if (best.wide_bits > 0) add([](CaseParams& c) { c.wide_bits = 0; });
-    if (best.num_threads > 1) add([](CaseParams& c) { c.num_threads = 1; });
+    if (best.cancel_after > 0) add([](CaseParams& c) { c.cancel_after = 0; });
+    if (best.num_threads != 1) add([](CaseParams& c) { c.num_threads = 1; });
     for (const CaseParams& c : candidates) {
       if (!RunOneCase(c, &scratch)) {  // still fails -> keep the reduction
         best = c;

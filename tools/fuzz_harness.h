@@ -39,7 +39,13 @@ struct CaseParams {
   double target_selectivity = 0.5; // drives numeric filter literal choice
   int wide_bits = 0;      // >0 adds a wide (41..63 bit) bit-packed column
                           // that filters (and sometimes aggregates) touch
-  size_t num_threads = 1; // thread count for the parallel adaptive plan
+  size_t num_threads = 1; // execution model for the extra adaptive plan:
+                          // 0 = shared morsel pool, 1 = inline only,
+                          // k>1 = legacy per-query threads
+  int64_t cancel_after = 0;  // >0 runs a cancellation pass: the context
+                             // trips after this many cancellation checks,
+                             // and the scan must return kCancelled or the
+                             // complete exact result — never a partial one
 
   // Replay line, e.g. "seed=42 rows=375 segment_rows=128 ...". Parsed back
   // by ParseCaseParams.
@@ -56,9 +62,13 @@ bool ParseCaseParams(const std::string& text, CaseParams* out,
 
 // Builds the case and runs the full differential matrix:
 //   * the hash-aggregation oracle,
-//   * the adaptive plan at 1 thread and at p.num_threads threads,
+//   * the adaptive plan inline plus (per p.num_threads) on the shared
+//     morsel pool or with legacy per-query threads,
 //   * every selection x aggregation override combination, plus each
-//     selection-only and aggregation-only override.
+//     selection-only and aggregation-only override,
+//   * when p.cancel_after > 0, a cancellation pass per execution model:
+//     a context that cancels after p.cancel_after checks must yield
+//     kCancelled or the exact oracle result, never a partial one.
 // A plan may reject cleanly with kNotSupported (infeasible strategy for the
 // shape) or abort with kOverflowRisk (checked path); any other error, or any
 // result row differing from the oracle, is a failure. Returns true when the
