@@ -3,9 +3,33 @@
 #include <cstdlib>
 #include <new>
 
+#include "common/failpoint.h"
+
 namespace bipie {
 
+namespace {
+
+// Suspiciously large requests fail fast instead of letting the allocator
+// thrash: no single column buffer legitimately approaches 2^48 bytes, but a
+// corrupt size field easily does.
+constexpr size_t kMaxReasonableBytes = size_t{1} << 48;
+
+}  // namespace
+
+bool AlignedBuffer::TryResize(size_t size) {
+  if (BIPIE_FAILPOINT("aligned_buffer/alloc_fail")) return false;
+  return ResizeInternal(size);
+}
+
 void AlignedBuffer::Resize(size_t size) {
+  // Deliberately does not evaluate the alloc failpoint: an injected failure
+  // on a trusted path would surface as an uncaught bad_alloc, not the
+  // graceful degradation the failpoint exists to exercise.
+  if (!ResizeInternal(size)) throw std::bad_alloc();
+}
+
+bool AlignedBuffer::ResizeInternal(size_t size) {
+  if (size > kMaxReasonableBytes) return false;
   const size_t needed = size + kPaddingBytes;
   if (needed > capacity_) {
     // Grow geometrically to keep repeated Resize calls amortized O(1).
@@ -14,7 +38,7 @@ void AlignedBuffer::Resize(size_t size) {
     void* ptr = std::aligned_alloc(kAlignment,
                                    (new_capacity + kAlignment - 1) /
                                        kAlignment * kAlignment);
-    if (ptr == nullptr) throw std::bad_alloc();
+    if (ptr == nullptr) return false;
     auto* new_data = static_cast<uint8_t*>(ptr);
     if (data_ != nullptr) {
       std::memcpy(new_data, data_, size_ < size ? size_ : size);
@@ -28,6 +52,7 @@ void AlignedBuffer::Resize(size_t size) {
   const size_t preserved = size_ < size ? size_ : size;
   std::memset(data_ + preserved, 0, size + kPaddingBytes - preserved);
   size_ = size;
+  return true;
 }
 
 void AlignedBuffer::Free() {

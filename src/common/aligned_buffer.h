@@ -45,7 +45,17 @@ class AlignedBuffer {
 
   // Resizes to `size` logical bytes. Existing contents up to
   // min(old, new) size are preserved; the padding tail is re-zeroed.
+  // Throws std::bad_alloc when the allocation fails (trusted callers whose
+  // sizes derive from in-process data).
   void Resize(size_t size);
+
+  // As Resize, but returns false instead of throwing when the allocation
+  // fails — the buffer is left unchanged. This is the entry point for sizes
+  // that cross the untrusted-data boundary (table files) and for scratch
+  // allocations that must degrade to kResourceExhausted instead of
+  // aborting; the "aligned_buffer/alloc_fail" failpoint injects failures
+  // here.
+  [[nodiscard]] bool TryResize(size_t size);
 
   // Deep copy helper (copies logical contents only).
   AlignedBuffer Clone() const {
@@ -78,6 +88,7 @@ class AlignedBuffer {
   }
 
  private:
+  bool ResizeInternal(size_t size);
   void Free();
 
   uint8_t* data_ = nullptr;

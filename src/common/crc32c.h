@@ -1,0 +1,37 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41), the checksum guarding every
+// block of the v2 table file format.
+//
+// Two implementations sit behind one entry point: a portable slice-by-8
+// software path, and the SSE4.2 crc32 instruction path selected at runtime
+// on x86-64 hardware that reports the feature. Both produce identical
+// results (the hardware instruction implements exactly this polynomial,
+// which is why Castagnoli — not the zip/ethernet CRC32 — is the choice of
+// storage engines).
+//
+// The checksum value is stored and compared in the "masked" convention of
+// the raw CRC (no final rotation beyond the standard bit-inversion); callers
+// that need incremental computation chain through Crc32cExtend.
+#ifndef BIPIE_COMMON_CRC32C_H_
+#define BIPIE_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bipie {
+
+// CRC32C of `data[0, n)` continuing from `crc` (the value returned by a
+// previous call over the preceding bytes). Pass 0 to start a new stream.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+// CRC32C of one complete buffer.
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+// True when the process dispatches to the SSE4.2 hardware instruction
+// (diagnostics; both paths return identical checksums).
+bool Crc32cUsesHardware();
+
+}  // namespace bipie
+
+#endif  // BIPIE_COMMON_CRC32C_H_

@@ -1,0 +1,125 @@
+#include "common/failpoint.h"
+
+#include <map>
+#include <mutex>
+
+namespace bipie {
+
+namespace {
+
+enum class Mode { kFailOnce, kFailEveryN, kProbability };
+
+struct PointState {
+  Mode mode = Mode::kFailOnce;
+  bool spent = false;       // kFailOnce: already fired
+  uint64_t every_n = 1;     // kFailEveryN
+  double probability = 0;   // kProbability
+  uint64_t rng_state = 1;   // splitmix64 state for kProbability
+  uint64_t evaluations = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, PointState> points;
+  // Sticky per-name evaluation counters so HitCount survives Deactivate
+  // (tests arm, run, disarm, then assert the point was actually reached).
+  std::map<std::string, uint64_t> hits;
+};
+
+Registry& Global() {
+  static Registry* r = new Registry();  // leaked: usable during shutdown
+  return *r;
+}
+
+// splitmix64: tiny, seedable, good enough for firing-pattern coins.
+uint64_t NextRandom(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void Failpoints::FailOnce(const std::string& name) {
+  Registry& r = Global();
+  std::lock_guard<std::mutex> lock(r.mu);
+  PointState st;
+  st.mode = Mode::kFailOnce;
+  r.points[name] = st;
+}
+
+void Failpoints::FailEveryN(const std::string& name, uint64_t n) {
+  Registry& r = Global();
+  std::lock_guard<std::mutex> lock(r.mu);
+  PointState st;
+  st.mode = Mode::kFailEveryN;
+  st.every_n = n == 0 ? 1 : n;
+  r.points[name] = st;
+}
+
+void Failpoints::FailWithProbability(const std::string& name, double p,
+                                     uint64_t seed) {
+  Registry& r = Global();
+  std::lock_guard<std::mutex> lock(r.mu);
+  PointState st;
+  st.mode = Mode::kProbability;
+  st.probability = p;
+  st.rng_state = seed;
+  r.points[name] = st;
+}
+
+void Failpoints::Deactivate(const std::string& name) {
+  Registry& r = Global();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.points.erase(name);
+}
+
+void Failpoints::DeactivateAll() {
+  Registry& r = Global();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.points.clear();
+}
+
+bool Failpoints::Evaluate(const std::string& name) {
+  Registry& r = Global();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.points.find(name);
+  if (it == r.points.end()) return false;
+  PointState& st = it->second;
+  ++st.evaluations;
+  ++r.hits[name];
+  switch (st.mode) {
+    case Mode::kFailOnce:
+      if (st.spent) return false;
+      st.spent = true;
+      return true;
+    case Mode::kFailEveryN:
+      return st.evaluations % st.every_n == 0;
+    case Mode::kProbability: {
+      // 53-bit uniform double in [0, 1).
+      const double u =
+          static_cast<double>(NextRandom(&st.rng_state) >> 11) * 0x1.0p-53;
+      return u < st.probability;
+    }
+  }
+  return false;
+}
+
+uint64_t Failpoints::HitCount(const std::string& name) {
+  Registry& r = Global();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.hits.find(name);
+  return it == r.hits.end() ? 0 : it->second;
+}
+
+std::vector<std::string> Failpoints::ActiveNames() {
+  Registry& r = Global();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::string> names;
+  names.reserve(r.points.size());
+  for (const auto& [name, st] : r.points) names.push_back(name);
+  return names;  // std::map iteration is already sorted
+}
+
+}  // namespace bipie

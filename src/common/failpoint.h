@@ -1,0 +1,96 @@
+// Failpoint fault-injection framework.
+//
+// A failpoint is a named site in library code where a test (or a fuzz run)
+// can force a failure that is hard to provoke naturally: a short read, an
+// allocation failure, a checksum mismatch. Library code marks the site with
+//
+//   if (BIPIE_FAILPOINT("table_io/read_short")) { ...fail path... }
+//
+// and tests arm it through the process-wide registry:
+//
+//   Failpoints::FailOnce("table_io/read_short");       // next hit fires
+//   Failpoints::FailEveryN("x", 3);                    // hits 3, 6, 9, ...
+//   Failpoints::FailWithProbability("x", 0.05, seed);  // seeded coin flips
+//   Failpoints::Deactivate("x");                       // back to off
+//
+// In builds without BIPIE_ENABLE_FAILPOINTS the macro expands to `false`,
+// so every site compiles to a dead branch and release hot paths pay
+// nothing. The registry itself is always compiled (it is tiny and lets the
+// registry unit tests run in every build); only the sites are gated.
+//
+// Mirrors the failpoint facilities production engines pair with their
+// storage formats (ClickHouse's FailPoint, TiKV's fail-rs): deterministic,
+// per-point modes, armed and disarmed at runtime.
+#ifndef BIPIE_COMMON_FAILPOINT_H_
+#define BIPIE_COMMON_FAILPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bipie {
+
+class Failpoints {
+ public:
+  // Arms `name` to fire exactly once, then disarm itself.
+  static void FailOnce(const std::string& name);
+
+  // Arms `name` to fire on every n-th evaluation (n >= 1; n == 1 fires on
+  // every hit).
+  static void FailEveryN(const std::string& name, uint64_t n);
+
+  // Arms `name` to fire with probability `p` per evaluation, driven by a
+  // deterministic generator seeded with `seed` (same seed -> same firing
+  // pattern).
+  static void FailWithProbability(const std::string& name, double p,
+                                  uint64_t seed);
+
+  // Disarms one point / all points. Counters are discarded.
+  static void Deactivate(const std::string& name);
+  static void DeactivateAll();
+
+  // Evaluates one site. Unarmed names return false and are not recorded.
+  // Called through BIPIE_FAILPOINT, not directly, so sites vanish from
+  // builds without BIPIE_ENABLE_FAILPOINTS.
+  static bool Evaluate(const std::string& name);
+
+  // Number of times `name` was evaluated while armed (diagnostics; 0 when
+  // never armed).
+  static uint64_t HitCount(const std::string& name);
+
+  // Names currently armed, sorted.
+  static std::vector<std::string> ActiveNames();
+};
+
+// Arms a failpoint for the lifetime of a scope (tests).
+class ScopedFailpoint {
+ public:
+  explicit ScopedFailpoint(std::string name) : name_(std::move(name)) {
+    Failpoints::FailOnce(name_);
+  }
+  ScopedFailpoint(std::string name, uint64_t every_n)
+      : name_(std::move(name)) {
+    Failpoints::FailEveryN(name_, every_n);
+  }
+  ScopedFailpoint(std::string name, double p, uint64_t seed)
+      : name_(std::move(name)) {
+    Failpoints::FailWithProbability(name_, p, seed);
+  }
+  ~ScopedFailpoint() { Failpoints::Deactivate(name_); }
+
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace bipie
+
+#if defined(BIPIE_ENABLE_FAILPOINTS)
+#define BIPIE_FAILPOINT(name) (::bipie::Failpoints::Evaluate(name))
+#else
+#define BIPIE_FAILPOINT(name) (false)
+#endif
+
+#endif  // BIPIE_COMMON_FAILPOINT_H_

@@ -22,6 +22,12 @@ enum class StatusCode {
   kOverflowRisk,
   kCancelled,
   kInternal,
+  // Persisted data failed a checksum or a decode-validation invariant. The
+  // bytes on disk cannot be trusted; retrying will not help.
+  kDataLoss,
+  // An allocation or similar resource acquisition failed; the operation was
+  // abandoned cleanly and may succeed if retried under less pressure.
+  kResourceExhausted,
 };
 
 // A success-or-error value. Cheap to copy when OK (no allocation).
@@ -47,6 +53,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

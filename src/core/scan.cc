@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "baseline/hash_agg.h"
+#include "common/failpoint.h"
 #include "exec/scheduler.h"
 #include "exec/task_group.h"
 #include "storage/batch.h"
@@ -62,6 +63,15 @@ Status BIPieScan::ScanMorsel(const Morsel& morsel,
 
   AlignedBuffer sel_buf;
   AlignedBuffer sel_tmp;
+  // The selection scratch is sized up front for the largest batch this
+  // morsel will see, so a failed allocation degrades to a structured
+  // kResourceExhausted here — before any batch is processed — and the scan
+  // as a whole stays complete-or-error, never a partial aggregate.
+  const size_t scratch_rows = std::min<size_t>(morsel.num_rows, kBatchRows);
+  if (BIPIE_FAILPOINT("scan/morsel_scratch_alloc") ||
+      !sel_buf.TryResize(scratch_rows) || !sel_tmp.TryResize(scratch_rows)) {
+    return Status::ResourceExhausted("morsel selection scratch allocation");
+  }
   BatchCursor cursor(segment, kBatchRows, morsel.start_row, morsel.num_rows);
   BatchView view;
   while (cursor.Next(&view)) {

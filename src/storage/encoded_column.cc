@@ -1,9 +1,53 @@
 #include "storage/encoded_column.h"
 
+#include <algorithm>
+#include <string>
+
 #include "common/bits.h"
 #include "encoding/bitpack.h"
 
 namespace bipie {
+
+namespace {
+
+template <typename Word>
+uint64_t MaxWord(const Word* values, size_t n) {
+  Word max_value = 0;
+  for (size_t i = 0; i < n; ++i) max_value = std::max(max_value, values[i]);
+  return max_value;
+}
+
+// Largest packed value in [0, n) of the stream, via the vectorized unpack at
+// the smallest word width (this is the hot part of deep validation; a scalar
+// walk would make loading large tables noticeably slower).
+uint64_t MaxPackedValue(const AlignedBuffer& packed, size_t n, int bit_width) {
+  const int word = SmallestWordBytes(bit_width);
+  AlignedBuffer scratch(kBatchRows * static_cast<size_t>(word));
+  uint64_t max_value = 0;
+  for (size_t start = 0; start < n; start += kBatchRows) {
+    const size_t chunk = std::min(kBatchRows, n - start);
+    BitUnpack(packed.data(), start, chunk, bit_width, scratch.data());
+    uint64_t chunk_max = 0;
+    switch (word) {
+      case 1:
+        chunk_max = MaxWord(scratch.data_as<uint8_t>(), chunk);
+        break;
+      case 2:
+        chunk_max = MaxWord(scratch.data_as<uint16_t>(), chunk);
+        break;
+      case 4:
+        chunk_max = MaxWord(scratch.data_as<uint32_t>(), chunk);
+        break;
+      default:
+        chunk_max = MaxWord(scratch.data_as<uint64_t>(), chunk);
+        break;
+    }
+    max_value = std::max(max_value, chunk_max);
+  }
+  return max_value;
+}
+
+}  // namespace
 
 uint64_t EncodedColumn::id_bound() const {
   switch (encoding_) {
@@ -81,6 +125,167 @@ void EncodedColumn::DecodeInt64(size_t start, size_t n, int64_t* out) const {
       return;
     }
   }
+}
+
+Status EncodedColumn::Validate() const {
+  // Enum discriminants first: nothing below means anything if these were
+  // corrupted, and an out-of-range enum value is UB waiting to happen.
+  const int type_raw = static_cast<int>(type_);
+  if (type_raw < 0 || type_raw > static_cast<int>(ColumnType::kString)) {
+    return Status::DataLoss("column type discriminant out of range: " +
+                            std::to_string(type_raw));
+  }
+  const int enc_raw = static_cast<int>(encoding_);
+  if (enc_raw < 0 || enc_raw > static_cast<int>(Encoding::kDelta)) {
+    return Status::DataLoss("column encoding discriminant out of range: " +
+                            std::to_string(enc_raw));
+  }
+  if (meta_.min > meta_.max) {
+    return Status::DataLoss("column metadata min > max");
+  }
+  if (type_ == ColumnType::kString && encoding_ != Encoding::kDictionary) {
+    return Status::DataLoss("string column must be dictionary encoded");
+  }
+  const size_t n = meta_.num_rows;
+  if (n == 0) return Status::OK();  // nothing will ever be decoded
+
+  switch (encoding_) {
+    case Encoding::kBitPacked: {
+      if (bit_width_ < 1 || bit_width_ > 64) {
+        return Status::DataLoss("bit width out of [1, 64]: " +
+                                std::to_string(bit_width_));
+      }
+      if (base_ != meta_.min) {
+        // The builder always uses min as the frame-of-reference base;
+        // id_bound() and the overflow proofs assume it.
+        return Status::DataLoss("frame-of-reference base != metadata min");
+      }
+      if (packed_.size() < BitPackedBytes(n, bit_width_)) {
+        return Status::DataLoss("bit-packed stream shorter than row count");
+      }
+      // Every offset must stay within the metadata spread: offsets above it
+      // would decode outside [min, max], breaking segment elimination and
+      // the id_bound() the aggregation kernels size their arrays with.
+      const uint64_t spread = static_cast<uint64_t>(meta_.max) -
+                              static_cast<uint64_t>(base_);
+      const uint64_t max_offset = MaxPackedValue(packed_, n, bit_width_);
+      if (max_offset > spread) {
+        return Status::DataLoss("bit-packed offset exceeds metadata spread");
+      }
+      return Status::OK();
+    }
+    case Encoding::kDictionary: {
+      if (bit_width_ < 1 || bit_width_ > 32) {
+        return Status::DataLoss("dictionary id width out of [1, 32]: " +
+                                std::to_string(bit_width_));
+      }
+      size_t dict_size = 0;
+      if (type_ == ColumnType::kString) {
+        if (str_dict_ == nullptr) {
+          return Status::DataLoss("string column missing its dictionary");
+        }
+        dict_size = str_dict_->size();
+        if (meta_.min < 0 ||
+            meta_.max >= static_cast<int64_t>(dict_size)) {
+          return Status::DataLoss("string metadata outside dictionary ids");
+        }
+      } else {
+        if (int_dict_ == nullptr) {
+          return Status::DataLoss("dictionary column missing its dictionary");
+        }
+        dict_size = int_dict_->size();
+        for (int64_t v : int_dict_->values()) {
+          if (v < meta_.min || v > meta_.max) {
+            return Status::DataLoss(
+                "dictionary value outside metadata [min, max]");
+          }
+        }
+      }
+      if (dict_size == 0) {
+        return Status::DataLoss("empty dictionary for non-empty column");
+      }
+      if (packed_.size() < BitPackedBytes(n, bit_width_)) {
+        return Status::DataLoss("dictionary id stream shorter than row count");
+      }
+      // Codes index the dictionary and the aggregation arrays sized by
+      // id_bound(); a single out-of-range code is an out-of-bounds access.
+      const uint64_t max_code = MaxPackedValue(packed_, n, bit_width_);
+      if (max_code >= dict_size) {
+        return Status::DataLoss("dictionary code >= dictionary size");
+      }
+      return Status::OK();
+    }
+    case Encoding::kRle: {
+      uint64_t total = 0;
+      for (const RleRun& run : runs_) {
+        if (run.count == 0) {
+          return Status::DataLoss("zero-length RLE run");
+        }
+        total += run.count;  // uint64 accumulation cannot wrap here: run
+                             // count fits 32 bits and the run vector was
+                             // bounded by the file size on load
+        const int64_t v = static_cast<int64_t>(run.value);
+        if (v < meta_.min || v > meta_.max) {
+          return Status::DataLoss("RLE run value outside metadata [min, max]");
+        }
+      }
+      if (total != n) {
+        return Status::DataLoss("RLE run counts sum to " +
+                                std::to_string(total) + ", expected " +
+                                std::to_string(n));
+      }
+      return Status::OK();
+    }
+    case Encoding::kDelta: {
+      if (bit_width_ < 1 || bit_width_ > 64) {
+        return Status::DataLoss("bit width out of [1, 64]: " +
+                                std::to_string(bit_width_));
+      }
+      const size_t expected_checkpoints = (n - 1) / kDeltaCheckpointRows + 1;
+      if (checkpoints_.size() != expected_checkpoints) {
+        return Status::DataLoss("delta checkpoint count mismatch");
+      }
+      if (packed_.size() < BitPackedBytes(n - 1, bit_width_)) {
+        return Status::DataLoss("delta stream shorter than row count");
+      }
+      // Roll the whole stream forward once, checking three things the
+      // windowed decoder (DecodeInt64) will later rely on: no signed
+      // overflow in any delta addition, every value inside the metadata
+      // bounds, and each stored checkpoint equal to the rolled value at its
+      // row (so a decode starting mid-stream agrees with one from row 0).
+      int64_t value = checkpoints_[0];
+      if (value < meta_.min || value > meta_.max) {
+        return Status::DataLoss("delta checkpoint outside metadata bounds");
+      }
+      AlignedBuffer scratch(kBatchRows * 8);
+      uint64_t* offsets = scratch.data_as<uint64_t>();
+      const size_t num_deltas = n - 1;
+      for (size_t start = 0; start < num_deltas; start += kBatchRows) {
+        const size_t chunk = std::min(kBatchRows, num_deltas - start);
+        BitUnpackToWord(packed_.data(), start, chunk, bit_width_, offsets, 8);
+        for (size_t k = 0; k < chunk; ++k) {
+          const size_t row = start + k + 1;
+          int64_t delta = 0;
+          if (__builtin_add_overflow(delta_min_,
+                                     static_cast<int64_t>(offsets[k]),
+                                     &delta) ||
+              __builtin_add_overflow(value, delta, &value)) {
+            return Status::DataLoss("delta decode overflows int64 at row " +
+                                    std::to_string(row));
+          }
+          if (value < meta_.min || value > meta_.max) {
+            return Status::DataLoss("delta value outside metadata bounds");
+          }
+          if (row % kDeltaCheckpointRows == 0 &&
+              checkpoints_[row / kDeltaCheckpointRows] != value) {
+            return Status::DataLoss("delta checkpoint disagrees with stream");
+          }
+        }
+      }
+      return Status::OK();
+    }
+  }
+  return Status::DataLoss("unreachable encoding");
 }
 
 size_t EncodedColumn::encoded_bytes() const {

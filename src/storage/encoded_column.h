@@ -71,6 +71,21 @@ class EncodedColumn {
   // Encoded size in bytes (compression diagnostics).
   size_t encoded_bytes() const;
 
+  // Deep decode validation: verifies every invariant the kernels trust
+  // before touching this column — enum discriminants in range, bit_width in
+  // [1, 64], packed_ sized for num_rows values plus AlignedBuffer padding,
+  // every dictionary code < dictionary size, dictionary values within the
+  // [min, max] metadata (which drives segment elimination and overflow
+  // proofs), RLE run counts summing to num_rows without overflow, and the
+  // delta stream rolling forward to exactly the stored checkpoints with no
+  // signed overflow. O(num_rows) for the code/offset scans (vectorized
+  // unpack); every failure is a structured kDataLoss Status, never a crash.
+  //
+  // A column that passes Validate() can be decoded by any kernel with no
+  // out-of-bounds access and no undefined behaviour, whatever the source of
+  // its bytes.
+  Status Validate() const;
+
   // kDelta internals (diagnostics / serialization).
   int64_t delta_min() const { return delta_min_; }
   const std::vector<int64_t>& delta_checkpoints() const {

@@ -1,8 +1,45 @@
 #include "storage/segment.h"
 
 #include <cstring>
+#include <string>
 
 namespace bipie {
+
+Status Segment::Validate() const {
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (columns_[c].num_rows() != num_rows_) {
+      return Status::DataLoss("column " + std::to_string(c) +
+                              " row count disagrees with segment");
+    }
+    const Status st = columns_[c].Validate();
+    if (!st.ok()) {
+      return Status::DataLoss("column " + std::to_string(c) + ": " +
+                              st.message());
+    }
+  }
+  if (alive_.size() != 0) {
+    if (alive_.size() != num_rows_) {
+      return Status::DataLoss("liveness mask length disagrees with segment");
+    }
+    size_t dead = 0;
+    for (size_t row = 0; row < num_rows_; ++row) {
+      const uint8_t b = alive_.data()[row];
+      if (b == 0x00) {
+        ++dead;
+      } else if (b != 0xFF) {
+        // Scans AND this mask straight into selection byte vectors, which
+        // must stay canonical 0x00/0xFF.
+        return Status::DataLoss("non-canonical liveness byte");
+      }
+    }
+    if (dead != num_deleted_) {
+      return Status::DataLoss("deleted-row count disagrees with mask");
+    }
+  } else if (num_deleted_ != 0) {
+    return Status::DataLoss("deleted rows recorded without a liveness mask");
+  }
+  return Status::OK();
+}
 
 void Segment::DeleteRow(size_t row) {
   BIPIE_DCHECK(row < num_rows_);

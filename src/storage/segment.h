@@ -46,6 +46,12 @@ class Segment {
     return has_deleted_rows() ? alive_.data() : nullptr;
   }
 
+  // Deep validation: every column passes EncodedColumn::Validate() and has
+  // this segment's row count; the liveness mask, when present, is canonical
+  // (0x00/0xFF bytes, zero count matching num_deleted()). kDataLoss on any
+  // violation.
+  Status Validate() const;
+
   // True when the column's metadata proves no row can satisfy
   // `value in [lo, hi]`, so the whole segment can be skipped.
   bool CanEliminate(size_t column_index, int64_t lo, int64_t hi) const {

@@ -11,6 +11,29 @@ int Table::FindColumn(const std::string& name) const {
   return -1;
 }
 
+Status Table::Validate() const {
+  for (size_t s = 0; s < segments_.size(); ++s) {
+    const Segment& segment = *segments_[s];
+    if (segment.num_columns() != schema_.size()) {
+      return Status::DataLoss("segment " + std::to_string(s) +
+                              " column count disagrees with schema");
+    }
+    for (size_t c = 0; c < schema_.size(); ++c) {
+      if (segment.column(c).type() != schema_[c].type) {
+        return Status::DataLoss("segment " + std::to_string(s) + " column " +
+                                std::to_string(c) +
+                                " type disagrees with schema");
+      }
+    }
+    const Status st = segment.Validate();
+    if (!st.ok()) {
+      return Status::DataLoss("segment " + std::to_string(s) + ": " +
+                              st.message());
+    }
+  }
+  return Status::OK();
+}
+
 TableAppender::TableAppender(Table* table, size_t segment_rows)
     : table_(table), segment_rows_(segment_rows) {
   BIPIE_DCHECK(segment_rows_ > 0);

@@ -46,6 +46,12 @@ class Table {
     segments_.push_back(std::make_unique<Segment>(std::move(segment)));
   }
 
+  // Deep validation of every segment against the schema: column counts and
+  // types match, and each segment passes Segment::Validate(). LoadTable
+  // runs this over every loaded table (the untrusted-data boundary); it is
+  // also callable standalone on hand-built tables.
+  Status Validate() const;
+
  private:
   Schema schema_;
   std::vector<std::unique_ptr<Segment>> segments_;

@@ -7,9 +7,28 @@
 // no re-encoding, and a benchmark dataset generated once (e.g. TPC-H
 // lineitem) can be reloaded instantly.
 //
-// Format (little-endian):
-//   magic "BIPIETB1", schema, then per segment the alive mask and each
-//   column's encoding, metadata, packed stream and auxiliary structures.
+// The file is an untrusted-data boundary: the scan kernels trust bit
+// widths, dictionary sizes and min/max metadata absolutely, so everything
+// crossing this boundary is (a) bounded against the physical file size
+// before any allocation, (b) checksum-verified (format v2), and (c) run
+// through the deep decode validation pass (Table::Validate) before the
+// caller ever sees it. A corrupt, truncated or adversarial file yields a
+// structured Status — kDataLoss for untrustworthy bytes — never a crash.
+//
+// Format v2 (little-endian), magic "BIPIETB2":
+//   magic, then a sequence of framed blocks, each
+//     u64 payload_length | u32 crc32c(payload) | payload
+//   Block 0 (header): u32 num_columns, per column (string name, u8 type,
+//     u8 encoding_choice), u32 num_segments.
+//   Per segment: one segment block (u64 num_rows, u8 has_alive, alive
+//     mask), then one block per column with the column's encoding,
+//     metadata, packed stream and auxiliary structures.
+//
+// Format v1, magic "BIPIETB1": the same logical content with no framing
+// and no checksums. v1 files still load (the "unverified legacy format"
+// path — deep validation is their only line of defence) unless
+// LoadOptions::strict demands a verifiable format. Unknown future versions
+// fail with kNotSupported.
 #ifndef BIPIE_STORAGE_TABLE_IO_H_
 #define BIPIE_STORAGE_TABLE_IO_H_
 
@@ -20,9 +39,31 @@
 
 namespace bipie {
 
-Status SaveTable(const Table& table, const std::string& path);
+struct SaveOptions {
+  // 2 (default) writes the checksummed BIPIETB2 format; 1 writes the legacy
+  // unchecksummed BIPIETB1 layout (back-compat tests, downgrade escape).
+  int format_version = 2;
+};
 
-Result<Table> LoadTable(const std::string& path);
+struct LoadOptions {
+  // Verify the CRC32C of every v2 block before decoding it. Skipping makes
+  // loading a trusted file cost the same as v1 (the frame fields are a few
+  // bytes per block); deep validation below still runs.
+  bool verify_checksums = true;
+  // Run Table::Validate() on the decoded table — the deep pass that makes
+  // the kernels' trusted invariants actually hold. Only disable for files
+  // produced and kept inside the same process.
+  bool validate = true;
+  // Refuse formats that cannot be checksum-verified (v1 legacy files load
+  // as kNotSupported instead of silently skipping verification).
+  bool strict = false;
+};
+
+Status SaveTable(const Table& table, const std::string& path,
+                 const SaveOptions& options = {});
+
+Result<Table> LoadTable(const std::string& path,
+                        const LoadOptions& options = {});
 
 }  // namespace bipie
 

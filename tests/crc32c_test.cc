@@ -1,0 +1,100 @@
+#include "common/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bipie {
+namespace {
+
+TEST(Crc32cTest, KnownAnswerVectors) {
+  // The classic check value for the Castagnoli polynomial.
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+
+  // RFC 3720 (iSCSI) appendix B.4 test vectors.
+  std::vector<uint8_t> zeros(32, 0x00);
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+  std::vector<uint8_t> ones(32, 0xFF);
+  EXPECT_EQ(Crc32c(ones.data(), ones.size()), 0x62A8AB43u);
+  std::vector<uint8_t> ascending(32);
+  for (size_t i = 0; i < 32; ++i) ascending[i] = static_cast<uint8_t>(i);
+  EXPECT_EQ(Crc32c(ascending.data(), ascending.size()), 0x46DD794Eu);
+}
+
+TEST(Crc32cTest, EmptyInput) {
+  EXPECT_EQ(Crc32c(nullptr, 0), 0u);
+  EXPECT_EQ(Crc32cExtend(0x12345678u, nullptr, 0), 0x12345678u);
+}
+
+TEST(Crc32cTest, ExtendMatchesOneShot) {
+  const std::string data =
+      "bipie table format v2 guards every block with crc32c";
+  const uint32_t whole = Crc32c(data.data(), data.size());
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t crc = Crc32c(data.data(), split);
+    crc = Crc32cExtend(crc, data.data() + split, data.size() - split);
+    ASSERT_EQ(crc, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, UnalignedStartsAgree) {
+  // The software and hardware paths must agree for every alignment and
+  // length; sweeping offsets within one buffer exercises both tail handling
+  // and the 8-byte folding loop.
+  std::vector<uint8_t> buf(256);
+  for (size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<uint8_t>(i * 131 + 17);
+  }
+  for (size_t off = 0; off < 16; ++off) {
+    for (size_t len : {0u, 1u, 7u, 8u, 9u, 63u, 64u, 100u}) {
+      const uint32_t a = Crc32c(buf.data() + off, len);
+      // Recompute byte-at-a-time through the extend API; any internal
+      // word-folding bug would diverge.
+      uint32_t b = 0;
+      for (size_t i = 0; i < len; ++i) {
+        b = Crc32cExtend(b, buf.data() + off + i, 1);
+      }
+      ASSERT_EQ(a, b) << "offset " << off << " len " << len;
+    }
+  }
+}
+
+TEST(Crc32cTest, LargeBuffersCrossBlockBoundaries) {
+  // The hardware path switches to 3-way interleaved chains at 768 and
+  // 24576 bytes; small-chunk extends never enter those loops, so chaining
+  // 97-byte pieces cross-checks the interleaved merge against the plain
+  // single-stream path at every boundary.
+  std::vector<uint8_t> buf(100000);
+  uint32_t x = 0x9E3779B9u;
+  for (size_t i = 0; i < buf.size(); ++i) {
+    x = x * 1664525u + 1013904223u;
+    buf[i] = static_cast<uint8_t>(x >> 24);
+  }
+  for (size_t len : {767u, 768u, 769u, 4096u, 24575u, 24576u, 24577u,
+                     65536u, 100000u}) {
+    const uint32_t one_shot = Crc32c(buf.data(), len);
+    uint32_t chunked = 0;
+    for (size_t i = 0; i < len; i += 97) {
+      chunked = Crc32cExtend(chunked, buf.data() + i, std::min<size_t>(97, len - i));
+    }
+    ASSERT_EQ(one_shot, chunked) << "len " << len;
+  }
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlip) {
+  std::vector<uint8_t> buf(64, 0xA5);
+  const uint32_t clean = Crc32c(buf.data(), buf.size());
+  for (size_t byte = 0; byte < buf.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      buf[byte] ^= static_cast<uint8_t>(1u << bit);
+      ASSERT_NE(Crc32c(buf.data(), buf.size()), clean)
+          << "undetected flip at byte " << byte << " bit " << bit;
+      buf[byte] ^= static_cast<uint8_t>(1u << bit);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bipie

@@ -1,13 +1,17 @@
 // Command-line driver for the differential correctness harness.
 //
 // Usage:
-//   bipie_fuzz [--seed N] [--iters N] [--budget-seconds S] [--verbose]
+//   bipie_fuzz [--mode differential|load_table] [--seed N] [--iters N]
+//              [--budget-seconds S] [--verbose]
 //   bipie_fuzz --replay "seed=42 rows=375 segment_rows=128 ..."
 //
-// The first form runs seeds [seed, seed+iters), stopping early when the
-// wall-clock budget (if any) runs out, and exits non-zero at the first
-// failing case after shrinking it and printing a --replay line. The second
-// form re-runs exactly one case from a printed replay line.
+// The default (differential) mode runs seeds [seed, seed+iters), stopping
+// early when the wall-clock budget (if any) runs out, and exits non-zero at
+// the first failing case after shrinking it and printing a --replay line.
+// The --replay form re-runs exactly one differential case from a printed
+// replay line. load_table mode instead fuzzes the untrusted-file boundary:
+// each seed mutates a golden table file and the load must produce a
+// structured error or a validated, scannable table — never a crash.
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -20,8 +24,8 @@ namespace {
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--seed N] [--iters N] [--budget-seconds S] "
-               "[--verbose]\n"
+               "usage: %s [--mode differential|load_table] [--seed N] "
+               "[--iters N] [--budget-seconds S] [--verbose]\n"
                "       %s --replay \"seed=N rows=N ...\"\n",
                argv0, argv0);
 }
@@ -33,6 +37,7 @@ int main(int argc, char** argv) {
   uint64_t iters = 200;
   double budget_seconds = 0.0;
   bool verbose = false;
+  std::string mode = "differential";
   std::string replay;
 
   for (int i = 1; i < argc; ++i) {
@@ -51,6 +56,13 @@ int main(int argc, char** argv) {
       iters = std::strtoull(need_value("--iters"), nullptr, 10);
     } else if (arg == "--budget-seconds") {
       budget_seconds = std::strtod(need_value("--budget-seconds"), nullptr);
+    } else if (arg == "--mode") {
+      mode = need_value("--mode");
+      if (mode != "differential" && mode != "load_table") {
+        std::fprintf(stderr, "unknown mode: %s\n", mode.c_str());
+        Usage(argv[0]);
+        return 2;
+      }
     } else if (arg == "--replay") {
       replay = need_value("--replay");
     } else if (arg == "--verbose") {
@@ -80,6 +92,16 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "[bipie_fuzz] FAILURE: %s\n", error.c_str());
     return 1;
+  }
+
+  if (mode == "load_table") {
+    const bipie::fuzz::LoadFuzzResult result =
+        bipie::fuzz::RunLoadTableFuzz(seed, iters, budget_seconds, verbose);
+    std::fprintf(stderr,
+                 "[bipie_fuzz] load_table: %" PRIu64 " iteration(s), %" PRIu64
+                 " failure(s)\n",
+                 result.iterations, result.failures);
+    return result.failures == 0 ? 0 : 1;
   }
 
   const bipie::fuzz::FuzzResult result =

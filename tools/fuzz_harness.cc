@@ -4,15 +4,19 @@
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "baseline/hash_agg.h"
+#include "common/failpoint.h"
 #include "common/random.h"
 #include "core/scan.h"
 #include "exec/query_context.h"
 #include "storage/table.h"
+#include "storage/table_io.h"
 
 namespace bipie::fuzz {
 
@@ -323,7 +327,8 @@ std::string CaseParams::ToString() const {
      << " delete_frac=" << delete_frac
      << " target_selectivity=" << target_selectivity
      << " wide_bits=" << wide_bits << " num_threads=" << num_threads
-     << " cancel_after=" << cancel_after;
+     << " cancel_after=" << cancel_after
+     << " failpoint_prob=" << failpoint_prob;
   return os.str();
 }
 
@@ -366,6 +371,11 @@ CaseParams MakeCaseParams(uint64_t seed) {
   p.cancel_after = rng.NextBernoulli(0.25)
                        ? 1 + static_cast<int64_t>(rng.NextBounded(48))
                        : 0;
+  // A fifth of cases run with allocation-failure injection armed on the
+  // morsel scratch path (only observable in BIPIE_ENABLE_FAILPOINTS builds;
+  // params stay seed-portable across build flavours either way).
+  p.failpoint_prob =
+      rng.NextBernoulli(0.2) ? 0.02 + 0.28 * rng.NextDouble() : 0.0;
   return p;
 }
 
@@ -407,6 +417,8 @@ bool ParseCaseParams(const std::string& text, CaseParams* out,
         p.num_threads = std::stoull(val);
       } else if (key == "cancel_after") {
         p.cancel_after = std::stoll(val);
+      } else if (key == "failpoint_prob") {
+        p.failpoint_prob = std::stod(val);
       } else {
         *error = "unknown key: " + key;
         return false;
@@ -429,6 +441,15 @@ bool RunOneCase(const CaseParams& p, std::string* error) {
     return false;
   }
 
+  // Fault-injection slice: armed after the oracle (which must stay exact),
+  // disarmed when this function returns. Every plan below must then produce
+  // its complete exact result or report kResourceExhausted — an injected
+  // allocation failure must never leak a partial aggregate.
+  std::optional<ScopedFailpoint> inject;
+  if (p.failpoint_prob > 0) {
+    inject.emplace("scan/morsel_scratch_alloc", p.failpoint_prob, p.seed);
+  }
+
   for (const Plan& plan : MakePlans(p)) {
     BIPieScan scan(built.table, built.query, plan.options);
     auto got = scan.Execute();
@@ -442,6 +463,9 @@ bool RunOneCase(const CaseParams& p, std::string* error) {
       // back to hash aggregation instead).
       if (forced && code == StatusCode::kNotSupported) continue;
       if (code == StatusCode::kOverflowRisk) continue;
+      if (p.failpoint_prob > 0 && code == StatusCode::kResourceExhausted) {
+        continue;  // clean degradation under injected allocation failure
+      }
       *error = plan.name + ": unexpected error " + got.status().ToString();
       return false;
     }
@@ -487,6 +511,10 @@ bool RunOneCase(const CaseParams& p, std::string* error) {
             code == StatusCode::kOverflowRisk) {
           continue;
         }
+        if (p.failpoint_prob > 0 &&
+            code == StatusCode::kResourceExhausted) {
+          continue;
+        }
         *error = plan_name + ": unexpected error " + got.status().ToString();
         return false;
       }
@@ -521,6 +549,9 @@ CaseParams Shrink(const CaseParams& p) {
     if (best.delete_frac > 0) add([](CaseParams& c) { c.delete_frac = 0; });
     if (best.wide_bits > 0) add([](CaseParams& c) { c.wide_bits = 0; });
     if (best.cancel_after > 0) add([](CaseParams& c) { c.cancel_after = 0; });
+    if (best.failpoint_prob > 0) {
+      add([](CaseParams& c) { c.failpoint_prob = 0; });
+    }
     if (best.num_threads != 1) add([](CaseParams& c) { c.num_threads = 1; });
     for (const CaseParams& c : candidates) {
       if (!RunOneCase(c, &scratch)) {  // still fails -> keep the reduction
@@ -571,6 +602,191 @@ FuzzResult RunFuzz(uint64_t seed, uint64_t iters, double budget_seconds,
                  result.first_failing.ToString().c_str());
     break;
   }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// load_table mode.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Golden table for the load fuzzer: every encoding, a string dictionary,
+// multiple segments, a liveness mask — small enough that thousands of
+// load attempts per second are possible.
+Table MakeLoadFuzzTable() {
+  Table table({{"flag", ColumnType::kString},
+               {"packed", ColumnType::kInt64, EncodingChoice::kBitPacked},
+               {"dict", ColumnType::kInt64, EncodingChoice::kDictionary},
+               {"runs", ColumnType::kInt64, EncodingChoice::kRle},
+               {"mono", ColumnType::kInt64, EncodingChoice::kDelta}});
+  TableAppender app(&table, 256);
+  Rng rng(2718);
+  const char* flags[3] = {"A", "N", "R"};
+  for (size_t i = 0; i < 600; ++i) {
+    app.AppendRow({0, rng.NextInRange(-500, 500),
+                   100 * static_cast<int64_t>(rng.NextBounded(7)),
+                   static_cast<int64_t>(i / 50),
+                   static_cast<int64_t>(i * 5) + rng.NextInRange(0, 3)},
+                  {flags[rng.NextBounded(3)], "", "", "", ""});
+  }
+  app.Flush();
+  table.mutable_segment(0).DeleteRow(9);
+  return table;
+}
+
+bool ReadFileBytes(const std::string& path, std::vector<uint8_t>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fseek(f, 0, SEEK_END);
+  out->resize(static_cast<size_t>(std::ftell(f)));
+  std::fseek(f, 0, SEEK_SET);
+  const bool ok = std::fread(out->data(), 1, out->size(), f) == out->size();
+  std::fclose(f);
+  return ok;
+}
+
+bool WriteFileBytes(const std::string& path,
+                    const std::vector<uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = bytes.empty() ||
+                  std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  std::fclose(f);
+  return ok;
+}
+
+// Load errors that the boundary is allowed (expected) to produce.
+bool IsStructuredLoadError(StatusCode code) {
+  return code == StatusCode::kDataLoss ||
+         code == StatusCode::kInvalidArgument ||
+         code == StatusCode::kNotSupported ||
+         code == StatusCode::kResourceExhausted;
+}
+
+// Applies one seeded mutation recipe to `mutant`.
+void MutateBytes(Rng* rng, std::vector<uint8_t>* mutant) {
+  switch (rng->NextBounded(4)) {
+    case 0: {  // byte flips
+      const size_t flips = 1 + rng->NextBounded(16);
+      for (size_t k = 0; k < flips && !mutant->empty(); ++k) {
+        (*mutant)[rng->NextBounded(mutant->size())] ^=
+            static_cast<uint8_t>(1 + rng->NextBounded(255));
+      }
+      break;
+    }
+    case 1:  // truncation
+      mutant->resize(rng->NextBounded(mutant->size() + 1));
+      break;
+    case 2: {  // truncate, then flip inside what remains
+      mutant->resize(rng->NextBounded(mutant->size() + 1));
+      const size_t flips = 1 + rng->NextBounded(8);
+      for (size_t k = 0; k < flips && !mutant->empty(); ++k) {
+        (*mutant)[rng->NextBounded(mutant->size())] ^=
+            static_cast<uint8_t>(1 + rng->NextBounded(255));
+      }
+      break;
+    }
+    default: {  // garbage extension (exercises trailing-bytes rejection)
+      const size_t extra = 1 + rng->NextBounded(64);
+      for (size_t k = 0; k < extra; ++k) {
+        mutant->push_back(static_cast<uint8_t>(rng->NextBounded(256)));
+      }
+      break;
+    }
+  }
+}
+
+// One load-fuzz iteration; false (with *error filled) on a boundary breach.
+bool RunOneLoadCase(uint64_t case_seed, const std::vector<uint8_t>& golden_v1,
+                    const std::vector<uint8_t>& golden_v2,
+                    const std::string& path, std::string* error) {
+  Rng rng(case_seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL);
+  std::vector<uint8_t> mutant =
+      rng.NextBernoulli(0.5) ? golden_v2 : golden_v1;
+  MutateBytes(&rng, &mutant);
+  if (!WriteFileBytes(path, mutant)) {
+    *error = "cannot write mutant file: " + path;
+    return false;
+  }
+
+  auto loaded = LoadTable(path);
+  if (!loaded.ok()) {
+    if (!IsStructuredLoadError(loaded.status().code())) {
+      *error = "unstructured load error: " + loaded.status().ToString();
+      return false;
+    }
+    return true;
+  }
+  // The mutant survived checksums and deep validation (e.g. the mutation
+  // landed in a dictionary value and stayed within [min, max]): it must be
+  // scannable end to end. The query may still reject cleanly — a mutated
+  // schema can rename a column out from under it — but never with an
+  // internal error, and never by crashing.
+  QuerySpec query;
+  query.group_by = {"flag"};
+  query.aggregates = {AggregateSpec::Count(), AggregateSpec::Sum("packed"),
+                      AggregateSpec::Min("dict"), AggregateSpec::Max("runs")};
+  query.filters.emplace_back("packed", CompareOp::kGe, int64_t{-100});
+  auto result = ExecuteQuery(loaded.value(), query);
+  if (!result.ok() && result.status().code() == StatusCode::kInternal) {
+    *error = "internal error scanning loadable mutant: " +
+             result.status().ToString();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+LoadFuzzResult RunLoadTableFuzz(uint64_t seed, uint64_t iters,
+                                double budget_seconds, bool verbose) {
+  LoadFuzzResult result;
+  const Table golden = MakeLoadFuzzTable();
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string path = std::string(tmpdir != nullptr ? tmpdir : "/tmp") +
+                           "/bipie_load_fuzz_" + std::to_string(seed) +
+                           ".bipie";
+  std::vector<uint8_t> golden_v1, golden_v2;
+  SaveOptions v1;
+  v1.format_version = 1;
+  if (!SaveTable(golden, path, v1).ok() || !ReadFileBytes(path, &golden_v1) ||
+      !SaveTable(golden, path).ok() || !ReadFileBytes(path, &golden_v2)) {
+    result.failures = 1;
+    result.first_error = "cannot materialize golden files at " + path;
+    return result;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < iters; ++i) {
+    if (budget_seconds > 0) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      if (elapsed >= budget_seconds) break;
+    }
+    ++result.iterations;
+    if (verbose) {
+      std::fprintf(stderr, "[bipie_fuzz] load_table seed %" PRIu64 "\n",
+                   seed + i);
+    }
+    std::string error;
+    if (RunOneLoadCase(seed + i, golden_v1, golden_v2, path, &error)) {
+      continue;
+    }
+    ++result.failures;
+    result.first_failing_seed = seed + i;
+    result.first_error = error;
+    std::fprintf(stderr,
+                 "[bipie_fuzz] load_table FAILURE at seed %" PRIu64
+                 ": %s\n"
+                 "[bipie_fuzz] replay: bipie_fuzz --mode load_table "
+                 "--seed %" PRIu64 " --iters 1\n",
+                 seed + i, error.c_str(), seed + i);
+    break;
+  }
+  std::remove(path.c_str());
   return result;
 }
 

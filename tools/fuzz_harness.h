@@ -46,6 +46,13 @@ struct CaseParams {
                              // trips after this many cancellation checks,
                              // and the scan must return kCancelled or the
                              // complete exact result — never a partial one
+  double failpoint_prob = 0.0;  // >0 arms the scan/morsel_scratch_alloc
+                                // failpoint at this per-morsel probability
+                                // (seeded with `seed`): every plan must then
+                                // return its complete exact result or a
+                                // structured kResourceExhausted — never a
+                                // partial aggregate. No-op in builds without
+                                // BIPIE_ENABLE_FAILPOINTS.
 
   // Replay line, e.g. "seed=42 rows=375 segment_rows=128 ...". Parsed back
   // by ParseCaseParams.
@@ -93,6 +100,27 @@ struct FuzzResult {
 // it). When `verbose`, prints one line per iteration to stderr.
 FuzzResult RunFuzz(uint64_t seed, uint64_t iters, double budget_seconds,
                    bool verbose);
+
+// ---------------------------------------------------------------------------
+// load_table mode: the untrusted-file boundary.
+// ---------------------------------------------------------------------------
+
+struct LoadFuzzResult {
+  uint64_t iterations = 0;
+  uint64_t failures = 0;
+  uint64_t first_failing_seed = 0;  // replay: --mode load_table --seed N
+  std::string first_error;
+};
+
+// Fuzzes LoadTable: builds one golden table, saves it in both format
+// versions, and for each seed applies seeded mutations (byte flips,
+// truncations, garbage extension) before loading the mutant. Every mutant
+// must either fail with a structured load error or produce a validated
+// table that scans end to end — any other status (or any crash, which a
+// sanitizer build turns into a process abort) is a failure. Stops at the
+// first failing seed.
+LoadFuzzResult RunLoadTableFuzz(uint64_t seed, uint64_t iters,
+                                double budget_seconds, bool verbose);
 
 }  // namespace bipie::fuzz
 
