@@ -11,6 +11,7 @@
 #include "vector/agg_scalar.h"
 #include "vector/compact.h"
 #include "vector/gather_select.h"
+#include "vector/run_agg.h"
 #include "vector/selection_vector.h"
 #include "vector/special_group.h"
 
@@ -122,9 +123,11 @@ Status AggregateProcessor::Bind(const Table& table, const Segment& segment,
       } else {
         // Dictionary / RLE aggregate inputs go through the expression path
         // (logical decode), matching the §2.2 assumption that raw SUM
-        // columns are plain bit-packed.
+        // columns are plain bit-packed. RLE inputs additionally keep their
+        // run stream so kRunBased can skip the decode entirely.
         input.is_expr = true;
         input.expr = Expr::Column(idx);
+        if (col.encoding() == Encoding::kRle) input.run_column = &col;
       }
     }
     spec_to_input_.push_back(static_cast<int>(inputs_.size()));
@@ -207,6 +210,39 @@ Status AggregateProcessor::Bind(const Table& table, const Segment& segment,
                    *overrides.selection == SelectionStrategy::kSpecialGroup);
   const int groups_for_choice = num_groups + (may_use_special ? 1 : 0);
 
+  // Run-level admission (DESIGN.md §11): can this segment be aggregated by
+  // (group, row-range) spans instead of rows, and is it worth it?
+  RunAdmissionInputs run_in;
+  run_in.segment_rows = segment.num_rows();
+  run_in.has_deleted_rows = segment.has_deleted_rows();
+  run_in.selection_forced = overrides.selection.has_value();
+  run_in.groups_are_runs = mapper_.runs_available();
+  run_in.estimated_spans = mapper_.run_count_bound();
+  run_in.filters_are_runs = true;
+  for (const ColumnPredicate& pred : query.filters) {
+    const int idx = table.FindColumn(pred.column_name());
+    if (idx < 0) {
+      run_in.filters_are_runs = false;  // Execute reports the real error
+      break;
+    }
+    const EncodedColumn& col = segment.column(static_cast<size_t>(idx));
+    if (pred.MatchesAllRows(col)) continue;  // metadata-satisfied: free
+    if (col.encoding() != Encoding::kRle) {
+      run_in.filters_are_runs = false;
+      break;
+    }
+    run_in.estimated_spans += col.runs().size();
+  }
+  run_in.aggregates_are_runs = true;
+  for (const AggInput& input : inputs_) {
+    const bool raw_packed_sum =
+        !input.is_expr && input.op == AggInput::Op::kSum;
+    if (!raw_packed_sum && input.run_column == nullptr) {
+      run_in.aggregates_are_runs = false;
+      break;
+    }
+  }
+
   if (overflow_risk) {
     if (overrides.aggregation.has_value() &&
         *overrides.aggregation != AggregationStrategy::kCheckedScalar) {
@@ -217,6 +253,13 @@ Status AggregateProcessor::Bind(const Table& table, const Segment& segment,
     agg_strategy_ = AggregationStrategy::kCheckedScalar;
   } else if (overrides.aggregation.has_value()) {
     agg_strategy_ = *overrides.aggregation;
+    if (agg_strategy_ == AggregationStrategy::kRunBased &&
+        !RunBasedCapable(run_in)) {
+      return Status::NotSupported(
+          "run-based aggregation infeasible: requires RLE/constant group "
+          "columns, run-representable filters and aggregates, no deleted "
+          "rows, and no forced selection strategy");
+    }
     if (agg_strategy_ == AggregationStrategy::kInRegister &&
         (groups_for_choice > kMaxInRegisterGroups || any_expr ||
          max_value_bits > 32)) {
@@ -231,6 +274,8 @@ Status AggregateProcessor::Bind(const Table& table, const Segment& segment,
     if (agg_strategy_ == AggregationStrategy::kSortBased && num_sums == 0) {
       return Status::NotSupported("sort-based strategy needs >= 1 sum");
     }
+  } else if (RunBasedAdmitted(run_in)) {
+    agg_strategy_ = AggregationStrategy::kRunBased;
   } else {
     agg_strategy_ = ChooseAggregationStrategy(
         groups_for_choice, num_sums, max_value_bits, expected_selectivity,
@@ -325,6 +370,7 @@ Status AggregateProcessor::Bind(const Table& table, const Segment& segment,
                     i * (static_cast<size_t>(num_groups) + 1),
                 static_cast<size_t>(num_groups) + 1, sentinel);
   }
+  run_cursors_.assign(inputs_.size(), RunCursor{});
   value_bufs_.resize(inputs_.size());
   expr_out_bufs_.resize(inputs_.size());
   expr_out_ptrs_.assign(inputs_.size(), nullptr);
@@ -575,8 +621,75 @@ Status AggregateProcessor::ProcessBatch(size_t start, size_t n,
       return ProcessScalar(start, n, sel, mode, /*checked=*/false);
     case AggregationStrategy::kCheckedScalar:
       return ProcessScalar(start, n, sel, mode, /*checked=*/true);
+    case AggregationStrategy::kRunBased:
+      // The run pipeline drives ProcessRunSpan directly; the batch entry
+      // point has no row-level configuration to fall back on.
+      return Status::Internal(
+          "ProcessBatch called on a run-based-bound processor");
   }
   return Status::Internal("unknown aggregation strategy");
+}
+
+Status AggregateProcessor::ProcessRunSpan(uint8_t group, size_t start,
+                                          size_t len) {
+  BIPIE_DCHECK(agg_strategy_ == AggregationStrategy::kRunBased);
+  BIPIE_DCHECK(group < counts_.size());
+  if (len == 0) return Status::OK();
+  counts_[group] += len;
+  const size_t stride = static_cast<size_t>(mapper_.num_groups()) + 1;
+  const size_t end = start + len;
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    const AggInput& input = inputs_[i];
+    if (input.run_column != nullptr) {
+      // RLE aggregate input: pure run-metadata arithmetic, zero decode.
+      // The overflow proof bounds |value| * len by max_abs * segment_rows,
+      // so the multiplications below cannot wrap.
+      const std::vector<RleRun>& runs = input.run_column->runs();
+      RunCursor& cur = run_cursors_[i];
+      while (cur.run_idx < runs.size() &&
+             cur.run_start + runs[cur.run_idx].count <= start) {
+        cur.run_start += runs[cur.run_idx].count;
+        ++cur.run_idx;
+      }
+      int64_t* sums = sums_.data() + i * stride;
+      auto* extrema = reinterpret_cast<int64_t*>(minmax_.data() + i * stride);
+      size_t pos = start;
+      size_t idx = cur.run_idx;
+      size_t run_start = cur.run_start;
+      while (pos < end) {
+        BIPIE_DCHECK(idx < runs.size());
+        const size_t run_end = run_start + runs[idx].count;
+        const size_t hi = run_end < end ? run_end : end;
+        const auto value = static_cast<int64_t>(runs[idx].value);
+        switch (input.op) {
+          case AggInput::Op::kSum:
+            sums[group] += value * static_cast<int64_t>(hi - pos);
+            break;
+          case AggInput::Op::kMin:
+            extrema[group] = std::min(extrema[group], value);
+            break;
+          case AggInput::Op::kMax:
+            extrema[group] = std::max(extrema[group], value);
+            break;
+        }
+        pos = hi;
+        if (pos >= run_end) {
+          run_start = run_end;
+          ++idx;
+        }
+      }
+      continue;
+    }
+    if (input.is_expr || input.op != AggInput::Op::kSum) {
+      return Status::Internal("run span over a non-run-representable input");
+    }
+    // Raw bit-packed SUM: fused span sum over the packed bytes, in the
+    // offset domain (Finish compensates with base * count).
+    reinterpret_cast<uint64_t*>(sums_.data() + i * stride)[group] +=
+        SumBitPackedRange(input.column->packed_data(), start, len,
+                          input.bit_width);
+  }
+  return Status::OK();
 }
 
 Status AggregateProcessor::ProcessInRegister(size_t start, size_t n,

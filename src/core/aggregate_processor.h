@@ -56,6 +56,20 @@ class AggregateProcessor {
   };
   Status Finish(SegmentResult* out);
 
+  // Run-level span API (kRunBased, DESIGN.md §11): aggregates rows
+  // [start, start + len), all mapped to `group`, without materializing
+  // per-row ids or selection bytes. Raw bit-packed SUM inputs unpack the
+  // span contiguously and horizontal-SIMD-sum it; RLE inputs reduce to
+  // run-metadata arithmetic (sum += value * overlap, zero decode);
+  // count += len always. Spans must arrive in ascending start order (the
+  // RLE walk keeps an amortized-O(runs) cursor). Only valid when Bind
+  // resolved kRunBased.
+  Status ProcessRunSpan(uint8_t group, size_t start, size_t len);
+
+  // The bound group mapper — run pipeline callers pull group run spans
+  // from it directly.
+  const GroupMapper& group_mapper() const { return mapper_; }
+
   AggregationStrategy aggregation_strategy() const { return agg_strategy_; }
   int num_groups() const { return mapper_.num_groups(); }
 
@@ -84,6 +98,10 @@ class AggregateProcessor {
     uint64_t max_offset = 0;
     int word_bytes = 8;    // decoded element width fed to the strategy
     bool compensate = false;
+    // RLE aggregate columns keep a direct run-stream reference besides the
+    // expression decode path, so kRunBased can aggregate them from run
+    // metadata alone.
+    const EncodedColumn* run_column = nullptr;
   };
 
   BatchMode PickBatchMode(size_t n, size_t selected, const uint8_t* sel);
@@ -147,6 +165,15 @@ class AggregateProcessor {
   std::vector<AlignedBuffer> expr_out_bufs_;  // per input, expr results
   std::vector<const int64_t*> expr_out_ptrs_; // per input, possibly aliased
   AlignedBuffer compact_scratch_;
+
+  // Run-level state (kRunBased): per-input cursor into RLE aggregate run
+  // streams (spans arrive in ascending start order, so the walk is
+  // amortized O(runs + spans)).
+  struct RunCursor {
+    size_t run_idx = 0;
+    size_t run_start = 0;
+  };
+  std::vector<RunCursor> run_cursors_;
 
   // Per-batch memoization: columns are decoded and shared subexpressions
   // evaluated at most once per batch (Q1's charge reuses disc_price).

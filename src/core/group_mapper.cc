@@ -147,6 +147,89 @@ void GroupMapper::MapSelected(size_t start, const uint32_t* indices,
   }
 }
 
+bool GroupMapper::runs_available() const {
+  for (const BoundColumn& bound : columns_) {
+    if (bound.column->encoding() != Encoding::kRle &&
+        bound.cardinality != 1) {
+      return false;
+    }
+  }
+  return true;
+}
+
+size_t GroupMapper::run_count_bound() const {
+  size_t total = 1;
+  for (const BoundColumn& bound : columns_) {
+    total += bound.column->encoding() == Encoding::kRle
+                 ? bound.id_runs.size()
+                 : 1;
+  }
+  return total;
+}
+
+void GroupMapper::AppendIdRuns(const BoundColumn& bound, size_t start,
+                               size_t n,
+                               std::vector<GroupRunSpan>* out) const {
+  if (bound.column->encoding() != Encoding::kRle) {
+    // Constant column (cardinality 1): every row is id 0.
+    BIPIE_DCHECK(bound.cardinality == 1);
+    out->push_back({start, n, 0});
+    return;
+  }
+  size_t pos = 0;
+  for (const RleRun& run : bound.id_runs) {
+    const size_t run_begin = pos;
+    const size_t run_end = pos + run.count;
+    pos = run_end;
+    if (run_end <= start) continue;
+    if (run_begin >= start + n) break;
+    const size_t lo = run_begin < start ? start : run_begin;
+    const size_t hi = run_end > start + n ? start + n : run_end;
+    out->push_back({lo, hi - lo, static_cast<uint8_t>(run.value)});
+  }
+}
+
+void GroupMapper::AppendRunSpans(size_t start, size_t n,
+                                 std::vector<GroupRunSpan>* out) const {
+  if (n == 0) return;
+  const auto emit = [out](size_t lo, size_t len, uint8_t group) {
+    if (!out->empty() && out->back().group == group &&
+        out->back().start + out->back().len == lo) {
+      out->back().len += len;
+    } else {
+      out->push_back({lo, len, group});
+    }
+  };
+  if (columns_.empty()) {
+    emit(start, n, 0);
+    return;
+  }
+  std::vector<GroupRunSpan> first;
+  AppendIdRuns(columns_[0], start, n, &first);
+  if (columns_.size() == 1) {
+    for (const GroupRunSpan& s : first) emit(s.start, s.len, s.group);
+    return;
+  }
+  // Two-pointer intersection of the two run tilings; the combined id uses
+  // the MapBatch arithmetic (id0 * card1 + id1).
+  std::vector<GroupRunSpan> second;
+  AppendIdRuns(columns_[1], start, n, &second);
+  const uint32_t card1 = columns_[1].cardinality;
+  size_t i = 0, j = 0;
+  while (i < first.size() && j < second.size()) {
+    const size_t end0 = first[i].start + first[i].len;
+    const size_t end1 = second[j].start + second[j].len;
+    const size_t lo = std::max(first[i].start, second[j].start);
+    const size_t hi = std::min(end0, end1);
+    if (hi > lo) {
+      emit(lo, hi - lo,
+           static_cast<uint8_t>(first[i].group * card1 + second[j].group));
+    }
+    if (end0 <= hi) ++i;
+    if (end1 <= hi) ++j;
+  }
+}
+
 GroupValue GroupMapper::ValueOf(int group_id, int k) const {
   BIPIE_DCHECK(k >= 0 && k < num_columns());
   // Decompose the combined id.

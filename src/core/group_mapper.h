@@ -20,6 +20,15 @@
 
 namespace bipie {
 
+// One contiguous row range mapping to a single combined group id — the
+// run-level dual of the per-row group-id vector (DESIGN.md §11). Rows are
+// absolute segment row numbers.
+struct GroupRunSpan {
+  size_t start = 0;
+  size_t len = 0;
+  uint8_t group = 0;
+};
+
 class GroupMapper {
  public:
   GroupMapper() = default;
@@ -48,6 +57,25 @@ class GroupMapper {
 
   int num_columns() const { return static_cast<int>(columns_.size()); }
 
+  // --- run-span export (run-level execution, DESIGN.md §11) ---------------
+
+  // True when every bound group column has a run representation: RLE, or
+  // constant over the segment (cardinality 1). With no group columns every
+  // row is group 0 — trivially one run.
+  bool runs_available() const;
+
+  // Upper bound on the spans AppendRunSpans would emit for the whole
+  // segment (sum of per-column run counts); drives the profitability half
+  // of run-based admission.
+  size_t run_count_bound() const;
+
+  // Appends the group-id spans covering rows [start, start + n), ascending
+  // and non-overlapping, with adjacent equal-group spans merged. Combined
+  // ids follow the MapBatch arithmetic (id0 * card1 + id1). Requires
+  // runs_available().
+  void AppendRunSpans(size_t start, size_t n,
+                      std::vector<GroupRunSpan>* out) const;
+
  private:
   struct BoundColumn {
     const EncodedColumn* column = nullptr;
@@ -63,6 +91,10 @@ class GroupMapper {
   void MaterializeIdsSelected(const BoundColumn& bound, size_t start,
                               const uint32_t* indices, size_t n,
                               uint8_t* out) const;
+  // Appends one column's id runs clipped to [start, start + n); the runs
+  // tile the window exactly. GroupRunSpan::group holds the per-column id.
+  void AppendIdRuns(const BoundColumn& bound, size_t start, size_t n,
+                    std::vector<GroupRunSpan>* out) const;
 
   std::vector<BoundColumn> columns_;
   int num_groups_ = 1;

@@ -39,6 +39,45 @@ std::vector<size_t> LargestFirstOrder(const std::vector<size_t>& sizes) {
 }  // namespace internal_scan
 using internal_scan::SegmentContribution;
 
+namespace {
+
+// Per-worker selection scratch, reused across every morsel a thread
+// executes. Morsels never share a scratch (pool workers, legacy threads and
+// the inline path each run morsels to completion on one thread), so the
+// buffers only grow to the largest batch ever seen and the per-morsel
+// allocations disappear from the steady state.
+struct MorselScratch {
+  AlignedBuffer sel_buf;
+  AlignedBuffer sel_tmp;
+};
+
+MorselScratch& ThreadMorselScratch() {
+  thread_local MorselScratch scratch;
+  return scratch;
+}
+
+// Intersects two ascending, non-overlapping interval lists.
+void IntersectIntervals(const std::vector<SelInterval>& a,
+                        const std::vector<SelInterval>& b,
+                        std::vector<SelInterval>* out) {
+  out->clear();
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const size_t end_a = a[i].start + a[i].len;
+    const size_t end_b = b[j].start + b[j].len;
+    const size_t lo = std::max(a[i].start, b[j].start);
+    const size_t hi = std::min(end_a, end_b);
+    if (hi > lo) out->push_back({lo, hi - lo});
+    if (end_a <= end_b) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+}
+
+}  // namespace
+
 BIPieScan::BIPieScan(const Table& table, QuerySpec query, ScanOptions options)
     : table_(table), query_(std::move(query)), options_(std::move(options)) {}
 
@@ -61,8 +100,9 @@ Status BIPieScan::ScanMorsel(const Morsel& morsel,
         processor.aggregation_strategy())]++;
   }
 
-  AlignedBuffer sel_buf;
-  AlignedBuffer sel_tmp;
+  MorselScratch& scratch = ThreadMorselScratch();
+  AlignedBuffer& sel_buf = scratch.sel_buf;
+  AlignedBuffer& sel_tmp = scratch.sel_tmp;
   // The selection scratch is sized up front for the largest batch this
   // morsel will see, so a failed allocation degrades to a structured
   // kResourceExhausted here — before any batch is processed — and the scan
@@ -72,6 +112,12 @@ Status BIPieScan::ScanMorsel(const Morsel& morsel,
       !sel_buf.TryResize(scratch_rows) || !sel_tmp.TryResize(scratch_rows)) {
     return Status::ResourceExhausted("morsel selection scratch allocation");
   }
+
+  if (processor.aggregation_strategy() == AggregationStrategy::kRunBased) {
+    BIPIE_RETURN_NOT_OK(RunPipeline(morsel, filter_cols, &processor, stats));
+    return FinishMorsel(processor, stats, out);
+  }
+
   BatchCursor cursor(segment, kBatchRows, morsel.start_row, morsel.num_rows);
   BatchView view;
   while (cursor.Next(&view)) {
@@ -118,6 +164,14 @@ Status BIPieScan::ScanMorsel(const Morsel& morsel,
         processor.ProcessBatch(view.start, view.num_rows, sel));
   }
 
+  return FinishMorsel(processor, stats, out);
+}
+
+// Shared morsel epilogue for the batch loop and the run pipeline: merge
+// per-batch selection stats, finalize the processor and decode the local
+// groups into contributions.
+Status BIPieScan::FinishMorsel(AggregateProcessor& processor, ScanStats* stats,
+                               std::vector<SegmentContribution>* out) {
   const auto& pstats = processor.selection_stats();
   stats->selection.gather += pstats.gather;
   stats->selection.compact += pstats.compact;
@@ -139,6 +193,73 @@ Status BIPieScan::ScanMorsel(const Morsel& morsel,
         local.values.begin() + static_cast<size_t>(g) * num_specs,
         local.values.begin() + (static_cast<size_t>(g) + 1) * num_specs);
     out->push_back(std::move(contribution));
+  }
+  return Status::OK();
+}
+
+// The run-level sibling of the batch loop. Instead of materializing
+// per-row selection bytes and group ids, the morsel window is tiled into
+// (group, row-range) spans — the intersection of the group-run tiling,
+// every filter's run verdicts and the window itself — and each surviving
+// span is aggregated in one ProcessRunSpan call. Filters that metadata
+// proves always-true drop out entirely; an RLE filter contributes one
+// interval list walk, independent of row count.
+Status BIPieScan::RunPipeline(const Morsel& morsel,
+                              const std::vector<int>& filter_cols,
+                              AggregateProcessor* processor,
+                              ScanStats* stats) {
+  const Segment& segment = table_.segment(morsel.segment_index);
+  QueryContext* ctx = options_.context;
+  const size_t start = morsel.start_row;
+  const size_t n = morsel.num_rows;
+  stats->rows_scanned += n;
+
+  // Selected intervals: the whole window, narrowed by each filter in turn.
+  std::vector<SelInterval> selected{{start, n}};
+  std::vector<SelInterval> runs;
+  std::vector<SelInterval> narrowed;
+  for (size_t f = 0; f < query_.filters.size(); ++f) {
+    const EncodedColumn& col = segment.column(filter_cols[f]);
+    if (query_.filters[f].MatchesAllRows(col)) continue;
+    runs.clear();
+    BIPIE_RETURN_NOT_OK(
+        query_.filters[f].EvaluateRuns(col, start, n, &runs));
+    IntersectIntervals(selected, runs, &narrowed);
+    selected.swap(narrowed);
+    if (selected.empty()) return Status::OK();
+  }
+
+  std::vector<GroupRunSpan> spans;
+  spans.reserve(processor->group_mapper().run_count_bound());
+  processor->group_mapper().AppendRunSpans(start, n, &spans);
+
+  // Two-pointer intersection of the group tiling with the selected
+  // intervals; pieces come out in ascending start order, which the
+  // processor's RLE cursors rely on.
+  size_t pieces = 0;
+  size_t i = 0, j = 0;
+  while (i < spans.size() && j < selected.size()) {
+    const size_t end_span = spans[i].start + spans[i].len;
+    const size_t end_sel = selected[j].start + selected[j].len;
+    const size_t lo = std::max(spans[i].start, selected[j].start);
+    const size_t hi = std::min(end_span, end_sel);
+    if (hi > lo) {
+      // Cancellation point: span granularity is coarse, so bound the check
+      // frequency rather than the per-check work.
+      if (ctx != nullptr && (pieces++ & 63) == 0) {
+        BIPIE_RETURN_NOT_OK(ctx->CheckNotCancelled());
+      }
+      BIPIE_RETURN_NOT_OK(
+          processor->ProcessRunSpan(spans[i].group, lo, hi - lo));
+      ++stats->runs_aggregated;
+      stats->rows_run_aggregated += hi - lo;
+      stats->rows_selected += hi - lo;
+    }
+    if (end_span <= end_sel) {
+      ++i;
+    } else {
+      ++j;
+    }
   }
   return Status::OK();
 }
@@ -306,11 +427,13 @@ Result<QueryResult> BIPieScan::Execute() {
     stats_.batches += ms.batches;
     stats_.rows_scanned += ms.rows_scanned;
     stats_.rows_selected += ms.rows_selected;
+    stats_.runs_aggregated += ms.runs_aggregated;
+    stats_.rows_run_aggregated += ms.rows_run_aggregated;
     stats_.selection.gather += ms.selection.gather;
     stats_.selection.compact += ms.selection.compact;
     stats_.selection.special_group += ms.selection.special_group;
     stats_.selection.unfiltered += ms.selection.unfiltered;
-    for (int a = 0; a < 5; ++a) {
+    for (int a = 0; a < kNumAggregationStrategies; ++a) {
       stats_.aggregation_segments[a] += ms.aggregation_segments[a];
     }
   }
@@ -346,8 +469,12 @@ Result<QueryResult> BIPieScan::Execute() {
       stats_.batches = 0;
       stats_.rows_scanned = 0;
       stats_.rows_selected = 0;
+      stats_.runs_aggregated = 0;
+      stats_.rows_run_aggregated = 0;
       stats_.selection = AggregateProcessor::SelectionStats{};
-      for (size_t a = 0; a < 5; ++a) stats_.aggregation_segments[a] = 0;
+      for (size_t a = 0; a < kNumAggregationStrategies; ++a) {
+        stats_.aggregation_segments[a] = 0;
+      }
       stats_.used_hash_fallback = true;
       return ExecuteQueryHashAgg(table_, query_);
     }

@@ -78,10 +78,15 @@ struct ScanStats {
   size_t batches = 0;
   size_t rows_scanned = 0;
   size_t rows_selected = 0;
+  // Run-level execution (kRunBased): (group, row-range) spans aggregated and
+  // the rows they covered. Those rows never enter the batch loop, so
+  // `batches` stays untouched by run-based morsels.
+  size_t runs_aggregated = 0;
+  size_t rows_run_aggregated = 0;
   AggregateProcessor::SelectionStats selection;
   // Segments per aggregation strategy, indexed by AggregationStrategy.
   // Counted once per segment regardless of how many morsels scanned it.
-  size_t aggregation_segments[5] = {0, 0, 0, 0, 0};
+  size_t aggregation_segments[kNumAggregationStrategies] = {0};
 };
 
 class BIPieScan {
@@ -108,6 +113,17 @@ class BIPieScan {
   Status ScanMorsel(const Morsel& morsel, const std::vector<int>& filter_cols,
                     ScanStats* stats,
                     std::vector<internal_scan::SegmentContribution>* out);
+
+  // Run-level execution (DESIGN.md §11), the kRunBased sibling of the batch
+  // loop: evaluates filters as run verdicts, intersects them with the
+  // group-run tiling and the morsel window, and aggregates the surviving
+  // (group, row-range) spans via AggregateProcessor::ProcessRunSpan.
+  Status RunPipeline(const Morsel& morsel, const std::vector<int>& filter_cols,
+                     AggregateProcessor* processor, ScanStats* stats);
+
+  // Shared morsel epilogue: selection stats, Finish, contribution decode.
+  Status FinishMorsel(AggregateProcessor& processor, ScanStats* stats,
+                      std::vector<internal_scan::SegmentContribution>* out);
 
   const Table& table_;
   QuerySpec query_;

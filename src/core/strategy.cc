@@ -30,8 +30,22 @@ const char* AggregationStrategyName(AggregationStrategy s) {
       return "multi-aggregate";
     case AggregationStrategy::kCheckedScalar:
       return "checked-scalar";
+    case AggregationStrategy::kRunBased:
+      return "run-based";
   }
   return "?";
+}
+
+bool RunBasedCapable(const RunAdmissionInputs& in) {
+  return in.groups_are_runs && in.filters_are_runs &&
+         in.aggregates_are_runs && !in.has_deleted_rows &&
+         !in.selection_forced && in.segment_rows > 0;
+}
+
+bool RunBasedAdmitted(const RunAdmissionInputs& in) {
+  if (!RunBasedCapable(in)) return false;
+  const size_t spans = std::max<size_t>(in.estimated_spans, 1);
+  return in.segment_rows / spans >= kMinRunSpanRows;
 }
 
 double GatherCrossoverSelectivity(int bit_width) {

@@ -27,7 +27,13 @@ enum class AggregationStrategy {
   kMultiAggregate,  // §5.4 — horizontal SIMD across aggregates
   kCheckedScalar,   // overflow-guarded fallback when metadata cannot prove
                     // sums fit int64
+  kRunBased,        // run-level execution (DESIGN.md §11): aggregate
+                    // (group, row-range) spans instead of rows when group
+                    // columns are RLE/constant and filters reduce to runs
 };
+
+// Number of AggregationStrategy values (sizes ScanStats counters).
+inline constexpr int kNumAggregationStrategies = 6;
 
 const char* SelectionStrategyName(SelectionStrategy s);
 const char* AggregationStrategyName(AggregationStrategy s);
@@ -62,6 +68,46 @@ AggregationStrategy ChooseAggregationStrategy(int num_groups, int num_sums,
                                               int max_value_bits,
                                               double expected_selectivity,
                                               bool multi_aggregate_fits);
+
+// --- run-level admission (DESIGN.md §11) -----------------------------------
+//
+// The run pipeline replaces the per-row batch loop with arithmetic over
+// (group_id, row_range) spans. It is *correct* only when every operator of
+// the scan reduces to runs, and *profitable* only when those runs are long
+// enough that span bookkeeping beats the row kernels.
+
+struct RunAdmissionInputs {
+  // Every group-by column of the segment is RLE-encoded or constant
+  // (cardinality 1), so group ids form a run stream.
+  bool groups_are_runs = false;
+  // Every filter is metadata-satisfied for the segment (min/max proves all
+  // rows match) or evaluates on an RLE column (one verdict per run).
+  bool filters_are_runs = false;
+  // Every aggregate input is a raw bit-packed SUM (contiguous unpack +
+  // horizontal sum) or an RLE column (pure run-metadata arithmetic).
+  bool aggregates_are_runs = false;
+  // Deleted rows arrive as a per-row liveness mask, which has no run
+  // representation here; they force the row-level path.
+  bool has_deleted_rows = false;
+  // A forced selection strategy must be honored by the batch pipeline; the
+  // run pipeline never materializes selection vectors.
+  bool selection_forced = false;
+  size_t segment_rows = 0;
+  // Upper bound on spans the pipeline would emit (group runs + filter runs).
+  size_t estimated_spans = 1;
+};
+
+// Minimum average span length (rows per span) for adaptive admission. Below
+// this the per-span dispatch overhead erodes the decode savings; row
+// kernels stay within noise of the run path at ~8 rows/span and win below.
+inline constexpr size_t kMinRunSpanRows = 8;
+
+// Correctness gate: the run pipeline can compute this segment exactly.
+bool RunBasedCapable(const RunAdmissionInputs& in);
+
+// Adaptive gate: capable *and* profitable (average span >= kMinRunSpanRows).
+// Forced kRunBased overrides skip the profitability half.
+bool RunBasedAdmitted(const RunAdmissionInputs& in);
 
 }  // namespace bipie
 

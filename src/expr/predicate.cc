@@ -525,6 +525,60 @@ Status ColumnPredicate::Evaluate(const EncodedColumn& col, size_t start,
   return Status::Internal("unknown encoding");
 }
 
+bool ColumnPredicate::MatchesAllRows(const EncodedColumn& col) const {
+  if (is_string_) return false;  // id-space metadata is not value-ordered
+  const int64_t min = col.meta().min;
+  const int64_t max = col.meta().max;
+  switch (op_) {
+    case CompareOp::kBetween:
+      return min >= literal_ && max <= literal2_;
+    case CompareOp::kEq:
+      return min == max && min == literal_;
+    case CompareOp::kLt:
+      return max < literal_;
+    case CompareOp::kLe:
+      return max <= literal_;
+    case CompareOp::kGt:
+      return min > literal_;
+    case CompareOp::kGe:
+      return min >= literal_;
+    case CompareOp::kNe:
+      return literal_ < min || literal_ > max;
+  }
+  return false;
+}
+
+Status ColumnPredicate::EvaluateRuns(const EncodedColumn& col, size_t start,
+                                     size_t n,
+                                     std::vector<SelInterval>* out) const {
+  if (col.encoding() != Encoding::kRle) {
+    return Status::NotSupported("run verdicts require an RLE column");
+  }
+  if (is_string_) {
+    return Status::NotSupported("run verdicts require an integer literal");
+  }
+  size_t pos = 0;
+  for (const RleRun& run : col.runs()) {
+    const size_t run_begin = pos;
+    const size_t run_end = pos + run.count;
+    pos = run_end;
+    if (run_end <= start) continue;
+    if (run_begin >= start + n) break;
+    if (!CompareInt64(static_cast<int64_t>(run.value), op_, literal_,
+                      literal2_)) {
+      continue;
+    }
+    const size_t lo = run_begin < start ? start : run_begin;
+    const size_t hi = run_end > start + n ? start + n : run_end;
+    if (!out->empty() && out->back().start + out->back().len == lo) {
+      out->back().len += hi - lo;  // adjacent selected runs merge
+    } else {
+      out->push_back({lo, hi - lo});
+    }
+  }
+  return Status::OK();
+}
+
 bool ColumnPredicate::EliminatesSegment(const EncodedColumn& col) const {
   if (is_string_) return false;  // id-space metadata is not value-ordered
   const int64_t min = col.meta().min;

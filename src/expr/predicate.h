@@ -16,11 +16,20 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "storage/encoded_column.h"
 
 namespace bipie {
+
+// A maximal contiguous row range with one selection verdict — the run-level
+// dual of the selection byte vector (DESIGN.md §11). Rows are absolute
+// segment row numbers.
+struct SelInterval {
+  size_t start = 0;
+  size_t len = 0;
+};
 
 enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe, kBetween };
 
@@ -68,6 +77,20 @@ class ColumnPredicate {
 
   // True when the segment's metadata proves every row fails the predicate.
   bool EliminatesSegment(const EncodedColumn& col) const;
+
+  // Metadata dual of EliminatesSegment: true when min/max prove every row
+  // of `col` satisfies the predicate, so run-level execution can drop the
+  // filter without touching a single encoded byte.
+  bool MatchesAllRows(const EncodedColumn& col) const;
+
+  // Run verdicts instead of bytes: for an RLE column, appends the selected
+  // row intervals of rows [start, start + n) to `out` (clipped to the
+  // window, ascending, non-overlapping, adjacent intervals merged). One
+  // CompareInt64 per overlapping run, zero per-row work. Returns
+  // kNotSupported for non-RLE encodings and string literals — callers fall
+  // back to the byte-vector Evaluate path.
+  Status EvaluateRuns(const EncodedColumn& col, size_t start, size_t n,
+                      std::vector<SelInterval>* out) const;
 
  private:
   std::string column_;

@@ -11,6 +11,24 @@ namespace bipie {
 
 namespace internal {
 
+// The scalar gather is load-latency bound: each selected index lands on an
+// unpredictable packed byte, so without help every iteration eats a cache
+// miss on sparse selections. Prefetching the byte 8 indices ahead keeps
+// ~8 misses in flight, which covers DRAM latency at this loop's few-cycle
+// body without prefetching past the indices the loop will actually touch.
+inline constexpr size_t kGatherPrefetchDistance = 8;
+
+BIPIE_ALWAYS_INLINE void PrefetchPackedAt(const uint8_t* packed,
+                                          int bit_width,
+                                          const uint32_t* indices, size_t i,
+                                          size_t n) {
+  if (i + kGatherPrefetchDistance < n) {
+    __builtin_prefetch(
+        packed + static_cast<uint64_t>(indices[i + kGatherPrefetchDistance]) *
+                     static_cast<uint64_t>(bit_width) / 8);
+  }
+}
+
 void GatherSelectScalar(const uint8_t* packed, int bit_width,
                         const uint32_t* indices, size_t n, void* out,
                         int word_bytes) {
@@ -18,6 +36,7 @@ void GatherSelectScalar(const uint8_t* packed, int bit_width,
     case 1: {
       auto* o = static_cast<uint8_t*>(out);
       for (size_t i = 0; i < n; ++i) {
+        PrefetchPackedAt(packed, bit_width, indices, i, n);
         o[i] = static_cast<uint8_t>(
             BitUnpackOne(packed, indices[i], bit_width));
       }
@@ -26,6 +45,7 @@ void GatherSelectScalar(const uint8_t* packed, int bit_width,
     case 2: {
       auto* o = static_cast<uint16_t*>(out);
       for (size_t i = 0; i < n; ++i) {
+        PrefetchPackedAt(packed, bit_width, indices, i, n);
         o[i] = static_cast<uint16_t>(
             BitUnpackOne(packed, indices[i], bit_width));
       }
@@ -34,6 +54,7 @@ void GatherSelectScalar(const uint8_t* packed, int bit_width,
     case 4: {
       auto* o = static_cast<uint32_t*>(out);
       for (size_t i = 0; i < n; ++i) {
+        PrefetchPackedAt(packed, bit_width, indices, i, n);
         o[i] = static_cast<uint32_t>(
             BitUnpackOne(packed, indices[i], bit_width));
       }
@@ -42,6 +63,7 @@ void GatherSelectScalar(const uint8_t* packed, int bit_width,
     case 8: {
       auto* o = static_cast<uint64_t*>(out);
       for (size_t i = 0; i < n; ++i) {
+        PrefetchPackedAt(packed, bit_width, indices, i, n);
         o[i] = BitUnpackOne(packed, indices[i], bit_width);
       }
       return;

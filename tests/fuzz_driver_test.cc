@@ -68,6 +68,30 @@ TEST(FuzzDriver, ExplicitParamsRunGreen) {
   EXPECT_TRUE(fuzz::RunOneCase(p, &error)) << error;
 }
 
+TEST(FuzzDriver, RunClusteredCasesRunGreen) {
+  // Directed run-level-execution cases: RLE-clustered groups and filters on
+  // the pooled scan, so runs cross morsel boundaries and the forced
+  // kRunBased plan in the matrix diffs the run pipeline against the oracle.
+  fuzz::CaseParams p;
+  p.seed = 11;
+  p.rows = 9000;
+  p.segment_rows = 4096;
+  p.group_columns = 2;
+  p.group_card = 6;
+  p.num_aggs = 3;
+  p.num_filters = 2;
+  p.target_selectivity = 0.6;
+  p.num_threads = 0;
+  p.sorted_fraction = 0.7;
+  std::string error;
+  EXPECT_TRUE(fuzz::RunOneCase(p, &error)) << error;
+  // Deleted rows inside runs: forced kRunBased must reject cleanly and the
+  // adaptive plan must fall back per segment without losing exactness.
+  p.seed = 12;
+  p.delete_frac = 0.03;
+  EXPECT_TRUE(fuzz::RunOneCase(p, &error)) << error;
+}
+
 // ---------------------------------------------------------------------------
 // Regression: deterministic error selection in BIPieScan::Execute.
 //

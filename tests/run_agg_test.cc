@@ -1,0 +1,178 @@
+// Differential tests for the run-span horizontal-sum kernels: every ISA
+// tier must agree bit-for-bit with a trivially correct uint64 loop across
+// word widths, lengths (SIMD remainders, empty input) and value patterns —
+// including inputs long enough to cross the u16 kernel's internal
+// 32-bit-accumulator flush boundary.
+#include "vector/run_agg.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "common/bits.h"
+#include "common/random.h"
+#include "encoding/bitpack.h"
+#include "test_util.h"
+
+namespace bipie {
+namespace {
+
+// The obviously correct oracle: widen every element and add.
+uint64_t ReferenceSum(const AlignedBuffer& buf, size_t n, int word_bytes) {
+  uint64_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t v = 0;
+    std::memcpy(&v, buf.data() + i * static_cast<size_t>(word_bytes),
+                static_cast<size_t>(word_bytes));
+    total += v;
+  }
+  return total;
+}
+
+AlignedBuffer RandomWords(size_t n, int word_bytes, uint64_t seed,
+                          uint64_t value_mask) {
+  AlignedBuffer buf(n * static_cast<size_t>(word_bytes));
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t v = rng.Next() & value_mask;
+    std::memcpy(buf.data() + i * static_cast<size_t>(word_bytes), &v,
+                static_cast<size_t>(word_bytes));
+  }
+  return buf;
+}
+
+TEST(RunAggTest, MatchesReferenceAcrossWidthsAndTiers) {
+  const size_t lengths[] = {0, 1, 3, 31, 32, 33, 100, 4096, 4097, 70001};
+  for (const int word : {1, 2, 4, 8}) {
+    const uint64_t value_mask =
+        word == 8 ? ~uint64_t{0} : (uint64_t{1} << (8 * word)) - 1;
+    for (const size_t n : lengths) {
+      const AlignedBuffer buf =
+          RandomWords(n, word, 1000 + n + word, value_mask);
+      const uint64_t expected = ReferenceSum(buf, n, word);
+      ASSERT_EQ(internal::HorizontalSumWordsScalar(buf.data(), n, word),
+                expected)
+          << "scalar word=" << word << " n=" << n;
+      test::ForEachIsaTier([&](IsaTier tier) {
+        ASSERT_EQ(HorizontalSumWords(buf.data(), n, word), expected)
+            << "tier=" << static_cast<int>(tier) << " word=" << word
+            << " n=" << n;
+      });
+    }
+  }
+}
+
+TEST(RunAggTest, U16AllMaxCrossesAccumulatorFlushBoundary) {
+  // 600000 max-valued u16 elements force the AVX2 kernel through its
+  // 512000-element (16 lanes x 32000 iterations) 32-bit accumulator flush
+  // with every lane at its worst-case increment.
+  const size_t n = 600000;
+  AlignedBuffer buf(n * 2);
+  auto* v = buf.data_as<uint16_t>();
+  for (size_t i = 0; i < n; ++i) v[i] = 0xFFFF;
+  const uint64_t expected = uint64_t{0xFFFF} * n;
+  test::ForEachIsaTier([&](IsaTier tier) {
+    ASSERT_EQ(HorizontalSumWords(buf.data(), n, 2), expected)
+        << "tier=" << static_cast<int>(tier);
+  });
+}
+
+TEST(RunAggTest, U8AllMaxLongInput) {
+  const size_t n = 1 << 20;
+  AlignedBuffer buf(n);
+  std::memset(buf.data(), 0xFF, n);
+  const uint64_t expected = uint64_t{0xFF} * n;
+  test::ForEachIsaTier([&](IsaTier tier) {
+    ASSERT_EQ(HorizontalSumWords(buf.data(), n, 1), expected)
+        << "tier=" << static_cast<int>(tier);
+  });
+}
+
+// Builds a packed stream of n values masked to bit_width, with
+// AlignedBuffer's readable padding past the logical end (the fused kernel's
+// 64-byte loads rely on it).
+AlignedBuffer PackRandom(size_t n, int bit_width, uint64_t seed,
+                         std::vector<uint64_t>* values) {
+  values->resize(n);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    (*values)[i] = rng.Next() & LowBitsMask(bit_width);
+  }
+  AlignedBuffer packed(BitPackedBytes(n, bit_width) + 8);
+  BitPack(values->data(), n, bit_width, packed.data());
+  return packed;
+}
+
+TEST(RunAggTest, SumBitPackedRangeMatchesScalarReference) {
+  const int widths[] = {1, 3, 4, 6, 7, 8, 9, 12, 16, 17, 21, 25, 26, 33, 57};
+  const size_t n = 9000;
+  for (const int w : widths) {
+    std::vector<uint64_t> values;
+    const AlignedBuffer packed = PackRandom(n, w, 7000 + w, &values);
+    const size_t starts[] = {0, 1, 5, 7, 8, 63, 4096};
+    const size_t lens[] = {0, 1, 7, 15, 16, 63, 64, 65, 1023, 4889};
+    for (const size_t start : starts) {
+      for (const size_t len : lens) {
+        if (start + len > n) continue;
+        uint64_t expected = 0;
+        for (size_t i = start; i < start + len; ++i) expected += values[i];
+        ASSERT_EQ(
+            internal::SumBitPackedRangeScalar(packed.data(), start, len, w),
+            expected)
+            << "scalar w=" << w << " start=" << start << " len=" << len;
+        test::ForEachIsaTier([&](IsaTier tier) {
+          ASSERT_EQ(SumBitPackedRange(packed.data(), start, len, w), expected)
+              << "tier=" << static_cast<int>(tier) << " w=" << w
+              << " start=" << start << " len=" << len;
+        });
+      }
+    }
+  }
+}
+
+TEST(RunAggTest, SumBitPackedRangeAllMaxCrossesFlushBoundary) {
+  // Width 25 at the all-ones value drives the fused kernel's u32
+  // accumulator to its worst-case increment across several 64-iteration
+  // flush blocks (16 * 64 values per block).
+  const size_t n = 16 * 64 * 3 + 173;
+  std::vector<uint64_t> values(n, LowBitsMask(25));
+  AlignedBuffer packed(BitPackedBytes(n, 25) + 8);
+  BitPack(values.data(), n, 25, packed.data());
+  const uint64_t expected = LowBitsMask(25) * n;
+  test::ForEachIsaTier([&](IsaTier tier) {
+    ASSERT_EQ(SumBitPackedRange(packed.data(), 0, n, 25), expected)
+        << "tier=" << static_cast<int>(tier);
+  });
+}
+
+TEST(RunAggTest, SumBitPackedRangeLongNarrowInput) {
+  // Narrow widths exercise the multishift path over many iterations.
+  const size_t n = size_t{1} << 20;
+  for (const int w : {5, 8}) {
+    std::vector<uint64_t> values;
+    const AlignedBuffer packed = PackRandom(n, w, 9000 + w, &values);
+    uint64_t expected = 0;
+    for (const uint64_t v : values) expected += v;
+    test::ForEachIsaTier([&](IsaTier tier) {
+      ASSERT_EQ(SumBitPackedRange(packed.data(), 0, n, w), expected)
+          << "tier=" << static_cast<int>(tier) << " w=" << w;
+    });
+  }
+}
+
+TEST(RunAggTest, U64WrapsModulo64Bits) {
+  // uint64 accumulation is defined to wrap; all tiers must wrap identically.
+  const size_t n = 5;
+  AlignedBuffer buf(n * 8);
+  auto* v = buf.data_as<uint64_t>();
+  for (size_t i = 0; i < n; ++i) v[i] = ~uint64_t{0} - i;
+  const uint64_t expected = ReferenceSum(buf, n, 8);
+  test::ForEachIsaTier([&](IsaTier) {
+    ASSERT_EQ(HorizontalSumWords(buf.data(), n, 8), expected);
+  });
+}
+
+}  // namespace
+}  // namespace bipie

@@ -47,16 +47,21 @@ Schema MakeFuzzSchema(const CaseParams& p, Rng* rng,
                       std::vector<ValueColumn>* value_cols,
                       bool* g1_is_string) {
   Schema schema;
-  *g1_is_string = rng->NextBernoulli(0.5);
+  // Run-clustered cases pin the group columns to integer RLE — the shape the
+  // run-level execution path admits; strings dictionary-encode and stay on
+  // the row-level path.
+  *g1_is_string = rng->NextBernoulli(0.5) && p.sorted_fraction <= 0;
   if (p.group_columns >= 1) {
     schema.push_back({"g1",
                       *g1_is_string ? ColumnType::kString : ColumnType::kInt64,
-                      EncodingChoice::kDictionary});
+                      p.sorted_fraction > 0 ? EncodingChoice::kRle
+                                            : EncodingChoice::kDictionary});
   }
   if (p.group_columns >= 2) {
     schema.push_back({"g2", ColumnType::kInt64,
-                      rng->NextBernoulli(0.3) ? EncodingChoice::kRle
-                                              : EncodingChoice::kDictionary});
+                      rng->NextBernoulli(0.3) || p.sorted_fraction > 0
+                          ? EncodingChoice::kRle
+                          : EncodingChoice::kDictionary});
   }
   // Three aggregate/filter value columns spanning the encoding and bit-width
   // matrix. Dictionary is only forced when the domain provably fits the
@@ -119,9 +124,20 @@ BuiltCase BuildCase(const CaseParams& p) {
   TableAppender app(&table, std::max<size_t>(64, p.segment_rows));
   std::vector<int64_t> ints(table.num_columns(), 0);
   std::vector<std::string> strings(table.num_columns());
+  // Run-clustered generation: group and RLE value columns cycle through
+  // their domains in runs of ~sorted_fraction * 8192 rows (staggered per
+  // column so run edges rarely coincide), long enough to cross batch,
+  // segment and morsel boundaries at the default sizes.
+  const size_t run_len =
+      p.sorted_fraction > 0
+          ? std::max<size_t>(1, static_cast<size_t>(p.sorted_fraction * 8192))
+          : 0;
   for (size_t i = 0; i < p.rows; ++i) {
     if (p.group_columns >= 1) {
-      const int g = static_cast<int>(rng.NextBounded(p.group_card));
+      const int g = run_len > 0
+                        ? static_cast<int>((i / run_len) %
+                                           static_cast<size_t>(p.group_card))
+                        : static_cast<int>(rng.NextBounded(p.group_card));
       if (g1_is_string) {
         strings[0] = GroupString(g);
       } else {
@@ -129,10 +145,23 @@ BuiltCase BuildCase(const CaseParams& p) {
       }
     }
     if (p.group_columns >= 2) {
-      ints[1] = -3 + static_cast<int>(rng.NextBounded(g2_card));
+      ints[1] = run_len > 0
+                    ? -3 + static_cast<int64_t>((i / (run_len + run_len / 2 +
+                                                      1)) %
+                                                static_cast<size_t>(g2_card))
+                    : -3 + static_cast<int>(rng.NextBounded(g2_card));
     }
     for (size_t c = 0; c < value_cols.size(); ++c) {
       const ValueColumn& vc = value_cols[c];
+      if (vc.encoding == EncodingChoice::kRle && run_len > 0) {
+        // Deterministic staggered runs over a coarse grid of the domain.
+        const size_t phase = (i + c * 37) / std::max<size_t>(1, run_len / 2);
+        ints[first_value_col + c] =
+            std::min(vc.hi, vc.lo + static_cast<int64_t>(phase % 23) *
+                                        std::max<int64_t>(
+                                            1, (vc.hi - vc.lo) / 23));
+        continue;
+      }
       // RLE-friendly runs now and then, else uniform over the domain.
       if (vc.encoding == EncodingChoice::kRle && rng.NextBernoulli(0.9) &&
           i > 0) {
@@ -294,15 +323,17 @@ std::vector<Plan> MakePlans(const CaseParams& p) {
   const SelectionStrategy sels[3] = {SelectionStrategy::kGather,
                                      SelectionStrategy::kCompact,
                                      SelectionStrategy::kSpecialGroup};
-  const AggregationStrategy aggs[5] = {AggregationStrategy::kScalar,
-                                       AggregationStrategy::kInRegister,
-                                       AggregationStrategy::kSortBased,
-                                       AggregationStrategy::kMultiAggregate,
-                                       AggregationStrategy::kCheckedScalar};
+  const AggregationStrategy aggs[6] = {
+      AggregationStrategy::kScalar,      AggregationStrategy::kInRegister,
+      AggregationStrategy::kSortBased,   AggregationStrategy::kMultiAggregate,
+      AggregationStrategy::kCheckedScalar, AggregationStrategy::kRunBased};
   // Full override matrix: each strategy forced alone and every pairwise
   // combination (sel_idx/agg_idx of -1 = adaptive for that dimension).
+  // Forced kRunBased rejects with kNotSupported off run-shaped data (and
+  // under any forced selection strategy); on sorted_fraction cases it runs
+  // the whole run pipeline differentially against the oracle.
   for (int s = -1; s < 3; ++s) {
-    for (int a = -1; a < 5; ++a) {
+    for (int a = -1; a < 6; ++a) {
       if (s < 0 && a < 0) continue;  // pure adaptive already covered
       Plan plan;
       plan.name = std::string("forced ") +
@@ -328,7 +359,8 @@ std::string CaseParams::ToString() const {
      << " target_selectivity=" << target_selectivity
      << " wide_bits=" << wide_bits << " num_threads=" << num_threads
      << " cancel_after=" << cancel_after
-     << " failpoint_prob=" << failpoint_prob;
+     << " failpoint_prob=" << failpoint_prob
+     << " sorted_fraction=" << sorted_fraction;
   return os.str();
 }
 
@@ -376,6 +408,11 @@ CaseParams MakeCaseParams(uint64_t seed) {
   // params stay seed-portable across build flavours either way).
   p.failpoint_prob =
       rng.NextBernoulli(0.2) ? 0.02 + 0.28 * rng.NextDouble() : 0.0;
+  // ~30% of cases are run-clustered, keeping the kRunBased differential
+  // (including its morsel-boundary and deleted-row interactions) hot in
+  // every fuzz job.
+  p.sorted_fraction =
+      rng.NextBernoulli(0.3) ? 0.05 + 0.95 * rng.NextDouble() : 0.0;
   return p;
 }
 
@@ -419,6 +456,8 @@ bool ParseCaseParams(const std::string& text, CaseParams* out,
         p.cancel_after = std::stoll(val);
       } else if (key == "failpoint_prob") {
         p.failpoint_prob = std::stod(val);
+      } else if (key == "sorted_fraction") {
+        p.sorted_fraction = std::stod(val);
       } else {
         *error = "unknown key: " + key;
         return false;
@@ -551,6 +590,9 @@ CaseParams Shrink(const CaseParams& p) {
     if (best.cancel_after > 0) add([](CaseParams& c) { c.cancel_after = 0; });
     if (best.failpoint_prob > 0) {
       add([](CaseParams& c) { c.failpoint_prob = 0; });
+    }
+    if (best.sorted_fraction > 0) {
+      add([](CaseParams& c) { c.sorted_fraction = 0; });
     }
     if (best.num_threads != 1) add([](CaseParams& c) { c.num_threads = 1; });
     for (const CaseParams& c : candidates) {

@@ -1,7 +1,7 @@
 // Differential correctness harness (the driver behind tools/bipie_fuzz and
 // tests/fuzz_driver_test).
 //
-// BIPie's correctness surface is combinatorial: 3 selection strategies x 5
+// BIPie's correctness surface is combinatorial: 3 selection strategies x 6
 // aggregation strategies x ISA tiers x encodings x bit widths x selectivity
 // x group counts, all of which must compute exactly the answer of the
 // generic hash-aggregation engine. The harness generates random tables and
@@ -53,6 +53,14 @@ struct CaseParams {
                                 // structured kResourceExhausted — never a
                                 // partial aggregate. No-op in builds without
                                 // BIPIE_ENABLE_FAILPOINTS.
+  double sorted_fraction = 0.0;  // >0 clusters group and RLE value columns
+                                 // into runs of ~sorted_fraction * 8192 rows
+                                 // (and pins the group columns to integer
+                                 // RLE), putting cases inside the run-level
+                                 // execution envelope so the forced
+                                 // kRunBased plan diffs against the oracle
+                                 // on run-shaped data, morsel boundaries
+                                 // included
 
   // Replay line, e.g. "seed=42 rows=375 segment_rows=128 ...". Parsed back
   // by ParseCaseParams.
