@@ -243,6 +243,27 @@ Status AggregateProcessor::Bind(const Table& table, const Segment& segment,
     }
   }
 
+  // Record the decision inputs (plain data only — Bind runs per morsel)
+  // before any feasibility check can reject the bind, so an explain of a
+  // forced infeasible plan still shows what drove the rejection.
+  decision_ = PlanDecision{};
+  decision_.aggregation_forced = overrides.aggregation.has_value();
+  decision_.forced_selection = overrides.selection;
+  decision_.num_groups = num_groups;
+  decision_.groups_for_choice = groups_for_choice;
+  decision_.num_sums = num_sums;
+  decision_.max_value_bits = max_value_bits;
+  decision_.expected_selectivity = expected_selectivity;
+  decision_.multi_aggregate_fits = multi_fits;
+  decision_.in_register_feasible = groups_for_choice <= kMaxInRegisterGroups &&
+                                   !any_expr && max_value_bits <= 32;
+  decision_.any_expr_input = any_expr;
+  decision_.overflow_risk = overflow_risk;
+  decision_.filtered = filtered;
+  decision_.run_inputs = run_in;
+  decision_.run_capable = RunBasedCapable(run_in);
+  decision_.run_admitted = RunBasedAdmitted(run_in);
+
   if (overflow_risk) {
     if (overrides.aggregation.has_value() &&
         *overrides.aggregation != AggregationStrategy::kCheckedScalar) {
@@ -348,6 +369,10 @@ Status AggregateProcessor::Bind(const Table& table, const Segment& segment,
       }
     }
   }
+
+  decision_.aggregation = agg_strategy_;
+  decision_.special_group_available = special_group_available_;
+  decision_.max_materialized_bits = max_materialized_bits_;
 
   // --- accumulators & engines -----------------------------------------------
   counts_.assign(static_cast<size_t>(num_groups) + 1, 0);

@@ -73,6 +73,12 @@ class AggregateProcessor {
   AggregationStrategy aggregation_strategy() const { return agg_strategy_; }
   int num_groups() const { return mapper_.num_groups(); }
 
+  // Inputs and outcome of this bind's strategy resolution (DESIGN.md §12).
+  // Valid after Bind, including rejected binds: the feasibility checks fill
+  // the inputs before returning an error, so PlanExplain can show what
+  // drove a forced-plan rejection.
+  const PlanDecision& plan_decision() const { return decision_; }
+
   // Batches processed per selection strategy (gather/compact/special/full),
   // for tests and the strategy explorer example.
   struct SelectionStats {
@@ -134,6 +140,7 @@ class AggregateProcessor {
 
   GroupMapper mapper_;
   AggregationStrategy agg_strategy_ = AggregationStrategy::kScalar;
+  PlanDecision decision_;
   StrategyOverrides overrides_;
   bool special_group_available_ = false;
   int max_materialized_bits_ = 8;  // drives the gather/compact crossover

@@ -11,6 +11,8 @@
 #include "common/failpoint.h"
 #include "exec/scheduler.h"
 #include "exec/task_group.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/batch.h"
 #include "vector/selection_vector.h"
 
@@ -56,6 +58,31 @@ MorselScratch& ThreadMorselScratch() {
   return scratch;
 }
 
+// Process-wide scan counters (DESIGN.md §12). Reported in bulk — once per
+// Execute, from the already-merged ScanStats — so the per-row and per-batch
+// hot loops never touch an atomic.
+struct ScanCounters {
+  obs::Counter& queries = obs::Counter::Get("scan.queries");
+  obs::Counter& hash_fallbacks = obs::Counter::Get("scan.hash_fallbacks");
+  obs::Counter& cancelled = obs::Counter::Get("scan.cancelled");
+  obs::Counter& errors = obs::Counter::Get("scan.errors");
+  obs::Counter& morsels = obs::Counter::Get("scan.morsels");
+  obs::Counter& segments_scanned = obs::Counter::Get("scan.segments_scanned");
+  obs::Counter& segments_eliminated =
+      obs::Counter::Get("scan.segments_eliminated");
+  obs::Counter& batches = obs::Counter::Get("scan.batches");
+  obs::Counter& rows_scanned = obs::Counter::Get("scan.rows_scanned");
+  obs::Counter& rows_selected = obs::Counter::Get("scan.rows_selected");
+  obs::Counter& runs_aggregated = obs::Counter::Get("scan.runs_aggregated");
+  obs::Counter& rows_run_aggregated =
+      obs::Counter::Get("scan.rows_run_aggregated");
+};
+
+ScanCounters& Counters() {
+  static ScanCounters counters;
+  return counters;
+}
+
 // Intersects two ascending, non-overlapping interval lists.
 void IntersectIntervals(const std::vector<SelInterval>& a,
                         const std::vector<SelInterval>& b,
@@ -91,6 +118,8 @@ Status BIPieScan::ScanMorsel(const Morsel& morsel,
                              std::vector<SegmentContribution>* out) {
   const Segment& segment = table_.segment(morsel.segment_index);
   QueryContext* ctx = options_.context;
+  BIPIE_TRACE_SPAN_ARG("scan.morsel", "scan", "segment",
+                       morsel.segment_index);
 
   AggregateProcessor processor;
   BIPIE_RETURN_NOT_OK(
@@ -210,6 +239,8 @@ Status BIPieScan::RunPipeline(const Morsel& morsel,
                               ScanStats* stats) {
   const Segment& segment = table_.segment(morsel.segment_index);
   QueryContext* ctx = options_.context;
+  BIPIE_TRACE_SPAN_ARG("scan.run_pipeline", "scan", "segment",
+                       morsel.segment_index);
   const size_t start = morsel.start_row;
   const size_t n = morsel.num_rows;
   stats->rows_scanned += n;
@@ -266,6 +297,8 @@ Status BIPieScan::RunPipeline(const Morsel& morsel,
 
 Result<QueryResult> BIPieScan::Execute() {
   stats_ = ScanStats{};
+  BIPIE_TRACE_SPAN("scan.execute", "scan");
+  Counters().queries.Increment();
   QueryContext* ctx = options_.context;
   if (ctx != nullptr) BIPIE_RETURN_NOT_OK(ctx->CheckNotCancelled());
 
@@ -438,9 +471,24 @@ Result<QueryResult> BIPieScan::Execute() {
     }
   }
 
+  // Bulk counter report: the work this scan actually performed, whatever
+  // the outcome below (a fallback or error still burned these cycles).
+  {
+    ScanCounters& c = Counters();
+    c.morsels.Add(morsels.size());
+    c.segments_scanned.Add(stats_.segments_scanned);
+    c.segments_eliminated.Add(stats_.segments_eliminated);
+    c.batches.Add(stats_.batches);
+    c.rows_scanned.Add(stats_.rows_scanned);
+    c.rows_selected.Add(stats_.rows_selected);
+    c.runs_aggregated.Add(stats_.runs_aggregated);
+    c.rows_run_aggregated.Add(stats_.rows_run_aggregated);
+  }
+
   // A cancelled query never returns a (possibly partial) result, whatever
   // mix of statuses the morsels recorded before the flag landed.
   if (ctx != nullptr && ctx->is_cancelled()) {
+    Counters().cancelled.Increment();
     return Status::Cancelled("query cancelled");
   }
 
@@ -476,8 +524,10 @@ Result<QueryResult> BIPieScan::Execute() {
         stats_.aggregation_segments[a] = 0;
       }
       stats_.used_hash_fallback = true;
+      Counters().hash_fallbacks.Increment();
       return ExecuteQueryHashAgg(table_, query_);
     }
+    Counters().errors.Increment();
     return failure;
   }
 

@@ -89,12 +89,21 @@ struct ScanStats {
   size_t aggregation_segments[kNumAggregationStrategies] = {0};
 };
 
+struct PlanExplain;  // obs/plan_explain.h
+
 class BIPieScan {
  public:
   BIPieScan(const Table& table, QuerySpec query, ScanOptions options = {});
 
   // Runs the scan to completion.
   Result<QueryResult> Execute();
+
+  // Plans the scan without executing it (DESIGN.md §12): per segment, the
+  // elimination outcome, the resolved selection×aggregation strategy, the
+  // admission/profitability inputs that drove the choice and the rejected
+  // alternatives — plus the query-level hash-fallback decision. Rendered
+  // via PlanExplain::ToText()/ToJson(). Defined in src/obs/plan_explain.cc.
+  Result<PlanExplain> Explain() const;
 
   const ScanStats& stats() const { return stats_; }
 

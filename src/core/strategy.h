@@ -109,6 +109,43 @@ bool RunBasedCapable(const RunAdmissionInputs& in);
 // Forced kRunBased overrides skip the profitability half.
 bool RunBasedAdmitted(const RunAdmissionInputs& in);
 
+// --- plan introspection (DESIGN.md §12) ------------------------------------
+//
+// Every input that drove one segment's strategy resolution, recorded by
+// AggregateProcessor::Bind as plain data (no strings, no allocation beyond
+// the struct itself — Bind runs per morsel). PlanExplain (src/obs) turns a
+// PlanDecision into human-readable text and JSON, including the rejected
+// alternatives it can re-derive from these inputs.
+struct PlanDecision {
+  AggregationStrategy aggregation = AggregationStrategy::kScalar;
+  bool aggregation_forced = false;
+  std::optional<SelectionStrategy> forced_selection;
+
+  // ChooseAggregationStrategy inputs.
+  int num_groups = 1;          // mapper bound, excluding the special slot
+  int groups_for_choice = 1;   // including the reserved special slot
+  int num_sums = 0;
+  int max_value_bits = 1;
+  double expected_selectivity = 1.0;
+  bool multi_aggregate_fits = false;
+  bool in_register_feasible = false;
+  bool any_expr_input = false;
+
+  // Gates around the choice.
+  bool overflow_risk = false;  // metadata could not prove int64-safe sums
+  bool filtered = false;       // filters present or deleted rows
+  bool special_group_available = false;
+
+  // ChooseSelectionStrategy inputs (the per-batch choice; the explain
+  // renders the predicted pick at expected_selectivity plus the crossover).
+  int max_materialized_bits = 1;
+
+  // Run-level admission (DESIGN.md §11).
+  RunAdmissionInputs run_inputs;
+  bool run_capable = false;
+  bool run_admitted = false;
+};
+
 }  // namespace bipie
 
 #endif  // BIPIE_CORE_STRATEGY_H_

@@ -2,9 +2,31 @@
 
 #include <cstdlib>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace bipie {
 
 namespace {
+
+// Per-task counters (DESIGN.md §12): task granularity is one morsel (~64K
+// rows), so one relaxed increment per task is far below noise.
+obs::Counter& TasksSubmitted() {
+  static obs::Counter& c = obs::Counter::Get("exec.tasks_submitted");
+  return c;
+}
+obs::Counter& TasksExecuted() {
+  static obs::Counter& c = obs::Counter::Get("exec.tasks_executed");
+  return c;
+}
+obs::Counter& TasksStolen() {
+  static obs::Counter& c = obs::Counter::Get("exec.tasks_stolen");
+  return c;
+}
+obs::Counter& TaskAssists() {
+  static obs::Counter& c = obs::Counter::Get("exec.task_assists");
+  return c;
+}
 
 // Identifies the calling thread as worker `tls_worker_index` of
 // `tls_scheduler`, so Submit can push to the local deque and FindTask can
@@ -64,6 +86,7 @@ void Scheduler::Submit(Task task) {
     queues_[target]->tasks.push_back(std::move(task));
   }
   queued_.fetch_add(1, std::memory_order_release);
+  TasksSubmitted().Increment();
   // Taking idle_mu_ orders the increment against a worker's predicate
   // check, so a worker that just saw queued_ == 0 either re-reads it as
   // nonzero or is asleep when the notification lands — no lost wakeups.
@@ -94,6 +117,7 @@ bool Scheduler::FindTask(size_t self, Task* task) {
       *task = std::move(q.tasks.front());  // FIFO steal: oldest work
       q.tasks.pop_front();
       queued_.fetch_sub(1, std::memory_order_release);
+      if (self != SIZE_MAX) TasksStolen().Increment();
       return true;
     }
   }
@@ -104,7 +128,12 @@ bool Scheduler::TryRunOneTask() {
   Task task;
   const size_t self = tls_scheduler == this ? tls_worker_index : SIZE_MAX;
   if (!FindTask(self, &task)) return false;
-  task();
+  {
+    BIPIE_TRACE_SPAN("exec.task", "exec");
+    task();
+  }
+  TasksExecuted().Increment();
+  if (self == SIZE_MAX) TaskAssists().Increment();
   return true;
 }
 
@@ -114,7 +143,11 @@ void Scheduler::WorkerLoop(size_t worker_index) {
   Task task;
   for (;;) {
     if (FindTask(worker_index, &task)) {
-      task();
+      {
+        BIPIE_TRACE_SPAN("exec.task", "exec");
+        task();
+      }
+      TasksExecuted().Increment();
       task = nullptr;  // release captures before sleeping
       continue;
     }

@@ -1,0 +1,146 @@
+#include "obs/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace bipie::obs {
+
+std::string JsonEscaped(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::NewlineIndent() {
+  if (indent_ <= 0) return;
+  out_ += '\n';
+  out_.append(scopes_.size() * static_cast<size_t>(indent_), ' ');
+}
+
+void JsonWriter::BeforeValue() {
+  if (scopes_.empty()) return;
+  Scope& scope = scopes_.back();
+  if (scope.is_object && !pending_key_) return;  // Key() already separated
+  if (!scope.is_object) {
+    if (scope.has_items) out_ += ',';
+    NewlineIndent();
+    scope.has_items = true;
+  }
+  pending_key_ = false;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  Scope& scope = scopes_.back();
+  if (scope.has_items) out_ += ',';
+  NewlineIndent();
+  scope.has_items = true;
+  out_ += '"';
+  out_ += JsonEscaped(key);
+  out_ += indent_ > 0 ? "\": " : "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+void JsonWriter::OpenScope(char c, bool is_object) {
+  BeforeValue();
+  out_ += c;
+  scopes_.push_back({is_object, false});
+}
+
+void JsonWriter::CloseScope(char c) {
+  const bool had_items = scopes_.back().has_items;
+  scopes_.pop_back();
+  if (had_items) NewlineIndent();
+  out_ += c;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  OpenScope('{', true);
+  return *this;
+}
+JsonWriter& JsonWriter::EndObject() {
+  CloseScope('}');
+  return *this;
+}
+JsonWriter& JsonWriter::BeginArray() {
+  OpenScope('[', false);
+  return *this;
+}
+JsonWriter& JsonWriter::EndArray() {
+  CloseScope(']');
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view s) {
+  BeforeValue();
+  out_ += '"';
+  out_ += JsonEscaped(s);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool b) {
+  BeforeValue();
+  out_ += b ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double d) {
+  BeforeValue();
+  if (!std::isfinite(d)) {
+    out_ += "null";  // JSON has no inf/nan
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", d);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(uint64_t v) {
+  BeforeValue();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int64_t v) {
+  BeforeValue();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  return *this;
+}
+
+}  // namespace bipie::obs

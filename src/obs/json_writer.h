@@ -1,0 +1,73 @@
+// Minimal streaming JSON writer shared by PlanExplain and the trace
+// exporter.
+//
+// Output is byte-stable for a given call sequence: keys appear in the order
+// the caller emits them, numbers are formatted with fixed rules (integers
+// verbatim, doubles with up to 6 significant digits and no locale), and
+// strings are escaped per RFC 8259. That stability is what lets golden
+// tests diff explain JSON across machines.
+#ifndef BIPIE_OBS_JSON_WRITER_H_
+#define BIPIE_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bipie::obs {
+
+std::string JsonEscaped(std::string_view s);
+
+class JsonWriter {
+ public:
+  // `indent` > 0 pretty-prints with that many spaces per level; 0 emits the
+  // compact single-line form.
+  explicit JsonWriter(int indent = 0) : indent_(indent) {}
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Key for the next value (objects only).
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& Value(std::string_view s);
+  JsonWriter& Value(const char* s) { return Value(std::string_view(s)); }
+  JsonWriter& Value(bool b);
+  JsonWriter& Value(double d);
+  JsonWriter& Value(uint64_t v);
+  JsonWriter& Value(int64_t v);
+  JsonWriter& Value(int v) { return Value(static_cast<int64_t>(v)); }
+  JsonWriter& Null();
+
+  // Shorthand for Key(k) followed by Value(v).
+  template <typename T>
+  JsonWriter& KV(std::string_view key, T&& v) {
+    Key(key);
+    return Value(std::forward<T>(v));
+  }
+
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+ private:
+  void BeforeValue();
+  void OpenScope(char c, bool is_object);
+  void CloseScope(char c);
+  void NewlineIndent();
+
+  struct Scope {
+    bool is_object = false;
+    bool has_items = false;
+  };
+
+  int indent_;
+  bool pending_key_ = false;
+  std::string out_;
+  std::vector<Scope> scopes_;
+};
+
+}  // namespace bipie::obs
+
+#endif  // BIPIE_OBS_JSON_WRITER_H_

@@ -1,0 +1,90 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+
+namespace bipie::obs {
+
+namespace {
+
+// Name-keyed registry. Get takes the mutex (registration is rare and never
+// on a per-row path); Add/value touch only the counter's own atomic.
+class Registry {
+ public:
+  static Registry& Instance() {
+    static Registry* registry = new Registry();  // leaked: process lifetime
+    return *registry;
+  }
+
+  Counter& Get(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& c : counters_) {
+      if (c->name() == name) return *c;
+    }
+    counters_.emplace_back(new Counter(std::string(name)));
+    return *counters_.back();
+  }
+
+  MetricsSnapshot Snapshot() {
+    MetricsSnapshot snapshot;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      snapshot.entries.reserve(counters_.size());
+      for (const auto& c : counters_) {
+        snapshot.entries.emplace_back(c->name(), c->value());
+      }
+    }
+    std::sort(snapshot.entries.begin(), snapshot.entries.end());
+    return snapshot;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::unique_ptr<Counter>> counters_;
+};
+
+}  // namespace
+
+Counter& Counter::Get(std::string_view name) {
+  return Registry::Instance().Get(name);
+}
+
+uint64_t MetricsSnapshot::ValueOf(std::string_view name) const {
+  for (const auto& [key, value] : entries) {
+    if (key == name) return value;
+  }
+  return 0;
+}
+
+MetricsSnapshot SnapshotMetrics() { return Registry::Instance().Snapshot(); }
+
+MetricsSnapshot MetricsDelta(const MetricsSnapshot& now,
+                             const MetricsSnapshot& base) {
+  MetricsSnapshot delta;
+  for (const auto& [name, value] : now.entries) {
+    const uint64_t before = base.ValueOf(name);
+    // Counters are monotonic; guard anyway so a stale `base` from another
+    // process run can never underflow.
+    const uint64_t diff = value >= before ? value - before : 0;
+    if (diff != 0) delta.entries.emplace_back(name, diff);
+  }
+  return delta;
+}
+
+MetricsSnapshot MetricsDelta(const MetricsSnapshot& base) {
+  return MetricsDelta(SnapshotMetrics(), base);
+}
+
+std::string MetricsToText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.entries) {
+    out += name;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace bipie::obs

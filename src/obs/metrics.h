@@ -1,0 +1,69 @@
+// Process-wide counter/metrics registry (DESIGN.md §12).
+//
+// One Counter is one monotonically increasing uint64 with a stable
+// dot-separated name ("scan.rows_scanned", "exec.tasks_stolen", ...).
+// Counters are registered once (first Get) and live for the process; Add is
+// a single relaxed atomic increment, cheap enough for per-morsel and
+// per-query reporting (hot loops report in bulk after the fact, never per
+// row). Snapshots capture every counter by name; deltas between two
+// snapshots are how tests and tools measure "what did this query do"
+// without resetting global state.
+#ifndef BIPIE_OBS_METRICS_H_
+#define BIPIE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace bipie::obs {
+
+class Counter {
+ public:
+  // Returns the process-wide counter registered under `name`, creating it
+  // on first use. The returned reference is valid for the process lifetime.
+  // Callers cache it in a static:
+  //   static obs::Counter& c = obs::Counter::Get("scan.queries");
+  static Counter& Get(std::string_view name);
+
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+  // Registry use only — call Get() instead of constructing counters.
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+ private:
+  std::string name_;
+  std::atomic<uint64_t> value_{0};
+};
+
+// A point-in-time copy of every registered counter, sorted by name (the
+// registration order is scheduling-dependent; the sort makes snapshots and
+// their renderings deterministic).
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> entries;
+
+  // Value under `name`, or 0 when the counter has not been registered.
+  uint64_t ValueOf(std::string_view name) const;
+};
+
+MetricsSnapshot SnapshotMetrics();
+
+// Per-counter difference `now - base` (counters are monotonic, so the
+// difference is what happened in between; counters registered after `base`
+// count from zero). Entries with a zero delta are dropped.
+MetricsSnapshot MetricsDelta(const MetricsSnapshot& base);
+MetricsSnapshot MetricsDelta(const MetricsSnapshot& now,
+                             const MetricsSnapshot& base);
+
+// "name value\n" lines, sorted by name — the system.events-style dump used
+// by tools and failure diagnostics.
+std::string MetricsToText(const MetricsSnapshot& snapshot);
+
+}  // namespace bipie::obs
+
+#endif  // BIPIE_OBS_METRICS_H_

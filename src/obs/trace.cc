@@ -1,0 +1,194 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+#include "obs/json_writer.h"
+
+namespace bipie::obs {
+
+namespace {
+
+// Per-thread fixed-capacity event buffer. Exactly one thread appends; the
+// (acquire) count load in Snapshot publishes every slot written before the
+// matching release store, so concurrent collection reads a clean prefix.
+// Full buffers drop (and count) rather than wrap: overwriting slots would
+// race collection.
+class ThreadTraceBuffer {
+ public:
+  static constexpr size_t kCapacity = size_t{1} << 16;
+
+  explicit ThreadTraceBuffer(uint32_t tid)
+      : tid_(tid), events_(new TraceEvent[kCapacity]) {}
+
+  void Append(const TraceEvent& event) {
+    const size_t idx = count_.load(std::memory_order_relaxed);
+    if (idx >= kCapacity) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    events_[idx] = event;
+    events_[idx].tid = tid_;
+    count_.store(idx + 1, std::memory_order_release);
+  }
+
+  void Snapshot(std::vector<TraceEvent>* out) const {
+    const size_t n = count_.load(std::memory_order_acquire);
+    out->insert(out->end(), events_, events_ + n);
+  }
+
+  // Only safe while the owning thread is not recording (StartTracing).
+  void Reset() {
+    count_.store(0, std::memory_order_release);
+    dropped_.store(0, std::memory_order_relaxed);
+  }
+
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  uint32_t tid_;
+  TraceEvent* events_;  // leaked with the buffer: process lifetime
+  std::atomic<size_t> count_{0};
+  std::atomic<uint64_t> dropped_{0};
+};
+
+// Buffers are heap-allocated and registered forever: a thread that exits
+// leaves its events collectable, and the registry never holds a dangling
+// pointer.
+struct TraceRegistry {
+  std::mutex mu;
+  std::vector<ThreadTraceBuffer*> buffers;
+  std::atomic<bool> active{false};
+};
+
+TraceRegistry& GlobalTraceRegistry() {
+  static TraceRegistry* registry = new TraceRegistry();
+  return *registry;
+}
+
+ThreadTraceBuffer& LocalBuffer() {
+  thread_local ThreadTraceBuffer* buffer = [] {
+    TraceRegistry& registry = GlobalTraceRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    auto* b = new ThreadTraceBuffer(
+        static_cast<uint32_t>(registry.buffers.size()));
+    registry.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+}  // namespace
+
+bool TracingCompiledIn() {
+#ifdef BIPIE_ENABLE_TRACING
+  return true;
+#else
+  return false;
+#endif
+}
+
+void StartTracing() {
+  TraceRegistry& registry = GlobalTraceRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (ThreadTraceBuffer* buffer : registry.buffers) buffer->Reset();
+  registry.active.store(true, std::memory_order_release);
+}
+
+void StopTracing() {
+  GlobalTraceRegistry().active.store(false, std::memory_order_release);
+}
+
+bool IsTracingActive() {
+  return GlobalTraceRegistry().active.load(std::memory_order_acquire);
+}
+
+void RecordTraceSpan(const char* name, const char* category,
+                     uint64_t start_cycles, uint64_t end_cycles,
+                     const char* arg_name, uint64_t arg_value) {
+  if (!IsTracingActive()) return;
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.start_cycles = start_cycles;
+  event.end_cycles = end_cycles;
+  event.arg_name = arg_name;
+  event.arg_value = arg_value;
+  LocalBuffer().Append(event);
+}
+
+std::vector<TraceEvent> CollectTraceEvents() {
+  std::vector<TraceEvent> events;
+  {
+    TraceRegistry& registry = GlobalTraceRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    for (const ThreadTraceBuffer* buffer : registry.buffers) {
+      buffer->Snapshot(&events);
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.start_cycles != b.start_cycles) {
+                       return a.start_cycles < b.start_cycles;
+                     }
+                     return a.tid < b.tid;
+                   });
+  return events;
+}
+
+uint64_t TraceDroppedEvents() {
+  TraceRegistry& registry = GlobalTraceRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  uint64_t dropped = 0;
+  for (const ThreadTraceBuffer* buffer : registry.buffers) {
+    dropped += buffer->dropped();
+  }
+  return dropped;
+}
+
+std::string TraceToChromeJson(const std::vector<TraceEvent>& events,
+                              double tsc_hz) {
+  // ts/dur are microseconds relative to the earliest start, so documents
+  // from different machines diff cleanly.
+  uint64_t origin = 0;
+  if (!events.empty()) {
+    origin = events[0].start_cycles;
+    for (const TraceEvent& e : events) {
+      origin = std::min(origin, e.start_cycles);
+    }
+  }
+  const double us_per_cycle = tsc_hz > 0 ? 1e6 / tsc_hz : 0.0;
+  std::string out = "{\"traceEvents\":[";
+  char buf[64];
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i > 0) out += ',';
+    out += "\n{\"name\":\"";
+    out += JsonEscaped(e.name);
+    out += "\",\"cat\":\"";
+    out += JsonEscaped(e.category);
+    out += "\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += std::to_string(e.tid);
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f,\"dur\":%.3f",
+                  static_cast<double>(e.start_cycles - origin) * us_per_cycle,
+                  static_cast<double>(e.end_cycles - e.start_cycles) *
+                      us_per_cycle);
+    out += buf;
+    if (e.arg_name != nullptr) {
+      out += ",\"args\":{\"";
+      out += JsonEscaped(e.arg_name);
+      out += "\":";
+      out += std::to_string(e.arg_value);
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace bipie::obs

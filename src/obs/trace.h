@@ -1,0 +1,130 @@
+// Low-overhead scan tracing (DESIGN.md §12).
+//
+// Two layers:
+//
+//  * The recording *sites* — BIPIE_TRACE_SPAN(...) macros in scan.cc, the
+//    scheduler and table IO — are compile-time gated on
+//    BIPIE_ENABLE_TRACING. A default (release) build compiles them to
+//    nothing: zero instructions, zero data, provably no regression.
+//  * The recording *infrastructure* below is always compiled, so the
+//    exporter is testable in every build and tools can emit explain/counter
+//    metadata even when the span sites are compiled out.
+//
+// Recording is lock-free on the hot path: each thread owns a fixed-capacity
+// event buffer (registered once under a mutex, on the thread's first
+// event). An append is one relaxed load, one slot write and one release
+// store; when the buffer fills, further events are dropped and counted —
+// never overwritten, so collection can read concurrently without tearing.
+// Timestamps are CycleTimer TSC reads, converted to microseconds only at
+// export time.
+//
+// Start/Collect discipline: StartTracing() resets every buffer, so it must
+// not race recording (trace one query at a time; pool workers are idle
+// between queries). CollectTraceEvents() is safe concurrently with
+// recording — it sees a prefix of each buffer.
+#ifndef BIPIE_OBS_TRACE_H_
+#define BIPIE_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/cycle_timer.h"
+
+namespace bipie::obs {
+
+// One completed span. Name/category/arg_name must be static-lifetime
+// strings (string literals at every in-tree site): events store pointers,
+// never copies, to keep the record path allocation-free.
+struct TraceEvent {
+  const char* name = "";
+  const char* category = "";
+  uint32_t tid = 0;  // sequential per-thread id, assigned at registration
+  uint64_t start_cycles = 0;
+  uint64_t end_cycles = 0;
+  const char* arg_name = nullptr;  // optional integer argument
+  uint64_t arg_value = 0;
+};
+
+// True when this library was built with BIPIE_ENABLE_TRACING (i.e. the
+// BIPIE_TRACE_SPAN sites in scan/exec/storage record for real).
+bool TracingCompiledIn();
+
+// Runtime gate on top of the compile-time one. StartTracing resets all
+// per-thread buffers and the dropped count.
+void StartTracing();
+void StopTracing();
+bool IsTracingActive();
+
+// Appends one completed span to the calling thread's buffer (no-op when
+// tracing is inactive). Always compiled; the macro sites below are the
+// gated callers, tests call it directly.
+void RecordTraceSpan(const char* name, const char* category,
+                     uint64_t start_cycles, uint64_t end_cycles,
+                     const char* arg_name = nullptr, uint64_t arg_value = 0);
+
+// Snapshot of every thread's events so far, sorted by (start, tid).
+std::vector<TraceEvent> CollectTraceEvents();
+
+// Events discarded because a per-thread buffer filled since StartTracing.
+uint64_t TraceDroppedEvents();
+
+// Renders events as a Chrome trace_event JSON document ("X" complete
+// events, chrome://tracing and Perfetto both load it). Timestamps are
+// microseconds relative to the earliest event, converted with `tsc_hz`
+// (pass TscHz() for real traces; tests pass 1e6 so ts == cycles).
+std::string TraceToChromeJson(const std::vector<TraceEvent>& events,
+                              double tsc_hz);
+
+// RAII span: samples the cycle counter at construction and records at
+// destruction when tracing was active at construction.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category,
+                     const char* arg_name = nullptr, uint64_t arg_value = 0)
+      : name_(name),
+        category_(category),
+        arg_name_(arg_name),
+        arg_value_(arg_value),
+        active_(IsTracingActive()),
+        start_(active_ ? ReadCycleCounter() : 0) {}
+
+  ~TraceSpan() {
+    if (active_) {
+      RecordTraceSpan(name_, category_, start_, ReadCycleCounter(), arg_name_,
+                      arg_value_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  const char* arg_name_;
+  uint64_t arg_value_;
+  bool active_;
+  uint64_t start_;
+};
+
+}  // namespace bipie::obs
+
+// The gated site macros. Compiled out entirely (no atomic load, no branch)
+// unless the build defines BIPIE_ENABLE_TRACING.
+#ifdef BIPIE_ENABLE_TRACING
+#define BIPIE_TRACE_CONCAT_INNER(a, b) a##b
+#define BIPIE_TRACE_CONCAT(a, b) BIPIE_TRACE_CONCAT_INNER(a, b)
+#define BIPIE_TRACE_SPAN(name, category)                    \
+  ::bipie::obs::TraceSpan BIPIE_TRACE_CONCAT(bipie_trace_, \
+                                             __LINE__)(name, category)
+#define BIPIE_TRACE_SPAN_ARG(name, category, arg_name, arg_value)  \
+  ::bipie::obs::TraceSpan BIPIE_TRACE_CONCAT(bipie_trace_,        \
+                                             __LINE__)(            \
+      name, category, arg_name, static_cast<uint64_t>(arg_value))
+#else
+#define BIPIE_TRACE_SPAN(name, category) ((void)0)
+#define BIPIE_TRACE_SPAN_ARG(name, category, arg_name, arg_value) ((void)0)
+#endif
+
+#endif  // BIPIE_OBS_TRACE_H_

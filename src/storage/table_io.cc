@@ -8,10 +8,28 @@
 
 #include "common/crc32c.h"
 #include "common/failpoint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace bipie {
 
 namespace {
+
+// IO counters (DESIGN.md §12). Byte counts are whole-file sizes reported
+// once per save/load — never per fwrite/fread call.
+struct IoCounters {
+  obs::Counter& tables_saved = obs::Counter::Get("io.tables_saved");
+  obs::Counter& tables_loaded = obs::Counter::Get("io.tables_loaded");
+  obs::Counter& bytes_written = obs::Counter::Get("io.bytes_written");
+  obs::Counter& bytes_read = obs::Counter::Get("io.bytes_read");
+  obs::Counter& save_errors = obs::Counter::Get("io.save_errors");
+  obs::Counter& load_errors = obs::Counter::Get("io.load_errors");
+  obs::Counter& checksum_failures = obs::Counter::Get("io.checksum_failures");
+};
+IoCounters& Counters() {
+  static IoCounters counters;
+  return counters;
+}
 
 constexpr char kMagicV1[8] = {'B', 'I', 'P', 'I', 'E', 'T', 'B', '1'};
 constexpr char kMagicV2[8] = {'B', 'I', 'P', 'I', 'E', 'T', 'B', '2'};
@@ -197,6 +215,7 @@ class Reader {
       uint32_t actual = block_crc_;
       if (BIPIE_FAILPOINT("table_io/checksum_mismatch")) actual = ~actual;
       if (actual != block_crc_expected_) {
+        Counters().checksum_failures.Increment();
         return Status::DataLoss(std::string("checksum mismatch (") + what +
                                 ")");
       }
@@ -561,8 +580,10 @@ Result<Table> LoadTableV2(Reader* r, const LoadOptions& options) {
 
 }  // namespace
 
-Status SaveTable(const Table& table, const std::string& path,
-                 const SaveOptions& options) {
+namespace {
+
+Status SaveTableImpl(const Table& table, const std::string& path,
+                     const SaveOptions& options, uint64_t* bytes_written) {
   if (options.format_version != 1 && options.format_version != 2) {
     return Status::NotSupported("unknown table format version " +
                                 std::to_string(options.format_version));
@@ -571,11 +592,19 @@ Status SaveTable(const Table& table, const std::string& path,
   if (f == nullptr) {
     return Status::InvalidArgument("cannot open for writing: " + path);
   }
-  return options.format_version == 1 ? SaveTableV1(table, f.get(), path)
-                                     : SaveTableV2(table, f.get(), path);
+  Status status = options.format_version == 1
+                      ? SaveTableV1(table, f.get(), path)
+                      : SaveTableV2(table, f.get(), path);
+  if (status.ok()) {
+    const long pos = std::ftell(f.get());
+    if (pos > 0) *bytes_written = static_cast<uint64_t>(pos);
+  }
+  return status;
 }
 
-Result<Table> LoadTable(const std::string& path, const LoadOptions& options) {
+Result<Table> LoadTableImpl(const std::string& path,
+                            const LoadOptions& options,
+                            uint64_t* bytes_read) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (f == nullptr) {
     return Status::InvalidArgument("cannot open for reading: " + path);
@@ -590,6 +619,7 @@ Result<Table> LoadTable(const std::string& path, const LoadOptions& options) {
   if (std::fseek(f.get(), 0, SEEK_SET) != 0) {
     return Status::Internal("cannot seek: " + path);
   }
+  *bytes_read = static_cast<uint64_t>(file_size);
 
   Reader r(f.get(), static_cast<uint64_t>(file_size));
   char magic[8];
@@ -617,6 +647,35 @@ Result<Table> LoadTable(const std::string& path, const LoadOptions& options) {
   if (!loaded.ok()) return loaded.status();
   if (options.validate) {
     BIPIE_RETURN_NOT_OK(loaded.value().Validate());
+  }
+  return loaded;
+}
+
+}  // namespace
+
+Status SaveTable(const Table& table, const std::string& path,
+                 const SaveOptions& options) {
+  BIPIE_TRACE_SPAN("io.save_table", "io");
+  uint64_t bytes_written = 0;
+  Status status = SaveTableImpl(table, path, options, &bytes_written);
+  if (status.ok()) {
+    Counters().tables_saved.Increment();
+    Counters().bytes_written.Add(bytes_written);
+  } else {
+    Counters().save_errors.Increment();
+  }
+  return status;
+}
+
+Result<Table> LoadTable(const std::string& path, const LoadOptions& options) {
+  BIPIE_TRACE_SPAN("io.load_table", "io");
+  uint64_t bytes_read = 0;
+  Result<Table> loaded = LoadTableImpl(path, options, &bytes_read);
+  if (loaded.ok()) {
+    Counters().tables_loaded.Increment();
+    Counters().bytes_read.Add(bytes_read);
+  } else {
+    Counters().load_errors.Increment();
   }
   return loaded;
 }

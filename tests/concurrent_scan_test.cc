@@ -13,6 +13,7 @@
 #include "baseline/hash_agg.h"
 #include "common/random.h"
 #include "core/scan.h"
+#include "tests/test_util.h"
 #include "exec/query_context.h"
 #include "storage/table.h"
 
@@ -77,7 +78,7 @@ TEST(ConcurrentScanTest, PooledScanMatchesOracle) {
 
   ScanOptions options;
   options.num_threads = 0;  // shared pool
-  auto got = ExecuteQuery(table, query, options);
+  auto got = test::ExecuteChecked(table, query, options);
   ASSERT_TRUE(got.ok()) << got.status().ToString();
   ExpectSameResults(got.value(), oracle.value(), "pooled");
 }
@@ -87,7 +88,7 @@ TEST(ConcurrentScanTest, MorselSplitIsResultInvariant) {
   // per-morsel processors merge through the same deterministic reduction.
   Table table = MakeGroupedTable(30000, 8192, 72);
   QuerySpec query = MakeGroupedQuery();
-  auto inline_result = ExecuteQuery(table, query);
+  auto inline_result = test::ExecuteChecked(table, query);
   ASSERT_TRUE(inline_result.ok());
 
   for (size_t morsel_rows : {size_t{4096}, size_t{8192}, size_t{100000}}) {
@@ -97,6 +98,7 @@ TEST(ConcurrentScanTest, MorselSplitIsResultInvariant) {
     BIPieScan scan(table, query, options);
     auto got = scan.Execute();
     ASSERT_TRUE(got.ok()) << got.status().ToString();
+    BIPIE_EXPECT_STATS_INVARIANTS(scan, query, table, &got.value());
     ExpectSameResults(got.value(), inline_result.value(),
                       "morsel_rows=" + std::to_string(morsel_rows));
     // Stats must describe the same scan regardless of the split.
@@ -136,7 +138,7 @@ TEST(ConcurrentScanTest, EightWayConcurrentExecuteMatchesOracle) {
         const QuerySpec& query = use_grouped ? grouped_query : ungrouped_query;
         const QueryResult& expected = use_grouped ? grouped_oracle.value()
                                                   : skinny_oracle.value();
-        auto got = ExecuteQuery(table, query, options);
+        auto got = test::ExecuteChecked(table, query, options);
         if (!got.ok() || got.value().rows.size() != expected.rows.size()) {
           mismatches.fetch_add(1);
           continue;
@@ -165,7 +167,7 @@ TEST(ConcurrentScanTest, PreCancelledQueryReturnsCancelled) {
     ScanOptions options;
     options.num_threads = threads;
     options.context = &context;
-    auto got = ExecuteQuery(table, query, options);
+    auto got = test::ExecuteChecked(table, query, options);
     ASSERT_FALSE(got.ok()) << "threads=" << threads;
     EXPECT_EQ(got.status().code(), StatusCode::kCancelled)
         << "threads=" << threads;
@@ -190,7 +192,7 @@ TEST(ConcurrentScanTest, MidScanCancellationNeverYieldsPartialResult) {
       options.num_threads = threads;
       options.morsel_rows = 4096;
       options.context = &context;
-      auto got = ExecuteQuery(table, query, options);
+      auto got = test::ExecuteChecked(table, query, options);
       const std::string label = "threads=" + std::to_string(threads) +
                                 " budget=" + std::to_string(budget);
       if (got.ok()) {
@@ -210,7 +212,7 @@ TEST(ConcurrentScanTest, ExpiredDeadlineCancelsScan) {
   ScanOptions options;
   options.num_threads = 0;
   options.context = &context;
-  auto got = ExecuteQuery(table, MakeGroupedQuery(), options);
+  auto got = test::ExecuteChecked(table, MakeGroupedQuery(), options);
   ASSERT_FALSE(got.ok());
   EXPECT_EQ(got.status().code(), StatusCode::kCancelled);
 }
@@ -237,7 +239,7 @@ TEST(ConcurrentScanTest, CancelledHashFallbackReturnsCancelled) {
   ScanOptions options;
   options.num_threads = 0;
   options.context = &context;
-  auto got = ExecuteQuery(table, query, options);
+  auto got = test::ExecuteChecked(table, query, options);
   ASSERT_FALSE(got.ok());
   EXPECT_EQ(got.status().code(), StatusCode::kCancelled);
 }
@@ -287,7 +289,7 @@ TEST(ScanWorkOrderTest, PathologicalSegmentStaysExactOnEveryPath) {
   for (size_t threads : {size_t{0}, size_t{1}, size_t{4}}) {
     ScanOptions options;
     options.num_threads = threads;
-    auto got = ExecuteQuery(table, query, options);
+    auto got = test::ExecuteChecked(table, query, options);
     ASSERT_TRUE(got.ok()) << got.status().ToString();
     ExpectSameResults(got.value(), oracle.value(),
                       "threads=" + std::to_string(threads));

@@ -1,0 +1,207 @@
+// Unit tests for the observability layer (DESIGN.md §12): counter
+// registry + snapshots/deltas, the streaming JSON writer, and the trace
+// buffer/export pipeline. The trace infrastructure is always compiled
+// (only the macro *sites* are gated on BIPIE_ENABLE_TRACING), so these run
+// in every build configuration.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace bipie::obs {
+namespace {
+
+TEST(MetricsTest, GetReturnsSameCounterForSameName) {
+  Counter& a = Counter::Get("test.same_name");
+  Counter& b = Counter::Get("test.same_name");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.name(), "test.same_name");
+}
+
+TEST(MetricsTest, AddAndSnapshotRoundTrip) {
+  Counter& c = Counter::Get("test.round_trip");
+  const uint64_t before = c.value();
+  c.Add(41);
+  c.Increment();
+  EXPECT_EQ(c.value(), before + 42);
+  const MetricsSnapshot snap = SnapshotMetrics();
+  EXPECT_EQ(snap.ValueOf("test.round_trip"), before + 42);
+  EXPECT_EQ(snap.ValueOf("test.never_registered"), 0u);
+}
+
+TEST(MetricsTest, DeltaDropsZeroEntriesAndCountsNewWork) {
+  Counter& c = Counter::Get("test.delta");
+  Counter::Get("test.delta_untouched");
+  const MetricsSnapshot base = SnapshotMetrics();
+  c.Add(7);
+  const MetricsSnapshot delta = MetricsDelta(base);
+  EXPECT_EQ(delta.ValueOf("test.delta"), 7u);
+  for (const auto& [name, value] : delta.entries) {
+    EXPECT_NE(value, 0u) << name << " should have been dropped";
+    EXPECT_NE(name, "test.delta_untouched");
+  }
+}
+
+TEST(MetricsTest, SnapshotIsSortedAndTextRendersEveryEntry) {
+  Counter::Get("test.text_a").Increment();
+  Counter::Get("test.text_b").Increment();
+  const MetricsSnapshot snap = SnapshotMetrics();
+  for (size_t i = 1; i < snap.entries.size(); ++i) {
+    EXPECT_LT(snap.entries[i - 1].first, snap.entries[i].first);
+  }
+  const std::string text = MetricsToText(snap);
+  EXPECT_NE(text.find("test.text_a "), std::string::npos);
+  EXPECT_NE(text.find("test.text_b "), std::string::npos);
+}
+
+TEST(MetricsTest, ConcurrentAddsAreLossless) {
+  Counter& c = Counter::Get("test.concurrent");
+  const uint64_t before = c.value();
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kAdds; ++i) c.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), before + kThreads * kAdds);
+}
+
+TEST(JsonWriterTest, CompactObjectWithEscapes) {
+  JsonWriter w;
+  w.BeginObject()
+      .KV("name", "a\"b\\c\n\t")
+      .KV("n", 42)
+      .KV("neg", int64_t{-7})
+      .KV("flag", true)
+      .KV("ratio", 0.25)
+      .Key("nothing")
+      .Null()
+      .EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"a\\\"b\\\\c\\n\\t\",\"n\":42,\"neg\":-7,"
+            "\"flag\":true,\"ratio\":0.25,\"nothing\":null}");
+}
+
+TEST(JsonWriterTest, NestedArraysAndIndentation) {
+  JsonWriter w(2);
+  w.BeginObject().Key("xs").BeginArray().Value(1).Value(2).EndArray()
+      .EndObject();
+  EXPECT_EQ(w.str(), "{\n  \"xs\": [\n    1,\n    2\n  ]\n}");
+}
+
+TEST(JsonWriterTest, ControlCharactersAreUnicodeEscaped) {
+  EXPECT_EQ(JsonEscaped(std::string("\x01", 1)), "\\u0001");
+  EXPECT_EQ(JsonEscaped("plain"), "plain");
+}
+
+TEST(TraceTest, RecordCollectRoundTrip) {
+  StartTracing();
+  RecordTraceSpan("span_a", "test", 100, 200);
+  RecordTraceSpan("span_b", "test", 150, 300, "segment", 7);
+  StopTracing();
+  const std::vector<TraceEvent> events = CollectTraceEvents();
+  ASSERT_EQ(events.size(), 2u);
+  // Sorted by start cycle.
+  EXPECT_STREQ(events[0].name, "span_a");
+  EXPECT_STREQ(events[1].name, "span_b");
+  EXPECT_EQ(events[1].arg_value, 7u);
+  EXPECT_EQ(TraceDroppedEvents(), 0u);
+}
+
+TEST(TraceTest, InactiveTracingRecordsNothing) {
+  StartTracing();
+  StopTracing();
+  RecordTraceSpan("ignored", "test", 1, 2);
+  EXPECT_TRUE(CollectTraceEvents().empty());
+}
+
+TEST(TraceTest, StartResetsPreviousEvents) {
+  StartTracing();
+  RecordTraceSpan("old", "test", 1, 2);
+  StopTracing();
+  StartTracing();
+  RecordTraceSpan("new", "test", 3, 4);
+  StopTracing();
+  const std::vector<TraceEvent> events = CollectTraceEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "new");
+}
+
+TEST(TraceTest, TraceSpanRaiiRecordsOnDestruction) {
+  StartTracing();
+  { TraceSpan span("raii", "test"); }
+  StopTracing();
+  const std::vector<TraceEvent> events = CollectTraceEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "raii");
+  EXPECT_GE(events[0].end_cycles, events[0].start_cycles);
+}
+
+TEST(TraceTest, MultiThreadedRecordingKeepsEveryEvent) {
+  StartTracing();
+  constexpr int kThreads = 4;
+  constexpr int kSpans = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kSpans; ++i) {
+        const auto base = static_cast<uint64_t>(t * kSpans + i);
+        RecordTraceSpan("mt", "test", base, base + 1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  StopTracing();
+  EXPECT_EQ(CollectTraceEvents().size() + TraceDroppedEvents(),
+            static_cast<size_t>(kThreads) * kSpans);
+}
+
+TEST(TraceTest, BufferOverflowDropsInsteadOfOverwriting) {
+  StartTracing();
+  // One past the per-thread capacity (1 << 16).
+  constexpr size_t kOverfill = (size_t{1} << 16) + 10;
+  for (size_t i = 0; i < kOverfill; ++i) {
+    RecordTraceSpan("fill", "test", i, i + 1);
+  }
+  StopTracing();
+  const std::vector<TraceEvent> events = CollectTraceEvents();
+  EXPECT_EQ(events.size(), size_t{1} << 16);
+  EXPECT_EQ(TraceDroppedEvents(), kOverfill - (size_t{1} << 16));
+  // The *first* events survive — drop-newest, never overwrite.
+  EXPECT_EQ(events.front().start_cycles, 0u);
+}
+
+TEST(TraceTest, ChromeJsonExportShape) {
+  StartTracing();
+  RecordTraceSpan("alpha", "scan", 1000, 4000, "segment", 3);
+  StopTracing();
+  // tsc_hz = 1e6 makes ts/dur equal raw cycles (in microseconds).
+  const std::string json = TraceToChromeJson(CollectTraceEvents(), 1e6);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"scan\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":0.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":3000.000"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"segment\":3}"), std::string::npos);
+}
+
+TEST(TraceTest, EmptyExportIsValidDocument) {
+  StartTracing();
+  StopTracing();
+  const std::string json = TraceToChromeJson(CollectTraceEvents(), 1e6);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bipie::obs

@@ -16,6 +16,7 @@
 #include "baseline/hash_agg.h"
 #include "common/random.h"
 #include "core/scan.h"
+#include "tests/test_util.h"
 
 namespace bipie {
 namespace {
@@ -87,6 +88,7 @@ TEST(RunPipelineTest, RunsCrossBatchAndMorselBoundaries) {
       BIPieScan scan(table, query, options);
       auto got = scan.Execute();
       ASSERT_TRUE(got.ok()) << got.status().message();
+      BIPIE_EXPECT_STATS_INVARIANTS(scan, query, table, &got.value());
       const std::string context = "threads=" + std::to_string(threads) +
                                   " filter=" + std::to_string(with_filter);
       ExpectSameResults(got.value(), expected.value(), context);
@@ -124,6 +126,7 @@ TEST(RunPipelineTest, DeletedRowInsideRunFallsBackToRowLevel) {
     BIPieScan scan(table, query, options);
     auto got = scan.Execute();
     ASSERT_TRUE(got.ok()) << got.status().message();
+    BIPIE_EXPECT_STATS_INVARIANTS(scan, query, table, &got.value());
     const std::string context = "threads=" + std::to_string(threads);
     ExpectSameResults(got.value(), expected.value(), context);
     const ScanStats& stats = scan.stats();
@@ -148,7 +151,7 @@ TEST(RunPipelineTest, ForcedRunBasedOnIneligibleDataIsNotSupported) {
   QuerySpec query = MakeRunQuery(/*with_filter=*/false);
   ScanOptions options;
   options.overrides.aggregation = AggregationStrategy::kRunBased;
-  auto got = ExecuteQuery(table, query, options);
+  auto got = test::ExecuteChecked(table, query, options);
   ASSERT_FALSE(got.ok());
   EXPECT_EQ(got.status().code(), StatusCode::kNotSupported);
 }
@@ -165,6 +168,7 @@ TEST(RunPipelineTest, ForcedSelectionDisablesRunPath) {
   BIPieScan scan(table, query, options);
   auto got = scan.Execute();
   ASSERT_TRUE(got.ok()) << got.status().message();
+  BIPIE_EXPECT_STATS_INVARIANTS(scan, query, table, &got.value());
   ExpectSameResults(got.value(), expected.value(), "forced-selection");
   EXPECT_EQ(scan.stats().runs_aggregated, 0u);
   EXPECT_EQ(scan.stats().aggregation_segments[static_cast<int>(
@@ -185,6 +189,7 @@ TEST(RunPipelineTest, ForcedRunBasedMatchesHashAgg) {
     BIPieScan scan(table, query, options);
     auto got = scan.Execute();
     ASSERT_TRUE(got.ok()) << got.status().message();
+    BIPIE_EXPECT_STATS_INVARIANTS(scan, query, table, &got.value());
     ExpectSameResults(got.value(), expected.value(),
                       "forced filter=" + std::to_string(with_filter));
     EXPECT_GT(scan.stats().rows_run_aggregated, 0u);
@@ -202,6 +207,7 @@ TEST(RunPipelineTest, CountOnlyCollapsesToRunMetadata) {
   BIPieScan scan(table, query, {});
   auto got = scan.Execute();
   ASSERT_TRUE(got.ok()) << got.status().message();
+  BIPIE_EXPECT_STATS_INVARIANTS(scan, query, table, &got.value());
   ExpectSameResults(got.value(), expected.value(), "count-only");
   // No aggregate column is ever decoded: pure span arithmetic.
   EXPECT_EQ(scan.stats().batches, 0u);
@@ -217,6 +223,7 @@ TEST(RunPipelineTest, TwoRleGroupColumns) {
   BIPieScan scan(table, query, {});
   auto got = scan.Execute();
   ASSERT_TRUE(got.ok()) << got.status().message();
+  BIPIE_EXPECT_STATS_INVARIANTS(scan, query, table, &got.value());
   ExpectSameResults(got.value(), expected.value(), "two-col");
   EXPECT_GT(scan.stats().runs_aggregated, 0u);
 }
@@ -232,6 +239,7 @@ TEST(RunPipelineTest, MetadataSatisfiedFilterStaysOnRunPath) {
   BIPieScan scan(table, query, {});
   auto got = scan.Execute();
   ASSERT_TRUE(got.ok()) << got.status().message();
+  BIPIE_EXPECT_STATS_INVARIANTS(scan, query, table, &got.value());
   ExpectSameResults(got.value(), expected.value(), "metadata-filter");
   EXPECT_GT(scan.stats().runs_aggregated, 0u);
   EXPECT_EQ(scan.stats().batches, 0u);
@@ -248,6 +256,7 @@ TEST(RunPipelineTest, SelectiveFilterOnBitPackedColumnFallsBack) {
   BIPieScan scan(table, query, {});
   auto got = scan.Execute();
   ASSERT_TRUE(got.ok()) << got.status().message();
+  BIPIE_EXPECT_STATS_INVARIANTS(scan, query, table, &got.value());
   ExpectSameResults(got.value(), expected.value(), "selective-bitpacked");
   EXPECT_EQ(scan.stats().runs_aggregated, 0u);
   EXPECT_GT(scan.stats().batches, 0u);
@@ -271,6 +280,7 @@ TEST(RunPipelineTest, ShuffledGroupsNeverAdmitRunPath) {
   BIPieScan scan(table, query, {});
   auto got = scan.Execute();
   ASSERT_TRUE(got.ok()) << got.status().message();
+  BIPIE_EXPECT_STATS_INVARIANTS(scan, query, table, &got.value());
   EXPECT_EQ(scan.stats().runs_aggregated, 0u);
   EXPECT_EQ(scan.stats().aggregation_segments[static_cast<int>(
                 AggregationStrategy::kRunBased)],

@@ -1,5 +1,7 @@
 #include "core/scan.h"
 
+#include "tests/test_util.h"
+
 #include <gtest/gtest.h>
 
 #include <tuple>
@@ -89,6 +91,7 @@ TEST_P(AllStrategyCombos, MatchNaiveOracle) {
   BIPieScan scan(table, query, options);
   auto got = scan.Execute();
   ASSERT_TRUE(got.ok()) << got.status().ToString();
+  BIPIE_EXPECT_STATS_INVARIANTS(scan, query, table, &got.value());
   ExpectSameResults(got.value(), expected.value(),
                     std::string(SelectionStrategyName(sel)) + "+" +
                         AggregationStrategyName(agg));
@@ -115,7 +118,7 @@ TEST(ScanTest, AdaptiveStrategySelectionMatchesOracle) {
       QuerySpec query = MakeQuery(num_sums, filtered, 300);
       auto expected = ExecuteQueryNaive(table, query);
       ASSERT_TRUE(expected.ok());
-      auto got = ExecuteQuery(table, query);
+      auto got = test::ExecuteChecked(table, query);
       ASSERT_TRUE(got.ok()) << got.status().ToString();
       ExpectSameResults(got.value(), expected.value(),
                         "sums=" + std::to_string(num_sums) +
@@ -155,7 +158,7 @@ TEST(ScanTest, ExpressionAggregates) {
       ScanOptions options;
       options.overrides.selection = sel;
       options.overrides.aggregation = agg;
-      auto got = ExecuteQuery(table, query, options);
+      auto got = test::ExecuteChecked(table, query, options);
       ASSERT_TRUE(got.ok()) << got.status().ToString();
       ExpectSameResults(got.value(), expected.value(),
                         std::string("expr ") + SelectionStrategyName(sel) +
@@ -171,7 +174,7 @@ TEST(ScanTest, MultiSegmentMerging) {
   EXPECT_GT(table.num_segments(), 8u);
   QuerySpec query = MakeQuery(2, true, 700);
   auto expected = ExecuteQueryNaive(table, query);
-  auto got = ExecuteQuery(table, query);
+  auto got = test::ExecuteChecked(table, query);
   ASSERT_TRUE(got.ok());
   ExpectSameResults(got.value(), expected.value(), "multi-segment");
 }
@@ -186,7 +189,7 @@ TEST(ScanTest, DeletedRowsAreExcluded) {
   }
   QuerySpec query = MakeQuery(2, true, 800);
   auto expected = ExecuteQueryNaive(table, query);
-  auto got = ExecuteQuery(table, query);
+  auto got = test::ExecuteChecked(table, query);
   ASSERT_TRUE(got.ok());
   ExpectSameResults(got.value(), expected.value(), "deleted-rows");
 }
@@ -199,6 +202,7 @@ TEST(ScanTest, SegmentEliminationSkipsSegments) {
   BIPieScan scan(table, query);
   auto got = scan.Execute();
   ASSERT_TRUE(got.ok());
+  BIPIE_EXPECT_STATS_INVARIANTS(scan, query, table, &got.value());
   EXPECT_TRUE(got.value().rows.empty());
   EXPECT_EQ(scan.stats().segments_scanned, 0u);
   EXPECT_EQ(scan.stats().segments_eliminated, table.num_segments());
@@ -220,7 +224,7 @@ TEST(ScanTest, GroupByTwoColumns) {
   query.group_by = {"a", "b"};
   query.aggregates = {AggregateSpec::Count(), AggregateSpec::Sum("x")};
   auto expected = ExecuteQueryNaive(table, query);
-  auto got = ExecuteQuery(table, query);
+  auto got = test::ExecuteChecked(table, query);
   ASSERT_TRUE(got.ok());
   ExpectSameResults(got.value(), expected.value(), "two-col-groupby");
   EXPECT_EQ(got.value().rows.size(), 12u);  // 3 x 4 groups all populated
@@ -230,7 +234,7 @@ TEST(ScanTest, NoGroupByProducesSingleRow) {
   Table table = MakeMixedTable(3000, 4096, 42);
   QuerySpec query;
   query.aggregates = {AggregateSpec::Count(), AggregateSpec::Sum("narrow")};
-  auto got = ExecuteQuery(table, query);
+  auto got = test::ExecuteChecked(table, query);
   ASSERT_TRUE(got.ok());
   ASSERT_EQ(got.value().rows.size(), 1u);
   EXPECT_EQ(got.value().rows[0].count, 3000u);
@@ -245,7 +249,7 @@ TEST(ScanTest, AvgAggregates) {
   query.aggregates = {AggregateSpec::Count(), AggregateSpec::Sum("narrow"),
                       AggregateSpec::Avg("narrow"),
                       AggregateSpec::Avg("medium")};
-  auto got = ExecuteQuery(table, query);
+  auto got = test::ExecuteChecked(table, query);
   ASSERT_TRUE(got.ok());
   const QueryResult& r = got.value();
   for (size_t row = 0; row < r.rows.size(); ++row) {
@@ -276,6 +280,7 @@ TEST(ScanTest, OverflowRiskRoutesToCheckedScalar) {
   BIPieScan scan(table, query);
   auto got = scan.Execute();
   ASSERT_TRUE(got.ok()) << got.status().ToString();
+  BIPIE_EXPECT_STATS_INVARIANTS(scan, query, table, &got.value());
   EXPECT_GT(scan.stats().aggregation_segments[static_cast<int>(
                 AggregationStrategy::kCheckedScalar)],
             0u);
@@ -291,7 +296,7 @@ TEST(ScanTest, ActualOverflowIsReportedNotWrapped) {
   app.Flush();
   QuerySpec query;
   query.aggregates = {AggregateSpec::Sum("huge")};
-  auto got = ExecuteQuery(table, query);
+  auto got = test::ExecuteChecked(table, query);
   ASSERT_FALSE(got.ok());
   EXPECT_EQ(got.status().code(), StatusCode::kOverflowRisk);
 }
@@ -323,13 +328,13 @@ TEST(ScanTest, DeltaEncodedAggregateAndFilterColumns) {
         AggregationStrategy::kMultiAggregate}) {
     ScanOptions options;
     options.overrides.aggregation = agg;
-    auto got = ExecuteQuery(table, query, options);
+    auto got = test::ExecuteChecked(table, query, options);
     ASSERT_TRUE(got.ok()) << got.status().ToString();
     ExpectSameResults(got.value(), expected.value(),
                       std::string("delta+") + AggregationStrategyName(agg));
   }
   // Adaptive run and delta-as-group-column fallback.
-  auto adaptive = ExecuteQuery(table, query);
+  auto adaptive = test::ExecuteChecked(table, query);
   ASSERT_TRUE(adaptive.ok());
   ExpectSameResults(adaptive.value(), expected.value(), "delta adaptive");
 
@@ -339,6 +344,7 @@ TEST(ScanTest, DeltaEncodedAggregateAndFilterColumns) {
   BIPieScan scan(table, by_delta);
   auto fallback = scan.Execute();
   ASSERT_TRUE(fallback.ok()) << fallback.status().ToString();
+  BIPIE_EXPECT_STATS_INVARIANTS(scan, by_delta, table, &fallback.value());
   EXPECT_TRUE(scan.stats().used_hash_fallback);
 }
 
@@ -347,7 +353,7 @@ TEST(ScanTest, ParallelScanMatchesSequential) {
   QuerySpec query = MakeQuery(3, true, 600);
   query.aggregates.push_back(AggregateSpec::Min("wide"));
   query.aggregates.push_back(AggregateSpec::Max("negative"));
-  auto sequential = ExecuteQuery(table, query);
+  auto sequential = test::ExecuteChecked(table, query);
   ASSERT_TRUE(sequential.ok());
   for (size_t threads : {2u, 4u, 8u}) {
     ScanOptions options;
@@ -355,6 +361,7 @@ TEST(ScanTest, ParallelScanMatchesSequential) {
     BIPieScan scan(table, query, options);
     auto parallel = scan.Execute();
     ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    BIPIE_EXPECT_STATS_INVARIANTS(scan, query, table, &parallel.value());
     ExpectSameResults(parallel.value(), sequential.value(),
                       "threads=" + std::to_string(threads));
     // Aggregate stats must still add up.
@@ -373,7 +380,7 @@ TEST(ScanTest, ParallelScanPropagatesErrors) {
   query.aggregates.push_back(AggregateSpec::SumExpr(
       Expr::Mul(Expr::Column(1), Expr::Column(2))));
   options.overrides.aggregation = AggregationStrategy::kInRegister;
-  auto result = ExecuteQuery(table, query, options);
+  auto result = test::ExecuteChecked(table, query, options);
   EXPECT_EQ(result.status().code(), StatusCode::kNotSupported);
 }
 
@@ -396,6 +403,7 @@ TEST(ScanTest, OversizedGroupCardinalityFallsBackToHashEngine) {
   BIPieScan scan(table, query);
   auto got = scan.Execute();
   ASSERT_TRUE(got.ok()) << got.status().ToString();
+  BIPIE_EXPECT_STATS_INVARIANTS(scan, query, table, &got.value());
   EXPECT_TRUE(scan.stats().used_hash_fallback);
   auto expected = ExecuteQueryNaive(table, query);
   ExpectSameResults(got.value(), expected.value(), "fallback");
@@ -403,7 +411,7 @@ TEST(ScanTest, OversizedGroupCardinalityFallsBackToHashEngine) {
   // Forced strategies must NOT silently fall back.
   ScanOptions options;
   options.overrides.aggregation = AggregationStrategy::kMultiAggregate;
-  EXPECT_EQ(ExecuteQuery(table, query, options).status().code(),
+  EXPECT_EQ(test::ExecuteChecked(table, query, options).status().code(),
             StatusCode::kNotSupported);
 }
 
@@ -413,7 +421,7 @@ TEST(ScanTest, EmptyTable) {
   QuerySpec query;
   query.group_by = {"g"};
   query.aggregates = {AggregateSpec::Count()};
-  auto got = ExecuteQuery(table, query);
+  auto got = test::ExecuteChecked(table, query);
   ASSERT_TRUE(got.ok());
   EXPECT_TRUE(got.value().rows.empty());
 }
@@ -423,20 +431,20 @@ TEST(ScanTest, UnknownColumnsAreErrors) {
   QuerySpec query;
   query.group_by = {"missing"};
   query.aggregates = {AggregateSpec::Count()};
-  EXPECT_EQ(ExecuteQuery(table, query).status().code(),
+  EXPECT_EQ(test::ExecuteChecked(table, query).status().code(),
             StatusCode::kInvalidArgument);
 
   QuerySpec query2;
   query2.group_by = {"g"};
   query2.aggregates = {AggregateSpec::Sum("missing")};
-  EXPECT_EQ(ExecuteQuery(table, query2).status().code(),
+  EXPECT_EQ(test::ExecuteChecked(table, query2).status().code(),
             StatusCode::kInvalidArgument);
 
   QuerySpec query3;
   query3.group_by = {"g"};
   query3.aggregates = {AggregateSpec::Count()};
   query3.filters.emplace_back("missing", CompareOp::kEq, int64_t{1});
-  EXPECT_EQ(ExecuteQuery(table, query3).status().code(),
+  EXPECT_EQ(test::ExecuteChecked(table, query3).status().code(),
             StatusCode::kInvalidArgument);
 }
 
@@ -445,7 +453,7 @@ TEST(ScanTest, AllRowsFilteredOut) {
   QuerySpec query = MakeQuery(2, true, 0);  // filter_col < 0: nothing
   ScanOptions options;
   options.enable_segment_elimination = false;  // force the scan to run
-  auto got = ExecuteQuery(table, query, options);
+  auto got = test::ExecuteChecked(table, query, options);
   ASSERT_TRUE(got.ok());
   EXPECT_TRUE(got.value().rows.empty());
 }
@@ -455,7 +463,7 @@ TEST(ScanTest, ConjunctiveFilters) {
   QuerySpec query = MakeQuery(2, true, 900);
   query.filters.emplace_back("filter_col", CompareOp::kGe, 200);
   auto expected = ExecuteQueryNaive(table, query);
-  auto got = ExecuteQuery(table, query);
+  auto got = test::ExecuteChecked(table, query);
   ASSERT_TRUE(got.ok());
   ExpectSameResults(got.value(), expected.value(), "conjunction");
 }

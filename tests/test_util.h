@@ -3,13 +3,17 @@
 #define BIPIE_TESTS_TEST_UTIL_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/aligned_buffer.h"
 #include "common/bits.h"
 #include "common/cpu.h"
 #include "common/random.h"
+#include "core/query.h"
+#include "core/scan.h"
 #include "encoding/bitpack.h"
+#include "storage/table.h"
 
 namespace bipie::test {
 
@@ -67,6 +71,203 @@ AlignedBuffer ToPadded(const std::vector<T>& v) {
   return buf;
 }
 
+// Cross-checks the accounting identities every *successful* Execute() must
+// satisfy, whatever strategies ran and however the work was morselized
+// (DESIGN.md §12). Used after every scan in the test suite and as a fuzz
+// oracle: a violation means the stats pipeline miscounted, which usually
+// flags a real execution bug (double-counted segment, skipped batch, stale
+// stats after a fallback).
+struct StatsInvariants {
+  // The invariants decidable from the stats and the query alone.
+  // Returns human-readable violation messages; empty means all hold.
+  static std::vector<std::string> Check(const ScanStats& stats,
+                                        const QuerySpec& query) {
+    std::vector<std::string> v;
+    auto fail = [&v](std::string msg) { v.push_back(std::move(msg)); };
+    auto num = [](size_t n) { return std::to_string(n); };
+
+    if (stats.used_hash_fallback) {
+      // The generic engine ran; every specialized-scan progress counter must
+      // have been reset. (The segment plan — scanned/eliminated — stands:
+      // it describes the elimination pass, which did happen.)
+      if (stats.batches != 0) fail("fallback with batches != 0");
+      if (stats.rows_scanned != 0) fail("fallback with rows_scanned != 0");
+      if (stats.rows_selected != 0) fail("fallback with rows_selected != 0");
+      if (stats.runs_aggregated != 0 || stats.rows_run_aggregated != 0) {
+        fail("fallback with run-level stats != 0");
+      }
+      if (SelectionTotal(stats) != 0) fail("fallback with selection stats");
+      for (size_t a = 0; a < kNumAggregationStrategies; ++a) {
+        if (stats.aggregation_segments[a] != 0) {
+          fail("fallback with aggregation_segments[" + num(a) + "] != 0");
+        }
+      }
+      return v;
+    }
+
+    if (stats.rows_selected > stats.rows_scanned) {
+      fail("rows_selected " + num(stats.rows_selected) + " > rows_scanned " +
+           num(stats.rows_scanned));
+    }
+    if (stats.rows_run_aggregated > stats.rows_selected) {
+      fail("rows_run_aggregated " + num(stats.rows_run_aggregated) +
+           " > rows_selected " + num(stats.rows_selected));
+    }
+    // Every aggregated span covers at least one row, so the two run
+    // counters are zero together and rows dominate spans.
+    if (stats.rows_run_aggregated < stats.runs_aggregated) {
+      fail("rows_run_aggregated " + num(stats.rows_run_aggregated) +
+           " < runs_aggregated " + num(stats.runs_aggregated));
+    }
+    if ((stats.runs_aggregated == 0) != (stats.rows_run_aggregated == 0)) {
+      fail("runs_aggregated / rows_run_aggregated zero-ness disagrees");
+    }
+    if (stats.runs_aggregated > 0 &&
+        stats.aggregation_segments[static_cast<int>(
+            AggregationStrategy::kRunBased)] == 0) {
+      fail("run spans aggregated but no segment used kRunBased");
+    }
+
+    // Each scanned segment resolves exactly one aggregation strategy, and
+    // is counted exactly once however many morsels covered it.
+    size_t strategy_total = 0;
+    for (size_t a = 0; a < kNumAggregationStrategies; ++a) {
+      strategy_total += stats.aggregation_segments[a];
+    }
+    if (strategy_total != stats.segments_scanned) {
+      fail("sum(aggregation_segments) " + num(strategy_total) +
+           " != segments_scanned " + num(stats.segments_scanned));
+    }
+
+    // One selection decision per batch, except batches whose selection
+    // vector came up empty (they return before deciding) — so <=, not ==.
+    if (SelectionTotal(stats) > stats.batches) {
+      fail("selection decisions " + num(SelectionTotal(stats)) +
+           " > batches " + num(stats.batches));
+    }
+    // Run-based morsels bypass the batch loop entirely.
+    if (stats.batches == 0 && stats.rows_scanned > 0 &&
+        stats.rows_run_aggregated == 0 && stats.rows_selected > 0) {
+      fail("rows selected without batches or run spans");
+    }
+
+    if (query.filters.empty() && stats.segments_eliminated > 0) {
+      fail("segments eliminated without filters");
+    }
+    return v;
+  }
+
+  // The full set: adds the table-level accounting (row totals, liveness)
+  // and, when given, the result-level identity (every selected row lands in
+  // exactly one output group). Use after a successful Execute().
+  static std::vector<std::string> Check(const ScanStats& stats,
+                                        const QuerySpec& query,
+                                        const Table& table,
+                                        const QueryResult* result = nullptr) {
+    std::vector<std::string> v = Check(stats, query);
+    auto fail = [&v](std::string msg) { v.push_back(std::move(msg)); };
+    auto num = [](size_t n) { return std::to_string(n); };
+
+    size_t nonempty_segments = 0;
+    size_t total_rows = 0;
+    size_t alive_rows = 0;
+    for (size_t s = 0; s < table.num_segments(); ++s) {
+      const Segment& segment = table.segment(s);
+      if (segment.num_rows() == 0) continue;
+      ++nonempty_segments;
+      total_rows += segment.num_rows();
+      const uint8_t* alive = segment.alive_bytes();
+      if (alive == nullptr) {
+        alive_rows += segment.num_rows();
+      } else {
+        for (size_t r = 0; r < segment.num_rows(); ++r) {
+          alive_rows += alive[r] != 0 ? 1 : 0;
+        }
+      }
+    }
+
+    if (stats.segments_scanned + stats.segments_eliminated !=
+        nonempty_segments) {
+      fail("segments scanned " + num(stats.segments_scanned) +
+           " + eliminated " + num(stats.segments_eliminated) +
+           " != non-empty segments " + num(nonempty_segments));
+    }
+
+    if (!stats.used_hash_fallback) {
+      if (stats.segments_eliminated == 0) {
+        if (stats.rows_scanned != total_rows) {
+          fail("rows_scanned " + num(stats.rows_scanned) +
+               " != table rows " + num(total_rows) +
+               " with no segment eliminated");
+        }
+        if (query.filters.empty() && stats.rows_selected != alive_rows) {
+          fail("rows_selected " + num(stats.rows_selected) +
+               " != alive rows " + num(alive_rows) + " with no filters");
+        }
+      }
+      if (query.filters.empty() && alive_rows == total_rows &&
+          stats.rows_selected != stats.rows_scanned) {
+        fail("rows_selected != rows_scanned with no filters and no deletes");
+      }
+      if (result != nullptr) {
+        size_t result_rows = 0;
+        for (const ResultRow& row : result->rows) result_rows += row.count;
+        if (result_rows != stats.rows_selected) {
+          fail("sum(result counts) " + num(result_rows) +
+               " != rows_selected " + num(stats.rows_selected));
+        }
+      }
+    }
+    return v;
+  }
+
+  // One line per violation, for assertion messages.
+  static std::string Describe(const std::vector<std::string>& violations) {
+    std::string out;
+    for (const std::string& m : violations) {
+      out += "stats invariant violated: " + m + "\n";
+    }
+    return out;
+  }
+
+ private:
+  static size_t SelectionTotal(const ScanStats& stats) {
+    return stats.selection.gather + stats.selection.compact +
+           stats.selection.special_group + stats.selection.unfiltered;
+  }
+};
+
+// ExecuteQuery with the stats invariants asserted on every successful scan:
+// a violation surfaces as an Internal error carrying the violation text, so
+// existing ASSERT_TRUE(got.ok()) call sites report it verbatim. Error-path
+// expectations (kNotSupported, kOverflowRisk, ...) are unaffected — those
+// scans never reach the check.
+inline Result<QueryResult> ExecuteChecked(const Table& table, QuerySpec query,
+                                          ScanOptions options = {}) {
+  BIPieScan scan(table, query, options);
+  Result<QueryResult> result = scan.Execute();
+  if (result.ok()) {
+    const std::vector<std::string> violations =
+        StatsInvariants::Check(scan.stats(), query, table, &result.value());
+    if (!violations.empty()) {
+      return Status::Internal(StatsInvariants::Describe(violations));
+    }
+  }
+  return result;
+}
+
 }  // namespace bipie::test
+
+// Asserts the stats invariants for a completed BIPieScan (gtest files only:
+// expands to EXPECT_TRUE). `result_ptr` may be null when the QueryResult is
+// not at hand.
+#define BIPIE_EXPECT_STATS_INVARIANTS(scan, query, table, result_ptr)       \
+  do {                                                                      \
+    const std::vector<std::string> bipie_stats_violations_ =                \
+        ::bipie::test::StatsInvariants::Check((scan).stats(), (query),      \
+                                              (table), (result_ptr));       \
+    EXPECT_TRUE(bipie_stats_violations_.empty())                            \
+        << ::bipie::test::StatsInvariants::Describe(bipie_stats_violations_); \
+  } while (0)
 
 #endif  // BIPIE_TESTS_TEST_UTIL_H_

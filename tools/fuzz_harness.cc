@@ -17,6 +17,7 @@
 #include "exec/query_context.h"
 #include "storage/table.h"
 #include "storage/table_io.h"
+#include "tests/test_util.h"
 
 namespace bipie::fuzz {
 
@@ -508,14 +509,16 @@ bool RunOneCase(const CaseParams& p, std::string* error) {
       *error = plan.name + ": unexpected error " + got.status().ToString();
       return false;
     }
-    if (scan.stats().used_hash_fallback &&
-        (scan.stats().batches != 0 || scan.stats().rows_scanned != 0)) {
-      *error = plan.name +
-               ": hash fallback left stale specialized-scan progress stats "
-               "(batches=" +
-               std::to_string(scan.stats().batches) +
-               " rows_scanned=" + std::to_string(scan.stats().rows_scanned) +
-               ")";
+    // The stats-invariant oracle (tests/test_util.h): every successful scan
+    // must satisfy the accounting identities, whatever strategies ran. This
+    // subsumes the stale-stats-after-fallback check and adds the row/segment
+    // conservation laws.
+    const std::vector<std::string> stats_violations =
+        test::StatsInvariants::Check(scan.stats(), built.query, built.table,
+                                     &got.value());
+    if (!stats_violations.empty()) {
+      *error = plan.name + ": " +
+               test::StatsInvariants::Describe(stats_violations);
       return false;
     }
     std::string diff;
