@@ -24,7 +24,10 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/memory_tracker.h"
 #include "common/status.h"
+#include "exec/query_context.h"
+#include "exec/query_settings.h"
 #include "exec/scheduler.h"
 #include "tpch/q1.h"
 #include "tpch/q6.h"
@@ -38,6 +41,10 @@ struct CellResult {
   double qps = 0;
   double p50_ms = 0;
   double p99_ms = 0;
+  // Process-root tracker high-water mark across the cell, and how many
+  // queries the per-query limit (if any) turned away structurally.
+  size_t peak_tracked_bytes = 0;
+  size_t resource_exhausted = 0;
 };
 
 double PercentileMs(std::vector<double>& latencies_ms, double p) {
@@ -49,10 +56,14 @@ double PercentileMs(std::vector<double>& latencies_ms, double p) {
 }
 
 // Runs `clients` closed-loop client threads, each issuing `iters` queries
-// alternating Q1 and Q6, and gathers per-query latencies.
+// alternating Q1 and Q6, and gathers per-query latencies. A non-zero
+// `memory_limit` gives every query its own governed QueryContext; queries
+// the limit turns away (kResourceExhausted) are counted, not timed.
 CellResult RunCell(const Table& lineitem, size_t clients, int iters,
-                   size_t num_threads) {
+                   size_t num_threads, uint64_t memory_limit = 0) {
   std::vector<std::vector<double>> latencies(clients);
+  std::vector<size_t> exhausted(clients, 0);
+  MemoryTracker::Process().ResetPeak();
   const auto bench_start = std::chrono::steady_clock::now();
   std::vector<std::thread> workers;
   workers.reserve(clients);
@@ -60,12 +71,25 @@ CellResult RunCell(const Table& lineitem, size_t clients, int iters,
     workers.emplace_back([&, c] {
       latencies[c].reserve(iters);
       for (int i = 0; i < iters; ++i) {
+        QueryContext context;
         ScanOptions options;
         options.num_threads = num_threads;
+        if (memory_limit > 0) {
+          BIPIE_DCHECK(context.settings()
+                           .SetUInt64("memory_limit_bytes", memory_limit)
+                           .ok());
+          context.ApplySettings();
+          options.context = &context;
+        }
         const auto start = std::chrono::steady_clock::now();
         auto r = (c + i) % 2 == 0 ? RunQ1(lineitem, options)
                                   : RunQ6(lineitem, options);
         const auto stop = std::chrono::steady_clock::now();
+        if (!r.ok() &&
+            r.status().code() == StatusCode::kResourceExhausted) {
+          ++exhausted[c];
+          continue;
+        }
         BIPIE_DCHECK(r.ok());
         latencies[c].push_back(
             std::chrono::duration<double, std::milli>(stop - start).count());
@@ -87,6 +111,8 @@ CellResult RunCell(const Table& lineitem, size_t clients, int iters,
       total_secs > 0 ? static_cast<double>(all.size()) / total_secs : 0;
   result.p50_ms = PercentileMs(all, 0.50);
   result.p99_ms = PercentileMs(all, 0.99);
+  result.peak_tracked_bytes = MemoryTracker::Process().peak();
+  for (size_t n : exhausted) result.resource_exhausted += n;
   return result;
 }
 
@@ -143,12 +169,47 @@ int main() {
                  {{"qps", cell.qps},
                   {"p50_ms", cell.p50_ms},
                   {"p99_ms", cell.p99_ms},
-                  {"clients", static_cast<double>(clients)}});
+                  {"clients", static_cast<double>(clients)},
+                  {"peak_tracked_bytes",
+                   static_cast<double>(cell.peak_tracked_bytes)}});
       if (clients == 1) (pool ? pool_qps_single : spawn_qps_single) = cell.qps;
       if (clients == max_clients) {
         (pool ? pool_qps_at_max : spawn_qps_at_max) = cell.qps;
       }
     }
+  }
+
+  // Memory-governed cells: the pool model again, with every query holding a
+  // per-query hard limit. At the default (generous) limit this measures the
+  // tracker's overhead and high-water mark under concurrency; pointing
+  // BIPIE_BENCH_MEMORY_LIMIT at a small value instead measures structured
+  // rejection throughput. New labels — absent from older baselines — are
+  // skipped by the A/B gate's label intersection.
+  uint64_t memory_limit = uint64_t{256} << 20;
+  if (const char* env = std::getenv("BIPIE_BENCH_MEMORY_LIMIT")) {
+    uint64_t parsed = 0;
+    if (ParseUInt64Strict(env, &parsed) && parsed > 0) memory_limit = parsed;
+  }
+  report.SetConfig("memory_limit_bytes", std::to_string(memory_limit));
+  std::printf("\nper-query memory limit %zu bytes (pool model):\n",
+              static_cast<size_t>(memory_limit));
+  std::printf("%8s %8s %12s %12s %12s %12s %10s\n", "clients", "model", "QPS",
+              "p50 [ms]", "p99 [ms]", "peak [B]", "rejected");
+  for (size_t clients = 1; clients <= max_clients; clients *= 2) {
+    const CellResult cell =
+        RunCell(lineitem, clients, iters, /*num_threads=*/0, memory_limit);
+    std::printf("%8zu %8s %12.1f %12.2f %12.2f %12zu %10zu\n", clients,
+                "pool", cell.qps, cell.p50_ms, cell.p99_ms,
+                cell.peak_tracked_bytes, cell.resource_exhausted);
+    report.Add("pool_limited_clients_" + std::to_string(clients),
+               {{"qps", cell.qps},
+                {"p50_ms", cell.p50_ms},
+                {"p99_ms", cell.p99_ms},
+                {"clients", static_cast<double>(clients)},
+                {"peak_tracked_bytes",
+                 static_cast<double>(cell.peak_tracked_bytes)},
+                {"resource_exhausted",
+                 static_cast<double>(cell.resource_exhausted)}});
   }
 
   std::printf("\nshape check: pool vs spawn at %zu clients: %.2fx "

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cstring>
 #include <map>
+#include <new>
 #include <vector>
 
 #include "common/aligned_buffer.h"
+#include "common/memory_tracker.h"
 #include "storage/batch.h"
 #include "vector/selection_vector.h"
 
@@ -50,6 +52,13 @@ class GroupHashTable {
     return keys_[slot];
   }
 
+  // Heap footprint, for MemoryReservation accounting (std::vector growth
+  // is invisible to the AlignedBuffer tracker path).
+  size_t MemoryBytes() const {
+    return slots_.capacity() * sizeof(uint32_t) +
+           keys_.capacity() * sizeof(keys_[0]);
+  }
+
  private:
   static constexpr uint32_t kEmpty = 0xFFFFFFFFu;
 
@@ -78,10 +87,9 @@ class GroupHashTable {
   std::vector<std::pair<int64_t, int64_t>> keys_;
 };
 
-}  // namespace
-
-Result<QueryResult> ExecuteQueryHashAgg(const Table& table,
-                                        const QuerySpec& query) {
+Result<QueryResult> ExecuteQueryHashAggImpl(const Table& table,
+                                            const QuerySpec& query,
+                                            QueryContext* context) {
   std::vector<int> group_cols;
   for (const std::string& name : query.group_by) {
     const int idx = table.FindColumn(name);
@@ -127,6 +135,10 @@ Result<QueryResult> ExecuteQueryHashAgg(const Table& table,
     GroupHashTable groups;
     std::vector<uint64_t> counts;
     std::vector<int64_t> sums;  // [slot * num_specs + a]
+    // Per-segment charge for the aggregation state (hash table, counts,
+    // sums); re-checked per batch so unbounded group growth hits the
+    // query's limit within one batch.
+    MemoryReservation reservation;
     const bool segment_group_strings =
         !group_cols.empty() &&
         segment.column(group_cols[0]).type() == ColumnType::kString;
@@ -149,6 +161,9 @@ Result<QueryResult> ExecuteQueryHashAgg(const Table& table,
     BatchCursor cursor(segment);
     BatchView view;
     while (cursor.Next(&view)) {
+      if (context != nullptr) {
+        BIPIE_RETURN_NOT_OK(context->CheckNotCancelled());
+      }
       const size_t n = view.num_rows;
       // Filter evaluation stays vectorized (shared Filter component); the
       // aggregation below is the row-at-a-time part under test.
@@ -229,6 +244,10 @@ Result<QueryResult> ExecuteQueryHashAgg(const Table& table,
           }
         }
       }
+
+      BIPIE_RETURN_NOT_OK(reservation.Update(
+          groups.MemoryBytes() + counts.capacity() * sizeof(uint64_t) +
+          sums.capacity() * sizeof(int64_t)));
     }
 
     // Merge this segment's table into global results by decoded value
@@ -284,6 +303,26 @@ Result<QueryResult> ExecuteQueryHashAgg(const Table& table,
     result.rows.push_back(std::move(row));
   }
   return result;
+}
+
+}  // namespace
+
+Result<QueryResult> ExecuteQueryHashAgg(const Table& table,
+                                        const QuerySpec& query,
+                                        QueryContext* context) {
+  // Bind the query's tracker for the whole run: the decode buffers are
+  // AlignedBuffers (charged automatically) and the hash-table state goes
+  // through the reservation above. A hard-limit breach on a throwing
+  // Resize path lands here as bad_alloc and degrades to the same
+  // structured error a failed reservation produces.
+  MemoryTrackerScope memory_scope(
+      context != nullptr ? &context->memory_tracker() : nullptr);
+  try {
+    return ExecuteQueryHashAggImpl(table, query, context);
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted(
+        "hash aggregation exceeded the memory limit");
+  }
 }
 
 }  // namespace bipie

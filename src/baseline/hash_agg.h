@@ -13,12 +13,19 @@
 
 #include "common/status.h"
 #include "core/query.h"
+#include "exec/query_context.h"
 #include "storage/table.h"
 
 namespace bipie {
 
+// `context` (nullable) supplies cancellation and memory governance: the
+// engine checks cancellation per batch, binds the context's MemoryTracker
+// around execution and accounts its hash-table growth against it, so a
+// limit breach returns kResourceExhausted — the fallback inherits the
+// specialized scan's complete-or-error contract.
 Result<QueryResult> ExecuteQueryHashAgg(const Table& table,
-                                        const QuerySpec& query);
+                                        const QuerySpec& query,
+                                        QueryContext* context = nullptr);
 
 }  // namespace bipie
 

@@ -4,6 +4,7 @@
 #include <new>
 
 #include "common/failpoint.h"
+#include "common/memory_tracker.h"
 
 namespace bipie {
 
@@ -13,6 +14,12 @@ namespace {
 // thrash: no single column buffer legitimately approaches 2^48 bytes, but a
 // corrupt size field easily does.
 constexpr size_t kMaxReasonableBytes = size_t{1} << 48;
+
+// The charge unit: what std::aligned_alloc is actually asked for.
+size_t AllocBytes(size_t capacity) {
+  return (capacity + AlignedBuffer::kAlignment - 1) /
+         AlignedBuffer::kAlignment * AlignedBuffer::kAlignment;
+}
 
 }  // namespace
 
@@ -24,28 +31,48 @@ bool AlignedBuffer::TryResize(size_t size) {
 void AlignedBuffer::Resize(size_t size) {
   // Deliberately does not evaluate the alloc failpoint: an injected failure
   // on a trusted path would surface as an uncaught bad_alloc, not the
-  // graceful degradation the failpoint exists to exercise.
+  // graceful degradation the failpoint exists to exercise. A tracker
+  // hard-limit breach *does* surface here — operators catch the bad_alloc
+  // at the morsel boundary and turn it into kResourceExhausted.
   if (!ResizeInternal(size)) throw std::bad_alloc();
 }
 
 bool AlignedBuffer::ResizeInternal(size_t size) {
   if (size > kMaxReasonableBytes) return false;
+  MemoryTracker* const current = CurrentMemoryTracker();
   const size_t needed = size + kPaddingBytes;
   if (needed > capacity_) {
     // Grow geometrically to keep repeated Resize calls amortized O(1).
     size_t new_capacity = capacity_ == 0 ? needed : capacity_;
     while (new_capacity < needed) new_capacity *= 2;
-    void* ptr = std::aligned_alloc(kAlignment,
-                                   (new_capacity + kAlignment - 1) /
-                                       kAlignment * kAlignment);
-    if (ptr == nullptr) return false;
+    const size_t alloc_bytes = AllocBytes(new_capacity);
+    // Account before allocating, so a limit breach never touches the
+    // allocator; a failed charge leaves the buffer (and its old charge)
+    // untouched.
+    if (!current->TryCharge(alloc_bytes)) return false;
+    void* ptr = std::aligned_alloc(kAlignment, alloc_bytes);
+    if (ptr == nullptr) {
+      current->Release(alloc_bytes);
+      return false;
+    }
     auto* new_data = static_cast<uint8_t*>(ptr);
     if (data_ != nullptr) {
       std::memcpy(new_data, data_, size_ < size ? size_ : size);
       std::free(data_);
     }
+    if (tracker_ != nullptr) tracker_->Release(charged_);
     data_ = new_data;
     capacity_ = new_capacity;
+    tracker_ = current;
+    charged_ = alloc_bytes;
+  } else if (tracker_ != current && charged_ != 0) {
+    // Retained capacity reused under a different tracker: re-home the
+    // charge so the query now using the buffer pays for it. Charge the new
+    // owner first — on failure the old charge stands and the caller sees
+    // the same limit breach a fresh allocation would.
+    if (!current->TryCharge(charged_)) return false;
+    tracker_->Release(charged_);
+    tracker_ = current;
   }
   // Zero everything between the preserved prefix and the end of padding so
   // that kernels reading past size() see deterministic bytes.
@@ -55,12 +82,44 @@ bool AlignedBuffer::ResizeInternal(size_t size) {
   return true;
 }
 
+void AlignedBuffer::ShrinkToFit() {
+  if (data_ == nullptr) return;
+  if (size_ == 0) {
+    Free();
+    return;
+  }
+  const size_t needed = size_ + kPaddingBytes;
+  const size_t alloc_bytes = AllocBytes(needed);
+  if (alloc_bytes >= charged_) return;  // already tight
+  void* ptr = std::aligned_alloc(kAlignment, alloc_bytes);
+  if (ptr == nullptr) return;  // best effort: keep the larger block
+  auto* new_data = static_cast<uint8_t*>(ptr);
+  std::memcpy(new_data, data_, size_);
+  std::memset(new_data + size_, 0, alloc_bytes - size_);
+  std::free(data_);
+  data_ = new_data;
+  capacity_ = needed;
+  if (tracker_ != nullptr) tracker_->Release(charged_ - alloc_bytes);
+  charged_ = alloc_bytes;
+}
+
+void AlignedBuffer::MoveChargeTo(MemoryTracker& to) {
+  if (tracker_ == &to) return;
+  if (charged_ != 0) {
+    if (tracker_ != nullptr) tracker_->Release(charged_);
+    to.ForceCharge(charged_);
+  }
+  tracker_ = &to;
+}
+
 void AlignedBuffer::Free() {
   if (data_ != nullptr) {
     std::free(data_);
     data_ = nullptr;
   }
-  size_ = capacity_ = 0;
+  if (tracker_ != nullptr && charged_ != 0) tracker_->Release(charged_);
+  tracker_ = nullptr;
+  size_ = capacity_ = charged_ = 0;
 }
 
 }  // namespace bipie

@@ -5,6 +5,14 @@
 // `kPaddingBytes` past the logical end of any buffer (never write). Every
 // buffer handed to a kernel must therefore come from AlignedBuffer (or
 // provide equivalent padding).
+//
+// Memory accounting: every allocation is charged to the thread-current
+// MemoryTracker at grow time and released on free (charge on grow, release
+// on free — DESIGN.md §13). A buffer whose retained capacity is reused
+// under a *different* tracker re-homes its charge on the next Resize, so
+// per-query limits cover recycled scratch too. A hard-limit breach makes
+// TryResize return false and Resize throw std::bad_alloc, exactly like a
+// failed allocation.
 #ifndef BIPIE_COMMON_ALIGNED_BUFFER_H_
 #define BIPIE_COMMON_ALIGNED_BUFFER_H_
 
@@ -16,6 +24,8 @@
 #include "common/macros.h"
 
 namespace bipie {
+
+class MemoryTracker;
 
 class AlignedBuffer {
  public:
@@ -33,8 +43,11 @@ class AlignedBuffer {
       data_ = other.data_;
       size_ = other.size_;
       capacity_ = other.capacity_;
+      tracker_ = other.tracker_;
+      charged_ = other.charged_;
       other.data_ = nullptr;
-      other.size_ = other.capacity_ = 0;
+      other.size_ = other.capacity_ = other.charged_ = 0;
+      other.tracker_ = nullptr;
     }
     return *this;
   }
@@ -87,13 +100,33 @@ class AlignedBuffer {
     if (data_ != nullptr) std::memset(data_, 0, size_);
   }
 
+  // Releases retained capacity beyond size() + kPaddingBytes back to the
+  // allocator and the tracker (geometric growth keeps peak capacity pinned
+  // otherwise — a single transient large query would hold it forever).
+  // Best effort: kept as-is when the tighter allocation fails.
+  void ShrinkToFit();
+
+  // Releases the allocation and its tracked charge.
+  void Free();
+
+  // Transfers this buffer's charge to `to` without limit checks (the bytes
+  // are already allocated). Used when a buffer's ownership outlives the
+  // tracker it was charged to — e.g. loaded table columns become
+  // process-owned once LoadTable returns.
+  void MoveChargeTo(MemoryTracker& to);
+
+  // Allocation-size bytes currently charged to charged_tracker().
+  size_t charged_bytes() const { return charged_; }
+  MemoryTracker* charged_tracker() const { return tracker_; }
+
  private:
   bool ResizeInternal(size_t size);
-  void Free();
 
   uint8_t* data_ = nullptr;
   size_t size_ = 0;
   size_t capacity_ = 0;  // allocated bytes including padding
+  MemoryTracker* tracker_ = nullptr;  // where charged_ is accounted
+  size_t charged_ = 0;                // bytes charged for data_
 };
 
 }  // namespace bipie

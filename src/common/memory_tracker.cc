@@ -1,0 +1,150 @@
+#include "common/memory_tracker.h"
+
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "common/macros.h"
+
+namespace bipie {
+
+namespace {
+
+thread_local MemoryTracker* t_current_tracker = nullptr;
+
+// The re-home list: thread_local scratch buffers whose retained capacity
+// may be charged to a query tracker when that query's scope exits. Plain
+// thread_local vector — only ever touched by its own thread.
+std::vector<AlignedBuffer*>& ThreadScratchList() {
+  thread_local std::vector<AlignedBuffer*> list;
+  return list;
+}
+
+}  // namespace
+
+MemoryTracker& MemoryTracker::Process() {
+  // Leaked deliberately: thread_local scratch buffers Release against the
+  // root during thread teardown, which can run after static destructors.
+  static MemoryTracker* const process = new MemoryTracker(nullptr, "process");
+  return *process;
+}
+
+bool MemoryTracker::ChargeOne(size_t bytes) {
+  const size_t hard = hard_limit_.load(std::memory_order_relaxed);
+  size_t used = used_.load(std::memory_order_relaxed);
+  for (;;) {
+    const size_t next = used + bytes;
+    if (hard != 0 && next > hard) return false;
+    if (used_.compare_exchange_weak(used, next, std::memory_order_acq_rel)) {
+      used = next;
+      break;
+    }
+  }
+  // Peak is monotone between ResetPeak calls; races only ever lose a
+  // smaller candidate.
+  size_t peak = peak_.load(std::memory_order_relaxed);
+  while (used > peak &&
+         !peak_.compare_exchange_weak(peak, used, std::memory_order_acq_rel)) {
+  }
+  const size_t soft = soft_limit_.load(std::memory_order_relaxed);
+  if (soft != 0 && used > soft) {
+    soft_exceeded_.store(true, std::memory_order_release);
+  }
+  return true;
+}
+
+void MemoryTracker::ReleaseOne(size_t bytes) {
+  const size_t before = used_.fetch_sub(bytes, std::memory_order_acq_rel);
+  BIPIE_DCHECK(before >= bytes);
+  (void)before;
+}
+
+bool MemoryTracker::TryCharge(size_t bytes) {
+  if (bytes == 0) return true;
+  for (MemoryTracker* t = this; t != nullptr; t = t->parent_) {
+    if (!t->ChargeOne(bytes)) {
+      // Roll back the ancestors charged so far: [this, t).
+      for (MemoryTracker* u = this; u != t; u = u->parent_) {
+        u->ReleaseOne(bytes);
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+void MemoryTracker::ForceCharge(size_t bytes) {
+  if (bytes == 0) return;
+  for (MemoryTracker* t = this; t != nullptr; t = t->parent_) {
+    // ChargeOne without a hard limit cannot fail; re-check is still needed
+    // for peak/soft bookkeeping, so route through it with limits ignored.
+    size_t used = t->used_.fetch_add(bytes, std::memory_order_acq_rel) + bytes;
+    size_t peak = t->peak_.load(std::memory_order_relaxed);
+    while (used > peak && !t->peak_.compare_exchange_weak(
+                              peak, used, std::memory_order_acq_rel)) {
+    }
+    const size_t soft = t->soft_limit_.load(std::memory_order_relaxed);
+    if (soft != 0 && used > soft) {
+      t->soft_exceeded_.store(true, std::memory_order_release);
+    }
+  }
+}
+
+void MemoryTracker::Release(size_t bytes) {
+  if (bytes == 0) return;
+  for (MemoryTracker* t = this; t != nullptr; t = t->parent_) {
+    t->ReleaseOne(bytes);
+  }
+}
+
+MemoryTracker* CurrentMemoryTracker() {
+  MemoryTracker* t = t_current_tracker;
+  return t != nullptr ? t : &MemoryTracker::Process();
+}
+
+MemoryTrackerScope::MemoryTrackerScope(MemoryTracker* tracker)
+    : bound_(tracker), prev_(t_current_tracker) {
+  if (bound_ != nullptr) t_current_tracker = bound_;
+}
+
+MemoryTrackerScope::~MemoryTrackerScope() {
+  if (bound_ == nullptr) return;
+  // Scratch buffers live past this query; move their retained charge to
+  // the root before the query tracker can die.
+  for (AlignedBuffer* buffer : ThreadScratchList()) {
+    if (buffer->charged_tracker() == bound_) {
+      buffer->MoveChargeTo(MemoryTracker::Process());
+    }
+  }
+  t_current_tracker = prev_;
+}
+
+void RegisterThreadScratchBuffer(AlignedBuffer* buffer) {
+  std::vector<AlignedBuffer*>& list = ThreadScratchList();
+  for (AlignedBuffer* b : list) {
+    if (b == buffer) return;
+  }
+  list.push_back(buffer);
+}
+
+Status MemoryReservation::Update(size_t total_bytes) {
+  if (tracker_ == nullptr) tracker_ = CurrentMemoryTracker();
+  if (total_bytes >= bytes_) {
+    const size_t delta = total_bytes - bytes_;
+    if (!tracker_->TryCharge(delta)) {
+      return Status::ResourceExhausted(
+          "memory limit exceeded growing an aggregation structure");
+    }
+  } else {
+    tracker_->Release(bytes_ - total_bytes);
+  }
+  bytes_ = total_bytes;
+  return Status::OK();
+}
+
+void MemoryReservation::Reset() {
+  if (tracker_ != nullptr && bytes_ != 0) tracker_->Release(bytes_);
+  bytes_ = 0;
+  tracker_ = nullptr;
+}
+
+}  // namespace bipie

@@ -54,6 +54,15 @@ Status GroupMapper::Bind(const Segment& segment,
     columns_.push_back(std::move(bound));
   }
   num_groups_ = static_cast<int>(combined);
+  // Account the run-dictionary structures (per-segment id runs and their
+  // value mapping) against the query's tracker — on RLE-heavy segments
+  // these are the mapper's dominant allocation.
+  size_t bound_bytes = 0;
+  for (const BoundColumn& bound : columns_) {
+    bound_bytes += bound.id_runs.capacity() * sizeof(RleRun) +
+                   bound.rle_values.capacity() * sizeof(int64_t);
+  }
+  BIPIE_RETURN_NOT_OK(reservation_.Update(bound_bytes));
   return Status::OK();
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/aligned_buffer.h"
+#include "common/memory_tracker.h"
 #include "common/status.h"
 #include "core/query.h"
 #include "storage/segment.h"
@@ -99,6 +100,10 @@ class GroupMapper {
   std::vector<BoundColumn> columns_;
   int num_groups_ = 1;
   mutable AlignedBuffer scratch_;  // second column ids during combine
+  // Charge for the id_runs/rle_values vectors, which AlignedBuffer
+  // accounting cannot see. Updated at Bind; Bind fails with
+  // kResourceExhausted when the growth breaches the query's limit.
+  MemoryReservation reservation_;
 };
 
 }  // namespace bipie

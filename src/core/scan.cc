@@ -5,10 +5,12 @@
 #include <cstring>
 #include <map>
 #include <numeric>
+#include <new>
 #include <thread>
 
 #include "baseline/hash_agg.h"
 #include "common/failpoint.h"
+#include "common/memory_tracker.h"
 #include "exec/scheduler.h"
 #include "exec/task_group.h"
 #include "obs/metrics.h"
@@ -55,6 +57,14 @@ struct MorselScratch {
 
 MorselScratch& ThreadMorselScratch() {
   thread_local MorselScratch scratch;
+  // The scratch outlives any one query, so its retained charge must be
+  // re-homed to the process root when a query's tracker scope exits.
+  thread_local const bool registered = [] {
+    RegisterThreadScratchBuffer(&scratch.sel_buf);
+    RegisterThreadScratchBuffer(&scratch.sel_tmp);
+    return true;
+  }();
+  (void)registered;
   return scratch;
 }
 
@@ -66,6 +76,8 @@ struct ScanCounters {
   obs::Counter& hash_fallbacks = obs::Counter::Get("scan.hash_fallbacks");
   obs::Counter& cancelled = obs::Counter::Get("scan.cancelled");
   obs::Counter& errors = obs::Counter::Get("scan.errors");
+  obs::Counter& soft_limit_exceeded =
+      obs::Counter::Get("scan.soft_limit_exceeded");
   obs::Counter& morsels = obs::Counter::Get("scan.morsels");
   obs::Counter& segments_scanned = obs::Counter::Get("scan.segments_scanned");
   obs::Counter& segments_eliminated =
@@ -108,14 +120,35 @@ void IntersectIntervals(const std::vector<SelInterval>& a,
 BIPieScan::BIPieScan(const Table& table, QuerySpec query, ScanOptions options)
     : table_(table), query_(std::move(query)), options_(std::move(options)) {}
 
-// Scans one morsel (a batch-aligned row range of one segment) end to end:
-// filter evaluation, fused batch processing, result decode. Thread-safe with
-// respect to other morsels (only reads the table; all mutable state is local
-// or in `stats`, which is private to this morsel).
 Status BIPieScan::ScanMorsel(const Morsel& morsel,
                              const std::vector<int>& filter_cols,
                              ScanStats* stats,
                              std::vector<SegmentContribution>* out) {
+  // Every allocation this morsel makes — scratch growth, processor
+  // buffers, mapper structures — is charged against the query's tracker,
+  // and a hard-limit breach on a throwing Resize path surfaces here as a
+  // structured per-morsel kResourceExhausted. The deterministic error
+  // reduction in Execute then fails the whole query: complete or error,
+  // never a partial aggregate.
+  QueryContext* const ctx = options_.context;
+  MemoryTrackerScope memory_scope(ctx != nullptr ? &ctx->memory_tracker()
+                                                 : nullptr);
+  try {
+    return ScanMorselImpl(morsel, filter_cols, stats, out);
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted(
+        "morsel allocation exceeded the memory limit");
+  }
+}
+
+// Scans one morsel (a batch-aligned row range of one segment) end to end:
+// filter evaluation, fused batch processing, result decode. Thread-safe with
+// respect to other morsels (only reads the table; all mutable state is local
+// or in `stats`, which is private to this morsel).
+Status BIPieScan::ScanMorselImpl(const Morsel& morsel,
+                                 const std::vector<int>& filter_cols,
+                                 ScanStats* stats,
+                                 std::vector<SegmentContribution>* out) {
   const Segment& segment = table_.segment(morsel.segment_index);
   QueryContext* ctx = options_.context;
   BIPIE_TRACE_SPAN_ARG("scan.morsel", "scan", "segment",
@@ -296,11 +329,37 @@ Status BIPieScan::RunPipeline(const Morsel& morsel,
 }
 
 Result<QueryResult> BIPieScan::Execute() {
+  // Belt and braces under memory pressure: morsel bodies convert their own
+  // bad_alloc, so anything reaching this frame came from the untracked glue
+  // (work lists, contribution merge). The answer is the same structured
+  // error either way.
+  try {
+    Result<QueryResult> result = ExecuteImpl();
+    QueryContext* const ctx = options_.context;
+    if (ctx != nullptr && ctx->memory_tracker().soft_limit_exceeded()) {
+      Counters().soft_limit_exceeded.Increment();
+    }
+    return result;
+  } catch (const std::bad_alloc&) {
+    Counters().errors.Increment();
+    return Status::ResourceExhausted("scan ran out of memory");
+  }
+}
+
+Result<QueryResult> BIPieScan::ExecuteImpl() {
   stats_ = ScanStats{};
   BIPIE_TRACE_SPAN("scan.execute", "scan");
   Counters().queries.Increment();
   QueryContext* ctx = options_.context;
   if (ctx != nullptr) BIPIE_RETURN_NOT_OK(ctx->CheckNotCancelled());
+
+  // Admission: the scan does no work — and allocates nothing — until the
+  // gate grants a slot; the ticket spans the whole execution.
+  AdmissionController& admission = options_.admission != nullptr
+                                       ? *options_.admission
+                                       : AdmissionController::Global();
+  AdmissionController::Ticket admission_ticket;
+  BIPIE_RETURN_NOT_OK(admission.Admit(ctx, &admission_ticket));
 
   // Resolve filter column indices once.
   std::vector<int> filter_cols;
@@ -525,7 +584,7 @@ Result<QueryResult> BIPieScan::Execute() {
       }
       stats_.used_hash_fallback = true;
       Counters().hash_fallbacks.Increment();
-      return ExecuteQueryHashAgg(table_, query_);
+      return ExecuteQueryHashAgg(table_, query_, ctx);
     }
     Counters().errors.Increment();
     return failure;
@@ -586,6 +645,42 @@ Result<QueryResult> ExecuteQuery(const Table& table, QuerySpec query,
                                  ScanOptions options) {
   BIPieScan scan(table, std::move(query), std::move(options));
   return scan.Execute();
+}
+
+ScanOptions MakeScanOptions(QueryContext* context) {
+  ScanOptions options;
+  options.context = context;
+  if (context == nullptr) return options;
+  const QuerySettings& settings = context->settings();
+  options.num_threads = static_cast<size_t>(settings.num_threads());
+  options.morsel_rows = static_cast<size_t>(settings.morsel_rows());
+  options.enable_segment_elimination = settings.enable_segment_elimination();
+  // The strategy-force strings are validated against the registry's
+  // allowed list, which is generated from these same display names — a
+  // non-empty value always resolves.
+  const std::string& sel = settings.force_selection_strategy();
+  if (!sel.empty()) {
+    for (int s = 0; s < 3; ++s) {
+      const auto strategy = static_cast<SelectionStrategy>(s);
+      if (sel == SelectionStrategyName(strategy)) {
+        options.overrides.selection = strategy;
+        break;
+      }
+    }
+    BIPIE_DCHECK(options.overrides.selection.has_value());
+  }
+  const std::string& agg = settings.force_aggregation_strategy();
+  if (!agg.empty()) {
+    for (size_t a = 0; a < kNumAggregationStrategies; ++a) {
+      const auto strategy = static_cast<AggregationStrategy>(a);
+      if (agg == AggregationStrategyName(strategy)) {
+        options.overrides.aggregation = strategy;
+        break;
+      }
+    }
+    BIPIE_DCHECK(options.overrides.aggregation.has_value());
+  }
+  return options;
 }
 
 }  // namespace bipie

@@ -24,6 +24,7 @@
 #include "core/aggregate_processor.h"
 #include "core/query.h"
 #include "core/strategy.h"
+#include "exec/admission.h"
 #include "exec/query_context.h"
 #include "storage/table.h"
 
@@ -64,8 +65,13 @@ struct ScanOptions {
   size_t morsel_rows = 0;
   // Optional cancellation/deadline context (non-owning; must outlive the
   // scan). Checked between batches; a cancelled scan returns kCancelled and
-  // never a partial result.
+  // never a partial result. The context's MemoryTracker is bound for every
+  // morsel the scan runs, so its limits govern all scan allocations.
   QueryContext* context = nullptr;
+  // Admission gate override (tests); nullptr uses the process-wide
+  // AdmissionController::Global(). Execute() holds one admission ticket for
+  // its whole duration.
+  AdmissionController* admission = nullptr;
 };
 
 struct ScanStats {
@@ -119,9 +125,18 @@ class BIPieScan {
     bool counts_segment = false;  // first morsel of its segment
   };
 
+  // Binds the query's memory tracker for the morsel's duration and turns
+  // any std::bad_alloc from the body into kResourceExhausted — with a
+  // per-morsel status the deterministic error reduction keeps the
+  // complete-or-error guarantee under memory pressure.
   Status ScanMorsel(const Morsel& morsel, const std::vector<int>& filter_cols,
                     ScanStats* stats,
                     std::vector<internal_scan::SegmentContribution>* out);
+  Status ScanMorselImpl(const Morsel& morsel,
+                        const std::vector<int>& filter_cols, ScanStats* stats,
+                        std::vector<internal_scan::SegmentContribution>* out);
+
+  Result<QueryResult> ExecuteImpl();
 
   // Run-level execution (DESIGN.md §11), the kRunBased sibling of the batch
   // loop: evaluates filters as run verdicts, intersects them with the
@@ -143,6 +158,14 @@ class BIPieScan {
 // Convenience wrapper: scan `table` with `query` and default options.
 Result<QueryResult> ExecuteQuery(const Table& table, QuerySpec query,
                                  ScanOptions options = {});
+
+// Builds ScanOptions from the typed settings carried on `context`
+// (DESIGN.md §13) and binds the context itself: execution knobs map onto
+// their option fields, the strategy-force strings onto StrategyOverrides.
+// Callers still apply the resource settings to the context with
+// QueryContext::ApplySettings(). Settings are pre-validated by
+// QuerySettings::Set, so the mapping cannot fail.
+ScanOptions MakeScanOptions(QueryContext* context);
 
 }  // namespace bipie
 

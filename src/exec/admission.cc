@@ -1,0 +1,97 @@
+#include "exec/admission.h"
+
+#include <chrono>
+
+#include "exec/query_settings.h"
+#include "obs/metrics.h"
+
+namespace bipie {
+
+namespace {
+
+struct AdmissionCounters {
+  obs::Counter& admitted = obs::Counter::Get("admission.admitted");
+  obs::Counter& queued = obs::Counter::Get("admission.queued");
+  obs::Counter& rejected = obs::Counter::Get("admission.rejected");
+};
+
+AdmissionCounters& Counters() {
+  static AdmissionCounters counters;
+  return counters;
+}
+
+}  // namespace
+
+AdmissionController& AdmissionController::Global() {
+  // Leaked: queries may still hold tickets during static destruction.
+  static AdmissionController* const global = [] {
+    Limits limits;
+    limits.max_concurrent_queries = static_cast<size_t>(EnvUInt64Setting(
+        "BIPIE_MAX_CONCURRENT_QUERIES", /*def=*/0, /*min=*/0, /*max=*/4096));
+    limits.max_queued_queries = static_cast<size_t>(EnvUInt64Setting(
+        "BIPIE_ADMISSION_QUEUE_LIMIT", /*def=*/16, /*min=*/0, /*max=*/65536));
+    return new AdmissionController(limits);
+  }();
+  return *global;
+}
+
+Status AdmissionController::Admit(QueryContext* ctx, Ticket* ticket) {
+  ticket->Release();
+  if (limits_.max_concurrent_queries == 0) return Status::OK();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (running_ >= limits_.max_concurrent_queries) {
+    if (queued_ >= limits_.max_queued_queries) {
+      Counters().rejected.Increment();
+      return Status::ResourceExhausted(
+          "admission queue full: " + std::to_string(running_) +
+          " queries running, " + std::to_string(queued_) + " queued");
+    }
+    ++queued_;
+    Counters().queued.Increment();
+    while (running_ >= limits_.max_concurrent_queries) {
+      // Bounded waits keep the queue responsive to cancellation and
+      // deadlines that fire while no slot frees up.
+      slot_free_.wait_for(lock, std::chrono::milliseconds(10));
+      if (ctx != nullptr) {
+        const Status status = ctx->CheckNotCancelled();
+        if (!status.ok()) {
+          --queued_;
+          return status;
+        }
+      }
+    }
+    --queued_;
+  }
+  ++running_;
+  Counters().admitted.Increment();
+  ticket->controller_ = this;
+  return Status::OK();
+}
+
+void AdmissionController::ReleaseSlot() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --running_;
+  }
+  slot_free_.notify_one();
+}
+
+void AdmissionController::Ticket::Release() {
+  if (controller_ != nullptr) {
+    controller_->ReleaseSlot();
+    controller_ = nullptr;
+  }
+}
+
+size_t AdmissionController::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+size_t AdmissionController::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
+}
+
+}  // namespace bipie

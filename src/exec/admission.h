@@ -1,0 +1,95 @@
+// Query admission control (DESIGN.md §13).
+//
+// Bounds how many queries execute concurrently: each Execute() acquires a
+// ticket before doing any work. When all slots are busy the query waits in
+// a bounded queue; a full queue rejects immediately with
+// kResourceExhausted — the caller gets a structured "system is saturated"
+// answer instead of the process collapsing under N queries' worth of
+// scratch memory. Waiting queries keep honoring their context: a cancel or
+// deadline while queued returns kCancelled without ever occupying a slot.
+//
+// The default controller is process-wide and configured once from the
+// environment (BIPIE_MAX_CONCURRENT_QUERIES, BIPIE_ADMISSION_QUEUE_LIMIT,
+// both through the strict setting parser). Unlimited (the default) takes a
+// single-branch fast path with no lock.
+#ifndef BIPIE_EXEC_ADMISSION_H_
+#define BIPIE_EXEC_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+#include "common/status.h"
+#include "exec/query_context.h"
+
+namespace bipie {
+
+class AdmissionController {
+ public:
+  struct Limits {
+    // Queries allowed to execute at once; 0 = unlimited (Admit never
+    // blocks and issues no ticket state).
+    size_t max_concurrent_queries = 0;
+    // Queries allowed to wait for a slot; one more is rejected with
+    // kResourceExhausted. Only meaningful with a concurrency limit.
+    size_t max_queued_queries = 16;
+  };
+
+  // Unlimited by default. (Two constructors instead of one defaulted
+  // argument: a `= {}` default cannot use Limits' member initializers
+  // while the enclosing class is still incomplete.)
+  AdmissionController() : limits_() {}
+  explicit AdmissionController(const Limits& limits) : limits_(limits) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  // The process-wide controller, environment-configured on first use.
+  static AdmissionController& Global();
+
+  // RAII slot: releasing (or destroying) returns the slot and wakes one
+  // waiter. Default-constructed tickets hold nothing.
+  class Ticket {
+   public:
+    Ticket() = default;
+    ~Ticket() { Release(); }
+    Ticket(Ticket&& other) noexcept : controller_(other.controller_) {
+      other.controller_ = nullptr;
+    }
+    Ticket& operator=(Ticket&& other) noexcept {
+      if (this != &other) {
+        Release();
+        controller_ = other.controller_;
+        other.controller_ = nullptr;
+      }
+      return *this;
+    }
+    void Release();
+
+   private:
+    friend class AdmissionController;
+    AdmissionController* controller_ = nullptr;
+  };
+
+  // Blocks until a slot is free, then fills `*ticket`. Returns
+  // kResourceExhausted when the wait queue is already full, kCancelled when
+  // `ctx` (nullable) cancels or times out while waiting.
+  Status Admit(QueryContext* ctx, Ticket* ticket);
+
+  size_t running() const;
+  size_t queued() const;
+  const Limits& limits() const { return limits_; }
+
+ private:
+  void ReleaseSlot();
+
+  const Limits limits_;
+  mutable std::mutex mu_;
+  std::condition_variable slot_free_;
+  size_t running_ = 0;
+  size_t queued_ = 0;
+};
+
+}  // namespace bipie
+
+#endif  // BIPIE_EXEC_ADMISSION_H_

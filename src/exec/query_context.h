@@ -1,4 +1,5 @@
-// Per-query execution context: cooperative cancellation and deadlines.
+// Per-query execution context: cooperative cancellation, deadlines, typed
+// settings and memory accounting.
 //
 // A QueryContext is owned by the client issuing a query and shared (by
 // non-owning pointer) with every operator the query runs. Cancellation is
@@ -6,9 +7,15 @@
 // cancelled query stops within one 4096-row batch per worker and surfaces
 // StatusCode::kCancelled to the caller, never a partial result.
 //
+// The context also owns the query's MemoryTracker (a child of the process
+// root) and its QuerySettings. Configure settings, call ApplySettings(),
+// then execute: workers bind the tracker for each morsel they run, so
+// every allocation the query makes is charged against its limits.
+//
 // Thread-safety: Cancel(), is_cancelled() and CheckNotCancelled() may be
 // called concurrently from any thread. set_deadline / CancelAfterChecks are
-// atomic too, but are meant to be configured before execution starts.
+// atomic too, but are meant to be configured before execution starts —
+// like settings() and ApplySettings(), which are not synchronized.
 #ifndef BIPIE_EXEC_QUERY_CONTEXT_H_
 #define BIPIE_EXEC_QUERY_CONTEXT_H_
 
@@ -16,7 +23,9 @@
 #include <chrono>
 #include <cstdint>
 
+#include "common/memory_tracker.h"
 #include "common/status.h"
+#include "exec/query_settings.h"
 
 namespace bipie {
 
@@ -71,6 +80,26 @@ class QueryContext {
     return Status::OK();
   }
 
+  // The query's typed settings. Mutate before ApplySettings()/execution.
+  QuerySettings& settings() { return settings_; }
+  const QuerySettings& settings() const { return settings_; }
+
+  // The query's memory tracker (child of MemoryTracker::Process()).
+  MemoryTracker& memory_tracker() { return tracker_; }
+  const MemoryTracker& memory_tracker() const { return tracker_; }
+
+  // Applies the resource settings to this context: memory limits onto the
+  // per-query tracker, deadline_ms onto the deadline clock (measured from
+  // now). Call once, after the settings are final and before execution.
+  void ApplySettings() {
+    tracker_.set_hard_limit(settings_.memory_limit_bytes());
+    tracker_.set_soft_limit(settings_.memory_soft_limit_bytes());
+    if (settings_.deadline_ms() > 0) {
+      set_deadline(std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(settings_.deadline_ms()));
+    }
+  }
+
  private:
   static constexpr int64_t kNoDeadline = INT64_MIN;
 
@@ -81,6 +110,8 @@ class QueryContext {
   std::atomic<bool> cancelled_{false};
   std::atomic<int64_t> deadline_ns_{kNoDeadline};
   std::atomic<int64_t> checks_remaining_{-1};  // < 0 = disarmed
+  QuerySettings settings_;
+  MemoryTracker tracker_{&MemoryTracker::Process(), "query"};
 };
 
 }  // namespace bipie

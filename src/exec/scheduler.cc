@@ -1,7 +1,6 @@
 #include "exec/scheduler.h"
 
-#include <cstdlib>
-
+#include "exec/query_settings.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -64,10 +63,13 @@ Scheduler::~Scheduler() {
 
 Scheduler& Scheduler::Global() {
   static Scheduler global = [] {
-    size_t workers = 0;
-    if (const char* env = std::getenv("BIPIE_SCHEDULER_THREADS")) {
-      workers = static_cast<size_t>(std::strtoull(env, nullptr, 10));
-    }
+    // Strict parse: strtoull would silently wrap "-1" to 2^64-1 (spawning
+    // until thread exhaustion) and accept trailing garbage ("8abc").
+    // Malformed values fall back to the default (hardware concurrency)
+    // with a one-time warning; huge values clamp to 4x hardware threads.
+    const size_t workers = static_cast<size_t>(EnvUInt64Setting(
+        "BIPIE_SCHEDULER_THREADS", /*def=*/0, /*min=*/0,
+        /*max=*/uint64_t{4} * DefaultWorkerCount()));
     return Scheduler(workers);
   }();
   return global;

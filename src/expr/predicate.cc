@@ -8,6 +8,7 @@
 
 #include "common/aligned_buffer.h"
 #include "common/bits.h"
+#include "common/memory_tracker.h"
 #include "common/cpu.h"
 #include "encoding/bitpack.h"
 #include "vector/selection_vector.h"
@@ -390,7 +391,18 @@ RebasedVerdict RebaseLiteral(CompareOp op, int64_t literal, int64_t base,
   return RebasedVerdict::kCompare;
 }
 
-thread_local AlignedBuffer t_unpack_scratch;
+// Per-thread unpack scratch, registered with the tracker re-home list: it
+// outlives any one query, so a query tracker scope exiting must be able to
+// move its retained charge back to the process root.
+AlignedBuffer& UnpackScratch() {
+  thread_local AlignedBuffer scratch;
+  thread_local const bool registered = [] {
+    RegisterThreadScratchBuffer(&scratch);
+    return true;
+  }();
+  (void)registered;
+  return scratch;
+}
 
 }  // namespace
 
@@ -416,9 +428,9 @@ Status ColumnPredicate::Evaluate(const EncodedColumn& col, size_t start,
         const uint64_t hi_off = static_cast<uint64_t>(hi_clamped) -
                                 static_cast<uint64_t>(col.base());
         const int word = SmallestWordBytes(col.bit_width());
-        t_unpack_scratch.Resize(n * word);
-        col.UnpackIds(start, n, t_unpack_scratch.data(), word);
-        internal::CompareUnsignedWordsRange(t_unpack_scratch.data(), n, word,
+        UnpackScratch().Resize(n * word);
+        col.UnpackIds(start, n, UnpackScratch().data(), word);
+        internal::CompareUnsignedWordsRange(UnpackScratch().data(), n, word,
                                             lo_off, hi_off, sel_out);
         return Status::OK();
       }
@@ -435,9 +447,9 @@ Status ColumnPredicate::Evaluate(const EncodedColumn& col, size_t start,
           break;
       }
       const int word = SmallestWordBytes(col.bit_width());
-      t_unpack_scratch.Resize(n * word);
-      col.UnpackIds(start, n, t_unpack_scratch.data(), word);
-      internal::CompareUnsignedWords(t_unpack_scratch.data(), n, word, op_,
+      UnpackScratch().Resize(n * word);
+      col.UnpackIds(start, n, UnpackScratch().data(), word);
+      internal::CompareUnsignedWords(UnpackScratch().data(), n, word, op_,
                                      rebased, sel_out);
       return Status::OK();
     }
@@ -475,14 +487,14 @@ Status ColumnPredicate::Evaluate(const EncodedColumn& col, size_t start,
         }
       }
       const int word = SmallestWordBytes(col.bit_width());
-      t_unpack_scratch.Resize(n * word);
-      col.UnpackIds(start, n, t_unpack_scratch.data(), word);
+      UnpackScratch().Resize(n * word);
+      col.UnpackIds(start, n, UnpackScratch().data(), word);
       if (word == 1) {
-        const uint8_t* ids = t_unpack_scratch.data();
+        const uint8_t* ids = UnpackScratch().data();
         for (size_t i = 0; i < n; ++i) sel_out[i] = verdict[ids[i]];
       } else {
         BIPIE_DCHECK(word == 2);  // dictionaries are capped at 2^16 entries
-        const uint16_t* ids = t_unpack_scratch.data_as<uint16_t>();
+        const uint16_t* ids = UnpackScratch().data_as<uint16_t>();
         for (size_t i = 0; i < n; ++i) sel_out[i] = verdict[ids[i]];
       }
       return Status::OK();

@@ -86,6 +86,10 @@ class EncodedColumn {
   // its bytes.
   Status Validate() const;
 
+  // Re-homes the packed stream's memory charge to `to` (see
+  // Segment::MoveMemoryChargesTo).
+  void MoveMemoryChargesTo(MemoryTracker& to) { packed_.MoveChargeTo(to); }
+
   // kDelta internals (diagnostics / serialization).
   int64_t delta_min() const { return delta_min_; }
   const std::vector<int64_t>& delta_checkpoints() const {

@@ -46,6 +46,15 @@ class Segment {
     return has_deleted_rows() ? alive_.data() : nullptr;
   }
 
+  // Re-homes every column buffer's (and the liveness mask's) memory charge
+  // to `to`. LoadTable uses this to hand a finished table's buffers to the
+  // process tracker: the loading query paid for the load, but the table
+  // outlives it.
+  void MoveMemoryChargesTo(MemoryTracker& to) {
+    for (EncodedColumn& c : columns_) c.MoveMemoryChargesTo(to);
+    alive_.MoveChargeTo(to);
+  }
+
   // Deep validation: every column passes EncodedColumn::Validate() and has
   // this segment's row count; the liveness mask, when present, is canonical
   // (0x00/0xFF bytes, zero count matching num_deleted()). kDataLoss on any

@@ -52,6 +52,14 @@ class Table {
   // also callable standalone on hand-built tables.
   Status Validate() const;
 
+  // Re-homes every buffer's memory charge to `to`. A table is typically
+  // shared process state: LoadTable charges the load against the calling
+  // query's tracker (so per-query limits bound the load's peak), then moves
+  // the finished table's footprint to the process root here.
+  void MoveMemoryChargesTo(MemoryTracker& to) {
+    for (const auto& s : segments_) s->MoveMemoryChargesTo(to);
+  }
+
  private:
   Schema schema_;
   std::vector<std::unique_ptr<Segment>> segments_;

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <new>
 #include <vector>
 
 #include "common/crc32c.h"
@@ -605,6 +606,11 @@ Status SaveTableImpl(const Table& table, const std::string& path,
 Result<Table> LoadTableImpl(const std::string& path,
                             const LoadOptions& options,
                             uint64_t* bytes_read) {
+  // Charge the whole load — every column's packed stream, the liveness
+  // masks — against the caller's tracker, so its limits bound the load's
+  // peak footprint. The per-column TryResize below reports a breach as
+  // kResourceExhausted before any oversized allocation happens.
+  MemoryTrackerScope memory_scope(options.memory_tracker);
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (f == nullptr) {
     return Status::InvalidArgument("cannot open for reading: " + path);
@@ -648,6 +654,9 @@ Result<Table> LoadTableImpl(const std::string& path,
   if (options.validate) {
     BIPIE_RETURN_NOT_OK(loaded.value().Validate());
   }
+  // The finished table outlives the loading query: hand its footprint to
+  // the process tracker so the query's tracker drains back to zero.
+  loaded.value().MoveMemoryChargesTo(MemoryTracker::Process());
   return loaded;
 }
 
@@ -670,7 +679,12 @@ Status SaveTable(const Table& table, const std::string& path,
 Result<Table> LoadTable(const std::string& path, const LoadOptions& options) {
   BIPIE_TRACE_SPAN("io.load_table", "io");
   uint64_t bytes_read = 0;
-  Result<Table> loaded = LoadTableImpl(path, options, &bytes_read);
+  Result<Table> loaded = Status::Internal("unreachable");
+  try {
+    loaded = LoadTableImpl(path, options, &bytes_read);
+  } catch (const std::bad_alloc&) {
+    loaded = Status::ResourceExhausted("table load exceeded the memory limit");
+  }
   if (loaded.ok()) {
     Counters().tables_loaded.Increment();
     Counters().bytes_read.Add(bytes_read);

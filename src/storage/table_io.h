@@ -34,6 +34,7 @@
 
 #include <string>
 
+#include "common/memory_tracker.h"
 #include "common/status.h"
 #include "storage/table.h"
 
@@ -57,6 +58,13 @@ struct LoadOptions {
   // Refuse formats that cannot be checksum-verified (v1 legacy files load
   // as kNotSupported instead of silently skipping verification).
   bool strict = false;
+  // Memory governance for the load (nullable). The tracker is bound for
+  // the whole load, so read-buffer allocations count against its limits
+  // and an overcommitting load fails with kResourceExhausted instead of
+  // OOMing. On success the finished table's buffers are re-homed to the
+  // process root — a loaded table is shared state that outlives the
+  // loading query (DESIGN.md §13).
+  MemoryTracker* memory_tracker = nullptr;
 };
 
 Status SaveTable(const Table& table, const std::string& path,

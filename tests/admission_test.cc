@@ -1,0 +1,127 @@
+// Admission control (DESIGN.md §13): slot accounting, bounded-queue
+// rejection, cancellation while queued, and the ScanOptions::admission
+// override that threads a controller through Execute().
+#include "exec/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/scan.h"
+#include "tests/test_util.h"
+
+namespace bipie {
+namespace {
+
+TEST(AdmissionTest, UnlimitedIsAlwaysAdmitted) {
+  AdmissionController controller;  // default: unlimited
+  AdmissionController::Ticket ticket;
+  EXPECT_TRUE(controller.Admit(nullptr, &ticket).ok());
+  EXPECT_EQ(controller.running(), 0u);  // fast path holds no slot state
+}
+
+TEST(AdmissionTest, SlotsAreHeldAndReleased) {
+  AdmissionController controller({/*max_concurrent_queries=*/2,
+                                  /*max_queued_queries=*/0});
+  AdmissionController::Ticket t1, t2;
+  EXPECT_TRUE(controller.Admit(nullptr, &t1).ok());
+  EXPECT_TRUE(controller.Admit(nullptr, &t2).ok());
+  EXPECT_EQ(controller.running(), 2u);
+
+  // All slots busy and no queue: immediate structured rejection.
+  AdmissionController::Ticket t3;
+  const Status rejected = controller.Admit(nullptr, &t3);
+  EXPECT_EQ(rejected.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(controller.running(), 2u);
+
+  t1.Release();
+  EXPECT_EQ(controller.running(), 1u);
+  EXPECT_TRUE(controller.Admit(nullptr, &t3).ok());
+  EXPECT_EQ(controller.running(), 2u);
+}
+
+TEST(AdmissionTest, TicketReleasesOnDestructionAndMove) {
+  AdmissionController controller({1, 0});
+  {
+    AdmissionController::Ticket outer;
+    {
+      AdmissionController::Ticket inner;
+      ASSERT_TRUE(controller.Admit(nullptr, &inner).ok());
+      EXPECT_EQ(controller.running(), 1u);
+      outer = std::move(inner);  // slot follows the move, is not doubled
+      EXPECT_EQ(controller.running(), 1u);
+    }
+    EXPECT_EQ(controller.running(), 1u);  // moved-from dtor released nothing
+  }
+  EXPECT_EQ(controller.running(), 0u);
+}
+
+TEST(AdmissionTest, QueuedQueryGetsSlotWhenFreed) {
+  AdmissionController controller({1, 1});
+  AdmissionController::Ticket holder;
+  ASSERT_TRUE(controller.Admit(nullptr, &holder).ok());
+
+  std::atomic<bool> admitted{false};
+  std::thread waiter([&] {
+    AdmissionController::Ticket ticket;
+    const Status status = controller.Admit(nullptr, &ticket);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    admitted.store(true);
+  });
+  // The waiter parks in the queue; releasing the slot must wake it.
+  while (controller.queued() == 0) std::this_thread::yield();
+  EXPECT_FALSE(admitted.load());
+  holder.Release();
+  waiter.join();
+  EXPECT_TRUE(admitted.load());
+  EXPECT_EQ(controller.running(), 0u);
+  EXPECT_EQ(controller.queued(), 0u);
+}
+
+TEST(AdmissionTest, CancelledWhileQueuedReturnsCancelled) {
+  AdmissionController controller({1, 4});
+  AdmissionController::Ticket holder;
+  ASSERT_TRUE(controller.Admit(nullptr, &holder).ok());
+
+  QueryContext context;
+  context.Cancel();
+  AdmissionController::Ticket ticket;
+  const Status status = controller.Admit(&context, &ticket);
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(controller.queued(), 0u);  // the cancelled waiter left the queue
+  EXPECT_EQ(controller.running(), 1u);
+}
+
+TEST(AdmissionTest, ScanRespectsInjectedController) {
+  Table table({{"g", ColumnType::kInt64, EncodingChoice::kBitPacked},
+               {"v", ColumnType::kInt64, EncodingChoice::kBitPacked}});
+  TableAppender app(&table, 1024);
+  for (size_t i = 0; i < 2000; ++i) {
+    app.AppendRow({static_cast<int64_t>(i % 4), static_cast<int64_t>(i % 7)});
+  }
+  app.Flush();
+  QuerySpec query;
+  query.group_by = {"g"};
+  query.aggregates = {AggregateSpec::Count(), AggregateSpec::Sum("v")};
+
+  AdmissionController controller({1, 0});
+  ScanOptions options;
+  options.admission = &controller;
+
+  // A held slot makes the scan's admission fail structurally.
+  AdmissionController::Ticket holder;
+  ASSERT_TRUE(controller.Admit(nullptr, &holder).ok());
+  Result<QueryResult> rejected = test::ExecuteChecked(table, query, options);
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+
+  // Freeing it admits the same scan; the ticket is released by Execute().
+  holder.Release();
+  Result<QueryResult> admitted = test::ExecuteChecked(table, query, options);
+  ASSERT_TRUE(admitted.ok()) << admitted.status().ToString();
+  EXPECT_EQ(admitted.value().rows.size(), 4u);
+  EXPECT_EQ(controller.running(), 0u);
+}
+
+}  // namespace
+}  // namespace bipie

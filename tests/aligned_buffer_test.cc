@@ -92,5 +92,55 @@ TEST(AlignedBufferTest, GrowthIsGeometricAcrossManyResizes) {
   }
 }
 
+TEST(AlignedBufferTest, ShrinkToFitReleasesRetainedCapacity) {
+  AlignedBuffer b(1 << 20);
+  for (size_t i = 0; i < 32; ++i) b.data()[i] = static_cast<uint8_t>(i);
+  b.Resize(32);  // logical shrink keeps the big allocation
+  const size_t before = b.charged_bytes();
+  b.ShrinkToFit();
+  EXPECT_LT(b.charged_bytes(), before);
+  EXPECT_EQ(b.size(), 32u);
+  for (size_t i = 0; i < 32; ++i) EXPECT_EQ(b.data()[i], i);
+  // The padding contract survives the reallocation.
+  for (size_t i = 32; i < 32 + AlignedBuffer::kPaddingBytes; ++i) {
+    EXPECT_EQ(b.data()[i], 0u) << "padding byte " << i;
+  }
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b.data()) % AlignedBuffer::kAlignment,
+            0u);
+}
+
+TEST(AlignedBufferTest, ShrinkToFitOnEmptyAndTightBuffers) {
+  AlignedBuffer empty;
+  empty.ShrinkToFit();  // no-op, no allocation to trim
+  EXPECT_EQ(empty.data(), nullptr);
+
+  AlignedBuffer zero(4096);
+  zero.Resize(0);
+  zero.ShrinkToFit();  // size 0: the allocation is freed outright
+  EXPECT_EQ(zero.data(), nullptr);
+  EXPECT_EQ(zero.charged_bytes(), 0u);
+
+  AlignedBuffer tight(128);
+  const size_t charged = tight.charged_bytes();
+  tight.ShrinkToFit();  // already tight: nothing to release
+  EXPECT_EQ(tight.charged_bytes(), charged);
+  EXPECT_EQ(tight.size(), 128u);
+}
+
+TEST(AlignedBufferTest, ChargeMatchesAllocationLifecycle) {
+  // Charge symmetry: charged_bytes() covers the live allocation exactly —
+  // set on grow, constant across logical shrinks, zero after Free().
+  AlignedBuffer b;
+  EXPECT_EQ(b.charged_bytes(), 0u);
+  b.Resize(1000);
+  const size_t grown = b.charged_bytes();
+  EXPECT_GE(grown, 1000u + AlignedBuffer::kPaddingBytes);
+  b.Resize(10);
+  EXPECT_EQ(b.charged_bytes(), grown);  // retained capacity stays charged
+  b.Free();
+  EXPECT_EQ(b.charged_bytes(), 0u);
+  EXPECT_EQ(b.data(), nullptr);
+}
+
 }  // namespace
 }  // namespace bipie

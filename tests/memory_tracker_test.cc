@@ -1,0 +1,257 @@
+// MemoryTracker unit semantics (DESIGN.md §13): chain charging with full
+// rollback, hard/soft limits, peak accounting, thread-current binding, and
+// the AlignedBuffer charge/release + re-home contract.
+#include "common/memory_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include "common/aligned_buffer.h"
+#include "common/status.h"
+
+namespace bipie {
+namespace {
+
+TEST(MemoryTrackerTest, ChargeReleasePeak) {
+  MemoryTracker tracker(nullptr, "test");
+  EXPECT_EQ(tracker.used(), 0u);
+  EXPECT_TRUE(tracker.TryCharge(100));
+  EXPECT_EQ(tracker.used(), 100u);
+  EXPECT_EQ(tracker.peak(), 100u);
+  EXPECT_TRUE(tracker.TryCharge(50));
+  EXPECT_EQ(tracker.used(), 150u);
+  tracker.Release(120);
+  EXPECT_EQ(tracker.used(), 30u);
+  EXPECT_EQ(tracker.peak(), 150u);  // peak is monotone until reset
+  tracker.ResetPeak();
+  EXPECT_EQ(tracker.peak(), 30u);
+  tracker.Release(30);
+  EXPECT_EQ(tracker.used(), 0u);
+}
+
+TEST(MemoryTrackerTest, HardLimitFailsChargeAndLeavesAccountIntact) {
+  MemoryTracker tracker(nullptr, "test");
+  tracker.set_hard_limit(100);
+  EXPECT_TRUE(tracker.TryCharge(80));
+  EXPECT_FALSE(tracker.TryCharge(21));
+  EXPECT_EQ(tracker.used(), 80u);  // failed charge left no residue
+  EXPECT_TRUE(tracker.TryCharge(20));
+  EXPECT_EQ(tracker.used(), 100u);
+  tracker.Release(100);
+}
+
+TEST(MemoryTrackerTest, ChainChargesEveryAncestorWithRollback) {
+  MemoryTracker root(nullptr, "root");
+  MemoryTracker mid(&root, "mid");
+  MemoryTracker leaf(&mid, "leaf");
+  root.set_hard_limit(100);
+
+  EXPECT_TRUE(leaf.TryCharge(60));
+  EXPECT_EQ(leaf.used(), 60u);
+  EXPECT_EQ(mid.used(), 60u);
+  EXPECT_EQ(root.used(), 60u);
+
+  // The root's limit fails the charge; the leaf and mid accounts (already
+  // charged when the walk reached the root) must be rolled back.
+  EXPECT_FALSE(leaf.TryCharge(50));
+  EXPECT_EQ(leaf.used(), 60u);
+  EXPECT_EQ(mid.used(), 60u);
+  EXPECT_EQ(root.used(), 60u);
+
+  leaf.Release(60);
+  EXPECT_EQ(leaf.used(), 0u);
+  EXPECT_EQ(mid.used(), 0u);
+  EXPECT_EQ(root.used(), 0u);
+}
+
+TEST(MemoryTrackerTest, SoftLimitLatchesWithoutFailing) {
+  MemoryTracker tracker(nullptr, "test");
+  tracker.set_soft_limit(100);
+  EXPECT_TRUE(tracker.TryCharge(90));
+  EXPECT_FALSE(tracker.soft_limit_exceeded());
+  EXPECT_TRUE(tracker.TryCharge(20));  // crosses the soft limit: succeeds
+  EXPECT_TRUE(tracker.soft_limit_exceeded());
+  tracker.Release(110);
+  EXPECT_TRUE(tracker.soft_limit_exceeded());  // latched, not level-based
+  tracker.reset_soft_limit_exceeded();
+  EXPECT_FALSE(tracker.soft_limit_exceeded());
+}
+
+TEST(MemoryTrackerTest, ForceChargeIgnoresLimits) {
+  MemoryTracker tracker(nullptr, "test");
+  tracker.set_hard_limit(10);
+  tracker.ForceCharge(100);
+  EXPECT_EQ(tracker.used(), 100u);
+  EXPECT_EQ(tracker.peak(), 100u);
+  tracker.Release(100);
+}
+
+TEST(MemoryTrackerTest, CurrentDefaultsToProcessRoot) {
+  EXPECT_EQ(CurrentMemoryTracker(), &MemoryTracker::Process());
+  MemoryTracker query(&MemoryTracker::Process(), "query");
+  {
+    MemoryTrackerScope scope(&query);
+    EXPECT_EQ(CurrentMemoryTracker(), &query);
+    {
+      MemoryTrackerScope null_scope(nullptr);  // no-op, binding unchanged
+      EXPECT_EQ(CurrentMemoryTracker(), &query);
+    }
+    EXPECT_EQ(CurrentMemoryTracker(), &query);
+  }
+  EXPECT_EQ(CurrentMemoryTracker(), &MemoryTracker::Process());
+}
+
+TEST(MemoryTrackerTest, AlignedBufferChargesBoundTrackerAndReleasesOnFree) {
+  MemoryTracker query(&MemoryTracker::Process(), "query");
+  AlignedBuffer buf;
+  {
+    MemoryTrackerScope scope(&query);
+    buf.Resize(10000);
+  }
+  EXPECT_GE(query.used(), 10000u);
+  EXPECT_EQ(buf.charged_tracker(), &query);
+  EXPECT_EQ(query.used(), buf.charged_bytes());
+  buf.Free();
+  EXPECT_EQ(query.used(), 0u);
+  EXPECT_EQ(buf.charged_tracker(), nullptr);
+}
+
+TEST(MemoryTrackerTest, AlignedBufferHardLimitMakesTryResizeFail) {
+  MemoryTracker query(&MemoryTracker::Process(), "query");
+  query.set_hard_limit(4096);
+  MemoryTrackerScope scope(&query);
+  AlignedBuffer buf;
+  EXPECT_FALSE(buf.TryResize(1 << 20));
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(query.used(), 0u);
+  EXPECT_TRUE(buf.TryResize(1024));
+  EXPECT_THROW(buf.Resize(1 << 20), std::bad_alloc);
+  EXPECT_EQ(buf.size(), 1024u);  // failed grow leaves the buffer unchanged
+  buf.Free();
+  EXPECT_EQ(query.used(), 0u);
+}
+
+TEST(MemoryTrackerTest, RetainedCapacityRehomesOnReuse) {
+  MemoryTracker a(&MemoryTracker::Process(), "a");
+  MemoryTracker b(&MemoryTracker::Process(), "b");
+  AlignedBuffer buf;
+  {
+    MemoryTrackerScope scope(&a);
+    buf.Resize(8192);
+  }
+  const size_t charged = buf.charged_bytes();
+  EXPECT_EQ(a.used(), charged);
+  {
+    // Shrinking reuse under another tracker: no allocation happens, but the
+    // retained capacity must follow the thread-current tracker.
+    MemoryTrackerScope scope(&b);
+    buf.Resize(64);
+  }
+  EXPECT_EQ(buf.charged_tracker(), &b);
+  EXPECT_EQ(a.used(), 0u);
+  EXPECT_EQ(b.used(), charged);
+  buf.Free();
+  EXPECT_EQ(b.used(), 0u);
+}
+
+TEST(MemoryTrackerTest, MoveChargeToTransfersWithoutLimitCheck) {
+  MemoryTracker a(&MemoryTracker::Process(), "a");
+  MemoryTracker b(&MemoryTracker::Process(), "b");
+  b.set_hard_limit(1);  // ForceCharge path must ignore this
+  AlignedBuffer buf;
+  {
+    MemoryTrackerScope scope(&a);
+    buf.Resize(4096);
+  }
+  const size_t charged = buf.charged_bytes();
+  buf.MoveChargeTo(b);
+  EXPECT_EQ(a.used(), 0u);
+  EXPECT_EQ(b.used(), charged);
+  EXPECT_EQ(buf.charged_tracker(), &b);
+  buf.Free();
+  EXPECT_EQ(b.used(), 0u);
+}
+
+TEST(MemoryTrackerTest, MoveAssignTransfersCharge) {
+  MemoryTracker a(&MemoryTracker::Process(), "a");
+  AlignedBuffer src;
+  {
+    MemoryTrackerScope scope(&a);
+    src.Resize(2048);
+  }
+  const size_t charged = src.charged_bytes();
+  AlignedBuffer dst;
+  dst = std::move(src);
+  EXPECT_EQ(a.used(), charged);  // charge moved, not duplicated or dropped
+  EXPECT_EQ(dst.charged_tracker(), &a);
+  EXPECT_EQ(src.charged_tracker(), nullptr);
+  dst.Free();
+  EXPECT_EQ(a.used(), 0u);
+}
+
+TEST(MemoryTrackerTest, ShrinkToFitReturnsExcessCharge) {
+  MemoryTracker a(&MemoryTracker::Process(), "a");
+  MemoryTrackerScope scope(&a);
+  AlignedBuffer buf;
+  buf.Resize(1 << 20);
+  buf.data()[0] = 42;
+  const size_t big = buf.charged_bytes();
+  buf.Resize(128);  // logical shrink retains capacity
+  EXPECT_EQ(buf.charged_bytes(), big);
+  buf.ShrinkToFit();
+  EXPECT_LT(buf.charged_bytes(), big);
+  EXPECT_EQ(a.used(), buf.charged_bytes());
+  EXPECT_EQ(buf.size(), 128u);
+  EXPECT_EQ(buf.data()[0], 42);  // contents survive the shrink
+  buf.Free();
+  EXPECT_EQ(a.used(), 0u);
+}
+
+TEST(MemoryTrackerTest, ThreadScratchRehomesToProcessRootOnScopeExit) {
+  // Thread-local scratch registered with the re-home list must never keep a
+  // charge against a tracker whose scope has exited.
+  static thread_local AlignedBuffer scratch;
+  static thread_local const bool registered = [] {
+    RegisterThreadScratchBuffer(&scratch);
+    return true;
+  }();
+  (void)registered;
+
+  MemoryTracker query(&MemoryTracker::Process(), "query");
+  {
+    MemoryTrackerScope scope(&query);
+    scratch.Resize(16384);
+    EXPECT_EQ(scratch.charged_tracker(), &query);
+  }
+  EXPECT_EQ(query.used(), 0u);
+  EXPECT_EQ(scratch.charged_tracker(), &MemoryTracker::Process());
+  scratch.Free();
+}
+
+TEST(MemoryTrackerTest, ReservationChargesDeltasAndReleasesOnReset) {
+  MemoryTracker query(&MemoryTracker::Process(), "query");
+  MemoryTrackerScope scope(&query);
+  MemoryReservation reservation;
+  EXPECT_TRUE(reservation.Update(1000).ok());
+  EXPECT_EQ(query.used(), 1000u);
+  EXPECT_TRUE(reservation.Update(2500).ok());
+  EXPECT_EQ(query.used(), 2500u);
+  EXPECT_TRUE(reservation.Update(500).ok());  // shrink always succeeds
+  EXPECT_EQ(query.used(), 500u);
+  reservation.Reset();
+  EXPECT_EQ(query.used(), 0u);
+}
+
+TEST(MemoryTrackerTest, ReservationHardLimitReturnsResourceExhausted) {
+  MemoryTracker query(&MemoryTracker::Process(), "query");
+  query.set_hard_limit(1024);
+  MemoryTrackerScope scope(&query);
+  MemoryReservation reservation;
+  EXPECT_TRUE(reservation.Update(512).ok());
+  const Status grow = reservation.Update(4096);
+  EXPECT_EQ(grow.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(reservation.bytes(), 512u);  // kept its previous size
+  EXPECT_EQ(query.used(), 512u);
+}
+
+}  // namespace
+}  // namespace bipie

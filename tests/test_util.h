@@ -8,6 +8,7 @@
 
 #include "common/aligned_buffer.h"
 #include "common/bits.h"
+#include "common/memory_tracker.h"
 #include "common/cpu.h"
 #include "common/random.h"
 #include "core/query.h"
@@ -251,6 +252,20 @@ inline Result<QueryResult> ExecuteChecked(const Table& table, QuerySpec query,
         StatsInvariants::Check(scan.stats(), query, table, &result.value());
     if (!violations.empty()) {
       return Status::Internal(StatsInvariants::Describe(violations));
+    }
+  }
+  // Tracker-balance invariant (DESIGN.md §13): whether the scan succeeded
+  // or failed, every byte charged to the query's tracker must have been
+  // released by the time Execute() returns — scratch buffers are re-homed
+  // to the process root on morsel-scope exit, and error paths unwind their
+  // charges. A residue means a charge/release asymmetry (leak in the
+  // accounting, not necessarily in the allocator).
+  if (options.context != nullptr) {
+    const size_t residue = options.context->memory_tracker().used();
+    if (residue != 0) {
+      return Status::Internal("memory tracker balance invariant violated: " +
+                              std::to_string(residue) +
+                              " bytes still charged after Execute()");
     }
   }
   return result;

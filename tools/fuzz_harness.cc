@@ -361,7 +361,8 @@ std::string CaseParams::ToString() const {
      << " wide_bits=" << wide_bits << " num_threads=" << num_threads
      << " cancel_after=" << cancel_after
      << " failpoint_prob=" << failpoint_prob
-     << " sorted_fraction=" << sorted_fraction;
+     << " sorted_fraction=" << sorted_fraction
+     << " memory_limit=" << memory_limit;
   return os.str();
 }
 
@@ -414,6 +415,11 @@ CaseParams MakeCaseParams(uint64_t seed) {
   // every fuzz job.
   p.sorted_fraction =
       rng.NextBernoulli(0.3) ? 0.05 + 0.95 * rng.NextDouble() : 0.0;
+  // A fifth of cases run the memory-governance pass with a hard limit from
+  // "fails immediately" (4 KiB) to "comfortably fits" (~4 MiB), so both the
+  // kResourceExhausted path and the governed-success path stay hot.
+  p.memory_limit =
+      rng.NextBernoulli(0.2) ? 4096 + rng.NextBounded(uint64_t{1} << 22) : 0;
   return p;
 }
 
@@ -459,6 +465,8 @@ bool ParseCaseParams(const std::string& text, CaseParams* out,
         p.failpoint_prob = std::stod(val);
       } else if (key == "sorted_fraction") {
         p.sorted_fraction = std::stod(val);
+      } else if (key == "memory_limit") {
+        p.memory_limit = std::stoull(val);
       } else {
         *error = "unknown key: " + key;
         return false;
@@ -567,6 +575,54 @@ bool RunOneCase(const CaseParams& p, std::string* error) {
       }
     }
   }
+
+  // Memory-governance pass: with a per-query hard limit, every execution
+  // model must return the complete exact result (when the working set
+  // fits) or a structured kResourceExhausted — never a partial aggregate —
+  // and the query tracker must be balanced at zero either way.
+  if (p.memory_limit > 0) {
+    std::vector<size_t> models = {0, 1};
+    if (p.num_threads > 1) models.push_back(p.num_threads);
+    for (size_t threads : models) {
+      QueryContext context;
+      if (!context.settings()
+               .SetUInt64("memory_limit_bytes", p.memory_limit)
+               .ok()) {
+        *error = "memory_limit_bytes rejected " +
+                 std::to_string(p.memory_limit);
+        return false;
+      }
+      context.ApplySettings();
+      ScanOptions options;
+      options.num_threads = threads;
+      options.context = &context;
+      const std::string plan_name =
+          "memlimit@" + std::to_string(p.memory_limit) + "/t" +
+          std::to_string(threads);
+      BIPieScan scan(built.table, built.query, options);
+      auto got = scan.Execute();
+      if (context.memory_tracker().used() != 0) {
+        *error = plan_name + ": tracker balance " +
+                 std::to_string(context.memory_tracker().used()) +
+                 " bytes after Execute()";
+        return false;
+      }
+      if (!got.ok()) {
+        const StatusCode code = got.status().code();
+        if (code == StatusCode::kResourceExhausted ||
+            code == StatusCode::kOverflowRisk) {
+          continue;
+        }
+        *error = plan_name + ": unexpected error " + got.status().ToString();
+        return false;
+      }
+      std::string diff;
+      if (!ResultsAgree(got.value(), oracle.value(), plan_name, &diff)) {
+        *error = diff + " (partial result escaped a memory-limited scan?)";
+        return false;
+      }
+    }
+  }
   return true;
 }
 
@@ -596,6 +652,9 @@ CaseParams Shrink(const CaseParams& p) {
     }
     if (best.sorted_fraction > 0) {
       add([](CaseParams& c) { c.sorted_fraction = 0; });
+    }
+    if (best.memory_limit > 0) {
+      add([](CaseParams& c) { c.memory_limit = 0; });
     }
     if (best.num_threads != 1) add([](CaseParams& c) { c.num_threads = 1; });
     for (const CaseParams& c : candidates) {

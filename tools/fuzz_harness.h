@@ -61,6 +61,13 @@ struct CaseParams {
                                  // kRunBased plan diffs against the oracle
                                  // on run-shaped data, morsel boundaries
                                  // included
+  uint64_t memory_limit = 0;  // >0 runs a memory-governance pass: a context
+                              // with this hard limit (bytes) executes per
+                              // model, and every run must return the
+                              // complete exact result or a structured
+                              // kResourceExhausted — never a partial
+                              // aggregate, never a crash — with the query
+                              // tracker balanced at zero afterwards
 
   // Replay line, e.g. "seed=42 rows=375 segment_rows=128 ...". Parsed back
   // by ParseCaseParams.
