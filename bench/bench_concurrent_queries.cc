@@ -16,9 +16,31 @@
 //
 // Environment knobs (plus the usual BIPIE_BENCH_ROWS / BIPIE_BENCH_REPEATS):
 //   BIPIE_BENCH_CLIENTS  comma-free max client count, default 8
+//
+// Sustained-load server mode (--duration-sec N): instead of the closed-loop
+// cells above, starts the real query service (src/server) on a loopback
+// ephemeral port with a small admission slot count, and drives it open-loop
+// through the client library: two priority bands (high / low), each with a
+// fixed arrival schedule that does not wait for completions. Latency is
+// measured from the *scheduled* arrival, so a backlogged server is charged
+// for the queue it built (no coordinated omission). Reported per band: QPS,
+// p50/p99 latency, server-side admission queue wait, rejections; plus the
+// process-tracker high-water mark. Under saturation the high band's p99
+// must undercut the low band's — that is the whole point of the
+// priority-aware admission queue.
+//
+//   bench_concurrent_queries --duration-sec 10 [--arrival-qps R]
+//       [--clients-per-band N] [--max-concurrent K] [--queue-limit Q]
+//       [--aging-ms MS]
+//
+// --arrival-qps 0 (default) auto-calibrates: it measures one uncontended
+// query's wire latency and targets ~2x the slot capacity, i.e. guaranteed
+// saturation without unbounded backlog.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -29,6 +51,8 @@
 #include "exec/query_context.h"
 #include "exec/query_settings.h"
 #include "exec/scheduler.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "tpch/q1.h"
 #include "tpch/q6.h"
 
@@ -116,9 +140,237 @@ CellResult RunCell(const Table& lineitem, size_t clients, int iters,
   return result;
 }
 
-}  // namespace
+// --- sustained-load server mode ---------------------------------------------
 
-int main() {
+// Q1- and Q6-shaped SQL against the generated lineitem schema (decimals are
+// fixed-point: quantity is units*100, discount is hundredths).
+constexpr const char* kQ1Sql =
+    "SELECT l_returnflag, l_linestatus, count(*), sum(l_quantity), "
+    "sum(l_extendedprice) FROM lineitem WHERE l_shipdate <= 2436 "
+    "GROUP BY l_returnflag, l_linestatus";
+constexpr const char* kQ6Sql =
+    "SELECT sum(l_extendedprice * l_discount) FROM lineitem "
+    "WHERE l_shipdate BETWEEN 1096 AND 1460 AND l_discount BETWEEN 5 AND 7 "
+    "AND l_quantity < 2400";
+
+struct LoadFlags {
+  double duration_sec = 10;
+  double arrival_qps = 0;  // total across both bands; 0 = auto-calibrate
+  size_t clients_per_band = 4;
+  size_t max_concurrent = 2;  // admission slots; small so the queue engages
+  size_t queue_limit = 64;
+  uint64_t aging_ms = 500;
+};
+
+struct BandStats {
+  std::vector<double> latency_ms;     // completion minus *scheduled* arrival
+  std::vector<double> queue_wait_ms;  // server-side time in admission queue
+  size_t completed = 0;
+  size_t rejected = 0;  // admission queue full (kResourceExhausted)
+  size_t errors = 0;
+};
+
+// One open-loop client: issues queries on a fixed schedule (offset + n *
+// interval from t0), alternating Q1 and Q6 shapes. One query is in flight
+// per connection, so a worker that falls behind schedule sends immediately
+// on completion — and the latency, measured from the scheduled arrival,
+// absorbs the slip. clients_per_band workers approximate a true open loop.
+BandStats RunOpenLoopWorker(uint16_t port, const std::string& priority,
+                            double worker_qps, double offset_sec,
+                            std::chrono::steady_clock::time_point t0,
+                            double duration_sec) {
+  BandStats stats;
+  server::Client client;
+  if (!client.Connect("127.0.0.1", port).ok() ||
+      !client.Set("priority", priority).ok()) {
+    ++stats.errors;
+    return stats;
+  }
+  const double interval_sec = 1.0 / worker_qps;
+  for (size_t n = 0;; ++n) {
+    const double at = offset_sec + static_cast<double>(n) * interval_sec;
+    if (at >= duration_sec) break;
+    const auto scheduled =
+        t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                 std::chrono::duration<double>(at));
+    std::this_thread::sleep_until(scheduled);  // no-op when already late
+    QueryResult result;
+    server::QueryStatsWire wire_stats;
+    const Status status =
+        client.Query(n % 2 == 0 ? kQ1Sql : kQ6Sql, &result, &wire_stats);
+    const auto done = std::chrono::steady_clock::now();
+    if (status.ok()) {
+      ++stats.completed;
+      stats.latency_ms.push_back(
+          std::chrono::duration<double, std::milli>(done - scheduled).count());
+      stats.queue_wait_ms.push_back(
+          static_cast<double>(wire_stats.queue_wait_ns) / 1e6);
+    } else if (status.code() == StatusCode::kResourceExhausted) {
+      ++stats.rejected;
+    } else {
+      ++stats.errors;
+    }
+  }
+  return stats;
+}
+
+void MergeBand(BandStats* into, BandStats&& from) {
+  into->latency_ms.insert(into->latency_ms.end(), from.latency_ms.begin(),
+                          from.latency_ms.end());
+  into->queue_wait_ms.insert(into->queue_wait_ms.end(),
+                             from.queue_wait_ms.begin(),
+                             from.queue_wait_ms.end());
+  into->completed += from.completed;
+  into->rejected += from.rejected;
+  into->errors += from.errors;
+}
+
+int RunSustainedLoad(const LoadFlags& flags) {
+  PrintBenchHeader(
+      "Concurrent queries: shared morsel pool vs per-query threads",
+      "beyond the paper; open-loop load against the query service "
+      "(src/server) with priority-aware admission");
+
+  LineitemOptions options;
+  options.num_rows = BenchRows();
+  options.segment_rows = std::max<size_t>(
+      kBatchRows, std::min<size_t>(kDefaultSegmentRows, options.num_rows / 8));
+  std::printf("generating lineitem (%zu rows, %zu-row segments)...\n",
+              options.num_rows, options.segment_rows);
+  Table lineitem = MakeLineitemTable(options);
+
+  server::ServerOptions server_options;
+  server_options.port = 0;  // ephemeral loopback
+  server_options.admission.max_concurrent_queries = flags.max_concurrent;
+  server_options.admission.max_queued_queries = flags.queue_limit;
+  server_options.admission.aging_ms = flags.aging_ms;
+  server::Server server(server_options);
+  server.AddTable("lineitem", &lineitem);
+  {
+    const Status status = server.Start();
+    if (!status.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Warm the pool and the table, and calibrate: the median of a few
+  // uncontended wire round-trips bounds the per-slot service rate.
+  double probe_ms = 0;
+  {
+    server::Client probe;
+    BIPIE_DCHECK(probe.Connect("127.0.0.1", server.port()).ok());
+    std::vector<double> samples;
+    for (int i = 0; i < 3; ++i) {
+      QueryResult result;
+      const auto start = std::chrono::steady_clock::now();
+      BIPIE_DCHECK(probe.Query(kQ1Sql, &result).ok());
+      samples.push_back(std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count());
+    }
+    std::sort(samples.begin(), samples.end());
+    probe_ms = std::max(samples[samples.size() / 2], 0.01);
+  }
+  const double capacity_qps =
+      static_cast<double>(flags.max_concurrent) * 1000.0 / probe_ms;
+  const double arrival_qps = flags.arrival_qps > 0
+                                 ? flags.arrival_qps
+                                 : std::max(2.0, 2.0 * capacity_qps);
+
+  std::printf(
+      "server on 127.0.0.1:%u | slots: %zu | queue/band: %zu | aging: %zu ms\n"
+      "probe latency: %.2f ms -> capacity ~%.1f qps | arrival: %.1f qps "
+      "(2 bands) | duration: %.0f s | clients/band: %zu\n\n",
+      server.port(), flags.max_concurrent, flags.queue_limit,
+      static_cast<size_t>(flags.aging_ms), probe_ms, capacity_qps, arrival_qps,
+      flags.duration_sec, flags.clients_per_band);
+
+  MemoryTracker::Process().ResetPeak();
+  const double band_qps = arrival_qps / 2.0;
+  const double worker_qps =
+      band_qps / static_cast<double>(flags.clients_per_band);
+  const auto t0 = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(50);  // workers start aligned
+  const std::string bands[2] = {"high", "low"};
+  std::vector<BandStats> per_worker(2 * flags.clients_per_band);
+  std::vector<std::thread> workers;
+  workers.reserve(per_worker.size());
+  for (size_t b = 0; b < 2; ++b) {
+    for (size_t k = 0; k < flags.clients_per_band; ++k) {
+      const size_t slot = b * flags.clients_per_band + k;
+      // Stagger workers across one interval so band arrivals are uniform.
+      const double offset =
+          static_cast<double>(k) /
+          (worker_qps * static_cast<double>(flags.clients_per_band));
+      workers.emplace_back([&, b, slot, offset] {
+        per_worker[slot] = RunOpenLoopWorker(server.port(), bands[b],
+                                             worker_qps, offset, t0,
+                                             flags.duration_sec);
+      });
+    }
+  }
+  for (std::thread& w : workers) w.join();
+  server.Shutdown();
+  const size_t peak_tracked_bytes = MemoryTracker::Process().peak();
+
+  BenchJsonReport& report = BenchJsonReport::Get();
+  report.SetConfig("server_duration_sec", std::to_string(flags.duration_sec));
+  report.SetConfig("server_arrival_qps", std::to_string(arrival_qps));
+  report.SetConfig("server_slots", std::to_string(flags.max_concurrent));
+  report.SetConfig("server_clients_per_band",
+                   std::to_string(flags.clients_per_band));
+
+  std::printf("%8s %10s %10s %10s %12s %10s %8s %8s\n", "band", "QPS",
+              "p50 [ms]", "p99 [ms]", "qwait p99", "peak [B]", "rejected",
+              "errors");
+  double p99[2] = {0, 0};
+  size_t total_errors = 0;
+  for (size_t b = 0; b < 2; ++b) {
+    BandStats band;
+    for (size_t k = 0; k < flags.clients_per_band; ++k) {
+      MergeBand(&band, std::move(per_worker[b * flags.clients_per_band + k]));
+    }
+    const double qps =
+        static_cast<double>(band.completed) / flags.duration_sec;
+    const double p50_ms = PercentileMs(band.latency_ms, 0.50);
+    const double p99_ms = PercentileMs(band.latency_ms, 0.99);
+    const double qwait_p99_ms = PercentileMs(band.queue_wait_ms, 0.99);
+    p99[b] = p99_ms;
+    total_errors += band.errors;
+    std::printf("%8s %10.1f %10.2f %10.2f %12.2f %10zu %8zu %8zu\n",
+                bands[b].c_str(), qps, p50_ms, p99_ms, qwait_p99_ms,
+                peak_tracked_bytes, band.rejected, band.errors);
+    // New labels, absent from older baselines: the perf-smoke A/B gate's
+    // label intersection skips the server cells automatically.
+    report.Add("server_" + bands[b],
+               {{"qps", qps},
+                {"p50_ms", p50_ms},
+                {"p99_ms", p99_ms},
+                {"queue_wait_p99_ms", qwait_p99_ms},
+                {"peak_tracked_bytes",
+                 static_cast<double>(peak_tracked_bytes)},
+                {"rejected", static_cast<double>(band.rejected)},
+                {"errors", static_cast<double>(band.errors)}});
+  }
+
+  std::printf("\nshape check: high-band p99 %.2f ms vs low-band p99 %.2f ms "
+              "(%s under saturation)\n",
+              p99[0], p99[1],
+              p99[0] < p99[1] ? "high undercuts low, as admission promises"
+                              : "NO priority separation — investigate");
+  if (total_errors > 0) {
+    std::fprintf(stderr, "sustained-load run saw %zu query errors\n",
+                 total_errors);
+    return 1;
+  }
+  return 0;
+}
+
+// --- closed-loop in-process cells (the original perf-smoke A/B path) --------
+
+int RunClosedLoopCells() {
   PrintBenchHeader(
       "Concurrent queries: shared morsel pool vs per-query threads",
       "beyond the paper; morsel-driven execution (Leis et al.) applied to "
@@ -217,4 +469,49 @@ int main() {
               max_clients, pool_qps_at_max / spawn_qps_at_max,
               pool_qps_single / spawn_qps_single);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Any flag selects the sustained-load server mode; no flags runs the
+  // closed-loop in-process cells (the perf-smoke A/B path, whose labels the
+  // baseline comparison keys on).
+  if (argc > 1) {
+    LoadFlags flags;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> const char* {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (arg == "--duration-sec") {
+        flags.duration_sec = std::strtod(next(), nullptr);
+      } else if (arg == "--arrival-qps") {
+        flags.arrival_qps = std::strtod(next(), nullptr);
+      } else if (arg == "--clients-per-band") {
+        flags.clients_per_band =
+            std::max<size_t>(1, std::strtoull(next(), nullptr, 10));
+      } else if (arg == "--max-concurrent") {
+        flags.max_concurrent =
+            std::max<size_t>(1, std::strtoull(next(), nullptr, 10));
+      } else if (arg == "--queue-limit") {
+        flags.queue_limit = std::strtoull(next(), nullptr, 10);
+      } else if (arg == "--aging-ms") {
+        flags.aging_ms = std::strtoull(next(), nullptr, 10);
+      } else {
+        std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+        return 2;
+      }
+    }
+    if (flags.duration_sec <= 0) {
+      std::fprintf(stderr, "--duration-sec must be positive\n");
+      return 2;
+    }
+    return RunSustainedLoad(flags);
+  }
+  return RunClosedLoopCells();
 }

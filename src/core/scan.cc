@@ -359,7 +359,9 @@ Result<QueryResult> BIPieScan::ExecuteImpl() {
                                        ? *options_.admission
                                        : AdmissionController::Global();
   AdmissionController::Ticket admission_ticket;
-  BIPIE_RETURN_NOT_OK(admission.Admit(ctx, &admission_ticket));
+  BIPIE_RETURN_NOT_OK(admission.Admit(ctx, &admission_ticket,
+                                      options_.priority,
+                                      &stats_.admission_wait_ns));
 
   // Resolve filter column indices once.
   std::vector<int> filter_cols;
@@ -668,6 +670,12 @@ ScanOptions MakeScanOptions(QueryContext* context) {
       }
     }
     BIPIE_DCHECK(options.overrides.selection.has_value());
+  }
+  // Empty means "unset" (the registry always allows it): keep the default.
+  const std::string& priority = settings.priority();
+  if (!priority.empty()) {
+    const bool parsed = ParseQueryPriority(priority, &options.priority);
+    BIPIE_DCHECK(parsed);
   }
   const std::string& agg = settings.force_aggregation_strategy();
   if (!agg.empty()) {

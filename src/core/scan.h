@@ -68,10 +68,12 @@ struct ScanOptions {
   // never a partial result. The context's MemoryTracker is bound for every
   // morsel the scan runs, so its limits govern all scan allocations.
   QueryContext* context = nullptr;
-  // Admission gate override (tests); nullptr uses the process-wide
-  // AdmissionController::Global(). Execute() holds one admission ticket for
-  // its whole duration.
+  // Admission gate override (tests, the server); nullptr uses the
+  // process-wide AdmissionController::Global(). Execute() holds one
+  // admission ticket for its whole duration.
   AdmissionController* admission = nullptr;
+  // Priority band for the admission queue when slots are contended.
+  QueryPriority priority = QueryPriority::kNormal;
 };
 
 struct ScanStats {
@@ -89,6 +91,11 @@ struct ScanStats {
   // `batches` stays untouched by run-based morsels.
   size_t runs_aggregated = 0;
   size_t rows_run_aggregated = 0;
+  // Time this query spent waiting in the admission queue before its slot
+  // was granted (0 when it never queued). Lets callers separate queueing
+  // latency from execution latency; excluded from the cross-thread-count
+  // determinism pins (it is wall-clock, not work).
+  uint64_t admission_wait_ns = 0;
   AggregateProcessor::SelectionStats selection;
   // Segments per aggregation strategy, indexed by AggregationStrategy.
   // Counted once per segment regardless of how many morsels scanned it.

@@ -1,7 +1,9 @@
 #include "exec/admission.h"
 
-#include <chrono>
+#include <utility>
+#include <vector>
 
+#include "common/macros.h"
 #include "exec/query_settings.h"
 #include "obs/metrics.h"
 
@@ -13,6 +15,15 @@ struct AdmissionCounters {
   obs::Counter& admitted = obs::Counter::Get("admission.admitted");
   obs::Counter& queued = obs::Counter::Get("admission.queued");
   obs::Counter& rejected = obs::Counter::Get("admission.rejected");
+  // Per-band enqueue counts (how contended each priority is).
+  obs::Counter& queued_high = obs::Counter::Get("admission.queued_high");
+  obs::Counter& queued_normal = obs::Counter::Get("admission.queued_normal");
+  obs::Counter& queued_low = obs::Counter::Get("admission.queued_low");
+  // Queries that left the queue cancelled (deadline expiry or explicit
+  // cancel) without ever occupying a slot.
+  obs::Counter& timeouts = obs::Counter::Get("admission.timeouts");
+  // Total time granted queries spent waiting for their slot.
+  obs::Counter& queue_wait_us = obs::Counter::Get("admission.queue_wait_us");
 };
 
 AdmissionCounters& Counters() {
@@ -20,7 +31,42 @@ AdmissionCounters& Counters() {
   return counters;
 }
 
+obs::Counter& BandCounter(QueryPriority band) {
+  switch (band) {
+    case QueryPriority::kHigh:
+      return Counters().queued_high;
+    case QueryPriority::kNormal:
+      return Counters().queued_normal;
+    case QueryPriority::kLow:
+      return Counters().queued_low;
+  }
+  return Counters().queued_normal;
+}
+
 }  // namespace
+
+const char* QueryPriorityName(QueryPriority priority) {
+  switch (priority) {
+    case QueryPriority::kHigh:
+      return "high";
+    case QueryPriority::kNormal:
+      return "normal";
+    case QueryPriority::kLow:
+      return "low";
+  }
+  return "normal";
+}
+
+bool ParseQueryPriority(const std::string& text, QueryPriority* out) {
+  for (size_t b = 0; b < kNumPriorityBands; ++b) {
+    const auto priority = static_cast<QueryPriority>(b);
+    if (text == QueryPriorityName(priority)) {
+      *out = priority;
+      return true;
+    }
+  }
+  return false;
+}
 
 AdmissionController& AdmissionController::Global() {
   // Leaked: queries may still hold tickets during static destruction.
@@ -30,51 +76,221 @@ AdmissionController& AdmissionController::Global() {
         "BIPIE_MAX_CONCURRENT_QUERIES", /*def=*/0, /*min=*/0, /*max=*/4096));
     limits.max_queued_queries = static_cast<size_t>(EnvUInt64Setting(
         "BIPIE_ADMISSION_QUEUE_LIMIT", /*def=*/16, /*min=*/0, /*max=*/65536));
+    limits.aging_ms = EnvUInt64Setting("BIPIE_ADMISSION_AGING_MS", /*def=*/500,
+                                       /*min=*/0, /*max=*/3600000);
     return new AdmissionController(limits);
   }();
   return *global;
 }
 
-Status AdmissionController::Admit(QueryContext* ctx, Ticket* ticket) {
+size_t AdmissionController::EffectiveBand(const Waiter& w,
+                                          Clock::time_point now) const {
+  const size_t band = static_cast<size_t>(w.band);
+  if (limits_.aging_ms == 0 || band == 0) return band;
+  const uint64_t waited_ms = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(now - w.enqueued)
+          .count());
+  const uint64_t promotions = waited_ms / limits_.aging_ms;
+  return promotions >= band ? 0 : band - static_cast<size_t>(promotions);
+}
+
+std::list<AdmissionController::Waiter>* AdmissionController::BestBand(
+    Clock::time_point now) {
+  // Within a band, the front waiter has both the longest wait (best
+  // effective band) and the lowest seq, so comparing band fronts suffices.
+  std::list<Waiter>* best = nullptr;
+  size_t best_eff = kNumPriorityBands;
+  uint64_t best_seq = 0;
+  for (auto& band : bands_) {
+    if (band.empty()) continue;
+    const Waiter& w = band.front();
+    const size_t eff = EffectiveBand(w, now);
+    if (best == nullptr || eff < best_eff ||
+        (eff == best_eff && w.seq < best_seq)) {
+      best = &band;
+      best_eff = eff;
+      best_seq = w.seq;
+    }
+  }
+  return best;
+}
+
+void AdmissionController::CountQueueWait(Clock::time_point enqueued,
+                                         Clock::time_point now) {
+  Counters().queue_wait_us.Add(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(now - enqueued)
+          .count()));
+}
+
+Status AdmissionController::Admit(QueryContext* ctx, Ticket* ticket,
+                                  QueryPriority priority,
+                                  uint64_t* queue_wait_ns) {
   ticket->Release();
+  if (queue_wait_ns != nullptr) *queue_wait_ns = 0;
   if (limits_.max_concurrent_queries == 0) return Status::OK();
 
   std::unique_lock<std::mutex> lock(mu_);
-  if (running_ >= limits_.max_concurrent_queries) {
-    if (queued_ >= limits_.max_queued_queries) {
-      Counters().rejected.Increment();
-      return Status::ResourceExhausted(
-          "admission queue full: " + std::to_string(running_) +
-          " queries running, " + std::to_string(queued_) + " queued");
+  if (running_ < limits_.max_concurrent_queries) {
+    ++running_;
+    Counters().admitted.Increment();
+    *ticket = Ticket(this);
+    return Status::OK();
+  }
+
+  std::list<Waiter>& band = bands_[static_cast<size_t>(priority)];
+  if (band.size() >= limits_.max_queued_queries) {
+    Counters().rejected.Increment();
+    return Status::ResourceExhausted(
+        "admission queue full (" + std::string(QueryPriorityName(priority)) +
+        " band): " + std::to_string(running_) + " queries running, " +
+        std::to_string(band.size()) + " queued");
+  }
+  band.push_back(Waiter{next_seq_++, priority, Clock::now(), ctx,
+                        /*callback=*/nullptr, /*granted=*/false});
+  auto it = std::prev(band.end());
+  Counters().queued.Increment();
+  BandCounter(priority).Increment();
+
+  for (;;) {
+    // Bounded waits keep the queue responsive to cancellation and
+    // deadlines that fire while no slot frees up.
+    slot_free_.wait_for(lock, std::chrono::milliseconds(10));
+    if (it->granted) {
+      // ReleaseSlot transferred a slot to this waiter (running_ already
+      // counts it) and recorded the queue wait.
+      const auto now = Clock::now();
+      if (queue_wait_ns != nullptr) {
+        *queue_wait_ns = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                now - it->enqueued)
+                .count());
+      }
+      band.erase(it);
+      Counters().admitted.Increment();
+      *ticket = Ticket(this);
+      return Status::OK();
     }
-    ++queued_;
-    Counters().queued.Increment();
-    while (running_ >= limits_.max_concurrent_queries) {
-      // Bounded waits keep the queue responsive to cancellation and
-      // deadlines that fire while no slot frees up.
-      slot_free_.wait_for(lock, std::chrono::milliseconds(10));
-      if (ctx != nullptr) {
-        const Status status = ctx->CheckNotCancelled();
-        if (!status.ok()) {
-          --queued_;
-          return status;
-        }
+    if (ctx != nullptr) {
+      const Status status = ctx->CheckNotCancelled();
+      if (!status.ok()) {
+        band.erase(it);
+        Counters().timeouts.Increment();
+        return status;
       }
     }
-    --queued_;
   }
-  ++running_;
+}
+
+Status AdmissionController::Enqueue(QueryPriority priority, QueryContext* ctx,
+                                    AdmitCallback callback) {
+  BIPIE_DCHECK(callback != nullptr);
+  if (limits_.max_concurrent_queries == 0) {
+    Counters().admitted.Increment();
+    callback(Status::OK(), Ticket());
+    return Status::OK();
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (running_ < limits_.max_concurrent_queries) {
+      ++running_;
+    } else {
+      std::list<Waiter>& band = bands_[static_cast<size_t>(priority)];
+      if (band.size() >= limits_.max_queued_queries) {
+        Counters().rejected.Increment();
+        return Status::ResourceExhausted(
+            "admission queue full (" +
+            std::string(QueryPriorityName(priority)) +
+            " band): " + std::to_string(running_) + " queries running, " +
+            std::to_string(band.size()) + " queued");
+      }
+      band.push_back(Waiter{next_seq_++, priority, Clock::now(), ctx,
+                            std::move(callback), /*granted=*/false});
+      Counters().queued.Increment();
+      BandCounter(priority).Increment();
+      return Status::OK();
+    }
+  }
+  // Slot taken on the fast path; grant inline, outside the lock.
   Counters().admitted.Increment();
-  ticket->controller_ = this;
+  callback(Status::OK(), Ticket(this));
   return Status::OK();
 }
 
 void AdmissionController::ReleaseSlot() {
+  AdmitCallback grant;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    --running_;
+    const auto now = Clock::now();
+    std::list<Waiter>* band = BestBand(now);
+    if (band == nullptr) {
+      --running_;
+    } else {
+      // Transfer the slot directly to the winner: running_ stays constant,
+      // so no third query can slip in between release and grant.
+      Waiter& w = band->front();
+      CountQueueWait(w.enqueued, now);
+      if (w.callback != nullptr) {
+        grant = std::move(w.callback);
+        band->pop_front();
+        Counters().admitted.Increment();
+      } else {
+        w.granted = true;  // blocking waiter consumes it in its Admit loop
+      }
+    }
   }
-  slot_free_.notify_one();
+  slot_free_.notify_all();
+  if (grant != nullptr) grant(Status::OK(), Ticket(this));
+}
+
+void AdmissionController::Tick() {
+  std::vector<std::pair<AdmitCallback, Status>> expired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& band : bands_) {
+      for (auto it = band.begin(); it != band.end();) {
+        if (it->callback == nullptr || it->ctx == nullptr) {
+          ++it;  // blocking waiters poll their own context
+          continue;
+        }
+        const Status status = it->ctx->CheckNotCancelled();
+        if (status.ok()) {
+          ++it;
+          continue;
+        }
+        Counters().timeouts.Increment();
+        expired.emplace_back(std::move(it->callback), status);
+        it = band.erase(it);
+      }
+    }
+  }
+  for (auto& [callback, status] : expired) callback(status, Ticket());
+}
+
+void AdmissionController::CancelQueued() {
+  std::vector<AdmitCallback> cancelled;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& band : bands_) {
+      for (auto it = band.begin(); it != band.end();) {
+        if (it->callback == nullptr) {
+          // Blocking waiter: cancel through its context (it polls) — or
+          // leave it; drain callers own those threads.
+          if (it->ctx != nullptr) it->ctx->Cancel();
+          ++it;
+          continue;
+        }
+        Counters().timeouts.Increment();
+        cancelled.push_back(std::move(it->callback));
+        it = band.erase(it);
+      }
+    }
+  }
+  slot_free_.notify_all();
+  for (auto& callback : cancelled) {
+    callback(Status::Cancelled("server draining: query cancelled while queued"),
+             Ticket());
+  }
 }
 
 void AdmissionController::Ticket::Release() {
@@ -91,7 +307,14 @@ size_t AdmissionController::running() const {
 
 size_t AdmissionController::queued() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return queued_;
+  size_t total = 0;
+  for (const auto& band : bands_) total += band.size();
+  return total;
+}
+
+size_t AdmissionController::queued(QueryPriority band) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bands_[static_cast<size_t>(band)].size();
 }
 
 }  // namespace bipie

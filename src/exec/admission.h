@@ -1,28 +1,56 @@
-// Query admission control (DESIGN.md §13).
+// Query admission control (DESIGN.md §13, §14).
 //
 // Bounds how many queries execute concurrently: each Execute() acquires a
 // ticket before doing any work. When all slots are busy the query waits in
-// a bounded queue; a full queue rejects immediately with
+// a priority-banded bounded queue; a full band rejects immediately with
 // kResourceExhausted — the caller gets a structured "system is saturated"
 // answer instead of the process collapsing under N queries' worth of
 // scratch memory. Waiting queries keep honoring their context: a cancel or
 // deadline while queued returns kCancelled without ever occupying a slot.
 //
+// Priorities: three bands (high/normal/low), selected per query via the
+// `priority` setting. Dequeue is strict priority — a freed slot goes to the
+// highest non-empty band — softened by aging: a waiter's effective band
+// improves by one for every `aging_ms` it has waited, so saturating the
+// high band cannot starve low-band queries forever.
+//
+// Two admission styles share the queue:
+//   * Admit() blocks the calling thread (library callers running Execute()
+//     on their own thread, exactly as before);
+//   * Enqueue() is asynchronous: it returns immediately and fires a
+//     callback — with an owned Ticket — once a slot is granted, the context
+//     cancels, or the queue is drained. The server front-end (src/server)
+//     uses this so scheduler workers are never parked in admission.
+//
 // The default controller is process-wide and configured once from the
 // environment (BIPIE_MAX_CONCURRENT_QUERIES, BIPIE_ADMISSION_QUEUE_LIMIT,
-// both through the strict setting parser). Unlimited (the default) takes a
-// single-branch fast path with no lock.
+// BIPIE_ADMISSION_AGING_MS, all through the strict setting parser).
+// Unlimited (the default) takes a single-branch fast path with no lock.
 #ifndef BIPIE_EXEC_ADMISSION_H_
 #define BIPIE_EXEC_ADMISSION_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
 #include <mutex>
+#include <string>
 
 #include "common/status.h"
 #include "exec/query_context.h"
 
 namespace bipie {
+
+// Priority bands, best first. The numeric value is the band index.
+enum class QueryPriority : uint8_t { kHigh = 0, kNormal = 1, kLow = 2 };
+inline constexpr size_t kNumPriorityBands = 3;
+
+// Display name ("high" / "normal" / "low").
+const char* QueryPriorityName(QueryPriority priority);
+// Parses a display name; false on anything else.
+bool ParseQueryPriority(const std::string& text, QueryPriority* out);
 
 class AdmissionController {
  public:
@@ -30,9 +58,14 @@ class AdmissionController {
     // Queries allowed to execute at once; 0 = unlimited (Admit never
     // blocks and issues no ticket state).
     size_t max_concurrent_queries = 0;
-    // Queries allowed to wait for a slot; one more is rejected with
-    // kResourceExhausted. Only meaningful with a concurrency limit.
+    // Queries allowed to wait for a slot *per priority band*; one more is
+    // rejected with kResourceExhausted. Only meaningful with a concurrency
+    // limit.
     size_t max_queued_queries = 16;
+    // Starvation-avoidance aging: a queued query's effective band improves
+    // by one for every aging_ms it has waited. 0 disables aging (pure
+    // strict priority).
+    uint64_t aging_ms = 500;
   };
 
   // Unlimited by default. (Two constructors instead of one defaulted
@@ -65,29 +98,86 @@ class AdmissionController {
       return *this;
     }
     void Release();
+    bool holds_slot() const { return controller_ != nullptr; }
 
    private:
     friend class AdmissionController;
+    explicit Ticket(AdmissionController* controller)
+        : controller_(controller) {}
     AdmissionController* controller_ = nullptr;
   };
 
   // Blocks until a slot is free, then fills `*ticket`. Returns
-  // kResourceExhausted when the wait queue is already full, kCancelled when
-  // `ctx` (nullable) cancels or times out while waiting.
-  Status Admit(QueryContext* ctx, Ticket* ticket);
+  // kResourceExhausted when the band's wait queue is already full,
+  // kCancelled when `ctx` (nullable) cancels or times out while waiting.
+  // A non-null `queue_wait_ns` receives the time spent queued (0 on the
+  // no-wait paths).
+  Status Admit(QueryContext* ctx, Ticket* ticket,
+               QueryPriority priority = QueryPriority::kNormal,
+               uint64_t* queue_wait_ns = nullptr);
+
+  // Asynchronous admission. Exactly one of:
+  //   * a slot is free: `callback` runs inline with OK and an owned ticket;
+  //   * the band's queue is full: returns kResourceExhausted and the
+  //     callback is never invoked;
+  //   * otherwise the query is queued (returns OK) and the callback fires
+  //     later — from the thread releasing a slot (OK + ticket), from
+  //     Tick() (kCancelled, when `ctx` cancelled or its deadline passed
+  //     while queued), or from CancelQueued() (kCancelled).
+  // The callback must be cheap and must not re-enter this controller.
+  using AdmitCallback = std::function<void(Status, Ticket)>;
+  Status Enqueue(QueryPriority priority, QueryContext* ctx,
+                 AdmitCallback callback);
+
+  // Sweeps queued async waiters whose context cancelled or whose deadline
+  // passed, failing them with kCancelled (and counting
+  // admission.timeouts). Meant to be called periodically (the server's IO
+  // loop ticks every poll round); blocking Admit() waiters poll their own
+  // context and need no tick.
+  void Tick();
+
+  // Fails every queued waiter with kCancelled (graceful-drain shutdown:
+  // queued queries are cancelled, running ones finish).
+  void CancelQueued();
 
   size_t running() const;
-  size_t queued() const;
+  size_t queued() const;                      // across all bands
+  size_t queued(QueryPriority band) const;    // one band
   const Limits& limits() const { return limits_; }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Waiter {
+    uint64_t seq = 0;
+    QueryPriority band = QueryPriority::kNormal;
+    Clock::time_point enqueued;
+    QueryContext* ctx = nullptr;
+    AdmitCallback callback;  // null for blocking (Admit) waiters
+    bool granted = false;    // slot transferred; owner must consume it
+  };
+
+  // Effective band after aging, given `now`. Lower is better.
+  size_t EffectiveBand(const Waiter& w, Clock::time_point now) const;
+  // Picks the next waiter to grant (nullptr when all bands are empty).
+  // Caller holds mu_. Strict priority over effective bands; FIFO within a
+  // band (so each band's front is its best candidate).
+  std::list<Waiter>* BestBand(Clock::time_point now);
+  // Removes and returns the grant winner's callback work under mu_;
+  // the caller invokes callbacks outside the lock.
   void ReleaseSlot();
+  // Records a grant's queue-wait into the admission counters.
+  static void CountQueueWait(Clock::time_point enqueued, Clock::time_point now);
 
   const Limits limits_;
   mutable std::mutex mu_;
   std::condition_variable slot_free_;
   size_t running_ = 0;
-  size_t queued_ = 0;
+  uint64_t next_seq_ = 0;
+  // One FIFO per band. Blocking waiters are list nodes owned by their
+  // Admit frame's loop (removed by that frame); async waiters are removed
+  // when granted/cancelled.
+  std::list<Waiter> bands_[kNumPriorityBands];
 };
 
 }  // namespace bipie

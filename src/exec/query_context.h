@@ -32,6 +32,12 @@ namespace bipie {
 class QueryContext {
  public:
   QueryContext() = default;
+  // Parents the query's memory tracker under `parent_tracker` instead of
+  // the process root — the server threads each query under its session's
+  // tracker, so one session cannot hide another's footprint. `parent_tracker`
+  // must outlive this context.
+  explicit QueryContext(MemoryTracker* parent_tracker)
+      : tracker_(parent_tracker, "query") {}
   QueryContext(const QueryContext&) = delete;
   QueryContext& operator=(const QueryContext&) = delete;
 

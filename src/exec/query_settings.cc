@@ -63,6 +63,11 @@ const std::vector<SettingDef>& RegistryImpl() {
        0, 0, 0, false, "",
        "scalar|in-register|sort-based|multi-aggregate|checked-scalar|"
        "run-based"},
+      {"priority", SettingType::kString,
+       "Admission priority band. A freed slot goes to the highest-priority "
+       "queued query; aging promotes long waiters one band per aging "
+       "quantum so low priority is delayed under saturation, never starved.",
+       0, 0, 0, false, "normal", "high|normal|low"},
   };
   return *defs;
 }

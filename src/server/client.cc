@@ -1,0 +1,178 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace bipie::server {
+
+Status Client::Connect(const std::string& host, uint16_t port) {
+  Close();
+
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  if (::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                    &res) != 0 ||
+      res == nullptr) {
+    return Status::InvalidArgument("cannot resolve host: " + host);
+  }
+  int fd = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+  if (fd < 0) {
+    ::freeaddrinfo(res);
+    return Status::Internal("socket() failed");
+  }
+  if (::connect(fd, res->ai_addr, res->ai_addrlen) != 0) {
+    Status st = Status::Internal("connect failed: " +
+                                 std::string(std::strerror(errno)));
+    ::close(fd);
+    ::freeaddrinfo(res);
+    return st;
+  }
+  ::freeaddrinfo(res);
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  rbuf_.clear();
+  roffset_ = 0;
+  return Status::OK();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  rbuf_.clear();
+  roffset_ = 0;
+}
+
+Status Client::WriteAll(const std::vector<uint8_t>& bytes) {
+  if (fd_ < 0) return Status::Internal("client is not connected");
+  const uint8_t* p = bytes.data();
+  size_t left = bytes.size();
+  while (left > 0) {
+    ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("send failed: " +
+                              std::string(std::strerror(errno)));
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Client::ReadFrame(FrameView* frame) {
+  if (fd_ < 0) return Status::Internal("client is not connected");
+  // Compact consumed bytes so a long session's buffer stays bounded.
+  if (roffset_ > 0) {
+    rbuf_.erase(rbuf_.begin(),
+                rbuf_.begin() + static_cast<std::ptrdiff_t>(roffset_));
+    roffset_ = 0;
+  }
+  while (true) {
+    Status error;
+    FrameScan scan = NextFrame(rbuf_, &roffset_, frame, &error);
+    if (scan == FrameScan::kFrame) return Status::OK();
+    if (scan == FrameScan::kError) return error;
+    char buf[64 * 1024];
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      return Status::Internal("server closed the connection");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("recv failed: " +
+                              std::string(std::strerror(errno)));
+    }
+    rbuf_.insert(rbuf_.end(), buf, buf + n);
+  }
+}
+
+Status Client::Set(const std::string& name, const std::string& value) {
+  BIPIE_RETURN_NOT_OK(WriteAll(EncodeSetSettingFrame(name, value)));
+  FrameView frame;
+  BIPIE_RETURN_NOT_OK(ReadFrame(&frame));
+  if (frame.type == FrameType::kOk) return Status::OK();
+  if (frame.type == FrameType::kError) {
+    Status server_error;
+    BIPIE_RETURN_NOT_OK(DecodeErrorFrame(frame, &server_error));
+    return server_error;
+  }
+  return Status::Internal("unexpected frame type in SetSetting response");
+}
+
+Status Client::SendQuery(const std::string& sql) {
+  return WriteAll(EncodeQueryFrame(sql));
+}
+
+Status Client::SendCancel() { return WriteAll(EncodeCancelFrame()); }
+
+Status Client::SendRaw(const std::vector<uint8_t>& bytes) {
+  return WriteAll(bytes);
+}
+
+Status Client::ReadFrameInto(std::vector<uint8_t>* payload, FrameType* type) {
+  FrameView frame;
+  BIPIE_RETURN_NOT_OK(ReadFrame(&frame));
+  *type = frame.type;
+  payload->assign(frame.payload, frame.payload + frame.size);
+  return Status::OK();
+}
+
+Status Client::ReadQueryResponse(QueryResult* result, QueryStatsWire* stats,
+                                 std::string* explain_text) {
+  // Fresh response: callers reuse result objects across queries, and the
+  // batch decoder both appends rows and cross-checks the column header.
+  if (result != nullptr) *result = QueryResult{};
+  while (true) {
+    FrameView frame;
+    BIPIE_RETURN_NOT_OK(ReadFrame(&frame));
+    switch (frame.type) {
+      case FrameType::kResultBatch:
+        if (result != nullptr) {
+          BIPIE_RETURN_NOT_OK(DecodeResultBatch(frame, result));
+        }
+        break;
+      case FrameType::kStats: {
+        QueryStatsWire wire;
+        BIPIE_RETURN_NOT_OK(DecodeStatsFrame(frame, &wire));
+        if (stats != nullptr) *stats = wire;
+        return Status::OK();
+      }
+      case FrameType::kExplain: {
+        std::string text;
+        BIPIE_RETURN_NOT_OK(DecodeExplainFrame(frame, &text));
+        if (explain_text != nullptr) *explain_text = std::move(text);
+        return Status::OK();
+      }
+      case FrameType::kError: {
+        Status server_error;
+        BIPIE_RETURN_NOT_OK(DecodeErrorFrame(frame, &server_error));
+        return server_error;
+      }
+      default:
+        return Status::Internal("unexpected frame type in query response");
+    }
+  }
+}
+
+Status Client::Query(const std::string& sql, QueryResult* result,
+                     QueryStatsWire* stats) {
+  BIPIE_RETURN_NOT_OK(SendQuery(sql));
+  return ReadQueryResponse(result, stats);
+}
+
+Status Client::Explain(const std::string& sql, std::string* text) {
+  BIPIE_RETURN_NOT_OK(SendQuery(sql));
+  return ReadQueryResponse(nullptr, nullptr, text);
+}
+
+}  // namespace bipie::server

@@ -1,0 +1,75 @@
+// Thin client for the bipie query service: a blocking socket speaking the
+// framed protocol (server/protocol.h). Used by tools/bipie_client, the
+// sustained-load mode of bench_concurrent_queries and server_test.
+//
+// One Client is one session: settings applied with Set() persist for every
+// later Query() on the same connection. Not thread-safe — one thread per
+// Client (SendCancel() is the one exception: it may be called from another
+// thread to interrupt a Query() in progress).
+#ifndef BIPIE_SERVER_CLIENT_H_
+#define BIPIE_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/query.h"
+#include "server/protocol.h"
+
+namespace bipie::server {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  // SET name = value for this session. Server-side validation errors come
+  // back as the returned status.
+  Status Set(const std::string& name, const std::string& value);
+
+  // Runs `sql` to completion: result rows into *result, the server's Stats
+  // frame into *stats (nullable). Server-side errors (parse, execution,
+  // admission rejection, cancellation) come back as the returned status.
+  Status Query(const std::string& sql, QueryResult* result,
+               QueryStatsWire* stats = nullptr);
+
+  // EXPLAIN helper: runs `sql` (which must be an EXPLAIN statement) and
+  // returns the plan text.
+  Status Explain(const std::string& sql, std::string* text);
+
+  // Split-phase API for cancellation tests and the REPL's Ctrl-C path:
+  // send the query, optionally send Cancel while it runs, then collect the
+  // response.
+  Status SendQuery(const std::string& sql);
+  Status SendCancel();
+  // Reads frames until the query terminates (Stats / Explain / Error).
+  // Explain text lands in *explain_text (nullable) when the statement was
+  // an EXPLAIN.
+  Status ReadQueryResponse(QueryResult* result, QueryStatsWire* stats,
+                           std::string* explain_text = nullptr);
+
+  // Test hook: writes raw bytes to the socket (malformed-frame tests).
+  Status SendRaw(const std::vector<uint8_t>& bytes);
+  // Test hook: reads one frame (kOk / kError acknowledgements).
+  Status ReadFrameInto(std::vector<uint8_t>* payload, FrameType* type);
+
+ private:
+  Status WriteAll(const std::vector<uint8_t>& bytes);
+  // Blocks until one complete frame is buffered; points *frame into rbuf_.
+  Status ReadFrame(FrameView* frame);
+
+  int fd_ = -1;
+  std::vector<uint8_t> rbuf_;
+  size_t roffset_ = 0;
+};
+
+}  // namespace bipie::server
+
+#endif  // BIPIE_SERVER_CLIENT_H_

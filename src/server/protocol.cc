@@ -1,0 +1,394 @@
+#include "server/protocol.h"
+
+#include <cstring>
+
+namespace bipie::server {
+
+namespace {
+
+// One sanity bound for per-row counts inside a ResultBatch: group columns
+// and aggregate slots are tiny in the BIPie shape, but the decoder must not
+// trust the wire. 64 is far above anything the engine produces.
+constexpr uint32_t kMaxResultColumns = 64;
+
+Status ProtocolError(const std::string& message) {
+  return Status::InvalidArgument("protocol error: " + message);
+}
+
+}  // namespace
+
+Status StatusFromCode(StatusCode code, std::string message) {
+  switch (code) {
+    case StatusCode::kOk: return Status::OK();
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(message));
+    case StatusCode::kOutOfRange: return Status::OutOfRange(std::move(message));
+    case StatusCode::kNotSupported:
+      return Status::NotSupported(std::move(message));
+    case StatusCode::kOverflowRisk:
+      return Status::OverflowRisk(std::move(message));
+    case StatusCode::kCancelled: return Status::Cancelled(std::move(message));
+    case StatusCode::kInternal: return Status::Internal(std::move(message));
+    case StatusCode::kDataLoss: return Status::DataLoss(std::move(message));
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(std::move(message));
+  }
+  return Status::Internal(std::move(message));
+}
+
+uint8_t WireCodeOfStatus(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return 0;
+    case StatusCode::kInvalidArgument: return 1;
+    case StatusCode::kOutOfRange: return 2;
+    case StatusCode::kNotSupported: return 3;
+    case StatusCode::kOverflowRisk: return 4;
+    case StatusCode::kCancelled: return 5;
+    case StatusCode::kInternal: return 6;
+    case StatusCode::kDataLoss: return 7;
+    case StatusCode::kResourceExhausted: return 8;
+  }
+  return 6;
+}
+
+StatusCode StatusCodeOfWire(uint8_t wire) {
+  switch (wire) {
+    case 0: return StatusCode::kOk;
+    case 1: return StatusCode::kInvalidArgument;
+    case 2: return StatusCode::kOutOfRange;
+    case 3: return StatusCode::kNotSupported;
+    case 4: return StatusCode::kOverflowRisk;
+    case 5: return StatusCode::kCancelled;
+    case 6: return StatusCode::kInternal;
+    case 7: return StatusCode::kDataLoss;
+    case 8: return StatusCode::kResourceExhausted;
+    default: return StatusCode::kInternal;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FrameBuilder
+
+FrameBuilder::FrameBuilder(FrameType type) {
+  bytes_.reserve(64);
+  bytes_.resize(4, 0);  // length placeholder, patched by Finish()
+  bytes_.push_back(static_cast<uint8_t>(type));
+}
+
+void FrameBuilder::PutU8(uint8_t v) { bytes_.push_back(v); }
+
+void FrameBuilder::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) bytes_.push_back(uint8_t(v >> (8 * i)));
+}
+
+void FrameBuilder::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) bytes_.push_back(uint8_t(v >> (8 * i)));
+}
+
+void FrameBuilder::PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+
+void FrameBuilder::PutString(const std::string& s) {
+  // Produced strings stay under the decode cap so every frame we emit is
+  // decodable by our own reader; callers pass error messages / SQL / names
+  // that are all far below it, but truncate defensively rather than emit an
+  // undecodable frame.
+  size_t n = s.size() < kMaxStringBytes ? s.size() : kMaxStringBytes - 1;
+  PutU32(static_cast<uint32_t>(n));
+  bytes_.insert(bytes_.end(), s.data(), s.data() + n);
+}
+
+std::vector<uint8_t> FrameBuilder::Finish() {
+  uint32_t payload = static_cast<uint32_t>(bytes_.size() - kFrameHeaderBytes);
+  for (int i = 0; i < 4; ++i) bytes_[i] = uint8_t(payload >> (8 * i));
+  return std::move(bytes_);
+}
+
+// ---------------------------------------------------------------------------
+// Encoders
+
+std::vector<uint8_t> EncodeQueryFrame(const std::string& sql) {
+  FrameBuilder b(FrameType::kQuery);
+  b.PutString(sql);
+  return b.Finish();
+}
+
+std::vector<uint8_t> EncodeSetSettingFrame(const std::string& name,
+                                           const std::string& value) {
+  FrameBuilder b(FrameType::kSetSetting);
+  b.PutString(name);
+  b.PutString(value);
+  return b.Finish();
+}
+
+std::vector<uint8_t> EncodeCancelFrame() {
+  return FrameBuilder(FrameType::kCancel).Finish();
+}
+
+std::vector<uint8_t> EncodeOkFrame() {
+  return FrameBuilder(FrameType::kOk).Finish();
+}
+
+std::vector<uint8_t> EncodeErrorFrame(const Status& status) {
+  FrameBuilder b(FrameType::kError);
+  b.PutU8(WireCodeOfStatus(status.code()));
+  b.PutString(status.message());
+  return b.Finish();
+}
+
+std::vector<uint8_t> EncodeExplainFrame(const std::string& text) {
+  FrameBuilder b(FrameType::kExplain);
+  b.PutString(text);
+  return b.Finish();
+}
+
+std::vector<uint8_t> EncodeStatsFrame(const QueryStatsWire& stats) {
+  FrameBuilder b(FrameType::kStats);
+  b.PutU64(stats.rows_scanned);
+  b.PutU64(stats.rows_selected);
+  b.PutU64(stats.batches);
+  b.PutU64(stats.segments_scanned);
+  b.PutU64(stats.segments_eliminated);
+  b.PutU64(stats.runs_aggregated);
+  b.PutU64(stats.queue_wait_ns);
+  b.PutU64(stats.exec_ns);
+  b.PutU64(stats.peak_memory_bytes);
+  b.PutU8(stats.used_hash_fallback ? 1 : 0);
+  return b.Finish();
+}
+
+void EncodeResultFrames(const QueryResult& result,
+                        std::vector<std::vector<uint8_t>>* out) {
+  size_t num_aggs =
+      result.rows.empty() ? 0 : result.rows.front().sums.size();
+  size_t row = 0;
+  do {
+    size_t n = result.rows.size() - row;
+    if (n > kMaxResultRowsPerBatch) n = kMaxResultRowsPerBatch;
+    FrameBuilder b(FrameType::kResultBatch);
+    b.PutU32(static_cast<uint32_t>(result.group_column_names.size()));
+    for (const std::string& name : result.group_column_names) {
+      b.PutString(name);
+    }
+    b.PutU32(static_cast<uint32_t>(num_aggs));
+    b.PutU32(static_cast<uint32_t>(n));
+    for (size_t i = 0; i < n; ++i) {
+      const ResultRow& r = result.rows[row + i];
+      for (const GroupValue& g : r.group) {
+        b.PutU8(g.is_string ? 1 : 0);
+        if (g.is_string) {
+          b.PutString(g.string_value);
+        } else {
+          b.PutI64(g.int_value);
+        }
+      }
+      b.PutU64(r.count);
+      for (int64_t s : r.sums) b.PutI64(s);
+    }
+    out->push_back(b.Finish());
+    row += n;
+  } while (row < result.rows.size());
+}
+
+// ---------------------------------------------------------------------------
+// PayloadReader
+
+bool PayloadReader::GetU8(uint8_t* v) {
+  if (size_ - pos_ < 1) return false;
+  *v = data_[pos_++];
+  return true;
+}
+
+bool PayloadReader::GetU32(uint32_t* v) {
+  if (size_ - pos_ < 4) return false;
+  uint32_t r = 0;
+  for (int i = 0; i < 4; ++i) r |= uint32_t(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  *v = r;
+  return true;
+}
+
+bool PayloadReader::GetU64(uint64_t* v) {
+  if (size_ - pos_ < 8) return false;
+  uint64_t r = 0;
+  for (int i = 0; i < 8; ++i) r |= uint64_t(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  *v = r;
+  return true;
+}
+
+bool PayloadReader::GetI64(int64_t* v) {
+  uint64_t u;
+  if (!GetU64(&u)) return false;
+  *v = static_cast<int64_t>(u);
+  return true;
+}
+
+bool PayloadReader::GetString(std::string* s) {
+  uint32_t len;
+  if (!GetU32(&len)) return false;
+  // The length is untrusted: bound it by the cap AND the bytes actually
+  // left in the payload before any allocation happens.
+  if (len > kMaxStringBytes) return false;
+  if (len > size_ - pos_) return false;
+  s->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Frame scanning
+
+FrameScan NextFrame(const std::vector<uint8_t>& buffer, size_t* offset,
+                    FrameView* frame, Status* error) {
+  size_t avail = buffer.size() - *offset;
+  if (avail < kFrameHeaderBytes) return FrameScan::kNeedMore;
+  const uint8_t* p = buffer.data() + *offset;
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= uint32_t(p[i]) << (8 * i);
+  if (len > kMaxFramePayload) {
+    *error = ProtocolError("frame payload length " + std::to_string(len) +
+                           " exceeds limit " +
+                           std::to_string(kMaxFramePayload));
+    return FrameScan::kError;
+  }
+  uint8_t type = p[4];
+  if (type < 1 || type > 8) {
+    *error = ProtocolError("unknown frame type " + std::to_string(type));
+    return FrameScan::kError;
+  }
+  if (avail - kFrameHeaderBytes < len) return FrameScan::kNeedMore;
+  frame->type = static_cast<FrameType>(type);
+  frame->payload = p + kFrameHeaderBytes;
+  frame->size = len;
+  *offset += kFrameHeaderBytes + len;
+  return FrameScan::kFrame;
+}
+
+// ---------------------------------------------------------------------------
+// Decoders
+
+Status DecodeQueryFrame(const FrameView& frame, std::string* sql) {
+  if (frame.type != FrameType::kQuery) {
+    return ProtocolError("expected Query frame");
+  }
+  PayloadReader r(frame.payload, frame.size);
+  if (!r.GetString(sql) || !r.AtEnd()) {
+    return ProtocolError("malformed Query payload");
+  }
+  return Status::OK();
+}
+
+Status DecodeSetSettingFrame(const FrameView& frame, std::string* name,
+                             std::string* value) {
+  if (frame.type != FrameType::kSetSetting) {
+    return ProtocolError("expected SetSetting frame");
+  }
+  PayloadReader r(frame.payload, frame.size);
+  if (!r.GetString(name) || !r.GetString(value) || !r.AtEnd()) {
+    return ProtocolError("malformed SetSetting payload");
+  }
+  return Status::OK();
+}
+
+Status DecodeErrorFrame(const FrameView& frame, Status* out) {
+  if (frame.type != FrameType::kError) {
+    return ProtocolError("expected Error frame");
+  }
+  PayloadReader r(frame.payload, frame.size);
+  uint8_t wire;
+  std::string message;
+  if (!r.GetU8(&wire) || !r.GetString(&message) || !r.AtEnd()) {
+    return ProtocolError("malformed Error payload");
+  }
+  *out = StatusFromCode(StatusCodeOfWire(wire), std::move(message));
+  return Status::OK();
+}
+
+Status DecodeExplainFrame(const FrameView& frame, std::string* text) {
+  if (frame.type != FrameType::kExplain) {
+    return ProtocolError("expected Explain frame");
+  }
+  PayloadReader r(frame.payload, frame.size);
+  if (!r.GetString(text) || !r.AtEnd()) {
+    return ProtocolError("malformed Explain payload");
+  }
+  return Status::OK();
+}
+
+Status DecodeStatsFrame(const FrameView& frame, QueryStatsWire* stats) {
+  if (frame.type != FrameType::kStats) {
+    return ProtocolError("expected Stats frame");
+  }
+  PayloadReader r(frame.payload, frame.size);
+  uint8_t hash = 0;
+  if (!r.GetU64(&stats->rows_scanned) || !r.GetU64(&stats->rows_selected) ||
+      !r.GetU64(&stats->batches) || !r.GetU64(&stats->segments_scanned) ||
+      !r.GetU64(&stats->segments_eliminated) ||
+      !r.GetU64(&stats->runs_aggregated) ||
+      !r.GetU64(&stats->queue_wait_ns) || !r.GetU64(&stats->exec_ns) ||
+      !r.GetU64(&stats->peak_memory_bytes) || !r.GetU8(&hash) || !r.AtEnd()) {
+    return ProtocolError("malformed Stats payload");
+  }
+  stats->used_hash_fallback = hash != 0;
+  return Status::OK();
+}
+
+Status DecodeResultBatch(const FrameView& frame, QueryResult* result) {
+  if (frame.type != FrameType::kResultBatch) {
+    return ProtocolError("expected ResultBatch frame");
+  }
+  PayloadReader r(frame.payload, frame.size);
+  uint32_t num_groups, num_aggs, num_rows;
+  if (!r.GetU32(&num_groups) || num_groups > kMaxResultColumns) {
+    return ProtocolError("malformed ResultBatch group-column count");
+  }
+  std::vector<std::string> names(num_groups);
+  for (uint32_t i = 0; i < num_groups; ++i) {
+    if (!r.GetString(&names[i])) {
+      return ProtocolError("malformed ResultBatch column name");
+    }
+  }
+  if (!r.GetU32(&num_aggs) || num_aggs > kMaxResultColumns) {
+    return ProtocolError("malformed ResultBatch aggregate count");
+  }
+  if (!r.GetU32(&num_rows)) {
+    return ProtocolError("malformed ResultBatch row count");
+  }
+  // Each row carries at least 8 bytes (the count), so num_rows is bounded
+  // by the payload size — no allocation is sized from num_rows directly.
+  if (result->rows.empty() && result->group_column_names.empty()) {
+    result->group_column_names = names;
+  } else if (result->group_column_names != names) {
+    return ProtocolError("ResultBatch column header changed mid-result");
+  }
+  for (uint32_t i = 0; i < num_rows; ++i) {
+    ResultRow row;
+    row.group.resize(num_groups);
+    for (uint32_t g = 0; g < num_groups; ++g) {
+      uint8_t is_string;
+      if (!r.GetU8(&is_string)) {
+        return ProtocolError("malformed ResultBatch group value");
+      }
+      row.group[g].is_string = is_string != 0;
+      bool ok = is_string ? r.GetString(&row.group[g].string_value)
+                          : r.GetI64(&row.group[g].int_value);
+      if (!ok) return ProtocolError("malformed ResultBatch group value");
+    }
+    if (!r.GetU64(&row.count)) {
+      return ProtocolError("malformed ResultBatch row count field");
+    }
+    row.sums.resize(num_aggs);
+    for (uint32_t a = 0; a < num_aggs; ++a) {
+      if (!r.GetI64(&row.sums[a])) {
+        return ProtocolError("malformed ResultBatch aggregate value");
+      }
+    }
+    result->rows.push_back(std::move(row));
+  }
+  if (!r.AtEnd()) {
+    return ProtocolError("trailing bytes in ResultBatch payload");
+  }
+  return Status::OK();
+}
+
+}  // namespace bipie::server

@@ -1,0 +1,565 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "core/scan.h"
+#include "exec/scheduler.h"
+#include "obs/plan_explain.h"
+#include "obs/metrics.h"
+#include "sql/parser.h"
+
+namespace bipie::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t NsBetween(Clock::time_point from, Clock::time_point to) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count());
+}
+
+obs::Counter& ConnectionsCounter() {
+  static obs::Counter& c = obs::Counter::Get("server.connections");
+  return c;
+}
+obs::Counter& QueriesCounter() {
+  static obs::Counter& c = obs::Counter::Get("server.queries");
+  return c;
+}
+obs::Counter& QueryErrorsCounter() {
+  static obs::Counter& c = obs::Counter::Get("server.query_errors");
+  return c;
+}
+obs::Counter& ProtocolErrorsCounter() {
+  static obs::Counter& c = obs::Counter::Get("server.protocol_errors");
+  return c;
+}
+obs::Counter& CancelsCounter() {
+  static obs::Counter& c = obs::Counter::Get("server.cancel_frames");
+  return c;
+}
+obs::Counter& BytesReceivedCounter() {
+  static obs::Counter& c = obs::Counter::Get("server.bytes_received");
+  return c;
+}
+obs::Counter& BytesSentCounter() {
+  static obs::Counter& c = obs::Counter::Get("server.bytes_sent");
+  return c;
+}
+
+bool SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+// One client connection: socket state, the session (settings + tracker) and
+// the at-most-one in-flight query. Owned by shared_ptr — the IO thread holds
+// one reference, each running query job another, so the fd outlives every
+// writer and is closed exactly once.
+struct Server::Connection {
+  explicit Connection(int fd_in) : fd(fd_in) {}
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  const int fd;
+  // Receive buffer: bytes read but not yet consumed as frames. NextFrame's
+  // payload cap bounds it at one frame of backlog.
+  std::vector<uint8_t> rbuf;
+  size_t roffset = 0;
+
+  // The session: settings deltas applied by SetSetting frames, and the
+  // tracker every query of this connection parents under.
+  QuerySettings settings;
+  MemoryTracker session_tracker{&MemoryTracker::Process(), "session"};
+
+  std::mutex state_mu;  // guards `active`
+  std::shared_ptr<ActiveQuery> active;
+
+  std::mutex write_mu;  // serializes frame writes (worker vs IO thread)
+  std::atomic<bool> closed{false};
+};
+
+// One in-flight query on a connection, from Query frame to final frame.
+struct Server::ActiveQuery {
+  explicit ActiveQuery(MemoryTracker* session_tracker)
+      : ctx(session_tracker) {}
+
+  QueryContext ctx;
+  std::string statement;
+  std::string table_name;
+  bool explain = false;
+  const Table* table = nullptr;
+  Clock::time_point enqueued{};
+  std::atomic<uint64_t> queue_wait_ns{0};
+};
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), admission_(options_.admission) {}
+
+Server::~Server() { Shutdown(); }
+
+void Server::AddTable(std::string name, const Table* table) {
+  tables_[std::move(name)] = table;
+}
+
+Status Server::Start() {
+  if (started_) return Status::Internal("server already started");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::Internal("socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address: " +
+                                   options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("bind/listen failed: " +
+                            std::string(std::strerror(errno)));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  if (::pipe(wake_fds_) != 0 || !SetNonBlocking(wake_fds_[0]) ||
+      !SetNonBlocking(wake_fds_[1]) || !SetNonBlocking(listen_fd_)) {
+    Shutdown();
+    return Status::Internal("pipe/nonblock setup failed");
+  }
+
+  started_ = true;
+  io_thread_ = std::thread([this] { IoLoop(); });
+  return Status::OK();
+}
+
+void Server::Wake() {
+  if (wake_fds_[1] >= 0) {
+    char b = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fds_[1], &b, 1);
+  }
+}
+
+void Server::Shutdown() {
+  if (!started_ || shut_down_) return;
+  shut_down_ = true;
+
+  // Drain: no new queries, fail everything still queued, let running
+  // queries finish and flush their frames.
+  draining_.store(true, std::memory_order_release);
+  admission_.CancelQueued();
+  {
+    std::unique_lock<std::mutex> lock(jobs_mu_);
+    jobs_cv_.wait(lock, [this] { return jobs_in_flight_ == 0; });
+  }
+
+  stopping_.store(true, std::memory_order_release);
+  Wake();
+  io_thread_.join();
+
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  for (int i = 0; i < 2; ++i) {
+    if (wake_fds_[i] >= 0) ::close(wake_fds_[i]);
+    wake_fds_[i] = -1;
+  }
+}
+
+void Server::IoLoop() {
+  std::vector<pollfd> pfds;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pfds.clear();
+    pfds.push_back({wake_fds_[0], POLLIN, 0});
+    bool accepting = !draining_.load(std::memory_order_acquire) &&
+                     connections_.size() < options_.max_connections;
+    if (accepting) pfds.push_back({listen_fd_, POLLIN, 0});
+    size_t conn_base = pfds.size();
+    size_t polled = connections_.size();  // AcceptOne may append more below
+    for (const auto& conn : connections_) {
+      pfds.push_back({conn->fd, POLLIN, 0});
+    }
+
+    int rc = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 50);
+    // Sweep queued async waiters for cancels/deadlines every round; 50ms
+    // resolution is plenty for deadline granularity.
+    admission_.Tick();
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+
+    if (pfds[0].revents & POLLIN) {
+      char buf[64];
+      while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+    if (accepting && (pfds[conn_base - 1].revents & POLLIN)) AcceptOne();
+
+    // Service readable/erroring connections; drop finished ones. Only the
+    // `polled` prefix of connections_ has a pfd entry — connections
+    // AcceptOne just added are picked up next round.
+    for (size_t i = 0; i < polled;) {
+      short revents = pfds[conn_base + i].revents;
+      bool alive = true;
+      if (revents & (POLLIN | POLLERR | POLLHUP)) {
+        alive = ServiceReadable(connections_[i]);
+      }
+      if (!alive || connections_[i]->closed.load(std::memory_order_acquire)) {
+        auto conn = connections_[i];
+        conn->closed.store(true, std::memory_order_release);
+        {
+          std::lock_guard<std::mutex> lock(conn->state_mu);
+          if (conn->active) conn->active->ctx.Cancel();
+        }
+        connections_.erase(connections_.begin() + i);
+        pfds.erase(pfds.begin() + conn_base + i);
+        --polled;
+      } else {
+        ++i;
+      }
+    }
+  }
+  // Loop exit: drain finished (no jobs in flight), so dropping our
+  // references closes every idle connection.
+  for (auto& conn : connections_) {
+    conn->closed.store(true, std::memory_order_release);
+  }
+  connections_.clear();
+}
+
+void Server::AcceptOne() {
+  while (connections_.size() < options_.max_connections) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient error: poll again
+    if (!SetNonBlocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ConnectionsCounter().Increment();
+    connections_.push_back(std::make_shared<Connection>(fd));
+  }
+}
+
+bool Server::ServiceReadable(const std::shared_ptr<Connection>& conn) {
+  char buf[64 * 1024];
+  while (true) {
+    ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      BytesReceivedCounter().Add(static_cast<uint64_t>(n));
+      conn->rbuf.insert(conn->rbuf.end(), buf, buf + n);
+      continue;
+    }
+    if (n == 0) return false;  // client closed
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;  // ECONNRESET and friends
+  }
+
+  FrameView frame;
+  Status error;
+  while (true) {
+    FrameScan scan = NextFrame(conn->rbuf, &conn->roffset, &frame, &error);
+    if (scan == FrameScan::kNeedMore) break;
+    if (scan == FrameScan::kError) {
+      // Hostile or corrupt framing: report once, then drop the stream (a
+      // desynced length prefix cannot be resynchronized).
+      ProtocolErrorsCounter().Increment();
+      SendFrame(conn, EncodeErrorFrame(error));
+      return false;
+    }
+    DispatchFrame(conn, frame);
+    if (conn->closed.load(std::memory_order_acquire)) return false;
+  }
+  conn->rbuf.erase(conn->rbuf.begin(),
+                   conn->rbuf.begin() +
+                       static_cast<std::ptrdiff_t>(conn->roffset));
+  conn->roffset = 0;
+  return true;
+}
+
+void Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
+                           const FrameView& frame) {
+  switch (frame.type) {
+    case FrameType::kSetSetting: {
+      std::string name, value;
+      Status st = DecodeSetSettingFrame(frame, &name, &value);
+      if (!st.ok()) {
+        ProtocolErrorsCounter().Increment();
+        SendFrame(conn, EncodeErrorFrame(st));
+        conn->closed.store(true, std::memory_order_release);
+        return;
+      }
+      // Unknown names / bad values are user errors, not protocol errors:
+      // the session survives them.
+      st = conn->settings.Set(name, value);
+      SendFrame(conn, st.ok() ? EncodeOkFrame() : EncodeErrorFrame(st));
+      return;
+    }
+    case FrameType::kCancel: {
+      CancelsCounter().Increment();
+      std::shared_ptr<ActiveQuery> active;
+      {
+        std::lock_guard<std::mutex> lock(conn->state_mu);
+        active = conn->active;
+      }
+      // Cancelling with nothing in flight is a no-op, not an error (the
+      // query may have finished while the frame was in transit).
+      if (active) active->ctx.Cancel();
+      return;
+    }
+    case FrameType::kQuery:
+      HandleQueryFrame(conn, frame);
+      return;
+    default:
+      // Server->client frame types from a client are protocol violations.
+      ProtocolErrorsCounter().Increment();
+      SendFrame(conn, EncodeErrorFrame(Status::InvalidArgument(
+                          "protocol error: unexpected client frame type")));
+      conn->closed.store(true, std::memory_order_release);
+      return;
+  }
+}
+
+void Server::HandleQueryFrame(const std::shared_ptr<Connection>& conn,
+                              const FrameView& frame) {
+  std::string sql;
+  Status st = DecodeQueryFrame(frame, &sql);
+  if (!st.ok()) {
+    ProtocolErrorsCounter().Increment();
+    SendFrame(conn, EncodeErrorFrame(st));
+    conn->closed.store(true, std::memory_order_release);
+    return;
+  }
+  QueriesCounter().Increment();
+
+  if (draining_.load(std::memory_order_acquire)) {
+    QueryErrorsCounter().Increment();
+    SendFrame(conn, EncodeErrorFrame(
+                        Status::Cancelled("server is shutting down")));
+    return;
+  }
+
+  // Schema-free pre-parse: enough to route to a table and spot EXPLAIN.
+  // The full parse happens on the worker, against the table's schema.
+  Result<PreparsedQuery> pre = PreparseQuery(sql);
+  if (!pre.ok()) {
+    QueryErrorsCounter().Increment();
+    SendFrame(conn, EncodeErrorFrame(pre.status()));
+    return;
+  }
+  auto table_it = tables_.find(pre.value().table_name);
+  if (table_it == tables_.end()) {
+    QueryErrorsCounter().Increment();
+    SendFrame(conn, EncodeErrorFrame(Status::InvalidArgument(
+                        "unknown table '" + pre.value().table_name + "'")));
+    return;
+  }
+
+  std::shared_ptr<ActiveQuery> query;
+  {
+    std::lock_guard<std::mutex> lock(conn->state_mu);
+    if (conn->active) {
+      QueryErrorsCounter().Increment();
+      SendFrame(conn, EncodeErrorFrame(Status::InvalidArgument(
+                          "a query is already in flight on this "
+                          "connection")));
+      return;
+    }
+    query = std::make_shared<ActiveQuery>(&conn->session_tracker);
+    conn->active = query;
+  }
+  query->statement = std::move(pre.value().statement);
+  query->table_name = std::move(pre.value().table_name);
+  query->explain = pre.value().explain;
+  query->table = table_it->second;
+  // Session settings become the query's settings; the deadline clock starts
+  // now, so time spent queued counts against it (Tick expires queued
+  // queries whose deadline passes before a slot frees up).
+  query->ctx.settings() = conn->settings;
+  query->ctx.ApplySettings();
+  query->enqueued = Clock::now();
+
+  QueryPriority priority = QueryPriority::kNormal;
+  if (!query->ctx.settings().priority().empty()) {
+    ParseQueryPriority(query->ctx.settings().priority(), &priority);
+  }
+
+  st = admission_.Enqueue(
+      priority, &query->ctx,
+      [this, conn, query](Status admit, AdmissionController::Ticket ticket) {
+        query->queue_wait_ns.store(NsBetween(query->enqueued, Clock::now()),
+                                   std::memory_order_relaxed);
+        if (!admit.ok()) {
+          QueryErrorsCounter().Increment();
+          SendFrame(conn, EncodeErrorFrame(admit));
+          std::lock_guard<std::mutex> lock(conn->state_mu);
+          if (conn->active == query) conn->active.reset();
+          return;
+        }
+        SubmitQueryJob(conn, query, std::move(ticket));
+      });
+  if (!st.ok()) {
+    // Band queue full: structured saturation answer, connection kept.
+    QueryErrorsCounter().Increment();
+    SendFrame(conn, EncodeErrorFrame(st));
+    std::lock_guard<std::mutex> lock(conn->state_mu);
+    if (conn->active == query) conn->active.reset();
+  }
+}
+
+void Server::SubmitQueryJob(std::shared_ptr<Connection> conn,
+                            std::shared_ptr<ActiveQuery> query,
+                            AdmissionController::Ticket ticket) {
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    ++jobs_in_flight_;
+  }
+  // Scheduler tasks must be copyable; the move-only ticket rides in a
+  // shared_ptr and is released only after the query's frames are flushed,
+  // so the slot stays held for the query's whole wall-clock run.
+  auto held = std::make_shared<AdmissionController::Ticket>(std::move(ticket));
+  Scheduler::Global().Submit([this, conn, query, held]() {
+    std::vector<uint8_t> terminal = RunQuery(conn, query);
+    held->Release();
+    // Clear the active-query slot BEFORE the terminal frame goes out: a
+    // request-response client that reads the terminal frame and fires its
+    // next query must find the connection free.
+    FinishQuery(conn, query);
+    SendFrame(conn, terminal);
+    // Count the job done only AFTER the terminal frame is flushed:
+    // Shutdown's drain waits on this count before it tears the sockets
+    // down, and a drained query's client must still read its full reply.
+    // Notify under the mutex: once it drops, Shutdown may return and
+    // destroy the condvar, so the notify must already be over by then.
+    {
+      std::lock_guard<std::mutex> lock(jobs_mu_);
+      --jobs_in_flight_;
+      jobs_cv_.notify_all();
+    }
+  });
+}
+
+std::vector<uint8_t> Server::RunQuery(
+    const std::shared_ptr<Connection>& conn,
+    const std::shared_ptr<ActiveQuery>& query) {
+  if (options_.before_execute_hook) options_.before_execute_hook(&query->ctx);
+
+  Result<ParsedQuery> parsed = ParseQuery(query->statement, *query->table);
+  if (!parsed.ok()) {
+    QueryErrorsCounter().Increment();
+    return EncodeErrorFrame(parsed.status());
+  }
+
+  ScanOptions scan_options = MakeScanOptions(&query->ctx);
+  // The server already holds this query's admission slot; the scan's own
+  // admission call goes through the unlimited pass-through so the query is
+  // never queued twice.
+  scan_options.admission = &passthrough_;
+  BIPieScan scan(*query->table, std::move(parsed.value().spec), scan_options);
+
+  if (query->explain) {
+    Result<PlanExplain> plan = scan.Explain();
+    if (!plan.ok()) {
+      QueryErrorsCounter().Increment();
+      return EncodeErrorFrame(plan.status());
+    }
+    return EncodeExplainFrame(plan.value().ToText());
+  }
+
+  Clock::time_point exec_start = Clock::now();
+  Result<QueryResult> result = scan.Execute();
+  if (!result.ok()) {
+    // Execution failures — including kCancelled and a memory limit's
+    // kResourceExhausted — are clean Error frames; the connection and its
+    // session live on.
+    QueryErrorsCounter().Increment();
+    return EncodeErrorFrame(result.status());
+  }
+
+  std::vector<std::vector<uint8_t>> frames;
+  EncodeResultFrames(result.value(), &frames);
+  for (const auto& frame : frames) {
+    if (!SendFrame(conn, frame)) break;  // terminal send will no-op too
+  }
+
+  QueryStatsWire wire;
+  const ScanStats& stats = scan.stats();
+  wire.rows_scanned = stats.rows_scanned;
+  wire.rows_selected = stats.rows_selected;
+  wire.batches = stats.batches;
+  wire.segments_scanned = stats.segments_scanned;
+  wire.segments_eliminated = stats.segments_eliminated;
+  wire.runs_aggregated = stats.runs_aggregated;
+  wire.queue_wait_ns = query->queue_wait_ns.load(std::memory_order_relaxed);
+  wire.exec_ns = NsBetween(exec_start, Clock::now());
+  wire.peak_memory_bytes = query->ctx.memory_tracker().peak();
+  wire.used_hash_fallback = stats.used_hash_fallback;
+  return EncodeStatsFrame(wire);
+}
+
+void Server::FinishQuery(const std::shared_ptr<Connection>& conn,
+                         const std::shared_ptr<ActiveQuery>& query) {
+  std::lock_guard<std::mutex> lock(conn->state_mu);
+  if (conn->active == query) conn->active.reset();
+}
+
+bool Server::SendFrame(const std::shared_ptr<Connection>& conn,
+                       const std::vector<uint8_t>& frame) {
+  if (conn->closed.load(std::memory_order_acquire)) return false;
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  const uint8_t* p = frame.data();
+  size_t left = frame.size();
+  while (left > 0) {
+    ssize_t n = ::send(conn->fd, p, left, MSG_NOSIGNAL);
+    if (n > 0) {
+      p += n;
+      left -= static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{conn->fd, POLLOUT, 0};
+      // A client that stops reading for 10s forfeits the rest of its
+      // result; the server never blocks a worker on one slow socket
+      // forever.
+      if (::poll(&pfd, 1, 10000) <= 0) {
+        conn->closed.store(true, std::memory_order_release);
+        return false;
+      }
+      continue;
+    }
+    conn->closed.store(true, std::memory_order_release);
+    return false;
+  }
+  BytesSentCounter().Add(frame.size());
+  return true;
+}
+
+}  // namespace bipie::server

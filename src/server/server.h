@@ -1,0 +1,150 @@
+// The bipie query service (DESIGN.md §14).
+//
+// A long-running server that accepts SQL over the framed TCP protocol
+// (server/protocol.h) and streams results back. One accept+IO thread owns
+// every socket: it polls all connections, assembles frames from untrusted
+// bytes, and dispatches them. Query execution never runs on the IO thread —
+// and never blocks a pool worker in admission either: a Query frame is
+// handed to AdmissionController::Enqueue, and only when a slot is granted
+// does the server submit the query job to the process-wide work-stealing
+// Scheduler. There is no second thread pool.
+//
+// Sessions: each connection carries its own QuerySettings (mutated by
+// SetSetting frames; `SET key = value` deltas in the REPL) and a session
+// MemoryTracker child of the process root. Every query runs under a
+// QueryContext whose tracker is a child of the session tracker, so
+// process <- session <- query limits all hold, and a drained session
+// trivially satisfies used() == 0.
+//
+// Graceful drain (Shutdown, or SIGTERM in tools/bipie_server): stop
+// accepting, fail queued queries with kCancelled, let running queries
+// finish and flush their result frames, then close.
+#ifndef BIPIE_SERVER_SERVER_H_
+#define BIPIE_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/memory_tracker.h"
+#include "common/status.h"
+#include "exec/admission.h"
+#include "exec/query_context.h"
+#include "exec/query_settings.h"
+#include "server/protocol.h"
+#include "storage/table.h"
+
+namespace bipie::server {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral; Server::port() reports the real one
+  size_t max_connections = 64;
+  // Admission limits for the server's controller. The default
+  // (max_concurrent_queries = 0) admits everything immediately; set a
+  // concurrency cap to activate the priority-banded queue — the sustained-
+  // load harness and the daemon both do.
+  AdmissionController::Limits admission{};
+  // Test hook: runs on the worker thread after admission granted a slot
+  // and before the query parses/executes. Lets tests hold a query at a
+  // deterministic point (e.g. to land a Cancel frame mid-query).
+  std::function<void(QueryContext*)> before_execute_hook;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Registers `table` under `name` (non-owning; the table must outlive the
+  // server). Call before Start().
+  void AddTable(std::string name, const Table* table);
+
+  // Binds, listens and starts the IO thread.
+  Status Start();
+
+  // Graceful drain: stop accepting, cancel queued queries, wait for
+  // running queries to finish and flush, then close every connection.
+  // Idempotent; also runs from the destructor.
+  void Shutdown();
+
+  // The bound port (valid after Start()).
+  uint16_t port() const { return port_; }
+
+  AdmissionController& admission() { return admission_; }
+
+ private:
+  struct Connection;
+  struct ActiveQuery;
+
+  void IoLoop();
+  void AcceptOne();
+  // Reads whatever is available; parses and dispatches complete frames.
+  // Returns false when the connection is finished (EOF, error, protocol
+  // violation) and should be dropped from the poll set.
+  bool ServiceReadable(const std::shared_ptr<Connection>& conn);
+  void DispatchFrame(const std::shared_ptr<Connection>& conn,
+                     const FrameView& frame);
+  void HandleQueryFrame(const std::shared_ptr<Connection>& conn,
+                        const FrameView& frame);
+  // Admission granted: submit the execution job to the scheduler.
+  void SubmitQueryJob(std::shared_ptr<Connection> conn,
+                      std::shared_ptr<ActiveQuery> query,
+                      AdmissionController::Ticket ticket);
+  // The scheduler job: parse, execute (or explain), stream result frames.
+  // Returns the terminal frame (Stats / Explain / Error) WITHOUT sending
+  // it: the caller clears the connection's active-query slot first, so by
+  // the time the client reads the terminal frame the connection accepts
+  // the next query — no "already in flight" race for request-response
+  // clients.
+  std::vector<uint8_t> RunQuery(const std::shared_ptr<Connection>& conn,
+                                const std::shared_ptr<ActiveQuery>& query);
+  // Clears the connection's active-query slot (accepts the next query).
+  // The jobs_in_flight_ count, which Shutdown's drain waits on, drops only
+  // after the terminal frame is flushed — see SubmitQueryJob.
+  void FinishQuery(const std::shared_ptr<Connection>& conn,
+                   const std::shared_ptr<ActiveQuery>& query);
+
+  static bool SendFrame(const std::shared_ptr<Connection>& conn,
+                        const std::vector<uint8_t>& frame);
+  void Wake();
+
+  const ServerOptions options_;
+  std::map<std::string, const Table*> tables_;
+
+  AdmissionController admission_;
+  // Pass-through controller handed to BIPieScan: the server already holds
+  // the admission ticket for the query, so Execute()'s own admission call
+  // must not queue a second time. Unlimited = single-branch no-op.
+  AdmissionController passthrough_;
+
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // pipe: IO thread sleeps in poll on [0]
+  uint16_t port_ = 0;
+  std::thread io_thread_;
+  std::atomic<bool> stopping_{false};   // stop IO loop
+  std::atomic<bool> draining_{false};   // reject new queries
+
+  std::vector<std::shared_ptr<Connection>> connections_;  // IO thread only
+
+  std::mutex jobs_mu_;
+  std::condition_variable jobs_cv_;
+  size_t jobs_in_flight_ = 0;
+
+  bool started_ = false;
+  bool shut_down_ = false;
+};
+
+}  // namespace bipie::server
+
+#endif  // BIPIE_SERVER_SERVER_H_

@@ -1,6 +1,7 @@
 #include "sql/parser.h"
 
 #include <cctype>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -20,13 +21,45 @@ struct Token {
   TokenKind kind = TokenKind::kEnd;
   std::string text;   // identifier (original case) / symbol / string body
   int64_t value = 0;  // kInteger
+  size_t offset = 0;  // byte offset of the token's first character
 };
 
 // Lower-cases ASCII for keyword comparison.
 std::string Lower(const std::string& s) {
   std::string out = s;
-  for (char& c : out) c = static_cast<char>(std::tolower(c));
+  for (char& c : out) c = static_cast<char>(std::tolower(
+      static_cast<unsigned char>(c)));
   return out;
+}
+
+// Bounded, printable rendering of a token for error context: SQL is
+// untrusted network input, so the echoed text is clipped and non-printable
+// bytes are masked before it lands in an error message.
+std::string ContextOf(const Token& token) {
+  if (token.kind == TokenKind::kEnd) return "end of input";
+  constexpr size_t kMaxContext = 24;
+  std::string out = "'";
+  const size_t n = std::min(token.text.size(), kMaxContext);
+  for (size_t i = 0; i < n; ++i) {
+    const unsigned char c = static_cast<unsigned char>(token.text[i]);
+    out += (c >= 0x20 && c < 0x7f) ? static_cast<char>(c) : '?';
+  }
+  if (token.text.size() > kMaxContext) out += "...";
+  out += "'";
+  return out;
+}
+
+// Every parse/lex error carries the byte offset and the offending token, so
+// a caller (or a human at the bipie_client REPL) can point at the input.
+Status ErrorAt(size_t offset, const std::string& context,
+               const std::string& message) {
+  return Status::InvalidArgument("parse error at byte " +
+                                 std::to_string(offset) + " near " + context +
+                                 ": " + message);
+}
+
+Status ErrorAtToken(const Token& token, const std::string& message) {
+  return ErrorAt(token.offset, ContextOf(token), message);
 }
 
 class Lexer {
@@ -48,7 +81,8 @@ class Lexer {
                 input_[j] == '_')) {
           ++j;
         }
-        out->push_back({TokenKind::kIdentifier, input_.substr(i, j - i), 0});
+        out->push_back(
+            {TokenKind::kIdentifier, input_.substr(i, j - i), 0, i});
         i = j;
         continue;
       }
@@ -61,7 +95,19 @@ class Lexer {
         Token t;
         t.kind = TokenKind::kInteger;
         t.text = input_.substr(i, j - i);
-        t.value = std::stoll(t.text);
+        t.offset = i;
+        // Overflow-checked accumulate: a 40-digit literal is a structured
+        // error, never an exception (std::stoll would throw out_of_range).
+        int64_t value = 0;
+        for (const char d : t.text) {
+          const int64_t digit = d - '0';
+          if (value > (INT64_MAX - digit) / 10) {
+            return ErrorAt(i, ContextOf(t),
+                           "integer literal out of 64-bit range");
+          }
+          value = value * 10 + digit;
+        }
+        t.value = value;
         out->push_back(t);
         i = j;
         continue;
@@ -69,10 +115,11 @@ class Lexer {
       if (c == '\'') {
         const size_t close = input_.find('\'', i + 1);
         if (close == std::string::npos) {
-          return Status::InvalidArgument("unterminated string literal");
+          Token t{TokenKind::kString, input_.substr(i + 1), 0, i};
+          return ErrorAt(i, ContextOf(t), "unterminated string literal");
         }
         out->push_back(
-            {TokenKind::kString, input_.substr(i + 1, close - i - 1), 0});
+            {TokenKind::kString, input_.substr(i + 1, close - i - 1), 0, i});
         i = close + 1;
         continue;
       }
@@ -80,20 +127,20 @@ class Lexer {
       if (i + 1 < input_.size()) {
         const std::string two = input_.substr(i, 2);
         if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
-          out->push_back({TokenKind::kSymbol, two, 0});
+          out->push_back({TokenKind::kSymbol, two, 0, i});
           i += 2;
           continue;
         }
       }
       if (std::string("(),*+-<>=").find(c) != std::string::npos) {
-        out->push_back({TokenKind::kSymbol, std::string(1, c), 0});
+        out->push_back({TokenKind::kSymbol, std::string(1, c), 0, i});
         ++i;
         continue;
       }
-      return Status::InvalidArgument(std::string("unexpected character '") +
-                                     c + "' in query");
+      Token t{TokenKind::kSymbol, std::string(1, c), 0, i};
+      return ErrorAt(i, ContextOf(t), "unexpected character in query");
     }
-    out->push_back({TokenKind::kEnd, "", 0});
+    out->push_back({TokenKind::kEnd, "", 0, input_.size()});
     return Status::OK();
   }
 
@@ -120,7 +167,7 @@ class Parser {
 
     BIPIE_RETURN_NOT_OK(ExpectKeyword("from"));
     if (Peek().kind != TokenKind::kIdentifier) {
-      return Status::InvalidArgument("expected table name after FROM");
+      return ErrorAtToken(Peek(), "expected table name after FROM");
     }
     parsed.table_name = Next().text;
 
@@ -135,20 +182,19 @@ class Parser {
       BIPIE_RETURN_NOT_OK(ExpectKeyword("by"));
       for (;;) {
         if (Peek().kind != TokenKind::kIdentifier) {
-          return Status::InvalidArgument("expected column in GROUP BY");
+          return ErrorAtToken(Peek(), "expected column in GROUP BY");
         }
-        const std::string name = Next().text;
-        if (table_.FindColumn(name) < 0) {
-          return Status::InvalidArgument("unknown GROUP BY column: " + name);
+        const Token& tok = Next();
+        if (table_.FindColumn(tok.text) < 0) {
+          return ErrorAtToken(tok, "unknown GROUP BY column");
         }
-        parsed.spec.group_by.push_back(name);
+        parsed.spec.group_by.push_back(tok.text);
         if (!AcceptSymbol(",")) break;
       }
     }
 
     if (Peek().kind != TokenKind::kEnd) {
-      return Status::InvalidArgument("unexpected trailing input: " +
-                                     Peek().text);
+      return ErrorAtToken(Peek(), "unexpected trailing input");
     }
 
     // Validate: every bare select column must be grouped.
@@ -190,15 +236,13 @@ class Parser {
   }
   Status ExpectKeyword(const std::string& keyword) {
     if (!AcceptKeyword(keyword)) {
-      return Status::InvalidArgument("expected keyword '" + keyword +
-                                     "' near '" + Peek().text + "'");
+      return ErrorAtToken(Peek(), "expected keyword '" + keyword + "'");
     }
     return Status::OK();
   }
   Status ExpectSymbol(const std::string& symbol) {
     if (!AcceptSymbol(symbol)) {
-      return Status::InvalidArgument("expected '" + symbol + "' near '" +
-                                     Peek().text + "'");
+      return ErrorAtToken(Peek(), "expected '" + symbol + "'");
     }
     return Status::OK();
   }
@@ -208,8 +252,7 @@ class Parser {
   Result<bool> ParseSelectItem(QuerySpec* spec,
                                std::vector<std::string>* select_columns) {
     if (Peek().kind != TokenKind::kIdentifier) {
-      return Status::InvalidArgument("expected select item near '" +
-                                     Peek().text + "'");
+      return ErrorAtToken(Peek(), "expected select item");
     }
     const std::string word = Lower(Peek().text);
     if (word == "count") {
@@ -238,28 +281,28 @@ class Parser {
         return true;
       }
       if (Peek().kind != TokenKind::kIdentifier) {
-        return Status::InvalidArgument(word + "() takes a column name");
+        return ErrorAtToken(Peek(), word + "() takes a column name");
       }
-      const std::string col = Next().text;
-      if (table_.FindColumn(col) < 0) {
-        return Status::InvalidArgument("unknown column: " + col);
+      const Token& col = Next();
+      if (table_.FindColumn(col.text) < 0) {
+        return ErrorAtToken(col, "unknown column");
       }
       BIPIE_RETURN_NOT_OK(ExpectSymbol(")"));
       if (word == "avg") {
-        spec->aggregates.push_back(AggregateSpec::Avg(col));
+        spec->aggregates.push_back(AggregateSpec::Avg(col.text));
       } else if (word == "min") {
-        spec->aggregates.push_back(AggregateSpec::Min(col));
+        spec->aggregates.push_back(AggregateSpec::Min(col.text));
       } else {
-        spec->aggregates.push_back(AggregateSpec::Max(col));
+        spec->aggregates.push_back(AggregateSpec::Max(col.text));
       }
       return true;
     }
     // Bare column reference.
-    const std::string col = Next().text;
-    if (table_.FindColumn(col) < 0) {
-      return Status::InvalidArgument("unknown column: " + col);
+    const Token& col = Next();
+    if (table_.FindColumn(col.text) < 0) {
+      return ErrorAtToken(col, "unknown column");
     }
-    select_columns->push_back(col);
+    select_columns->push_back(col.text);
     return true;
   }
 
@@ -313,15 +356,14 @@ class Parser {
       return Expr::Constant(Next().value);
     }
     if (Peek().kind == TokenKind::kIdentifier) {
-      const std::string name = Next().text;
-      const int idx = table_.FindColumn(name);
+      const Token& name = Next();
+      const int idx = table_.FindColumn(name.text);
       if (idx < 0) {
-        return Status::InvalidArgument("unknown column: " + name);
+        return ErrorAtToken(name, "unknown column");
       }
       return Expr::Column(idx);
     }
-    return Status::InvalidArgument("expected expression near '" +
-                                   Peek().text + "'");
+    return ErrorAtToken(Peek(), "expected expression");
   }
 
   Result<int64_t> ParseIntLiteral() {
@@ -331,8 +373,7 @@ class Parser {
       negative = true;
     }
     if (Peek().kind != TokenKind::kInteger) {
-      return Status::InvalidArgument("expected integer literal near '" +
-                                     Peek().text + "'");
+      return ErrorAtToken(Peek(), "expected integer literal");
     }
     const int64_t v = Next().value;
     return negative ? -v : v;
@@ -340,11 +381,12 @@ class Parser {
 
   Status ParsePredicate(QuerySpec* spec) {
     if (Peek().kind != TokenKind::kIdentifier) {
-      return Status::InvalidArgument("expected column in WHERE");
+      return ErrorAtToken(Peek(), "expected column in WHERE");
     }
-    const std::string col = Next().text;
+    const Token& col_tok = Next();
+    const std::string col = col_tok.text;
     if (table_.FindColumn(col) < 0) {
-      return Status::InvalidArgument("unknown column: " + col);
+      return ErrorAtToken(col_tok, "unknown column");
     }
     if (AcceptKeyword("between")) {
       Result<int64_t> lo = ParseIntLiteral();
@@ -357,9 +399,10 @@ class Parser {
       return Status::OK();
     }
     if (Peek().kind != TokenKind::kSymbol) {
-      return Status::InvalidArgument("expected comparison operator");
+      return ErrorAtToken(Peek(), "expected comparison operator");
     }
-    const std::string symbol = Next().text;
+    const Token& symbol_tok = Next();
+    const std::string symbol = symbol_tok.text;
     CompareOp op;
     if (symbol == "=") {
       op = CompareOp::kEq;
@@ -374,7 +417,7 @@ class Parser {
     } else if (symbol == ">=") {
       op = CompareOp::kGe;
     } else {
-      return Status::InvalidArgument("unsupported operator: " + symbol);
+      return ErrorAtToken(symbol_tok, "unsupported operator");
     }
     bool negative = false;
     if (Peek().kind == TokenKind::kSymbol && Peek().text == "-") {
@@ -390,7 +433,7 @@ class Parser {
       spec->filters.emplace_back(col, op, Next().text);
       return Status::OK();
     }
-    return Status::InvalidArgument("expected literal after operator");
+    return ErrorAtToken(Peek(), "expected literal after operator");
   }
 
   std::vector<Token> tokens_;
@@ -406,6 +449,41 @@ Result<ParsedQuery> ParseQuery(const std::string& sql, const Table& table) {
   BIPIE_RETURN_NOT_OK(lexer.Tokenize(&tokens));
   Parser parser(std::move(tokens), table);
   return parser.Parse();
+}
+
+Result<PreparsedQuery> PreparseQuery(const std::string& sql) {
+  std::vector<Token> tokens;
+  Lexer lexer(sql);
+  BIPIE_RETURN_NOT_OK(lexer.Tokenize(&tokens));
+  PreparsedQuery out;
+  out.statement = sql;
+  size_t pos = 0;
+  if (tokens[pos].kind == TokenKind::kIdentifier &&
+      Lower(tokens[pos].text) == "explain") {
+    out.explain = true;
+    // Strip the prefix so the statement re-parses as a plain query.
+    out.statement = sql.substr(tokens[pos].offset + tokens[pos].text.size());
+    ++pos;
+  }
+  if (!(tokens[pos].kind == TokenKind::kIdentifier &&
+        Lower(tokens[pos].text) == "select")) {
+    return ErrorAtToken(tokens[pos], "expected SELECT statement");
+  }
+  // Find the top-level FROM. The grammar has no subqueries, so the first
+  // FROM keyword is the one that names the table.
+  for (size_t i = pos; i < tokens.size(); ++i) {
+    if (tokens[i].kind == TokenKind::kIdentifier &&
+        Lower(tokens[i].text) == "from") {
+      if (i + 1 >= tokens.size() ||
+          tokens[i + 1].kind != TokenKind::kIdentifier) {
+        const Token& at = tokens[std::min(i + 1, tokens.size() - 1)];
+        return ErrorAtToken(at, "expected table name after FROM");
+      }
+      out.table_name = tokens[i + 1].text;
+      return out;
+    }
+  }
+  return ErrorAtToken(tokens.back(), "query has no FROM clause");
 }
 
 }  // namespace bipie

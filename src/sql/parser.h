@@ -13,6 +13,13 @@
 // The parser resolves column names against a table's schema and produces a
 // QuerySpec ready for BIPieScan. It rejects anything outside the supported
 // shape with a descriptive InvalidArgument.
+//
+// SQL is untrusted input (it arrives over the network via src/server), so
+// every error carries position context — "parse error at byte N near
+// '<token>'" — and the lexer never throws: oversized integer literals,
+// unterminated strings and stray bytes all surface as kInvalidArgument.
+// The parse_sql mode of tools/bipie_fuzz sweeps mutated query text against
+// this contract.
 #ifndef BIPIE_SQL_PARSER_H_
 #define BIPIE_SQL_PARSER_H_
 
@@ -31,6 +38,17 @@ struct ParsedQuery {
 
 // Parses `sql` against `table`'s schema.
 Result<ParsedQuery> ParseQuery(const std::string& sql, const Table& table);
+
+// The schema-free pre-parse the server runs before it can pick a table:
+// lexes the statement, strips an optional leading EXPLAIN, and extracts the
+// identifier after FROM. No column resolution happens here — the full
+// ParseQuery runs later against the resolved table's schema.
+struct PreparsedQuery {
+  bool explain = false;    // statement started with EXPLAIN
+  std::string table_name;  // identifier following FROM
+  std::string statement;   // the statement with any EXPLAIN prefix removed
+};
+Result<PreparsedQuery> PreparseQuery(const std::string& sql);
 
 }  // namespace bipie
 

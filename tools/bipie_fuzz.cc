@@ -12,6 +12,9 @@
 // replay line. load_table mode instead fuzzes the untrusted-file boundary:
 // each seed mutates a golden table file and the load must produce a
 // structured error or a validated, scannable table — never a crash.
+// parse_sql mode fuzzes the untrusted-query boundary the same way: mutated
+// SQL text must parse-and-execute cleanly or be rejected with a contextful
+// kInvalidArgument — never a crash.
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -24,8 +27,8 @@ namespace {
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--mode differential|load_table] [--seed N] "
-               "[--iters N] [--budget-seconds S] [--verbose]\n"
+               "usage: %s [--mode differential|load_table|parse_sql] "
+               "[--seed N] [--iters N] [--budget-seconds S] [--verbose]\n"
                "       %s --replay \"seed=N rows=N ...\"\n",
                argv0, argv0);
 }
@@ -58,7 +61,8 @@ int main(int argc, char** argv) {
       budget_seconds = std::strtod(need_value("--budget-seconds"), nullptr);
     } else if (arg == "--mode") {
       mode = need_value("--mode");
-      if (mode != "differential" && mode != "load_table") {
+      if (mode != "differential" && mode != "load_table" &&
+          mode != "parse_sql") {
         std::fprintf(stderr, "unknown mode: %s\n", mode.c_str());
         Usage(argv[0]);
         return 2;
@@ -92,6 +96,16 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "[bipie_fuzz] FAILURE: %s\n", error.c_str());
     return 1;
+  }
+
+  if (mode == "parse_sql") {
+    const bipie::fuzz::SqlFuzzResult result =
+        bipie::fuzz::RunParseSqlFuzz(seed, iters, budget_seconds, verbose);
+    std::fprintf(stderr,
+                 "[bipie_fuzz] parse_sql: %" PRIu64 " iteration(s), %" PRIu64
+                 " failure(s)\n",
+                 result.iterations, result.failures);
+    return result.failures == 0 ? 0 : 1;
   }
 
   if (mode == "load_table") {

@@ -5,6 +5,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <iterator>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -15,6 +16,7 @@
 #include "common/random.h"
 #include "core/scan.h"
 #include "exec/query_context.h"
+#include "sql/parser.h"
 #include "storage/table.h"
 #include "storage/table_io.h"
 #include "tests/test_util.h"
@@ -891,6 +893,190 @@ LoadFuzzResult RunLoadTableFuzz(uint64_t seed, uint64_t iters,
     break;
   }
   std::remove(path.c_str());
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// parse_sql mode: the untrusted-query boundary.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// The schema the seed statements reference: one dictionary string group
+// column and two integer value columns.
+Table MakeSqlFuzzTable() {
+  Table table({{"g", ColumnType::kString, EncodingChoice::kDictionary},
+               {"v", ColumnType::kInt64, EncodingChoice::kBitPacked},
+               {"w", ColumnType::kInt64, EncodingChoice::kAuto}});
+  TableAppender app(&table, 512);
+  const char* flags[3] = {"A", "N", "R"};
+  for (size_t i = 0; i < 2000; ++i) {
+    app.AppendRow({0, static_cast<int64_t>(i % 97),
+                   static_cast<int64_t>(i % 11)},
+                  {flags[i % 3], "", ""});
+  }
+  app.Flush();
+  return table;
+}
+
+// Well-formed statements the mutator starts from, covering the whole
+// supported grammar: grouping, arithmetic aggregates, string equality,
+// comparison chains, BETWEEN, EXPLAIN.
+constexpr const char* kSqlSeeds[] = {
+    "SELECT g, count(*), sum(v) FROM t WHERE v >= 10 GROUP BY g",
+    "SELECT count(*), sum(v * w + 2), min(w), max(v) FROM t",
+    "SELECT g, count(*), avg(v) FROM t WHERE g = 'A' AND w < 9 GROUP BY g",
+    "SELECT sum(v * (100 - w)) FROM t WHERE v BETWEEN 10 AND 80",
+    "EXPLAIN SELECT g, count(*) FROM t WHERE w > 3 GROUP BY g",
+    "SELECT count(*) FROM t WHERE v <= -1 AND w > -100000000000",
+};
+
+// Splice vocabulary: keywords, operators, literals on both sides of the
+// overflow boundary, and fragments that tend to create unterminated strings
+// or unbalanced parentheses.
+constexpr const char* kSqlTokens[] = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "AND", "BETWEEN", "EXPLAIN",
+    "count(*)", "sum(", "min(", "max(", "avg(", ")", "(", ",", "*", "+",
+    "-", "<=", ">=", "=", "<", ">", "'A'", "'", "g", "v", "w", "t", "0",
+    "9223372036854775807", "99999999999999999999999999", ";",
+};
+
+std::string MutateSql(const std::string& base, Rng* rng) {
+  std::string s = base;
+  const int mutations = 1 + static_cast<int>(rng->NextBounded(4));
+  for (int m = 0; m < mutations; ++m) {
+    switch (rng->NextBounded(5)) {
+      case 0:  // flip one byte
+        if (!s.empty()) {
+          s[rng->NextBounded(s.size())] =
+              static_cast<char>(rng->Next() & 0xff);
+        }
+        break;
+      case 1:  // truncate
+        if (!s.empty()) s.resize(rng->NextBounded(s.size()));
+        break;
+      case 2:  // splice a token
+        s.insert(rng->NextBounded(s.size() + 1),
+                 kSqlTokens[rng->NextBounded(std::size(kSqlTokens))]);
+        break;
+      case 3:  // duplicate a slice
+        if (s.size() >= 2) {
+          const size_t at = rng->NextBounded(s.size() - 1);
+          const size_t len = 1 + rng->NextBounded(s.size() - at - 1 + 1);
+          const std::string slice = s.substr(at, len);
+          s.insert(rng->NextBounded(s.size() + 1), slice);
+        }
+        break;
+      default: {  // raw garbage bytes
+        const size_t n = 1 + rng->NextBounded(8);
+        std::string garbage;
+        for (size_t i = 0; i < n; ++i) {
+          garbage.push_back(static_cast<char>(rng->Next() & 0xff));
+        }
+        s.insert(rng->NextBounded(s.size() + 1), garbage);
+        break;
+      }
+    }
+  }
+  return s;
+}
+
+// Escapes non-printable bytes so failure diagnostics survive a terminal.
+std::string PrintableSql(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c >= 0x20 && c < 0x7f) {
+      out.push_back(c);
+    } else {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\x%02x",
+                    static_cast<unsigned char>(c));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+bool RunOneSqlCase(uint64_t case_seed, const Table& table,
+                   std::string* error) {
+  Rng rng(case_seed * 0x9e3779b97f4a7c15ULL + 1);
+  std::string sql;
+  if (rng.NextBernoulli(0.05)) {
+    // Pure garbage: no valid skeleton at all.
+    const size_t n = rng.NextBounded(64);
+    for (size_t i = 0; i < n; ++i) {
+      sql.push_back(static_cast<char>(rng.Next() & 0xff));
+    }
+  } else {
+    sql = MutateSql(kSqlSeeds[rng.NextBounded(std::size(kSqlSeeds))], &rng);
+  }
+
+  // The schema-free preparse (the server's first contact with the bytes)
+  // must only ever reject with kInvalidArgument.
+  auto pre = PreparseQuery(sql);
+  if (!pre.ok() && pre.status().code() != StatusCode::kInvalidArgument) {
+    *error = "preparse returned " + pre.status().ToString() +
+             " for: " + PrintableSql(sql);
+    return false;
+  }
+
+  auto parsed = ParseQuery(sql, table);
+  if (!parsed.ok()) {
+    if (parsed.status().code() != StatusCode::kInvalidArgument) {
+      *error = "parse returned " + parsed.status().ToString() +
+               " for: " + PrintableSql(sql);
+      return false;
+    }
+    if (parsed.status().message().empty()) {
+      *error = "parse rejected without context for: " + PrintableSql(sql);
+      return false;
+    }
+    return true;
+  }
+  // The mutant parsed clean (e.g. the mutation landed in whitespace or a
+  // literal): the resolved QuerySpec must execute without internal errors.
+  auto result = ExecuteQuery(table, parsed.value().spec);
+  if (!result.ok() && result.status().code() == StatusCode::kInternal) {
+    *error = "internal error executing parsed mutant: " +
+             result.status().ToString() + " for: " + PrintableSql(sql);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+SqlFuzzResult RunParseSqlFuzz(uint64_t seed, uint64_t iters,
+                              double budget_seconds, bool verbose) {
+  SqlFuzzResult result;
+  const Table table = MakeSqlFuzzTable();
+  const auto start = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < iters; ++i) {
+    if (budget_seconds > 0) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      if (elapsed >= budget_seconds) break;
+    }
+    ++result.iterations;
+    if (verbose) {
+      std::fprintf(stderr, "[bipie_fuzz] parse_sql seed %" PRIu64 "\n",
+                   seed + i);
+    }
+    std::string error;
+    if (RunOneSqlCase(seed + i, table, &error)) continue;
+    ++result.failures;
+    result.first_failing_seed = seed + i;
+    result.first_error = error;
+    std::fprintf(stderr,
+                 "[bipie_fuzz] parse_sql FAILURE at seed %" PRIu64
+                 ": %s\n"
+                 "[bipie_fuzz] replay: bipie_fuzz --mode parse_sql "
+                 "--seed %" PRIu64 " --iters 1\n",
+                 seed + i, error.c_str(), seed + i);
+    break;
+  }
   return result;
 }
 

@@ -137,6 +137,27 @@ struct LoadFuzzResult {
 LoadFuzzResult RunLoadTableFuzz(uint64_t seed, uint64_t iters,
                                 double budget_seconds, bool verbose);
 
+// ---------------------------------------------------------------------------
+// parse_sql mode: the untrusted-query boundary.
+// ---------------------------------------------------------------------------
+
+struct SqlFuzzResult {
+  uint64_t iterations = 0;
+  uint64_t failures = 0;
+  uint64_t first_failing_seed = 0;  // replay: --mode parse_sql --seed N
+  std::string first_error;
+};
+
+// Fuzzes the SQL frontend (src/sql): each seed mutates a valid statement
+// (byte flips, truncation, token splices, slice duplication, raw garbage)
+// and feeds it to PreparseQuery and ParseQuery. Every input must either
+// parse into a QuerySpec that then executes without internal errors, or be
+// rejected with a contextful kInvalidArgument — never any other status,
+// never an empty message, never a crash (which a sanitizer build turns into
+// a process abort). Stops at the first failing seed.
+SqlFuzzResult RunParseSqlFuzz(uint64_t seed, uint64_t iters,
+                              double budget_seconds, bool verbose);
+
 }  // namespace bipie::fuzz
 
 #endif  // BIPIE_TOOLS_FUZZ_HARNESS_H_
