@@ -31,11 +31,29 @@
 //
 //   bench_concurrent_queries --duration-sec 10 [--arrival-qps R]
 //       [--clients-per-band N] [--max-concurrent K] [--queue-limit Q]
-//       [--aging-ms MS]
+//       [--aging-ms MS] [--chaos] [--chaos-seed S] [--fault-prob P]
 //
 // --arrival-qps 0 (default) auto-calibrates: it measures one uncontended
 // query's wire latency and targets ~2x the slot capacity, i.e. guaranteed
 // saturation without unbounded backlog.
+//
+// Chaos mode (--chaos, with --duration-sec): the same sustained two-band
+// load, but with every socket and allocation failpoint armed at seeded
+// probabilities (server short/torn reads, connection resets, send failures,
+// accept faults, delayed poll wakeups; client connect/recv/send faults;
+// allocation failures) while clients run with timeouts + retry/backoff.
+// Individual query errors are expected and tolerated; what must hold are
+// the failure invariants (DESIGN.md §15):
+//   * no crash, no hang: every request ends in a terminal reply or a clean
+//     disconnect within its timeout;
+//   * the server stays live: a clean client can Ping it after the storm;
+//   * nothing leaks: admission queues drain to zero, the process tracker
+//     returns to its pre-storm baseline after Shutdown, and the process fd
+//     count is back to where it started.
+// Exit code is 0 only if all invariants hold. Requires a build with
+// BIPIE_ENABLE_FAILPOINTS (debug/asan/tsan presets); refuses to run otherwise.
+#include <dirent.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -46,6 +64,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/failpoint.h"
 #include "common/memory_tracker.h"
 #include "common/status.h"
 #include "exec/query_context.h"
@@ -160,15 +179,50 @@ struct LoadFlags {
   size_t max_concurrent = 2;  // admission slots; small so the queue engages
   size_t queue_limit = 64;
   uint64_t aging_ms = 500;
+  bool chaos = false;        // arm failpoints, assert failure invariants
+  uint64_t chaos_seed = 42;  // seeds every failpoint's coin flips
+  double fault_prob = 0;     // > 0 overrides every class's probability
 };
 
 struct BandStats {
   std::vector<double> latency_ms;     // completion minus *scheduled* arrival
   std::vector<double> queue_wait_ms;  // server-side time in admission queue
   size_t completed = 0;
-  size_t rejected = 0;  // admission queue full (kResourceExhausted)
+  size_t rejected = 0;     // admission queue full (kResourceExhausted)
+  size_t unavailable = 0;  // shed / transport failures after retries
   size_t errors = 0;
 };
+
+// Live fds of this process (/proc/self/fd entries, excluding the iterating
+// dirfd itself). The chaos run brackets the server's lifetime with this to
+// prove no socket or pipe leaks.
+size_t CountOpenFds() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  size_t count = 0;
+  while (dirent* entry = ::readdir(dir)) {
+    if (entry->d_name[0] != '.') ++count;
+  }
+  ::closedir(dir);
+  return count > 0 ? count - 1 : 0;  // minus the opendir fd
+}
+
+// Diagnostic for a failed fd invariant: what each open descriptor points
+// at (socket inode, pipe, file path), so a CI log identifies the leak.
+void DumpOpenFds() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return;
+  while (dirent* entry = ::readdir(dir)) {
+    if (entry->d_name[0] == '.') continue;
+    char link[64];
+    std::snprintf(link, sizeof(link), "/proc/self/fd/%s", entry->d_name);
+    char target[256];
+    ssize_t n = ::readlink(link, target, sizeof(target) - 1);
+    target[n > 0 ? n : 0] = '\0';
+    std::fprintf(stderr, "  fd %s -> %s\n", entry->d_name, target);
+  }
+  ::closedir(dir);
+}
 
 // One open-loop client: issues queries on a fixed schedule (offset + n *
 // interval from t0), alternating Q1 and Q6 shapes. One query is in flight
@@ -178,11 +232,20 @@ struct BandStats {
 BandStats RunOpenLoopWorker(uint16_t port, const std::string& priority,
                             double worker_qps, double offset_sec,
                             std::chrono::steady_clock::time_point t0,
-                            double duration_sec) {
+                            double duration_sec,
+                            const server::ClientOptions& client_options) {
   BandStats stats;
-  server::Client client;
-  if (!client.Connect("127.0.0.1", port).ok() ||
-      !client.Set("priority", priority).ok()) {
+  server::Client client(client_options);
+  // Under chaos the first connect can be the one the fault injector kills:
+  // keep trying briefly rather than silently running a worker-less band.
+  Status setup;
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    setup = client.Connect("127.0.0.1", port);
+    if (setup.ok()) setup = client.Set("priority", priority);
+    if (setup.ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  if (!setup.ok()) {
     ++stats.errors;
     return stats;
   }
@@ -207,6 +270,10 @@ BandStats RunOpenLoopWorker(uint16_t port, const std::string& priority,
           static_cast<double>(wire_stats.queue_wait_ns) / 1e6);
     } else if (status.code() == StatusCode::kResourceExhausted) {
       ++stats.rejected;
+    } else if (status.code() == StatusCode::kUnavailable) {
+      // Shed rejection or a transport failure the retry policy gave up on:
+      // the structured "not now" answer, distinct from a broken query.
+      ++stats.unavailable;
     } else {
       ++stats.errors;
     }
@@ -222,14 +289,54 @@ void MergeBand(BandStats* into, BandStats&& from) {
                              from.queue_wait_ms.end());
   into->completed += from.completed;
   into->rejected += from.rejected;
+  into->unavailable += from.unavailable;
   into->errors += from.errors;
 }
 
+// Arms every socket and allocation failpoint at a seeded probability. The
+// torn-IO classes (short reads/writes) run hotter than the hard-failure
+// classes (resets, send/recv errors) — tearing must be survivable at high
+// rates, hard failures cost a reconnect each. A fault_prob > 0 flattens
+// everything to that rate.
+void ArmChaosFailpoints(uint64_t seed, double fault_prob) {
+  struct FaultClass {
+    const char* name;
+    double probability;
+  };
+  const FaultClass classes[] = {
+      {"server/read_short", 0.05},   {"server/send_partial", 0.05},
+      {"server/read_reset", 0.01},   {"server/send_fail", 0.01},
+      {"server/accept_fail", 0.02},  {"server/poll_delay", 0.02},
+      {"client/read_short", 0.05},   {"client/connect_fail", 0.02},
+      {"client/recv_fail", 0.01},    {"client/send_fail", 0.01},
+      {"aligned_buffer/alloc_fail", 0.01},
+      {"scan/morsel_scratch_alloc", 0.01},
+  };
+  uint64_t salt = 0;
+  for (const FaultClass& fc : classes) {
+    const double p = fault_prob > 0 ? fault_prob : fc.probability;
+    Failpoints::FailWithProbability(fc.name, p, seed + salt++);
+    std::printf("  chaos: %-32s p=%.3f\n", fc.name, p);
+  }
+}
+
 int RunSustainedLoad(const LoadFlags& flags) {
+#if !defined(BIPIE_ENABLE_FAILPOINTS)
+  if (flags.chaos) {
+    std::fprintf(stderr,
+                 "--chaos needs a build with BIPIE_ENABLE_FAILPOINTS "
+                 "(debug/asan/tsan presets); this binary has the sites compiled "
+                 "out\n");
+    return 2;
+  }
+#endif
   PrintBenchHeader(
       "Concurrent queries: shared morsel pool vs per-query threads",
-      "beyond the paper; open-loop load against the query service "
-      "(src/server) with priority-aware admission");
+      flags.chaos
+          ? "beyond the paper; sustained load with socket/alloc fault "
+            "injection against the query service (src/server)"
+          : "beyond the paper; open-loop load against the query service "
+            "(src/server) with priority-aware admission");
 
   LineitemOptions options;
   options.num_rows = BenchRows();
@@ -239,11 +346,22 @@ int RunSustainedLoad(const LoadFlags& flags) {
               options.num_rows, options.segment_rows);
   Table lineitem = MakeLineitemTable(options);
 
+  // Failure-invariant brackets: fds before the server exists, tracker
+  // baseline after warmup (below). Both must be restored at the end.
+  const size_t fds_before = CountOpenFds();
+
   server::ServerOptions server_options;
   server_options.port = 0;  // ephemeral loopback
   server_options.admission.max_concurrent_queries = flags.max_concurrent;
   server_options.admission.max_queued_queries = flags.queue_limit;
   server_options.admission.aging_ms = flags.aging_ms;
+  if (flags.chaos) {
+    // Tight enough that the storm actually exercises the deadlines and the
+    // shed policy, loose enough that healthy requests never trip them.
+    server_options.write_stall_timeout_ms = 5000;
+    server_options.frame_read_timeout_ms = 5000;
+    server_options.shed_queue_wait_ms = 2000;
+  }
   server::Server server(server_options);
   server.AddTable("lineitem", &lineitem);
   {
@@ -256,16 +374,19 @@ int RunSustainedLoad(const LoadFlags& flags) {
   }
 
   // Warm the pool and the table, and calibrate: the median of a few
-  // uncontended wire round-trips bounds the per-slot service rate.
+  // uncontended wire round-trips bounds the per-slot service rate. Several
+  // rounds of both query shapes also pre-size every pool worker's
+  // thread-local scratch, so the tracker baseline taken after this is what
+  // the chaos invariant compares against.
   double probe_ms = 0;
   {
     server::Client probe;
     BIPIE_DCHECK(probe.Connect("127.0.0.1", server.port()).ok());
     std::vector<double> samples;
-    for (int i = 0; i < 3; ++i) {
+    for (int i = 0; i < 8; ++i) {
       QueryResult result;
       const auto start = std::chrono::steady_clock::now();
-      BIPIE_DCHECK(probe.Query(kQ1Sql, &result).ok());
+      BIPIE_DCHECK(probe.Query(i % 2 == 0 ? kQ1Sql : kQ6Sql, &result).ok());
       samples.push_back(std::chrono::duration<double, std::milli>(
                             std::chrono::steady_clock::now() - start)
                             .count());
@@ -273,6 +394,7 @@ int RunSustainedLoad(const LoadFlags& flags) {
     std::sort(samples.begin(), samples.end());
     probe_ms = std::max(samples[samples.size() / 2], 0.01);
   }
+  const size_t tracked_baseline = MemoryTracker::Process().used();
   const double capacity_qps =
       static_cast<double>(flags.max_concurrent) * 1000.0 / probe_ms;
   const double arrival_qps = flags.arrival_qps > 0
@@ -286,6 +408,23 @@ int RunSustainedLoad(const LoadFlags& flags) {
       server.port(), flags.max_concurrent, flags.queue_limit,
       static_cast<size_t>(flags.aging_ms), probe_ms, capacity_qps, arrival_qps,
       flags.duration_sec, flags.clients_per_band);
+
+  server::ClientOptions client_options;
+  if (flags.chaos) {
+    std::printf("chaos: seed %zu, arming failpoints:\n",
+                static_cast<size_t>(flags.chaos_seed));
+    ArmChaosFailpoints(flags.chaos_seed, flags.fault_prob);
+    std::printf("\n");
+    // Bounded everything + retries: a fault-ridden run must end on its
+    // own, never hang a worker.
+    client_options.connect_timeout_ms = 2000;
+    client_options.send_timeout_ms = 10000;
+    client_options.recv_timeout_ms = 10000;
+    client_options.max_retries = 4;
+    client_options.backoff_initial_ms = 20;
+    client_options.backoff_max_ms = 500;
+    client_options.retry_budget = 100000;
+  }
 
   MemoryTracker::Process().ResetPeak();
   const double band_qps = arrival_qps / 2.0;
@@ -305,15 +444,73 @@ int RunSustainedLoad(const LoadFlags& flags) {
           static_cast<double>(k) /
           (worker_qps * static_cast<double>(flags.clients_per_band));
       workers.emplace_back([&, b, slot, offset] {
+        server::ClientOptions worker_options = client_options;
+        worker_options.jitter_seed = flags.chaos_seed + slot;
         per_worker[slot] = RunOpenLoopWorker(server.port(), bands[b],
                                              worker_qps, offset, t0,
-                                             flags.duration_sec);
+                                             flags.duration_sec,
+                                             worker_options);
       });
     }
   }
   for (std::thread& w : workers) w.join();
+
+  // Chaos invariants, part 1 — while the server is still up:
+  //   the storm is over (failpoints off), so a clean client must connect
+  //   and get a Pong, and the admission queues must drain to zero.
+  size_t invariant_failures = 0;
+  if (flags.chaos) {
+    Failpoints::DeactivateAll();
+    {
+      server::Client alive;
+      Status st = alive.Connect("127.0.0.1", server.port());
+      if (st.ok()) st = alive.Ping(0xb1b1e);
+      if (!st.ok()) {
+        std::fprintf(stderr, "INVARIANT: server not live after chaos: %s\n",
+                     st.ToString().c_str());
+        ++invariant_failures;
+      }
+    }
+    const auto drain_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while ((server.admission().running() > 0 ||
+            server.admission().queued() > 0) &&
+           std::chrono::steady_clock::now() < drain_deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    if (server.admission().running() > 0 || server.admission().queued() > 0) {
+      std::fprintf(stderr,
+                   "INVARIANT: admission not drained after chaos: "
+                   "%zu running, %zu queued\n",
+                   server.admission().running(), server.admission().queued());
+      ++invariant_failures;
+    }
+  }
+
   server.Shutdown();
   const size_t peak_tracked_bytes = MemoryTracker::Process().peak();
+
+  // Chaos invariants, part 2 — after Shutdown: no leaked memory charges
+  // (process tracker back to the post-warmup baseline) and no leaked fds.
+  if (flags.chaos) {
+    const size_t tracked_after = MemoryTracker::Process().used();
+    if (tracked_after > tracked_baseline) {
+      std::fprintf(stderr,
+                   "INVARIANT: tracked memory leaked through chaos: "
+                   "baseline %zu, after shutdown %zu\n",
+                   tracked_baseline, tracked_after);
+      ++invariant_failures;
+    }
+    const size_t fds_after = CountOpenFds();
+    if (fds_after != fds_before) {
+      std::fprintf(stderr,
+                   "INVARIANT: fd count changed across the chaos run: "
+                   "%zu before, %zu after\n",
+                   fds_before, fds_after);
+      DumpOpenFds();
+      ++invariant_failures;
+    }
+  }
 
   BenchJsonReport& report = BenchJsonReport::Get();
   report.SetConfig("server_duration_sec", std::to_string(flags.duration_sec));
@@ -322,11 +519,12 @@ int RunSustainedLoad(const LoadFlags& flags) {
   report.SetConfig("server_clients_per_band",
                    std::to_string(flags.clients_per_band));
 
-  std::printf("%8s %10s %10s %10s %12s %10s %8s %8s\n", "band", "QPS",
+  std::printf("%8s %10s %10s %10s %12s %10s %8s %8s %8s\n", "band", "QPS",
               "p50 [ms]", "p99 [ms]", "qwait p99", "peak [B]", "rejected",
-              "errors");
+              "unavail", "errors");
   double p99[2] = {0, 0};
   size_t total_errors = 0;
+  size_t total_completed = 0;
   for (size_t b = 0; b < 2; ++b) {
     BandStats band;
     for (size_t k = 0; k < flags.clients_per_band; ++k) {
@@ -339,9 +537,11 @@ int RunSustainedLoad(const LoadFlags& flags) {
     const double qwait_p99_ms = PercentileMs(band.queue_wait_ms, 0.99);
     p99[b] = p99_ms;
     total_errors += band.errors;
-    std::printf("%8s %10.1f %10.2f %10.2f %12.2f %10zu %8zu %8zu\n",
+    total_completed += band.completed;
+    std::printf("%8s %10.1f %10.2f %10.2f %12.2f %10zu %8zu %8zu %8zu\n",
                 bands[b].c_str(), qps, p50_ms, p99_ms, qwait_p99_ms,
-                peak_tracked_bytes, band.rejected, band.errors);
+                peak_tracked_bytes, band.rejected, band.unavailable,
+                band.errors);
     // New labels, absent from older baselines: the perf-smoke A/B gate's
     // label intersection skips the server cells automatically.
     report.Add("server_" + bands[b],
@@ -352,6 +552,7 @@ int RunSustainedLoad(const LoadFlags& flags) {
                 {"peak_tracked_bytes",
                  static_cast<double>(peak_tracked_bytes)},
                 {"rejected", static_cast<double>(band.rejected)},
+                {"unavailable", static_cast<double>(band.unavailable)},
                 {"errors", static_cast<double>(band.errors)}});
   }
 
@@ -360,6 +561,22 @@ int RunSustainedLoad(const LoadFlags& flags) {
               p99[0], p99[1],
               p99[0] < p99[1] ? "high undercuts low, as admission promises"
                               : "NO priority separation — investigate");
+
+  if (flags.chaos) {
+    // Under chaos, individual failures are the point; the run passes on
+    // its invariants plus basic liveness (some queries did complete —
+    // every request got a terminal answer by construction, because every
+    // worker returned).
+    if (total_completed == 0) {
+      std::fprintf(stderr, "chaos run completed zero queries\n");
+      ++invariant_failures;
+    }
+    std::printf("\nchaos verdict: %zu completed, %zu errors tolerated, "
+                "%zu invariant failures -> %s\n",
+                total_completed, total_errors, invariant_failures,
+                invariant_failures == 0 ? "PASS" : "FAIL");
+    return invariant_failures == 0 ? 0 : 1;
+  }
   if (total_errors > 0) {
     std::fprintf(stderr, "sustained-load run saw %zu query errors\n",
                  total_errors);
@@ -502,6 +719,12 @@ int main(int argc, char** argv) {
         flags.queue_limit = std::strtoull(next(), nullptr, 10);
       } else if (arg == "--aging-ms") {
         flags.aging_ms = std::strtoull(next(), nullptr, 10);
+      } else if (arg == "--chaos") {
+        flags.chaos = true;
+      } else if (arg == "--chaos-seed") {
+        flags.chaos_seed = std::strtoull(next(), nullptr, 10);
+      } else if (arg == "--fault-prob") {
+        flags.fault_prob = std::strtod(next(), nullptr);
       } else {
         std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
         return 2;

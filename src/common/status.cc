@@ -24,6 +24,8 @@ const char* CodeName(StatusCode code) {
       return "DataLoss";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -28,6 +28,11 @@ enum class StatusCode {
   // An allocation or similar resource acquisition failed; the operation was
   // abandoned cleanly and may succeed if retried under less pressure.
   kResourceExhausted,
+  // The service cannot take this request right now (overload shedding,
+  // draining, or a transport failure/timeout on the way to it). The request
+  // was not executed; retrying after a backoff is the expected reaction —
+  // the wire protocol carries an optional retry-after hint alongside it.
+  kUnavailable,
 };
 
 // A success-or-error value. Cheap to copy when OK (no allocation).
@@ -59,6 +64,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -317,4 +317,15 @@ size_t AdmissionController::queued(QueryPriority band) const {
   return bands_[static_cast<size_t>(band)].size();
 }
 
+uint64_t AdmissionController::OldestWaitMs(QueryPriority band) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::list<Waiter>& waiters = bands_[static_cast<size_t>(band)];
+  if (waiters.empty()) return 0;
+  // FIFO within a band: the front waiter is the oldest.
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          Clock::now() - waiters.front().enqueued)
+          .count());
+}
+
 }  // namespace bipie

@@ -143,6 +143,10 @@ class AdmissionController {
   size_t running() const;
   size_t queued() const;                      // across all bands
   size_t queued(QueryPriority band) const;    // one band
+  // Age in milliseconds of the oldest waiter queued in `band` (0 when the
+  // band is empty). The live per-band queue-delay signal the server's
+  // overload shed policy keys on.
+  uint64_t OldestWaitMs(QueryPriority band) const;
   const Limits& limits() const { return limits_; }
 
  private:

@@ -2,46 +2,147 @@
 
 #include <arpa/inet.h>
 #include <errno.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
+
+#include "common/failpoint.h"
 
 namespace bipie::server {
 
+namespace {
+
+bool SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+// Waits (bounded) for `events` on `fd`. Returns +1 ready, 0 timeout,
+// -1 error. timeout_ms == 0 waits forever.
+int PollFor(int fd, short events, uint64_t timeout_ms) {
+  pollfd pfd{fd, events, 0};
+  const int timeout =
+      timeout_ms == 0
+          ? -1
+          : static_cast<int>(std::min<uint64_t>(timeout_ms, 3600000));
+  while (true) {
+    int rc = ::poll(&pfd, 1, timeout);
+    if (rc > 0) return 1;
+    if (rc == 0) return 0;
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Client::Client(ClientOptions options)
+    : options_(options), jitter_state_(options.jitter_seed) {}
+
 Status Client::Connect(const std::string& host, uint16_t port) {
+  host_ = host;
+  port_ = port;
+  Status st = ConnectSocket();
+  if (!st.ok()) return st;
+  // A fresh Connect() call still replays recorded settings: callers that
+  // reconnect by hand get the same session they had.
+  return Reconnect();
+}
+
+Status Client::ConnectSocket() {
   Close();
+  if (BIPIE_FAILPOINT("client/connect_fail")) {
+    return Status::Unavailable("injected connect failure");
+  }
 
   addrinfo hints{};
   hints.ai_family = AF_INET;
   hints.ai_socktype = SOCK_STREAM;
   addrinfo* res = nullptr;
-  if (::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+  if (::getaddrinfo(host_.c_str(), std::to_string(port_).c_str(), &hints,
                     &res) != 0 ||
       res == nullptr) {
-    return Status::InvalidArgument("cannot resolve host: " + host);
+    return Status::InvalidArgument("cannot resolve host: " + host_);
   }
   int fd = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
   if (fd < 0) {
     ::freeaddrinfo(res);
     return Status::Internal("socket() failed");
   }
-  if (::connect(fd, res->ai_addr, res->ai_addrlen) != 0) {
-    Status st = Status::Internal("connect failed: " +
-                                 std::string(std::strerror(errno)));
+  if (!SetNonBlocking(fd)) {
     ::close(fd);
     ::freeaddrinfo(res);
+    return Status::Internal("fcntl(O_NONBLOCK) failed");
+  }
+  // Nonblocking connect: EINPROGRESS, then poll for writability bounded by
+  // the connect timeout, then read the socket's final verdict.
+  int rc = ::connect(fd, res->ai_addr, res->ai_addrlen);
+  ::freeaddrinfo(res);
+  if (rc != 0 && errno != EINPROGRESS) {
+    Status st = Status::Unavailable("connect failed: " +
+                                    std::string(std::strerror(errno)));
+    ::close(fd);
     return st;
   }
-  ::freeaddrinfo(res);
+  if (rc != 0) {
+    int ready = PollFor(fd, POLLOUT, options_.connect_timeout_ms);
+    if (ready <= 0) {
+      ::close(fd);
+      return Status::Unavailable(ready == 0 ? "connect timed out"
+                                            : "connect poll failed");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      ::close(fd);
+      return Status::Unavailable("connect failed: " +
+                                 std::string(std::strerror(err)));
+    }
+  }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   fd_ = fd;
   rbuf_.clear();
   roffset_ = 0;
+  return Status::OK();
+}
+
+Status Client::Reconnect() {
+  if (!connected()) {
+    BIPIE_RETURN_NOT_OK(ConnectSocket());
+  }
+  // Replay the session: a retried query must run under the same settings
+  // it was submitted under. These were accepted once, so a rejection now
+  // means the server changed underneath us — surface it.
+  for (const auto& [name, value] : session_settings_) {
+    BIPIE_RETURN_NOT_OK(WriteAll(EncodeSetSettingFrame(name, value)));
+    FrameView frame;
+    BIPIE_RETURN_NOT_OK(ReadFrame(&frame));
+    if (frame.type == FrameType::kError) {
+      Status server_error;
+      BIPIE_RETURN_NOT_OK(DecodeErrorFrame(frame, &server_error));
+      return server_error;
+    }
+    if (frame.type != FrameType::kOk) {
+      return Status::Internal("unexpected frame type in SetSetting response");
+    }
+  }
   return Status::OK();
 }
 
@@ -53,24 +154,36 @@ void Client::Close() {
 }
 
 Status Client::WriteAll(const std::vector<uint8_t>& bytes) {
-  if (fd_ < 0) return Status::Internal("client is not connected");
+  if (fd_ < 0) return Status::Unavailable("client is not connected");
   const uint8_t* p = bytes.data();
   size_t left = bytes.size();
   while (left > 0) {
-    ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::Internal("send failed: " +
-                              std::string(std::strerror(errno)));
+    if (BIPIE_FAILPOINT("client/send_fail")) {
+      return Status::Unavailable("injected send failure");
     }
-    p += n;
-    left -= static_cast<size_t>(n);
+    ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
+    if (n > 0) {
+      p += n;
+      left -= static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      int ready = PollFor(fd_, POLLOUT, options_.send_timeout_ms);
+      if (ready <= 0) {
+        return Status::Unavailable(ready == 0 ? "send timed out"
+                                              : "send poll failed");
+      }
+      continue;
+    }
+    return Status::Unavailable("send failed: " +
+                               std::string(std::strerror(errno)));
   }
   return Status::OK();
 }
 
 Status Client::ReadFrame(FrameView* frame) {
-  if (fd_ < 0) return Status::Internal("client is not connected");
+  if (fd_ < 0) return Status::Unavailable("client is not connected");
   // Compact consumed bytes so a long session's buffer stays bounded.
   if (roffset_ > 0) {
     rbuf_.erase(rbuf_.begin(),
@@ -82,17 +195,31 @@ Status Client::ReadFrame(FrameView* frame) {
     FrameScan scan = NextFrame(rbuf_, &roffset_, frame, &error);
     if (scan == FrameScan::kFrame) return Status::OK();
     if (scan == FrameScan::kError) return error;
+    if (BIPIE_FAILPOINT("client/recv_fail")) {
+      return Status::Unavailable("injected recv failure");
+    }
     char buf[64 * 1024];
-    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    size_t cap = sizeof(buf);
+    if (BIPIE_FAILPOINT("client/read_short")) cap = 1;  // torn read
+    ssize_t n = ::recv(fd_, buf, cap, 0);
+    if (n > 0) {
+      rbuf_.insert(rbuf_.end(), buf, buf + n);
+      continue;
+    }
     if (n == 0) {
-      return Status::Internal("server closed the connection");
+      return Status::Unavailable("server closed the connection");
     }
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::Internal("recv failed: " +
-                              std::string(std::strerror(errno)));
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      int ready = PollFor(fd_, POLLIN, options_.recv_timeout_ms);
+      if (ready <= 0) {
+        return Status::Unavailable(ready == 0 ? "recv timed out"
+                                              : "recv poll failed");
+      }
+      continue;
     }
-    rbuf_.insert(rbuf_.end(), buf, buf + n);
+    return Status::Unavailable("recv failed: " +
+                               std::string(std::strerror(errno)));
   }
 }
 
@@ -100,7 +227,10 @@ Status Client::Set(const std::string& name, const std::string& value) {
   BIPIE_RETURN_NOT_OK(WriteAll(EncodeSetSettingFrame(name, value)));
   FrameView frame;
   BIPIE_RETURN_NOT_OK(ReadFrame(&frame));
-  if (frame.type == FrameType::kOk) return Status::OK();
+  if (frame.type == FrameType::kOk) {
+    session_settings_[name] = value;  // recorded for reconnect replay
+    return Status::OK();
+  }
   if (frame.type == FrameType::kError) {
     Status server_error;
     BIPIE_RETURN_NOT_OK(DecodeErrorFrame(frame, &server_error));
@@ -127,10 +257,27 @@ Status Client::ReadFrameInto(std::vector<uint8_t>* payload, FrameType* type) {
   return Status::OK();
 }
 
+Status Client::Ping(uint64_t token) {
+  BIPIE_RETURN_NOT_OK(WriteAll(EncodePingFrame(token)));
+  FrameView frame;
+  BIPIE_RETURN_NOT_OK(ReadFrame(&frame));
+  if (frame.type != FrameType::kPong) {
+    return Status::Internal("unexpected frame type in Ping response");
+  }
+  uint64_t echoed = 0;
+  BIPIE_RETURN_NOT_OK(DecodePongFrame(frame, &echoed));
+  if (echoed != token) {
+    return Status::Internal("pong token mismatch");
+  }
+  return Status::OK();
+}
+
 Status Client::ReadQueryResponse(QueryResult* result, QueryStatsWire* stats,
                                  std::string* explain_text) {
   // Fresh response: callers reuse result objects across queries, and the
   // batch decoder both appends rows and cross-checks the column header.
+  // Resetting here also makes a retried query safe after a partial
+  // response: the replayed attempt starts from an empty result.
   if (result != nullptr) *result = QueryResult{};
   while (true) {
     FrameView frame;
@@ -155,7 +302,13 @@ Status Client::ReadQueryResponse(QueryResult* result, QueryStatsWire* stats,
       }
       case FrameType::kError: {
         Status server_error;
-        BIPIE_RETURN_NOT_OK(DecodeErrorFrame(frame, &server_error));
+        uint32_t retry_after_ms = 0;
+        BIPIE_RETURN_NOT_OK(
+            DecodeErrorFrame(frame, &server_error, &retry_after_ms));
+        last_retry_after_ms_ = retry_after_ms;
+        // A decoded Error frame means the stream is still synchronized: a
+        // retry (shed/drain rejections) can reuse this connection.
+        last_failure_remote_ = true;
         return server_error;
       }
       default:
@@ -164,15 +317,53 @@ Status Client::ReadQueryResponse(QueryResult* result, QueryStatsWire* stats,
   }
 }
 
+uint64_t Client::Jitter(uint64_t bound) {
+  if (bound == 0) return 0;
+  return SplitMix64(&jitter_state_) % (bound + 1);
+}
+
+Status Client::RunWithRetry(const std::function<Status()>& attempt) {
+  uint64_t backoff = options_.backoff_initial_ms;
+  for (uint32_t tried = 0;; ++tried) {
+    last_retry_after_ms_ = 0;
+    last_failure_remote_ = false;
+    Status st = connected() ? Status::OK() : Reconnect();
+    if (st.ok()) st = attempt();
+    if (st.ok() || st.code() != StatusCode::kUnavailable) return st;
+    if (tried >= options_.max_retries ||
+        retries_spent_ >= options_.retry_budget) {
+      return st;
+    }
+    ++retries_spent_;
+    // Transport failures leave the stream in an unknown state (a request
+    // may be half-written, a reply half-read): drop the connection so the
+    // retry starts on a clean one. A server-sent rejection arrived on a
+    // synchronized stream — keep it.
+    if (!last_failure_remote_) Close();
+    uint64_t delay_ms = std::max<uint64_t>(
+        backoff, static_cast<uint64_t>(last_retry_after_ms_));
+    delay_ms += Jitter(delay_ms / 2);
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    backoff = std::min<uint64_t>(backoff * 2, options_.backoff_max_ms);
+  }
+}
+
 Status Client::Query(const std::string& sql, QueryResult* result,
                      QueryStatsWire* stats) {
-  BIPIE_RETURN_NOT_OK(SendQuery(sql));
-  return ReadQueryResponse(result, stats);
+  // Queries are read-only (the engine has no writes), so replaying one
+  // after an ambiguous transport failure is safe: worst case the server
+  // executed the first attempt and nobody read the answer.
+  return RunWithRetry([&]() -> Status {
+    BIPIE_RETURN_NOT_OK(SendQuery(sql));
+    return ReadQueryResponse(result, stats);
+  });
 }
 
 Status Client::Explain(const std::string& sql, std::string* text) {
-  BIPIE_RETURN_NOT_OK(SendQuery(sql));
-  return ReadQueryResponse(nullptr, nullptr, text);
+  return RunWithRetry([&]() -> Status {
+    BIPIE_RETURN_NOT_OK(SendQuery(sql));
+    return ReadQueryResponse(nullptr, nullptr, text);
+  });
 }
 
 }  // namespace bipie::server

@@ -1,15 +1,34 @@
-// Thin client for the bipie query service: a blocking socket speaking the
-// framed protocol (server/protocol.h). Used by tools/bipie_client, the
-// sustained-load mode of bench_concurrent_queries and server_test.
+// Client for the bipie query service: a nonblocking socket speaking the
+// framed protocol (server/protocol.h) behind poll-based timeouts. Used by
+// tools/bipie_client, the sustained-load mode of bench_concurrent_queries
+// and server_test.
+//
+// Resilience (DESIGN.md §15): every socket operation is bounded — connect,
+// send and recv each carry their own timeout, so a dead or stalled server
+// costs the caller a bounded wait, never a hang. Transport failures
+// (timeouts, resets, refused connections) surface as kUnavailable, distinct
+// from server-side errors which keep their own codes.
+//
+// Retry: with max_retries > 0, Query()/Explain() retry kUnavailable
+// failures — and only those — by reconnecting with exponential backoff plus
+// deterministic jitter, bounded by a per-call retry cap and a client-wide
+// retry budget. Only these read-only statements are retried (every query in
+// this engine is idempotent — there are no writes); a server-supplied
+// retry-after hint (shed/drain rejections) overrides the backoff floor.
+// After a reconnect the recorded session settings are replayed, so a
+// retried query runs under the same session it was submitted under.
 //
 // One Client is one session: settings applied with Set() persist for every
-// later Query() on the same connection. Not thread-safe — one thread per
-// Client (SendCancel() is the one exception: it may be called from another
-// thread to interrupt a Query() in progress).
+// later Query() on the same connection (and survive reconnects via replay).
+// Not thread-safe — one thread per Client (SendCancel() is the one
+// exception: it may be called from another thread to interrupt a Query()
+// in progress).
 #ifndef BIPIE_SERVER_CLIENT_H_
 #define BIPIE_SERVER_CLIENT_H_
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -19,34 +38,64 @@
 
 namespace bipie::server {
 
+struct ClientOptions {
+  // Socket timeouts; 0 = wait forever (not recommended).
+  uint64_t connect_timeout_ms = 5000;
+  uint64_t send_timeout_ms = 30000;
+  uint64_t recv_timeout_ms = 30000;
+  // Retries per Query()/Explain() call after a kUnavailable failure;
+  // 0 disables retrying entirely.
+  uint32_t max_retries = 0;
+  // Exponential backoff between retries: initial, doubling, capped.
+  // A server retry-after hint raises the floor for that retry.
+  uint64_t backoff_initial_ms = 50;
+  uint64_t backoff_max_ms = 2000;
+  // Client-wide cap on total retries across all calls: a flapping server
+  // exhausts the budget instead of retrying forever.
+  uint32_t retry_budget = 64;
+  // Seed for the deterministic backoff jitter (reproducible runs).
+  uint64_t jitter_seed = 1;
+};
+
 class Client {
  public:
   Client() = default;
+  explicit Client(ClientOptions options);
   ~Client() { Close(); }
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
+  // Remembers host/port for reconnects, then connects (bounded by
+  // connect_timeout_ms). Replays any recorded session settings.
   Status Connect(const std::string& host, uint16_t port);
   void Close();
   bool connected() const { return fd_ >= 0; }
 
   // SET name = value for this session. Server-side validation errors come
-  // back as the returned status.
+  // back as the returned status. Accepted settings are recorded and
+  // replayed after every reconnect.
   Status Set(const std::string& name, const std::string& value);
 
   // Runs `sql` to completion: result rows into *result, the server's Stats
   // frame into *stats (nullable). Server-side errors (parse, execution,
   // admission rejection, cancellation) come back as the returned status.
+  // Retries kUnavailable failures per ClientOptions.
   Status Query(const std::string& sql, QueryResult* result,
                QueryStatsWire* stats = nullptr);
 
   // EXPLAIN helper: runs `sql` (which must be an EXPLAIN statement) and
-  // returns the plan text.
+  // returns the plan text. Retries like Query().
   Status Explain(const std::string& sql, std::string* text);
+
+  // Liveness probe: sends a Ping carrying `token` and waits (bounded) for
+  // the matching Pong. Answered by the server's IO thread directly, so it
+  // bypasses the admission queue — a saturated or draining server still
+  // answers. Never retried: the caller wants the truth about now.
+  Status Ping(uint64_t token);
 
   // Split-phase API for cancellation tests and the REPL's Ctrl-C path:
   // send the query, optionally send Cancel while it runs, then collect the
-  // response.
+  // response. No retries at this level.
   Status SendQuery(const std::string& sql);
   Status SendCancel();
   // Reads frames until the query terminates (Stats / Explain / Error).
@@ -55,19 +104,47 @@ class Client {
   Status ReadQueryResponse(QueryResult* result, QueryStatsWire* stats,
                            std::string* explain_text = nullptr);
 
+  // The retry-after hint from the last kError frame read (0 when it
+  // carried none): how long the server suggests waiting before retrying a
+  // shed or drain rejection.
+  uint32_t last_retry_after_ms() const { return last_retry_after_ms_; }
+  // Retries spent against the client-wide budget so far.
+  uint32_t retries_spent() const { return retries_spent_; }
+
   // Test hook: writes raw bytes to the socket (malformed-frame tests).
   Status SendRaw(const std::vector<uint8_t>& bytes);
   // Test hook: reads one frame (kOk / kError acknowledgements).
   Status ReadFrameInto(std::vector<uint8_t>* payload, FrameType* type);
 
  private:
+  Status ConnectSocket();
+  // Reconnect + replay recorded session settings (the retry path).
+  Status Reconnect();
   Status WriteAll(const std::vector<uint8_t>& bytes);
-  // Blocks until one complete frame is buffered; points *frame into rbuf_.
+  // Blocks (bounded by recv_timeout_ms) until one complete frame is
+  // buffered; points *frame into rbuf_.
   Status ReadFrame(FrameView* frame);
+  // Runs `attempt`, retrying kUnavailable failures with backoff/jitter.
+  Status RunWithRetry(const std::function<Status()>& attempt);
+  // Deterministic jitter in [0, bound] (splitmix64 over jitter_seed).
+  uint64_t Jitter(uint64_t bound);
 
+  ClientOptions options_{};
+  std::string host_;
+  uint16_t port_ = 0;
   int fd_ = -1;
   std::vector<uint8_t> rbuf_;
   size_t roffset_ = 0;
+  // Session settings the server accepted, in application order (replayed
+  // on reconnect). A map: the last value per name is what the session is.
+  std::map<std::string, std::string> session_settings_;
+  uint32_t last_retry_after_ms_ = 0;
+  // True when the last failure was a clean server-sent Error frame (the
+  // stream is still synchronized); false for transport failures, where a
+  // retry must reconnect.
+  bool last_failure_remote_ = false;
+  uint32_t retries_spent_ = 0;
+  uint64_t jitter_state_ = 0;
 };
 
 }  // namespace bipie::server

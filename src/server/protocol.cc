@@ -32,6 +32,8 @@ Status StatusFromCode(StatusCode code, std::string message) {
     case StatusCode::kDataLoss: return Status::DataLoss(std::move(message));
     case StatusCode::kResourceExhausted:
       return Status::ResourceExhausted(std::move(message));
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(std::move(message));
   }
   return Status::Internal(std::move(message));
 }
@@ -47,6 +49,7 @@ uint8_t WireCodeOfStatus(StatusCode code) {
     case StatusCode::kInternal: return 6;
     case StatusCode::kDataLoss: return 7;
     case StatusCode::kResourceExhausted: return 8;
+    case StatusCode::kUnavailable: return 9;
   }
   return 6;
 }
@@ -62,6 +65,7 @@ StatusCode StatusCodeOfWire(uint8_t wire) {
     case 6: return StatusCode::kInternal;
     case 7: return StatusCode::kDataLoss;
     case 8: return StatusCode::kResourceExhausted;
+    case 9: return StatusCode::kUnavailable;
     default: return StatusCode::kInternal;
   }
 }
@@ -128,10 +132,24 @@ std::vector<uint8_t> EncodeOkFrame() {
   return FrameBuilder(FrameType::kOk).Finish();
 }
 
-std::vector<uint8_t> EncodeErrorFrame(const Status& status) {
+std::vector<uint8_t> EncodePingFrame(uint64_t token) {
+  FrameBuilder b(FrameType::kPing);
+  b.PutU64(token);
+  return b.Finish();
+}
+
+std::vector<uint8_t> EncodePongFrame(uint64_t token) {
+  FrameBuilder b(FrameType::kPong);
+  b.PutU64(token);
+  return b.Finish();
+}
+
+std::vector<uint8_t> EncodeErrorFrame(const Status& status,
+                                      uint32_t retry_after_ms) {
   FrameBuilder b(FrameType::kError);
   b.PutU8(WireCodeOfStatus(status.code()));
   b.PutString(status.message());
+  if (retry_after_ms > 0) b.PutU32(retry_after_ms);
   return b.Finish();
 }
 
@@ -153,6 +171,7 @@ std::vector<uint8_t> EncodeStatsFrame(const QueryStatsWire& stats) {
   b.PutU64(stats.exec_ns);
   b.PutU64(stats.peak_memory_bytes);
   b.PutU8(stats.used_hash_fallback ? 1 : 0);
+  b.PutU8(stats.degraded ? 1 : 0);
   return b.Finish();
 }
 
@@ -252,7 +271,7 @@ FrameScan NextFrame(const std::vector<uint8_t>& buffer, size_t* offset,
     return FrameScan::kError;
   }
   uint8_t type = p[4];
-  if (type < 1 || type > 8) {
+  if (type < 1 || type > kMaxFrameType) {
     *error = ProtocolError("unknown frame type " + std::to_string(type));
     return FrameScan::kError;
   }
@@ -290,17 +309,46 @@ Status DecodeSetSettingFrame(const FrameView& frame, std::string* name,
   return Status::OK();
 }
 
-Status DecodeErrorFrame(const FrameView& frame, Status* out) {
+Status DecodeErrorFrame(const FrameView& frame, Status* out,
+                        uint32_t* retry_after_ms) {
   if (frame.type != FrameType::kError) {
     return ProtocolError("expected Error frame");
   }
   PayloadReader r(frame.payload, frame.size);
   uint8_t wire;
   std::string message;
-  if (!r.GetU8(&wire) || !r.GetString(&message) || !r.AtEnd()) {
+  if (!r.GetU8(&wire) || !r.GetString(&message)) {
     return ProtocolError("malformed Error payload");
   }
+  // Optional trailing retry-after hint (kUnavailable rejections).
+  uint32_t retry = 0;
+  if (!r.AtEnd() && (!r.GetU32(&retry) || !r.AtEnd())) {
+    return ProtocolError("malformed Error payload");
+  }
+  if (retry_after_ms != nullptr) *retry_after_ms = retry;
   *out = StatusFromCode(StatusCodeOfWire(wire), std::move(message));
+  return Status::OK();
+}
+
+Status DecodePingFrame(const FrameView& frame, uint64_t* token) {
+  if (frame.type != FrameType::kPing) {
+    return ProtocolError("expected Ping frame");
+  }
+  PayloadReader r(frame.payload, frame.size);
+  if (!r.GetU64(token) || !r.AtEnd()) {
+    return ProtocolError("malformed Ping payload");
+  }
+  return Status::OK();
+}
+
+Status DecodePongFrame(const FrameView& frame, uint64_t* token) {
+  if (frame.type != FrameType::kPong) {
+    return ProtocolError("expected Pong frame");
+  }
+  PayloadReader r(frame.payload, frame.size);
+  if (!r.GetU64(token) || !r.AtEnd()) {
+    return ProtocolError("malformed Pong payload");
+  }
   return Status::OK();
 }
 
@@ -321,15 +369,18 @@ Status DecodeStatsFrame(const FrameView& frame, QueryStatsWire* stats) {
   }
   PayloadReader r(frame.payload, frame.size);
   uint8_t hash = 0;
+  uint8_t degraded = 0;
   if (!r.GetU64(&stats->rows_scanned) || !r.GetU64(&stats->rows_selected) ||
       !r.GetU64(&stats->batches) || !r.GetU64(&stats->segments_scanned) ||
       !r.GetU64(&stats->segments_eliminated) ||
       !r.GetU64(&stats->runs_aggregated) ||
       !r.GetU64(&stats->queue_wait_ns) || !r.GetU64(&stats->exec_ns) ||
-      !r.GetU64(&stats->peak_memory_bytes) || !r.GetU8(&hash) || !r.AtEnd()) {
+      !r.GetU64(&stats->peak_memory_bytes) || !r.GetU8(&hash) ||
+      !r.GetU8(&degraded) || !r.AtEnd()) {
     return ProtocolError("malformed Stats payload");
   }
   stats->used_hash_fallback = hash != 0;
+  stats->degraded = degraded != 0;
   return Status::OK();
 }
 

@@ -45,10 +45,13 @@ enum class FrameType : uint8_t {
   kCancel = 3,       // (empty) cancel the in-flight query, if any
   kResultBatch = 4,  // result header + rows (see EncodeResultFrames)
   kStats = 5,        // QueryStatsWire; terminates a successful query
-  kError = 6,        // u8 status code | str message; terminates a query
+  kError = 6,        // u8 status code | str message | [u32 retry-after ms]
   kOk = 7,           // (empty) acknowledges SetSetting
   kExplain = 8,      // str text; terminates an EXPLAIN statement
+  kPing = 9,         // u64 token; liveness probe, bypasses admission
+  kPong = 10,        // u64 token; echoes the Ping's token
 };
+inline constexpr uint8_t kMaxFrameType = 10;
 
 // Per-query execution stats returned in the Stats frame. queue_wait_ns /
 // exec_ns split the server-side latency into admission queueing vs scan
@@ -64,6 +67,11 @@ struct QueryStatsWire {
   uint64_t exec_ns = 0;
   uint64_t peak_memory_bytes = 0;
   bool used_hash_fallback = false;
+  // The server's degraded-mode flag at reply time: true while the overload
+  // shed policy is rejecting low-band queries (soft memory limit latched or
+  // queue wait over the shed threshold). Lets clients and load balancers
+  // see overload on every response, not only on rejections.
+  bool degraded = false;
 };
 
 // Stable status-code wire values (the StatusCode enum itself is not a wire
@@ -98,7 +106,12 @@ std::vector<uint8_t> EncodeSetSettingFrame(const std::string& name,
                                            const std::string& value);
 std::vector<uint8_t> EncodeCancelFrame();
 std::vector<uint8_t> EncodeOkFrame();
-std::vector<uint8_t> EncodeErrorFrame(const Status& status);
+std::vector<uint8_t> EncodePingFrame(uint64_t token);
+std::vector<uint8_t> EncodePongFrame(uint64_t token);
+// A retry_after_ms > 0 appends a retry-after hint (kUnavailable shedding /
+// draining rejections); 0 keeps the legacy two-field payload.
+std::vector<uint8_t> EncodeErrorFrame(const Status& status,
+                                      uint32_t retry_after_ms = 0);
 std::vector<uint8_t> EncodeExplainFrame(const std::string& text);
 std::vector<uint8_t> EncodeStatsFrame(const QueryStatsWire& stats);
 // Splits `result` into ResultBatch frames of at most kMaxResultRowsPerBatch
@@ -150,7 +163,12 @@ FrameScan NextFrame(const std::vector<uint8_t>& buffer, size_t* offset,
 Status DecodeQueryFrame(const FrameView& frame, std::string* sql);
 Status DecodeSetSettingFrame(const FrameView& frame, std::string* name,
                              std::string* value);
-Status DecodeErrorFrame(const FrameView& frame, Status* out);
+// A non-null `retry_after_ms` receives the optional retry-after hint
+// (0 when the frame carries none).
+Status DecodeErrorFrame(const FrameView& frame, Status* out,
+                        uint32_t* retry_after_ms = nullptr);
+Status DecodePingFrame(const FrameView& frame, uint64_t* token);
+Status DecodePongFrame(const FrameView& frame, uint64_t* token);
 Status DecodeExplainFrame(const FrameView& frame, std::string* text);
 Status DecodeStatsFrame(const FrameView& frame, QueryStatsWire* stats);
 // Appends the batch's rows to *result (sets the column header on the first

@@ -9,10 +9,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
+#include "common/failpoint.h"
+#include "common/macros.h"
 #include "core/scan.h"
 #include "exec/scheduler.h"
 #include "obs/plan_explain.h"
@@ -28,6 +32,12 @@ using Clock = std::chrono::steady_clock;
 uint64_t NsBetween(Clock::time_point from, Clock::time_point to) {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count());
+}
+
+uint64_t MsBetween(Clock::time_point from, Clock::time_point to) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(to - from)
+          .count());
 }
 
 obs::Counter& ConnectionsCounter() {
@@ -58,6 +68,30 @@ obs::Counter& BytesSentCounter() {
   static obs::Counter& c = obs::Counter::Get("server.bytes_sent");
   return c;
 }
+obs::Counter& PingsCounter() {
+  static obs::Counter& c = obs::Counter::Get("server.pings");
+  return c;
+}
+obs::Counter& LoadShedCounter() {
+  static obs::Counter& c = obs::Counter::Get("server.load_shed");
+  return c;
+}
+obs::Counter& IdleTimeoutsCounter() {
+  static obs::Counter& c = obs::Counter::Get("server.timeouts_idle");
+  return c;
+}
+obs::Counter& FrameTimeoutsCounter() {
+  static obs::Counter& c = obs::Counter::Get("server.timeouts_frame_read");
+  return c;
+}
+obs::Counter& WriteStallsCounter() {
+  static obs::Counter& c = obs::Counter::Get("server.write_stalls");
+  return c;
+}
+obs::Counter& WriteOverflowsCounter() {
+  static obs::Counter& c = obs::Counter::Get("server.write_overflow");
+  return c;
+}
 
 bool SetNonBlocking(int fd) {
   int flags = ::fcntl(fd, F_GETFL, 0);
@@ -66,13 +100,25 @@ bool SetNonBlocking(int fd) {
 
 }  // namespace
 
-// One client connection: socket state, the session (settings + tracker) and
-// the at-most-one in-flight query. Owned by shared_ptr — the IO thread holds
-// one reference, each running query job another, so the fd outlives every
-// writer and is closed exactly once.
+// One client connection: socket state, the session (settings + tracker), the
+// at-most-one in-flight query, and the bounded write buffer the IO thread
+// drains. Owned by shared_ptr — the IO thread holds one reference, each
+// running query job another, so the fd outlives every writer and is closed
+// exactly once.
 struct Server::Connection {
-  explicit Connection(int fd_in) : fd(fd_in) {}
+  explicit Connection(int fd_in) : fd(fd_in) {
+    const auto now = Clock::now();
+    last_read_activity = now;
+    last_write_progress = now;
+  }
   ~Connection() {
+    // Output still buffered when the connection dies is discarded; its
+    // session charge goes with it. After that the session must balance:
+    // every query of this session released its tracker chain when it
+    // finished (the tracker-balance invariant), and nothing else charges.
+    if (wbuf_charged > 0) session_tracker.Release(wbuf_charged);
+    wbuf_charged = 0;
+    BIPIE_DCHECK(session_tracker.used() == 0);
     if (fd >= 0) ::close(fd);
   }
 
@@ -81,6 +127,9 @@ struct Server::Connection {
   // payload cap bounds it at one frame of backlog.
   std::vector<uint8_t> rbuf;
   size_t roffset = 0;
+  // IO-thread-only deadline state.
+  Clock::time_point last_read_activity{};
+  bool mid_frame = false;  // rbuf ends inside a partial frame
 
   // The session: settings deltas applied by SetSetting frames, and the
   // tracker every query of this connection parents under.
@@ -90,7 +139,20 @@ struct Server::Connection {
   std::mutex state_mu;  // guards `active`
   std::shared_ptr<ActiveQuery> active;
 
-  std::mutex write_mu;  // serializes frame writes (worker vs IO thread)
+  // Write side, guarded by write_mu: frames are appended (worker or IO
+  // thread) and drained by the IO thread via POLLOUT — a worker never
+  // blocks in send. wbuf_charged tracks the buffered-but-unsent bytes
+  // charged to session_tracker.
+  std::mutex write_mu;
+  std::vector<uint8_t> wbuf;
+  size_t woffset = 0;
+  size_t wbuf_charged = 0;
+  Clock::time_point last_write_progress{};
+  std::atomic<bool> has_pending_write{false};
+
+  // closing: stop taking input, flush wbuf, then drop (protocol errors —
+  // the error frame must still reach the peer). closed: drop now.
+  std::atomic<bool> closing{false};
   std::atomic<bool> closed{false};
 };
 
@@ -153,6 +215,11 @@ Status Server::Start() {
     return Status::Internal("pipe/nonblock setup failed");
   }
 
+  if (options_.soft_memory_limit_bytes > 0) {
+    prev_soft_limit_ = MemoryTracker::Process().soft_limit();
+    MemoryTracker::Process().set_soft_limit(options_.soft_memory_limit_bytes);
+  }
+
   started_ = true;
   io_thread_ = std::thread([this] { IoLoop(); });
   return Status::OK();
@@ -170,7 +237,7 @@ void Server::Shutdown() {
   shut_down_ = true;
 
   // Drain: no new queries, fail everything still queued, let running
-  // queries finish and flush their frames.
+  // queries finish.
   draining_.store(true, std::memory_order_release);
   admission_.CancelQueued();
   {
@@ -178,7 +245,10 @@ void Server::Shutdown() {
     jobs_cv_.wait(lock, [this] { return jobs_in_flight_ == 0; });
   }
 
-  stopping_.store(true, std::memory_order_release);
+  // Flush: the IO thread keeps draining buffered replies and stops once
+  // every connection's output is out (or its write stalled past the
+  // timeout — the stall sweep bounds this phase).
+  flushing_.store(true, std::memory_order_release);
   Wake();
   io_thread_.join();
 
@@ -187,6 +257,12 @@ void Server::Shutdown() {
   for (int i = 0; i < 2; ++i) {
     if (wake_fds_[i] >= 0) ::close(wake_fds_[i]);
     wake_fds_[i] = -1;
+  }
+  if (options_.soft_memory_limit_bytes > 0) {
+    MemoryTracker::Process().set_soft_limit(prev_soft_limit_);
+    if (prev_soft_limit_ == 0) {
+      MemoryTracker::Process().reset_soft_limit_exceeded();
+    }
   }
 }
 
@@ -201,7 +277,11 @@ void Server::IoLoop() {
     size_t conn_base = pfds.size();
     size_t polled = connections_.size();  // AcceptOne may append more below
     for (const auto& conn : connections_) {
-      pfds.push_back({conn->fd, POLLIN, 0});
+      short events = POLLIN;
+      if (conn->has_pending_write.load(std::memory_order_acquire)) {
+        events |= POLLOUT;
+      }
+      pfds.push_back({conn->fd, events, 0});
     }
 
     int rc = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 50);
@@ -212,6 +292,11 @@ void Server::IoLoop() {
       if (errno == EINTR) continue;
       break;
     }
+    if (BIPIE_FAILPOINT("server/poll_delay")) {
+      // Delayed wakeup: the IO thread reacts late, as if the machine
+      // stalled. Everything must still be correct, just slower.
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
 
     if (pfds[0].revents & POLLIN) {
       char buf[64];
@@ -220,28 +305,57 @@ void Server::IoLoop() {
     }
     if (accepting && (pfds[conn_base - 1].revents & POLLIN)) AcceptOne();
 
-    // Service readable/erroring connections; drop finished ones. Only the
+    // Service each polled connection: drain its write buffer, read and
+    // dispatch frames, tick its deadlines; drop finished ones. Only the
     // `polled` prefix of connections_ has a pfd entry — connections
     // AcceptOne just added are picked up next round.
+    const auto now = Clock::now();
     for (size_t i = 0; i < polled;) {
+      auto conn = connections_[i];
       short revents = pfds[conn_base + i].revents;
       bool alive = true;
-      if (revents & (POLLIN | POLLERR | POLLHUP)) {
-        alive = ServiceReadable(connections_[i]);
+      if (!conn->closed.load(std::memory_order_acquire) &&
+          (revents & POLLOUT)) {
+        std::lock_guard<std::mutex> lock(conn->write_mu);
+        if (!FlushLocked(conn.get())) {
+          conn->closed.store(true, std::memory_order_release);
+        }
       }
-      if (!alive || connections_[i]->closed.load(std::memory_order_acquire)) {
-        auto conn = connections_[i];
+      if (!conn->closed.load(std::memory_order_acquire) &&
+          (revents & (POLLIN | POLLERR | POLLHUP))) {
+        alive = ServiceReadable(conn);
+      }
+      if (alive && !conn->closed.load(std::memory_order_acquire)) {
+        alive = ConnectionHealthy(conn.get(), now);
+      }
+      const bool flushed =
+          !conn->has_pending_write.load(std::memory_order_acquire);
+      if (!alive || conn->closed.load(std::memory_order_acquire) ||
+          (conn->closing.load(std::memory_order_acquire) && flushed)) {
         conn->closed.store(true, std::memory_order_release);
         {
           std::lock_guard<std::mutex> lock(conn->state_mu);
           if (conn->active) conn->active->ctx.Cancel();
         }
-        connections_.erase(connections_.begin() + i);
-        pfds.erase(pfds.begin() + conn_base + i);
+        connections_.erase(connections_.begin() + static_cast<ptrdiff_t>(i));
+        pfds.erase(pfds.begin() + static_cast<ptrdiff_t>(conn_base + i));
         --polled;
       } else {
         ++i;
       }
+    }
+
+    // Shutdown flush phase: exit once nothing is left to drain. Stalled
+    // peers were closed by the write-stall sweep above, so this terminates.
+    if (flushing_.load(std::memory_order_acquire)) {
+      bool pending = false;
+      for (const auto& conn : connections_) {
+        if (conn->has_pending_write.load(std::memory_order_acquire)) {
+          pending = true;
+          break;
+        }
+      }
+      if (!pending) break;
     }
   }
   // Loop exit: drain finished (no jobs in flight), so dropping our
@@ -256,6 +370,12 @@ void Server::AcceptOne() {
   while (connections_.size() < options_.max_connections) {
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) return;  // EAGAIN or transient error: poll again
+    if (BIPIE_FAILPOINT("server/accept_fail")) {
+      // Simulated accept-path failure (fd exhaustion, transient kernel
+      // error): the client sees a closed connection and must retry.
+      ::close(fd);
+      continue;
+    }
     if (!SetNonBlocking(fd)) {
       ::close(fd);
       continue;
@@ -269,11 +389,29 @@ void Server::AcceptOne() {
 
 bool Server::ServiceReadable(const std::shared_ptr<Connection>& conn) {
   char buf[64 * 1024];
+  if (conn->closing.load(std::memory_order_acquire)) {
+    // The stream is already condemned (protocol error being flushed):
+    // swallow whatever the peer still sends so poll stays quiet, and
+    // notice the peer going away.
+    while (true) {
+      ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+      if (n > 0) continue;
+      if (n == 0) return false;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      return false;
+    }
+  }
+
   while (true) {
-    ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (BIPIE_FAILPOINT("server/read_reset")) return false;  // ~ECONNRESET
+    size_t cap = sizeof(buf);
+    if (BIPIE_FAILPOINT("server/read_short")) cap = 1;  // torn read
+    ssize_t n = ::recv(conn->fd, buf, cap, 0);
     if (n > 0) {
       BytesReceivedCounter().Add(static_cast<uint64_t>(n));
       conn->rbuf.insert(conn->rbuf.end(), buf, buf + n);
+      conn->last_read_activity = Clock::now();
       continue;
     }
     if (n == 0) return false;  // client closed
@@ -288,19 +426,72 @@ bool Server::ServiceReadable(const std::shared_ptr<Connection>& conn) {
     FrameScan scan = NextFrame(conn->rbuf, &conn->roffset, &frame, &error);
     if (scan == FrameScan::kNeedMore) break;
     if (scan == FrameScan::kError) {
-      // Hostile or corrupt framing: report once, then drop the stream (a
-      // desynced length prefix cannot be resynchronized).
+      // Hostile or corrupt framing: report once, flush the report, then
+      // drop the stream (a desynced length prefix cannot be
+      // resynchronized).
       ProtocolErrorsCounter().Increment();
+      conn->closing.store(true, std::memory_order_release);
       SendFrame(conn, EncodeErrorFrame(error));
-      return false;
+      conn->rbuf.clear();
+      conn->roffset = 0;
+      conn->mid_frame = false;
+      return true;
     }
     DispatchFrame(conn, frame);
     if (conn->closed.load(std::memory_order_acquire)) return false;
+    if (conn->closing.load(std::memory_order_acquire)) {
+      conn->rbuf.clear();
+      conn->roffset = 0;
+      conn->mid_frame = false;
+      return true;
+    }
   }
   conn->rbuf.erase(conn->rbuf.begin(),
                    conn->rbuf.begin() +
                        static_cast<std::ptrdiff_t>(conn->roffset));
   conn->roffset = 0;
+  conn->mid_frame = !conn->rbuf.empty();
+  return true;
+}
+
+bool Server::ConnectionHealthy(Connection* conn, Clock::time_point now) {
+  // Write stall: buffered output exists and the socket took none of it for
+  // too long — the peer stopped reading. Forfeits the rest of the reply.
+  if (options_.write_stall_timeout_ms > 0 &&
+      conn->has_pending_write.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    if (conn->woffset < conn->wbuf.size() &&
+        MsBetween(conn->last_write_progress, now) >=
+            options_.write_stall_timeout_ms) {
+      WriteStallsCounter().Increment();
+      return false;
+    }
+  }
+  if (conn->closing.load(std::memory_order_acquire)) return true;
+  if (conn->mid_frame) {
+    // Stuck mid-frame: the peer sent a length prefix and stalled. A torn
+    // sender cannot pin a socket indefinitely.
+    if (options_.frame_read_timeout_ms > 0 &&
+        MsBetween(conn->last_read_activity, now) >=
+            options_.frame_read_timeout_ms) {
+      FrameTimeoutsCounter().Increment();
+      return false;
+    }
+    return true;
+  }
+  if (options_.idle_timeout_ms > 0 &&
+      !conn->has_pending_write.load(std::memory_order_acquire)) {
+    bool busy;
+    {
+      std::lock_guard<std::mutex> lock(conn->state_mu);
+      busy = conn->active != nullptr;
+    }
+    if (!busy && MsBetween(conn->last_read_activity, now) >=
+                     options_.idle_timeout_ms) {
+      IdleTimeoutsCounter().Increment();
+      return false;
+    }
+  }
   return true;
 }
 
@@ -312,8 +503,8 @@ void Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
       Status st = DecodeSetSettingFrame(frame, &name, &value);
       if (!st.ok()) {
         ProtocolErrorsCounter().Increment();
+        conn->closing.store(true, std::memory_order_release);
         SendFrame(conn, EncodeErrorFrame(st));
-        conn->closed.store(true, std::memory_order_release);
         return;
       }
       // Unknown names / bad values are user errors, not protocol errors:
@@ -334,17 +525,57 @@ void Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
       if (active) active->ctx.Cancel();
       return;
     }
+    case FrameType::kPing: {
+      // Liveness probe: answered inline on the IO thread, so it bypasses
+      // the admission queue by construction and works even while a drain
+      // or an overload rejects every query.
+      uint64_t token = 0;
+      Status st = DecodePingFrame(frame, &token);
+      if (!st.ok()) {
+        ProtocolErrorsCounter().Increment();
+        conn->closing.store(true, std::memory_order_release);
+        SendFrame(conn, EncodeErrorFrame(st));
+        return;
+      }
+      PingsCounter().Increment();
+      SendFrame(conn, EncodePongFrame(token));
+      return;
+    }
     case FrameType::kQuery:
       HandleQueryFrame(conn, frame);
       return;
     default:
       // Server->client frame types from a client are protocol violations.
       ProtocolErrorsCounter().Increment();
+      conn->closing.store(true, std::memory_order_release);
       SendFrame(conn, EncodeErrorFrame(Status::InvalidArgument(
                           "protocol error: unexpected client frame type")));
-      conn->closed.store(true, std::memory_order_release);
       return;
   }
+}
+
+bool Server::ShedActive(uint32_t* retry_after_ms) const {
+  if (options_.soft_memory_limit_bytes > 0 &&
+      MemoryTracker::Process().used() >= options_.soft_memory_limit_bytes) {
+    *retry_after_ms = 200;
+    return true;
+  }
+  if (options_.shed_queue_wait_ms > 0) {
+    const uint64_t wait_ms = admission_.OldestWaitMs(QueryPriority::kLow);
+    if (wait_ms >= options_.shed_queue_wait_ms) {
+      // Hint roughly the backlog's age: retrying sooner would just rejoin
+      // the same queue.
+      *retry_after_ms = static_cast<uint32_t>(
+          std::min<uint64_t>(std::max<uint64_t>(wait_ms, 50), 60000));
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Server::degraded() const {
+  uint32_t unused = 0;
+  return ShedActive(&unused);
 }
 
 void Server::HandleQueryFrame(const std::shared_ptr<Connection>& conn,
@@ -353,8 +584,8 @@ void Server::HandleQueryFrame(const std::shared_ptr<Connection>& conn,
   Status st = DecodeQueryFrame(frame, &sql);
   if (!st.ok()) {
     ProtocolErrorsCounter().Increment();
+    conn->closing.store(true, std::memory_order_release);
     SendFrame(conn, EncodeErrorFrame(st));
-    conn->closed.store(true, std::memory_order_release);
     return;
   }
   QueriesCounter().Increment();
@@ -362,7 +593,29 @@ void Server::HandleQueryFrame(const std::shared_ptr<Connection>& conn,
   if (draining_.load(std::memory_order_acquire)) {
     QueryErrorsCounter().Increment();
     SendFrame(conn, EncodeErrorFrame(
-                        Status::Cancelled("server is shutting down")));
+                        Status::Unavailable("server is shutting down"),
+                        /*retry_after_ms=*/1000));
+    return;
+  }
+
+  QueryPriority priority = QueryPriority::kNormal;
+  if (!conn->settings.priority().empty()) {
+    ParseQueryPriority(conn->settings.priority(), &priority);
+  }
+
+  // Overload shedding: while the process sits above its soft memory limit
+  // or the low band's queue delay is over the threshold, low-band queries
+  // are rejected up front — never queued — with a retry-after hint. High
+  // and normal bands keep flowing; this is the graceful part of degrading.
+  uint32_t retry_after_ms = 0;
+  if (priority == QueryPriority::kLow && ShedActive(&retry_after_ms)) {
+    LoadShedCounter().Increment();
+    QueryErrorsCounter().Increment();
+    SendFrame(conn,
+              EncodeErrorFrame(Status::Unavailable(
+                                   "server overloaded: low-priority query "
+                                   "shed, retry later"),
+                               retry_after_ms));
     return;
   }
 
@@ -406,11 +659,6 @@ void Server::HandleQueryFrame(const std::shared_ptr<Connection>& conn,
   query->ctx.ApplySettings();
   query->enqueued = Clock::now();
 
-  QueryPriority priority = QueryPriority::kNormal;
-  if (!query->ctx.settings().priority().empty()) {
-    ParseQueryPriority(query->ctx.settings().priority(), &priority);
-  }
-
   st = admission_.Enqueue(
       priority, &query->ctx,
       [this, conn, query](Status admit, AdmissionController::Ticket ticket) {
@@ -442,10 +690,10 @@ void Server::SubmitQueryJob(std::shared_ptr<Connection> conn,
     ++jobs_in_flight_;
   }
   // Scheduler tasks must be copyable; the move-only ticket rides in a
-  // shared_ptr and is released only after the query's frames are flushed,
-  // so the slot stays held for the query's whole wall-clock run.
+  // shared_ptr and is released only after the query's frames are buffered,
+  // so the slot stays held for the query's whole execution.
   auto held = std::make_shared<AdmissionController::Ticket>(std::move(ticket));
-  Scheduler::Global().Submit([this, conn, query, held]() {
+  Scheduler::Global().Submit([this, conn, query, held]() mutable {
     std::vector<uint8_t> terminal = RunQuery(conn, query);
     held->Release();
     // Clear the active-query slot BEFORE the terminal frame goes out: a
@@ -453,11 +701,19 @@ void Server::SubmitQueryJob(std::shared_ptr<Connection> conn,
     // next query must find the connection free.
     FinishQuery(conn, query);
     SendFrame(conn, terminal);
-    // Count the job done only AFTER the terminal frame is flushed:
-    // Shutdown's drain waits on this count before it tears the sockets
-    // down, and a drained query's client must still read its full reply.
-    // Notify under the mutex: once it drops, Shutdown may return and
-    // destroy the condvar, so the notify must already be over by then.
+    // Drop the captured references BEFORE counting the job done: once
+    // jobs_in_flight_ hits zero, Shutdown may proceed on the promise that
+    // no job still pins a Connection (and its socket) — a ref released
+    // after the decrement would hold the fd past Shutdown's return.
+    conn.reset();
+    query.reset();
+    held.reset();
+    // Count the job done only AFTER the terminal frame is buffered:
+    // Shutdown's drain waits on this count, then its flush phase waits for
+    // the buffers themselves, so a drained query's client still reads its
+    // full reply. Notify under the mutex: once the count drops, Shutdown
+    // may return and destroy the condvar, so the notify must already be
+    // over by then.
     {
       std::lock_guard<std::mutex> lock(jobs_mu_);
       --jobs_in_flight_;
@@ -521,6 +777,7 @@ std::vector<uint8_t> Server::RunQuery(
   wire.exec_ns = NsBetween(exec_start, Clock::now());
   wire.peak_memory_bytes = query->ctx.memory_tracker().peak();
   wire.used_hash_fallback = stats.used_hash_fallback;
+  wire.degraded = degraded();
   return EncodeStatsFrame(wire);
 }
 
@@ -530,35 +787,73 @@ void Server::FinishQuery(const std::shared_ptr<Connection>& conn,
   if (conn->active == query) conn->active.reset();
 }
 
-bool Server::SendFrame(const std::shared_ptr<Connection>& conn,
-                       const std::vector<uint8_t>& frame) {
-  if (conn->closed.load(std::memory_order_acquire)) return false;
-  std::lock_guard<std::mutex> lock(conn->write_mu);
-  const uint8_t* p = frame.data();
-  size_t left = frame.size();
-  while (left > 0) {
-    ssize_t n = ::send(conn->fd, p, left, MSG_NOSIGNAL);
+bool Server::FlushLocked(Connection* conn) {
+  while (conn->woffset < conn->wbuf.size()) {
+    size_t left = conn->wbuf.size() - conn->woffset;
+    if (BIPIE_FAILPOINT("server/send_fail")) return false;  // ~EPIPE
+    if (BIPIE_FAILPOINT("server/send_partial")) left = 1;   // torn write
+    ssize_t n =
+        ::send(conn->fd, conn->wbuf.data() + conn->woffset, left, MSG_NOSIGNAL);
     if (n > 0) {
-      p += n;
-      left -= static_cast<size_t>(n);
+      conn->woffset += static_cast<size_t>(n);
+      conn->last_write_progress = Clock::now();
+      BytesSentCounter().Add(static_cast<uint64_t>(n));
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      pollfd pfd{conn->fd, POLLOUT, 0};
-      // A client that stops reading for 10s forfeits the rest of its
-      // result; the server never blocks a worker on one slow socket
-      // forever.
-      if (::poll(&pfd, 1, 10000) <= 0) {
-        conn->closed.store(true, std::memory_order_release);
-        return false;
-      }
-      continue;
-    }
-    conn->closed.store(true, std::memory_order_release);
-    return false;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    return false;  // ECONNRESET / EPIPE: peer is gone
   }
-  BytesSentCounter().Add(frame.size());
+  // Compact and hand back the drained bytes' session charge.
+  if (conn->woffset == conn->wbuf.size()) {
+    conn->wbuf.clear();
+    conn->woffset = 0;
+  } else if (conn->woffset >= (256u << 10)) {
+    conn->wbuf.erase(conn->wbuf.begin(),
+                     conn->wbuf.begin() +
+                         static_cast<std::ptrdiff_t>(conn->woffset));
+    conn->woffset = 0;
+  }
+  const size_t pending = conn->wbuf.size() - conn->woffset;
+  if (conn->wbuf_charged > pending) {
+    conn->session_tracker.Release(conn->wbuf_charged - pending);
+    conn->wbuf_charged = pending;
+  }
+  conn->has_pending_write.store(pending > 0, std::memory_order_release);
+  return true;
+}
+
+bool Server::SendFrame(const std::shared_ptr<Connection>& conn,
+                       const std::vector<uint8_t>& frame) {
+  if (conn->closed.load(std::memory_order_acquire)) return false;
+  bool need_wake = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    const size_t pending = conn->wbuf.size() - conn->woffset;
+    if (pending > options_.write_buffer_limit_bytes) {
+      // Backpressure terminal: the peer is not draining and the buffer is
+      // over its bound. The frame (and the rest of the reply) is
+      // forfeited; the connection closes. Checked before appending, so
+      // any single frame fits while the buffer is under the limit.
+      WriteOverflowsCounter().Increment();
+      conn->closed.store(true, std::memory_order_release);
+      return false;
+    }
+    if (pending == 0) conn->last_write_progress = Clock::now();
+    conn->wbuf.insert(conn->wbuf.end(), frame.begin(), frame.end());
+    // Buffered output is session memory: ForceCharge (the bytes exist
+    // either way) so a hoarding client shows up in the tracker hierarchy.
+    conn->session_tracker.ForceCharge(frame.size());
+    conn->wbuf_charged += frame.size();
+    if (!FlushLocked(conn.get())) {
+      conn->closed.store(true, std::memory_order_release);
+      return false;
+    }
+    need_wake = conn->has_pending_write.load(std::memory_order_acquire);
+  }
+  // Residue stays for the IO thread: make sure its poll set includes
+  // POLLOUT for this fd promptly.
+  if (need_wake) Wake();
   return true;
 }
 

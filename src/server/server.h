@@ -1,4 +1,4 @@
-// The bipie query service (DESIGN.md §14).
+// The bipie query service (DESIGN.md §14, §15).
 //
 // A long-running server that accepts SQL over the framed TCP protocol
 // (server/protocol.h) and streams results back. One accept+IO thread owns
@@ -9,16 +9,32 @@
 // does the server submit the query job to the process-wide work-stealing
 // Scheduler. There is no second thread pool.
 //
+// Resilience (DESIGN.md §15): workers never block on a slow socket either.
+// Result frames are appended to a per-connection bounded write buffer
+// (charged to the session MemoryTracker) and drained by the IO thread via
+// POLLOUT; a peer that stops reading costs a bounded buffer, never a
+// scheduler worker, and overflowing the bound is a terminal error. The IO
+// thread's 50 ms poll clock also ticks per-connection deadlines — idle
+// connections, peers stuck mid-frame, and writes that stop making progress
+// are all closed after a configured timeout — and an overload shed policy
+// rejects (never queues) low-band queries with kUnavailable + a retry-after
+// hint while the process sits above its soft memory limit or the low band's
+// queue delay crosses the shed threshold. Socket failpoints (short reads,
+// resets, send failures, accept faults, delayed wakeups) cover the whole IO
+// surface, mirroring the table-IO sites.
+//
 // Sessions: each connection carries its own QuerySettings (mutated by
 // SetSetting frames; `SET key = value` deltas in the REPL) and a session
 // MemoryTracker child of the process root. Every query runs under a
 // QueryContext whose tracker is a child of the session tracker, so
 // process <- session <- query limits all hold, and a drained session
-// trivially satisfies used() == 0.
+// trivially satisfies used() == 0 (buffered output is part of the session's
+// charge until it drains or the connection dies).
 //
 // Graceful drain (Shutdown, or SIGTERM in tools/bipie_server): stop
 // accepting, fail queued queries with kCancelled, let running queries
-// finish and flush their result frames, then close.
+// finish, flush every connection's buffered replies (bounded by the write
+// stall timeout), then close.
 #ifndef BIPIE_SERVER_SERVER_H_
 #define BIPIE_SERVER_SERVER_H_
 
@@ -52,6 +68,33 @@ struct ServerOptions {
   // concurrency cap to activate the priority-banded queue — the sustained-
   // load harness and the daemon both do.
   AdmissionController::Limits admission{};
+
+  // --- timeout discipline (DESIGN.md §15); 0 disables the timeout ---
+  // Close a connection with no query in flight, nothing buffered to write,
+  // and no bytes received for this long.
+  uint64_t idle_timeout_ms = 300000;
+  // Close a connection stuck mid-frame (a partial frame buffered, no new
+  // bytes) for this long: a torn or stalled sender cannot pin a socket.
+  uint64_t frame_read_timeout_ms = 30000;
+  // Close a connection whose buffered output has made no send progress for
+  // this long (the peer stopped reading). Also bounds the shutdown flush.
+  uint64_t write_stall_timeout_ms = 10000;
+  // Bound on one connection's buffered-but-unsent output, charged to the
+  // session MemoryTracker. A frame may be appended while the buffer is
+  // below the limit, so the hard ceiling is this plus one max frame.
+  // Overflow is a terminal error: Error frame dropped, connection closed.
+  size_t write_buffer_limit_bytes = size_t{64} << 20;
+
+  // --- overload shedding (DESIGN.md §15) ---
+  // > 0: Start() sets this as the process tracker's soft limit (restored on
+  // Shutdown()). While process usage sits at or above the soft limit,
+  // low-band queries are rejected with kUnavailable instead of queued.
+  size_t soft_memory_limit_bytes = 0;
+  // > 0: also shed low-band queries whenever the oldest queued low-band
+  // waiter has already waited at least this long (the live queue-delay
+  // signal from AdmissionController::OldestWaitMs).
+  uint64_t shed_queue_wait_ms = 0;
+
   // Test hook: runs on the worker thread after admission granted a slot
   // and before the query parses/executes. Lets tests hold a query at a
   // deterministic point (e.g. to land a Cancel frame mid-query).
@@ -74,14 +117,19 @@ class Server {
   Status Start();
 
   // Graceful drain: stop accepting, cancel queued queries, wait for
-  // running queries to finish and flush, then close every connection.
-  // Idempotent; also runs from the destructor.
+  // running queries to finish, flush buffered replies, then close every
+  // connection. Idempotent; also runs from the destructor.
   void Shutdown();
 
   // The bound port (valid after Start()).
   uint16_t port() const { return port_; }
 
   AdmissionController& admission() { return admission_; }
+
+  // True while the shed policy is active (soft memory limit reached or
+  // low-band queue delay over the threshold). Reported in every Stats
+  // frame as `degraded`.
+  bool degraded() const;
 
  private:
   struct Connection;
@@ -90,8 +138,8 @@ class Server {
   void IoLoop();
   void AcceptOne();
   // Reads whatever is available; parses and dispatches complete frames.
-  // Returns false when the connection is finished (EOF, error, protocol
-  // violation) and should be dropped from the poll set.
+  // Returns false when the connection is finished (EOF, error) and should
+  // be dropped from the poll set.
   bool ServiceReadable(const std::shared_ptr<Connection>& conn);
   void DispatchFrame(const std::shared_ptr<Connection>& conn,
                      const FrameView& frame);
@@ -111,12 +159,28 @@ class Server {
                                 const std::shared_ptr<ActiveQuery>& query);
   // Clears the connection's active-query slot (accepts the next query).
   // The jobs_in_flight_ count, which Shutdown's drain waits on, drops only
-  // after the terminal frame is flushed — see SubmitQueryJob.
+  // after the terminal frame is buffered — the drain's flush phase then
+  // waits for the buffers themselves.
   void FinishQuery(const std::shared_ptr<Connection>& conn,
                    const std::shared_ptr<ActiveQuery>& query);
 
-  static bool SendFrame(const std::shared_ptr<Connection>& conn,
-                        const std::vector<uint8_t>& frame);
+  // Appends `frame` to the connection's write buffer (session-tracked) and
+  // drains what the socket will take without blocking; the IO thread
+  // finishes the job via POLLOUT. Never blocks the caller. Returns false
+  // when the connection is already closed, a fatal send error occurred, or
+  // the buffered backlog overflowed its bound (terminal: connection
+  // closed).
+  bool SendFrame(const std::shared_ptr<Connection>& conn,
+                 const std::vector<uint8_t>& frame);
+  // Drains buffered output into the socket until it would block. Caller
+  // holds write_mu. Returns false on a fatal socket error.
+  bool FlushLocked(Connection* conn);
+  // Idle / mid-frame / write-stall deadline check, ticked from the IO
+  // loop. Returns false when the connection timed out and must close.
+  bool ConnectionHealthy(Connection* conn,
+                         std::chrono::steady_clock::time_point now);
+  // The shed decision; fills a client-facing retry-after hint when active.
+  bool ShedActive(uint32_t* retry_after_ms) const;
   void Wake();
 
   const ServerOptions options_;
@@ -132,8 +196,9 @@ class Server {
   int wake_fds_[2] = {-1, -1};  // pipe: IO thread sleeps in poll on [0]
   uint16_t port_ = 0;
   std::thread io_thread_;
-  std::atomic<bool> stopping_{false};   // stop IO loop
+  std::atomic<bool> stopping_{false};   // stop IO loop unconditionally
   std::atomic<bool> draining_{false};   // reject new queries
+  std::atomic<bool> flushing_{false};   // drain write buffers, then stop
 
   std::vector<std::shared_ptr<Connection>> connections_;  // IO thread only
 
@@ -141,6 +206,7 @@ class Server {
   std::condition_variable jobs_cv_;
   size_t jobs_in_flight_ = 0;
 
+  size_t prev_soft_limit_ = 0;  // process soft limit to restore on Shutdown
   bool started_ = false;
   bool shut_down_ = false;
 };

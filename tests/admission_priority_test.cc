@@ -192,6 +192,43 @@ TEST(AdmissionPriorityTest, WithoutAgingHighAlwaysWins) {
   release_held();
 }
 
+TEST(AdmissionPriorityTest, OldestWaitMsTracksTheFrontWaiter) {
+  // OldestWaitMs is the live queue-delay signal the server's shed policy
+  // reads: zero for an empty band, the front (oldest) waiter's age once
+  // queries queue, back to zero when the band drains.
+  AdmissionController controller({1, 4});
+  Ticket holder;
+  ASSERT_TRUE(controller.Admit(nullptr, &holder).ok());
+  EXPECT_EQ(controller.OldestWaitMs(QueryPriority::kLow), 0u);
+
+  std::vector<Ticket> granted;
+  auto hold = [&granted](Status admit, Ticket ticket) {
+    ASSERT_TRUE(admit.ok());
+    granted.push_back(std::move(ticket));
+  };
+  ASSERT_TRUE(controller.Enqueue(QueryPriority::kLow, nullptr, hold).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  ASSERT_TRUE(controller.Enqueue(QueryPriority::kLow, nullptr, hold).ok());
+
+  // FIFO within the band: the front waiter is the oldest, so its age (not
+  // the fresh enqueue's) is reported. Other bands stay at zero.
+  EXPECT_GE(controller.OldestWaitMs(QueryPriority::kLow), 25u);
+  EXPECT_EQ(controller.OldestWaitMs(QueryPriority::kNormal), 0u);
+  EXPECT_EQ(controller.OldestWaitMs(QueryPriority::kHigh), 0u);
+
+  holder.Release();
+  {
+    std::vector<Ticket> done;  // grant callbacks append reentrantly
+    done.swap(granted);
+    done.clear();
+  }
+  std::vector<Ticket> rest;
+  rest.swap(granted);
+  rest.clear();
+  EXPECT_EQ(controller.queued(), 0u);
+  EXPECT_EQ(controller.OldestWaitMs(QueryPriority::kLow), 0u);
+}
+
 TEST(AdmissionPriorityTest, TickExpiresDeadlinedQueuedQuery) {
   AdmissionController controller({1, 4});
   Ticket holder;

@@ -1,0 +1,231 @@
+// Client-side resilience (DESIGN.md §15): bounded socket timeouts, the
+// kUnavailable-only retry loop with reconnect + settings replay, backoff
+// honoring server retry-after hints, and the client-wide retry budget.
+// Failpoint-driven cases compile away to skips without
+// BIPIE_ENABLE_FAILPOINTS.
+#include "server/client.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "common/failpoint.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "storage/table.h"
+
+namespace bipie {
+namespace {
+
+using server::Client;
+using server::ClientOptions;
+using server::Server;
+using server::ServerOptions;
+
+Table MakeSmallTable(size_t rows = 2000) {
+  Table table({{"g", ColumnType::kInt64, EncodingChoice::kBitPacked},
+               {"v", ColumnType::kInt64, EncodingChoice::kBitPacked}});
+  TableAppender app(&table, 1024);
+  for (size_t i = 0; i < rows; ++i) {
+    app.AppendRow({static_cast<int64_t>(i % 4), static_cast<int64_t>(i % 7)});
+  }
+  app.Flush();
+  return table;
+}
+
+TEST(ClientRetryTest, ConnectionRefusedIsUnavailable) {
+  // Grab a port the OS just released: start a server, note the port, shut
+  // it down. Connecting there now is refused, which the client reports as
+  // kUnavailable (a transport failure), promptly — not a hang.
+  uint16_t dead_port;
+  {
+    Server server(ServerOptions{});
+    ASSERT_TRUE(server.Start().ok());
+    dead_port = server.port();
+  }
+  ClientOptions options;
+  options.connect_timeout_ms = 2000;
+  Client client(options);
+  auto start = std::chrono::steady_clock::now();
+  Status st = client.Connect("127.0.0.1", dead_port);
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable) << st.ToString();
+  EXPECT_LT(elapsed.count(), 2000);
+  EXPECT_FALSE(client.connected());
+}
+
+TEST(ClientRetryTest, RecvTimeoutBoundsAStalledServer) {
+  // A server that holds the query forever costs the caller exactly the
+  // recv timeout, surfaced as kUnavailable — the old blocking client hung
+  // here until the server answered.
+  Table table = MakeSmallTable();
+  std::atomic<bool> release{false};
+  ServerOptions options;
+  options.before_execute_hook = [&release](QueryContext*) {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  };
+  Server server(options);
+  server.AddTable("t", &table);
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientOptions copts;
+  copts.recv_timeout_ms = 200;
+  Client client(copts);
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  auto start = std::chrono::steady_clock::now();
+  QueryResult result;
+  Status st = client.Query("SELECT count(*) FROM t", &result);
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable) << st.ToString();
+  EXPECT_GE(elapsed.count(), 200);
+  EXPECT_LT(elapsed.count(), 5000);
+
+  release.store(true);  // let the parked worker finish before Shutdown
+}
+
+TEST(ClientRetryTest, ShedRejectionCarriesRetryAfterAndIsRetried) {
+  // A shed rejection is remote kUnavailable: the client retries it without
+  // reconnecting, waiting at least the server's retry-after hint. Under
+  // sustained pressure every retry sheds too, so the final status is still
+  // kUnavailable with the hint recorded and the retries spent.
+  Table table = MakeSmallTable();
+  ServerOptions options;
+  options.soft_memory_limit_bytes = 1;  // below the table: always degraded
+  Server server(options);
+  server.AddTable("t", &table);
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientOptions copts;
+  copts.max_retries = 2;
+  copts.backoff_initial_ms = 1;
+  copts.backoff_max_ms = 10;
+  Client client(copts);
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.Set("priority", "low").ok());
+
+  auto start = std::chrono::steady_clock::now();
+  QueryResult result;
+  Status st = client.Query("SELECT count(*) FROM t", &result);
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable) << st.ToString();
+  EXPECT_EQ(client.retries_spent(), 2u);
+  EXPECT_GT(client.last_retry_after_ms(), 0u);
+  // Two retries, each waiting at least the (200ms memory-shed) hint.
+  EXPECT_GE(elapsed.count(), 2 * 200);
+
+  // The connection survived all three rejections (server-sent errors keep
+  // the stream synchronized): the session works again off the low band.
+  ASSERT_TRUE(client.Set("priority", "normal").ok());
+  st = client.Query("SELECT count(*) FROM t", &result);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(result.rows[0].count, 2000u);
+}
+
+#if defined(BIPIE_ENABLE_FAILPOINTS)
+
+TEST(ClientRetryTest, TransportFailureReconnectsAndReplaysSettings) {
+  // Kill the first attempt's recv with a failpoint: the retry must
+  // reconnect and replay the recorded session settings before resending.
+  // The replayed 1-byte memory limit proves it — a *fresh* session would
+  // have run the query fine; the retried one fails with the session's
+  // kResourceExhausted.
+  Table table = MakeSmallTable();
+  Server server(ServerOptions{});
+  server.AddTable("t", &table);
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientOptions copts;
+  copts.max_retries = 3;
+  copts.backoff_initial_ms = 1;
+  copts.backoff_max_ms = 10;
+  Client client(copts);
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.Set("memory_limit_bytes", "1").ok());
+
+  Failpoints::FailOnce("client/recv_fail");
+  QueryResult result;
+  Status st =
+      client.Query("SELECT g, count(*), sum(v) FROM t GROUP BY g", &result);
+  Failpoints::Deactivate("client/recv_fail");
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted) << st.ToString();
+  EXPECT_EQ(client.retries_spent(), 1u);
+
+  // Lift the limit (on the reconnected session) and the query runs.
+  ASSERT_TRUE(client.Set("memory_limit_bytes", "0").ok());
+  st = client.Query("SELECT g, count(*), sum(v) FROM t GROUP BY g", &result);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(result.rows.size(), 4u);
+}
+
+TEST(ClientRetryTest, RetryStopsAtPerCallCap) {
+  // Every reconnect fails: the call burns exactly max_retries retries and
+  // returns the last kUnavailable instead of looping.
+  Table table = MakeSmallTable();
+  Server server(ServerOptions{});
+  server.AddTable("t", &table);
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientOptions copts;
+  copts.max_retries = 2;
+  copts.backoff_initial_ms = 1;
+  copts.backoff_max_ms = 5;
+  copts.connect_timeout_ms = 500;
+  Client client(copts);
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  Failpoints::FailEveryN("client/send_fail", 1);
+  QueryResult result;
+  Status st = client.Query("SELECT count(*) FROM t", &result);
+  Failpoints::Deactivate("client/send_fail");
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable) << st.ToString();
+  EXPECT_EQ(client.retries_spent(), 2u);
+
+  // With the fault gone the same client recovers on the next call.
+  st = client.Query("SELECT count(*) FROM t", &result);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(result.rows[0].count, 2000u);
+}
+
+TEST(ClientRetryTest, RetryBudgetIsClientWide) {
+  // The per-client budget caps total retries across calls: two calls with
+  // max_retries=4 against a dead transport spend at most budget=3 retries
+  // between them, then fail fast.
+  Table table = MakeSmallTable();
+  Server server(ServerOptions{});
+  server.AddTable("t", &table);
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientOptions copts;
+  copts.max_retries = 4;
+  copts.retry_budget = 3;
+  copts.backoff_initial_ms = 1;
+  copts.backoff_max_ms = 5;
+  Client client(copts);
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  Failpoints::FailEveryN("client/send_fail", 1);
+  QueryResult result;
+  EXPECT_EQ(client.Query("SELECT count(*) FROM t", &result).code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(client.Query("SELECT count(*) FROM t", &result).code(),
+            StatusCode::kUnavailable);
+  Failpoints::Deactivate("client/send_fail");
+  EXPECT_EQ(client.retries_spent(), 3u);
+}
+
+#else
+
+TEST(ClientRetryTest, FailpointCasesSkippedWithoutFailpoints) {
+  GTEST_SKIP() << "built without BIPIE_ENABLE_FAILPOINTS";
+}
+
+#endif  // BIPIE_ENABLE_FAILPOINTS
+
+}  // namespace
+}  // namespace bipie

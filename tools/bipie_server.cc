@@ -3,14 +3,23 @@
 // Serves a generated TPC-H lineitem table over the framed protocol
 // (src/server). SIGTERM / SIGINT trigger a graceful drain: stop accepting,
 // cancel queued queries, let running queries flush, dump the server and
-// admission counters, exit 0.
+// admission counters, exit 0. A second SIGTERM / SIGINT while the drain is
+// still running forces an immediate exit with code 3 — an operator (or a
+// supervisor's escalation) is never stuck behind a wedged drain.
 //
 //   bipie_server [--port N] [--rows N] [--max-concurrent N]
 //                [--queue-limit N] [--aging-ms N]
+//                [--idle-timeout-ms N] [--write-stall-ms N]
+//                [--soft-limit-bytes N] [--shed-queue-wait-ms N]
 //
 // --max-concurrent 0 (default: hardware concurrency) disables the
 // admission gate entirely; the priority-banded queue only engages with a
-// concurrency cap.
+// concurrency cap. --soft-limit-bytes / --shed-queue-wait-ms arm the
+// overload shed policy (DESIGN.md §15): low-band queries are rejected with
+// kUnavailable while the process is over its soft memory limit or the low
+// band's queue delay exceeds the threshold.
+
+#include <unistd.h>
 
 #include <csignal>
 #include <cstdio>
@@ -27,7 +36,12 @@ namespace {
 
 volatile std::sig_atomic_t g_shutdown = 0;
 
-void HandleSignal(int) { g_shutdown = 1; }
+void HandleSignal(int) {
+  // Second signal while draining: the operator wants out NOW. _exit is
+  // async-signal-safe; skip all destructors and report the forced exit.
+  if (g_shutdown) _exit(3);
+  g_shutdown = 1;
+}
 
 uint64_t ParseArg(const char* text, const char* flag) {
   char* end = nullptr;
@@ -72,6 +86,15 @@ int main(int argc, char** argv) {
           ParseArg(next(), "--queue-limit");
     } else if (arg == "--aging-ms") {
       options.admission.aging_ms = ParseArg(next(), "--aging-ms");
+    } else if (arg == "--idle-timeout-ms") {
+      options.idle_timeout_ms = ParseArg(next(), "--idle-timeout-ms");
+    } else if (arg == "--write-stall-ms") {
+      options.write_stall_timeout_ms = ParseArg(next(), "--write-stall-ms");
+    } else if (arg == "--soft-limit-bytes") {
+      options.soft_memory_limit_bytes =
+          static_cast<size_t>(ParseArg(next(), "--soft-limit-bytes"));
+    } else if (arg == "--shed-queue-wait-ms") {
+      options.shed_queue_wait_ms = ParseArg(next(), "--shed-queue-wait-ms");
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return 2;
