@@ -6,6 +6,7 @@
 
 #include "common/bits.h"
 #include "encoding/bitpack.h"
+#include "encoding/byteslice.h"
 #include "vector/agg_inregister.h"
 #include "vector/agg_minmax.h"
 #include "vector/agg_scalar.h"
@@ -243,6 +244,27 @@ Status AggregateProcessor::Bind(const Table& table, const Segment& segment,
     }
   }
 
+  // Byteslice filter admission (DESIGN.md §16): which filters would the
+  // early-pruning plane kernels evaluate, and how selective does metadata
+  // say they are? Metadata-decided predicates never reach a kernel and do
+  // not count.
+  ByteSliceAdmissionInputs bs_in;
+  for (const ColumnPredicate& pred : query.filters) {
+    const int idx = table.FindColumn(pred.column_name());
+    if (idx < 0) continue;  // Execute reports the real error
+    const EncodedColumn& col = segment.column(static_cast<size_t>(idx));
+    if (col.encoding() != Encoding::kByteSliced) continue;
+    if (pred.MatchesAllRows(col) || pred.EliminatesSegment(col)) continue;
+    bs_in.any_byteslice_filter = true;
+    bs_in.max_planes =
+        std::max(bs_in.max_planes, ByteSlicePlanes(col.bit_width()));
+    bs_in.estimated_selectivity = std::min(
+        bs_in.estimated_selectivity,
+        EstimatePredicateSelectivity(pred.op(), pred.literal(),
+                                     pred.literal2(), col.meta().min,
+                                     col.meta().max));
+  }
+
   // Record the decision inputs (plain data only — Bind runs per morsel)
   // before any feasibility check can reject the bind, so an explain of a
   // forced infeasible plan still shows what drove the rejection.
@@ -263,6 +285,20 @@ Status AggregateProcessor::Bind(const Table& table, const Segment& segment,
   decision_.run_inputs = run_in;
   decision_.run_capable = RunBasedCapable(run_in);
   decision_.run_admitted = RunBasedAdmitted(run_in);
+  decision_.byteslice_inputs = bs_in;
+  decision_.byteslice_capable = ByteSliceCapable(bs_in);
+  decision_.byteslice_admitted = overrides.byteslice.has_value()
+                                     ? *overrides.byteslice
+                                     : ByteSliceAdmitted(bs_in);
+  decision_.forced_byteslice = overrides.byteslice;
+
+  if (overrides.byteslice.has_value() && *overrides.byteslice &&
+      !ByteSliceCapable(bs_in)) {
+    decision_.byteslice_admitted = false;
+    return Status::NotSupported(
+        "byteslice kernels infeasible: no filter binds to a byte-sliced "
+        "column of this segment");
+  }
 
   if (overflow_risk) {
     if (overrides.aggregation.has_value() &&

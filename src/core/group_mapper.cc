@@ -23,6 +23,13 @@ Status GroupMapper::Bind(const Segment& segment,
       return Status::NotSupported(
           "delta-encoded group-by columns are not id-addressable");
     }
+    if (col.encoding() == Encoding::kByteSliced) {
+      // Ids are addressable but not gather-able from a packed bit stream
+      // (MaterializeIdsSelected rebases a packed pointer); byteslice earns
+      // its keep on filter columns, group-bys stay packed/dict/RLE.
+      return Status::NotSupported(
+          "byte-sliced group-by columns are not supported");
+    }
     if (col.encoding() == Encoding::kRle) {
       // RLE columns are not id-addressable directly; assign ids to the run
       // values in first-appearance order (a per-segment dictionary over

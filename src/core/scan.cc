@@ -195,7 +195,8 @@ Status BIPieScan::ScanMorselImpl(const Morsel& morsel,
       for (size_t f = 0; f < query_.filters.size(); ++f) {
         uint8_t* dst = f == 0 ? sel_buf.data() : sel_tmp.data();
         BIPIE_RETURN_NOT_OK(query_.filters[f].Evaluate(
-            segment.column(filter_cols[f]), view.start, view.num_rows, dst));
+            segment.column(filter_cols[f]), view.start, view.num_rows, dst,
+            processor.plan_decision().byteslice_admitted));
         if (f > 0) {
           AndSelection(sel_buf.data(), sel_tmp.data(), view.num_rows,
                        sel_buf.data());
@@ -571,7 +572,8 @@ Result<QueryResult> BIPieScan::ExecuteImpl() {
     // forced strategies, in which case the rejection is the answer.
     if (failure.code() == StatusCode::kNotSupported &&
         !options_.overrides.selection.has_value() &&
-        !options_.overrides.aggregation.has_value()) {
+        !options_.overrides.aggregation.has_value() &&
+        !options_.overrides.byteslice.has_value()) {
       // The progress counters describe the aborted specialized scan, not the
       // query that is about to run; reset them so callers never see a mix of
       // the two runs. The segment plan (scanned/eliminated) still stands.
@@ -687,6 +689,10 @@ ScanOptions MakeScanOptions(QueryContext* context) {
       }
     }
     BIPIE_DCHECK(options.overrides.aggregation.has_value());
+  }
+  const std::string& byteslice = settings.force_byteslice();
+  if (!byteslice.empty()) {
+    options.overrides.byteslice = byteslice == "on";
   }
   return options;
 }

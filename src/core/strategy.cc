@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "expr/predicate.h"
 #include "vector/agg_inregister.h"
 
 namespace bipie {
@@ -46,6 +47,53 @@ bool RunBasedAdmitted(const RunAdmissionInputs& in) {
   if (!RunBasedCapable(in)) return false;
   const size_t spans = std::max<size_t>(in.estimated_spans, 1);
   return in.segment_rows / spans >= kMinRunSpanRows;
+}
+
+bool ByteSliceCapable(const ByteSliceAdmissionInputs& in) {
+  return in.any_byteslice_filter;
+}
+
+bool ByteSliceAdmitted(const ByteSliceAdmissionInputs& in) {
+  if (!ByteSliceCapable(in)) return false;
+  return in.max_planes <= 1 ||
+         in.estimated_selectivity <= kByteSliceSelectivityCeiling;
+}
+
+double EstimatePredicateSelectivity(CompareOp op, int64_t literal,
+                                    int64_t literal2, int64_t min,
+                                    int64_t max) {
+  if (min > max) return 0.0;
+  const double domain =
+      static_cast<double>(static_cast<uint64_t>(max) -
+                          static_cast<uint64_t>(min)) + 1.0;
+  // Fraction of the domain strictly below v, clamped to [0, 1].
+  const auto below = [&](int64_t v) -> double {
+    if (v <= min) return 0.0;
+    if (v > max) return 1.0;
+    return static_cast<double>(static_cast<uint64_t>(v) -
+                               static_cast<uint64_t>(min)) / domain;
+  };
+  const double one = literal >= min && literal <= max ? 1.0 / domain : 0.0;
+  switch (op) {
+    case CompareOp::kEq:
+      return one;
+    case CompareOp::kNe:
+      return 1.0 - one;
+    case CompareOp::kLt:
+      return below(literal);
+    case CompareOp::kLe:
+      return literal >= max ? 1.0 : below(literal) + one;
+    case CompareOp::kGt:
+      return literal >= max ? 0.0 : 1.0 - below(literal) - one;
+    case CompareOp::kGe:
+      return 1.0 - below(literal);
+    case CompareOp::kBetween: {
+      if (literal2 < literal) return 0.0;
+      const double le_hi = literal2 >= max ? 1.0 : below(literal2 + 1);
+      return std::max(0.0, le_hi - below(literal));
+    }
+  }
+  return 1.0;
 }
 
 double GatherCrossoverSelectivity(int bit_width) {

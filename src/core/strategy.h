@@ -9,10 +9,14 @@
 #ifndef BIPIE_CORE_STRATEGY_H_
 #define BIPIE_CORE_STRATEGY_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 
 namespace bipie {
+
+enum class CompareOp;  // expr/predicate.h
 
 enum class SelectionStrategy {
   kGather,        // §4.2 — unpack only the selected rows
@@ -42,6 +46,11 @@ const char* AggregationStrategyName(AggregationStrategy s);
 struct StrategyOverrides {
   std::optional<SelectionStrategy> selection;
   std::optional<AggregationStrategy> aggregation;
+  // Byte-sliced filter evaluation (DESIGN.md §16): true forces the
+  // early-pruning plane kernels for every byteslice filter column (an error
+  // if no filter binds to one), false forces the decode-then-compare path;
+  // unset means adaptive admission.
+  std::optional<bool> byteslice;
 };
 
 // Picks the selection strategy for one batch.
@@ -109,6 +118,48 @@ bool RunBasedCapable(const RunAdmissionInputs& in);
 // Forced kRunBased overrides skip the profitability half.
 bool RunBasedAdmitted(const RunAdmissionInputs& in);
 
+// --- byteslice filter admission (DESIGN.md §16) ----------------------------
+//
+// Byte-sliced filter columns can evaluate predicates plane-at-a-time with
+// early exit (vector/byteslice_scan.h) instead of assembling full words and
+// comparing. The kernel path is always *correct*; admission decides whether
+// it is *profitable* for this segment's predicates.
+
+struct ByteSliceAdmissionInputs {
+  // At least one filter of the query binds to a kByteSliced column of the
+  // segment (and is not metadata-decided for it).
+  bool any_byteslice_filter = false;
+  // Widest byteslice filter column, in byte planes (ceil(bit_width / 8)).
+  int max_planes = 0;
+  // Metadata selectivity estimate (uniform-distribution quantile over
+  // [min, max]) of the most selective byteslice filter.
+  double estimated_selectivity = 1.0;
+};
+
+// Adaptive admission ceiling on the estimated selectivity of multi-plane
+// columns. Early exit prunes planes fastest when few lanes stay undecided
+// past plane 0 — which metadata can only see through the selectivity proxy.
+// Hand-tuned like the §6 heuristics; ROADMAP item 2's measured cost model
+// is the planned replacement.
+inline constexpr double kByteSliceSelectivityCeiling = 0.8;
+
+// Correctness gate: the plane kernels can evaluate this segment's filters.
+bool ByteSliceCapable(const ByteSliceAdmissionInputs& in);
+
+// Adaptive gate: capable *and* profitable. Single-plane columns always pass
+// (there is nothing to early-exit past, and the kernel skips the word
+// assembly the decode path pays); multi-plane columns pass below the
+// selectivity ceiling. A forced override skips this half.
+bool ByteSliceAdmitted(const ByteSliceAdmissionInputs& in);
+
+// Fraction of rows a predicate passes under a uniform distribution over the
+// column's [min, max] metadata — the estimate driving byteslice admission
+// (and exposed for the explain renderer and tests). literal2 is the
+// kBetween upper bound, ignored otherwise.
+double EstimatePredicateSelectivity(CompareOp op, int64_t literal,
+                                    int64_t literal2, int64_t min,
+                                    int64_t max);
+
 // --- plan introspection (DESIGN.md §12) ------------------------------------
 //
 // Every input that drove one segment's strategy resolution, recorded by
@@ -144,6 +195,12 @@ struct PlanDecision {
   RunAdmissionInputs run_inputs;
   bool run_capable = false;
   bool run_admitted = false;
+
+  // Byteslice filter admission (DESIGN.md §16).
+  ByteSliceAdmissionInputs byteslice_inputs;
+  bool byteslice_capable = false;
+  bool byteslice_admitted = false;
+  std::optional<bool> forced_byteslice;
 };
 
 }  // namespace bipie

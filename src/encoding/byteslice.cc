@@ -1,0 +1,58 @@
+#include "encoding/byteslice.h"
+
+#include "common/bits.h"
+
+namespace bipie {
+
+void ByteSlicePack(const uint64_t* values, size_t n, int bit_width,
+                   uint8_t* dst) {
+  const int np = ByteSlicePlanes(bit_width);
+  const int pad = ByteSlicePadBits(bit_width);
+  for (size_t i = 0; i < n; ++i) {
+    BIPIE_DCHECK(bit_width == 64 || values[i] < (uint64_t{1} << bit_width));
+    const uint64_t shifted = values[i] << pad;
+    for (int p = 0; p < np; ++p) {
+      dst[static_cast<size_t>(p) * n + i] =
+          static_cast<uint8_t>(shifted >> (8 * (np - 1 - p)));
+    }
+  }
+}
+
+namespace {
+
+template <typename Word>
+void AssembleWords(const uint8_t* planes, size_t plane_stride, int bit_width,
+                   size_t start, size_t n, Word* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<Word>(
+        ByteSliceAssembleOne(planes, plane_stride, bit_width, start + i));
+  }
+}
+
+}  // namespace
+
+void ByteSliceAssemble(const uint8_t* planes, size_t plane_stride,
+                       int bit_width, size_t start, size_t n, void* out,
+                       int word_bytes) {
+  switch (word_bytes) {
+    case 1:
+      AssembleWords(planes, plane_stride, bit_width, start, n,
+                    static_cast<uint8_t*>(out));
+      break;
+    case 2:
+      AssembleWords(planes, plane_stride, bit_width, start, n,
+                    static_cast<uint16_t*>(out));
+      break;
+    case 4:
+      AssembleWords(planes, plane_stride, bit_width, start, n,
+                    static_cast<uint32_t*>(out));
+      break;
+    default:
+      BIPIE_DCHECK(word_bytes == 8);
+      AssembleWords(planes, plane_stride, bit_width, start, n,
+                    static_cast<uint64_t*>(out));
+      break;
+  }
+}
+
+}  // namespace bipie

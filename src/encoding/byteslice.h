@@ -1,0 +1,82 @@
+// Byte-planar (ByteSlice) codec (DESIGN.md §16).
+//
+// A column of offsets with bit width w (frame-of-reference, like the
+// bit-packed tier) is stored as np = ceil(w/8) byte *planes*. Offsets are
+// left-shifted by pad = 8*np - w so the significant bits sit at the top of
+// the np-byte window ("pad right"); plane p (0-based) then stores byte
+// np-1-p of the shifted value — plane 0 is the most significant byte.
+//
+// Why pad right: an unsigned comparison of the shifted values decides
+// exactly like a comparison of the raw offsets (the shift is monotone and
+// injective — the vacated low bits are zero), and the byte of *every* plane
+// is a full 8 significant bits except for the guaranteed-zero pad in the
+// last plane. Predicates therefore evaluate plane 0 first over SIMD lanes
+// and short-circuit the remaining planes once the comparison of every lane
+// is decided (see vector/byteslice_scan.h), touching 1/np of the data for
+// selective filters on wide values.
+//
+// Planes are stored plane-major and contiguously with a stride of exactly
+// num_rows bytes — no inter-plane padding. Vector kernels that over-read a
+// plane's tail land in the next plane (or, for the last plane, in the
+// owning AlignedBuffer's kPaddingBytes), which is always readable.
+#ifndef BIPIE_ENCODING_BYTESLICE_H_
+#define BIPIE_ENCODING_BYTESLICE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace bipie {
+
+// Planes needed for offsets of `bit_width` bits (1..64).
+inline constexpr int ByteSlicePlanes(int bit_width) {
+  return (bit_width + 7) / 8;
+}
+
+// Zero low bits of every shifted value: 8 * planes - bit_width, in [0, 7].
+inline constexpr int ByteSlicePadBits(int bit_width) {
+  return 8 * ByteSlicePlanes(bit_width) - bit_width;
+}
+
+// Bytes of plane storage for n rows (excluding AlignedBuffer padding).
+inline size_t ByteSliceBytes(size_t n, int bit_width) {
+  return n * static_cast<size_t>(ByteSlicePlanes(bit_width));
+}
+
+// An offset mapped into the padded comparison domain. Comparisons of
+// shifted values agree with comparisons of offsets for every CompareOp,
+// including equality (the pad bits of stored values are always zero).
+BIPIE_ALWAYS_INLINE uint64_t ByteSliceShift(uint64_t offset, int bit_width) {
+  return offset << ByteSlicePadBits(bit_width);
+}
+
+// Splits n offsets (each < 2^bit_width) into byte planes at dst, plane-major
+// with stride n: dst[p * n + i] holds byte np-1-p of ByteSliceShift(
+// values[i]). dst must hold ByteSliceBytes(n, bit_width) writable bytes.
+void ByteSlicePack(const uint64_t* values, size_t n, int bit_width,
+                   uint8_t* dst);
+
+// Reads back the single offset at `index` from planes with the given stride.
+BIPIE_ALWAYS_INLINE uint64_t ByteSliceAssembleOne(const uint8_t* planes,
+                                                  size_t plane_stride,
+                                                  int bit_width,
+                                                  size_t index) {
+  const int np = ByteSlicePlanes(bit_width);
+  uint64_t shifted = 0;
+  for (int p = 0; p < np; ++p) {
+    shifted = (shifted << 8) | planes[p * plane_stride + index];
+  }
+  return shifted >> ByteSlicePadBits(bit_width);
+}
+
+// Assembles offsets [start, start + n) into `out` of element width
+// word_bytes (1, 2, 4 or 8; must fit bit_width). The inverse of
+// ByteSlicePack, restricted to a window.
+void ByteSliceAssemble(const uint8_t* planes, size_t plane_stride,
+                       int bit_width, size_t start, size_t n, void* out,
+                       int word_bytes);
+
+}  // namespace bipie
+
+#endif  // BIPIE_ENCODING_BYTESLICE_H_

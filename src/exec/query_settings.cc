@@ -63,6 +63,12 @@ const std::vector<SettingDef>& RegistryImpl() {
        0, 0, 0, false, "",
        "scalar|in-register|sort-based|multi-aggregate|checked-scalar|"
        "run-based"},
+      {"force_byteslice", SettingType::kString,
+       "Byteslice predicate kernels for byte-sliced filter columns: 'on' "
+       "forces the plane kernels (the scan fails with kNotSupported when no "
+       "filter binds to a byte-sliced column), 'off' forces the "
+       "assemble-then-compare fallback. Empty = adaptive admission.",
+       0, 0, 0, false, "", "on|off"},
       {"priority", SettingType::kString,
        "Admission priority band. A freed slot goes to the highest-priority "
        "queued query; aging promotes long waiters one band per aging "

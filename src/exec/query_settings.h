@@ -76,7 +76,8 @@ class QuerySettings {
   bool io_strict() const { return bool_[3]; }
   const std::string& force_selection_strategy() const { return str_[0]; }
   const std::string& force_aggregation_strategy() const { return str_[1]; }
-  const std::string& priority() const { return str_[2]; }
+  const std::string& force_byteslice() const { return str_[2]; }
+  const std::string& priority() const { return str_[3]; }
 
  private:
   // Values live in per-type arrays indexed by the registry row's

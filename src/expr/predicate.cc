@@ -8,9 +8,12 @@
 
 #include "common/aligned_buffer.h"
 #include "common/bits.h"
+#include "common/failpoint.h"
 #include "common/memory_tracker.h"
 #include "common/cpu.h"
 #include "encoding/bitpack.h"
+#include "encoding/byteslice.h"
+#include "vector/byteslice_scan.h"
 #include "vector/selection_vector.h"
 
 namespace bipie {
@@ -407,8 +410,77 @@ AlignedBuffer& UnpackScratch() {
 }  // namespace
 
 Status ColumnPredicate::Evaluate(const EncodedColumn& col, size_t start,
-                                 size_t n, uint8_t* sel_out) const {
+                                 size_t n, uint8_t* sel_out,
+                                 bool use_byteslice_kernel) const {
   switch (col.encoding()) {
+    case Encoding::kByteSliced: {
+      const int w = col.bit_width();
+      const int np = ByteSlicePlanes(w);
+      if (op_ == CompareOp::kBetween) {
+        // Intersect [literal_, literal2_] with the column domain, exactly
+        // like the bit-packed path.
+        if (literal2_ < col.meta().min || literal_ > col.meta().max ||
+            literal_ > literal2_) {
+          std::memset(sel_out, kRowRejected, n);
+          return Status::OK();
+        }
+        if (literal_ <= col.meta().min && literal2_ >= col.meta().max) {
+          std::memset(sel_out, kRowSelected, n);
+          return Status::OK();
+        }
+        const int64_t lo_clamped = std::max(literal_, col.meta().min);
+        const int64_t hi_clamped = std::min(literal2_, col.meta().max);
+        const uint64_t lo_off = static_cast<uint64_t>(lo_clamped) -
+                                static_cast<uint64_t>(col.base());
+        const uint64_t hi_off = static_cast<uint64_t>(hi_clamped) -
+                                static_cast<uint64_t>(col.base());
+        if (use_byteslice_kernel) {
+          // Plane kernels work on the stored planes directly: no scratch,
+          // no decode.
+          ByteSliceCompare(col.packed_data(), col.num_rows(), np, start, n,
+                           CompareOp::kBetween, ByteSliceShift(lo_off, w),
+                           ByteSliceShift(hi_off, w), sel_out);
+          return Status::OK();
+        }
+        const int word = SmallestWordBytes(w);
+        if (BIPIE_FAILPOINT("scan/byteslice_scratch_alloc") ||
+            !UnpackScratch().TryResize(n * static_cast<size_t>(word))) {
+          return Status::ResourceExhausted(
+              "byteslice decode scratch allocation failed");
+        }
+        col.UnpackIds(start, n, UnpackScratch().data(), word);
+        internal::CompareUnsignedWordsRange(UnpackScratch().data(), n, word,
+                                            lo_off, hi_off, sel_out);
+        return Status::OK();
+      }
+      uint64_t rebased = 0;
+      switch (RebaseLiteral(op_, literal_, col.base(), col.meta().max,
+                            &rebased)) {
+        case RebasedVerdict::kAllRows:
+          std::memset(sel_out, kRowSelected, n);
+          return Status::OK();
+        case RebasedVerdict::kNoRows:
+          std::memset(sel_out, kRowRejected, n);
+          return Status::OK();
+        case RebasedVerdict::kCompare:
+          break;
+      }
+      if (use_byteslice_kernel) {
+        ByteSliceCompare(col.packed_data(), col.num_rows(), np, start, n,
+                         op_, ByteSliceShift(rebased, w), 0, sel_out);
+        return Status::OK();
+      }
+      const int word = SmallestWordBytes(w);
+      if (BIPIE_FAILPOINT("scan/byteslice_scratch_alloc") ||
+          !UnpackScratch().TryResize(n * static_cast<size_t>(word))) {
+        return Status::ResourceExhausted(
+            "byteslice decode scratch allocation failed");
+      }
+      col.UnpackIds(start, n, UnpackScratch().data(), word);
+      internal::CompareUnsignedWords(UnpackScratch().data(), n, word, op_,
+                                     rebased, sel_out);
+      return Status::OK();
+    }
     case Encoding::kBitPacked: {
       if (op_ == CompareOp::kBetween) {
         // Intersect [literal_, literal2_] with the column domain.

@@ -72,8 +72,15 @@ class ColumnPredicate {
 
   // Evaluates rows [start, start + n) of `col`, writing n selection bytes.
   // sel_out needs 32 bytes of write slack (AlignedBuffer padding).
+  //
+  // For kByteSliced columns, `use_byteslice_kernel` selects between the
+  // early-pruning plane kernels (vector/byteslice_scan.h) and the
+  // assemble-then-compare fallback — the strategy layer's admission
+  // decision (DESIGN.md §16). Both produce identical bytes; callers that
+  // never see byteslice columns (or want the reference path, like the
+  // differential oracle) keep the default.
   Status Evaluate(const EncodedColumn& col, size_t start, size_t n,
-                  uint8_t* sel_out) const;
+                  uint8_t* sel_out, bool use_byteslice_kernel = false) const;
 
   // True when the segment's metadata proves every row fails the predicate.
   bool EliminatesSegment(const EncodedColumn& col) const;

@@ -119,6 +119,28 @@ std::string RunRejectionReason(const PlanDecision& d) {
          std::to_string(spans) + " spans)";
 }
 
+// Why the byteslice plane kernels were (or were not) admitted, from the
+// recorded admission inputs (DESIGN.md §16).
+std::string ByteSliceReason(const PlanDecision& d) {
+  const ByteSliceAdmissionInputs& in = d.byteslice_inputs;
+  if (d.forced_byteslice.has_value()) {
+    return *d.forced_byteslice ? "forced on" : "forced off";
+  }
+  if (!d.byteslice_capable) {
+    return "infeasible: no filter binds to a byte-sliced column";
+  }
+  if (d.byteslice_admitted) {
+    return in.max_planes <= 1
+               ? "single plane: no pruning needed"
+               : "est selectivity " + Fixed2(in.estimated_selectivity) +
+                     " <= " + Fixed2(kByteSliceSelectivityCeiling) +
+                     " ceiling";
+  }
+  return "unprofitable: est selectivity " + Fixed2(in.estimated_selectivity) +
+         " above the " + Fixed2(kByteSliceSelectivityCeiling) +
+         " ceiling with " + std::to_string(in.max_planes) + " planes";
+}
+
 // Rejected-alternative reasons, derived from the recorded decision inputs.
 std::vector<RejectedAlternative> DeriveRejected(const PlanDecision& d) {
   static constexpr std::array<AggregationStrategy, 6> kAll = {
@@ -300,7 +322,8 @@ Result<PlanExplain> BIPieScan::Explain() const {
   // the lowest-indexed real error wins; otherwise a kNotSupported rejection
   // means hash fallback (adaptive) or a returned error (forced plan).
   const bool forced = options_.overrides.selection.has_value() ||
-                      options_.overrides.aggregation.has_value();
+                      options_.overrides.aggregation.has_value() ||
+                      options_.overrides.byteslice.has_value();
   if (!first_real_error.ok()) {
     explain.plan_error = true;
     explain.plan_error_text = first_real_error.ToString();
@@ -379,6 +402,16 @@ std::string PlanExplain::ToText() const {
            ", admitted " + (d.run_admitted ? "yes" : "no") + ", spans<=" +
            std::to_string(in.estimated_spans) + ", avg span " +
            std::to_string(in.segment_rows / spans) + " rows");
+    }
+    // Byteslice admission only prints when it can matter — a capable
+    // segment or an explicit override. Queries that never touch a
+    // byte-sliced column keep their pre-§16 explain text.
+    if (d.byteslice_capable || d.forced_byteslice.has_value()) {
+      line("    byteslice: capable " +
+           std::string(d.byteslice_capable ? "yes" : "no") + ", admitted " +
+           (d.byteslice_admitted ? "yes" : "no") + ", planes<=" +
+           std::to_string(d.byteslice_inputs.max_planes) + " (" +
+           ByteSliceReason(d) + ")");
     }
     if (!seg.selection_applies) {
       line("  selection: none (no filters or deletes reach the batch loop)");
@@ -479,6 +512,16 @@ std::string PlanExplain::ToJson(int indent) const {
     w.KV("selection_forced", d.run_inputs.selection_forced);
     w.KV("estimated_spans", d.run_inputs.estimated_spans);
     w.EndObject();
+    if (d.byteslice_capable || d.forced_byteslice.has_value()) {
+      w.Key("byteslice_admission").BeginObject();
+      w.KV("capable", d.byteslice_capable);
+      w.KV("admitted", d.byteslice_admitted);
+      w.KV("forced", d.forced_byteslice.has_value());
+      w.KV("max_planes", static_cast<int64_t>(d.byteslice_inputs.max_planes));
+      w.KV("estimated_selectivity", d.byteslice_inputs.estimated_selectivity);
+      w.KV("reason", ByteSliceReason(d));
+      w.EndObject();
+    }
     w.EndObject();
 
     w.Key("selection").BeginObject();

@@ -5,6 +5,7 @@
 
 #include "common/bits.h"
 #include "encoding/bitpack.h"
+#include "encoding/byteslice.h"
 
 namespace bipie {
 
@@ -113,6 +114,9 @@ EncodedColumn ColumnBuilder::FinishInt() {
     case EncodingChoice::kDelta:
       pick = Encoding::kDelta;
       break;
+    case EncodingChoice::kByteSliced:
+      pick = Encoding::kByteSliced;
+      break;
     case EncodingChoice::kAuto:
     default:
       // Usefulness tie-break: RLE must win by 2x to be chosen (it is the
@@ -155,6 +159,23 @@ EncodedColumn ColumnBuilder::FinishInt() {
       col.int_dict_ = std::move(dict);
       col.packed_.Resize(BitPackedBytes(n, col.bit_width_) + 8);
       BitPack(ids.data(), n, col.bit_width_, col.packed_.data());
+      break;
+    }
+    case Encoding::kByteSliced: {
+      // Same frame-of-reference offsets as kBitPacked, split into padded
+      // byte planes (auto never picks this: it trades size — whole bytes
+      // per value — for early-exit predicate evaluation, a call the
+      // strategy layer makes per workload, not the builder per column).
+      col.encoding_ = Encoding::kByteSliced;
+      col.base_ = col.meta_.min;
+      col.bit_width_ = for_bits;
+      std::vector<uint64_t> offsets(n);
+      for (size_t i = 0; i < n; ++i) {
+        offsets[i] = static_cast<uint64_t>(int_values_[i]) -
+                     static_cast<uint64_t>(col.base_);
+      }
+      col.packed_.Resize(ByteSliceBytes(n, for_bits));
+      ByteSlicePack(offsets.data(), n, for_bits, col.packed_.data());
       break;
     }
     case Encoding::kRle: {

@@ -5,6 +5,7 @@
 
 #include "common/bits.h"
 #include "encoding/bitpack.h"
+#include "encoding/byteslice.h"
 
 namespace bipie {
 
@@ -55,6 +56,7 @@ uint64_t EncodedColumn::id_bound() const {
       return type_ == ColumnType::kString ? str_dict_->size()
                                           : int_dict_->size();
     case Encoding::kBitPacked:
+    case Encoding::kByteSliced:
       // Offsets span [0, max - base]; metadata gives the exact bound.
       return static_cast<uint64_t>(meta_.max) -
              static_cast<uint64_t>(base_) + 1;
@@ -68,16 +70,28 @@ uint64_t EncodedColumn::id_bound() const {
 void EncodedColumn::UnpackIds(size_t start, size_t n, void* out,
                               int word_bytes) const {
   BIPIE_DCHECK(encoding_ == Encoding::kBitPacked ||
-               encoding_ == Encoding::kDictionary);
+               encoding_ == Encoding::kDictionary ||
+               encoding_ == Encoding::kByteSliced);
   BIPIE_DCHECK(start + n <= meta_.num_rows);
+  if (encoding_ == Encoding::kByteSliced) {
+    ByteSliceAssemble(packed_.data(), meta_.num_rows, bit_width_, start, n,
+                      out, word_bytes);
+    return;
+  }
   BitUnpackToWord(packed_.data(), start, n, bit_width_, out, word_bytes);
 }
 
 void EncodedColumn::DecodeInt64(size_t start, size_t n, int64_t* out) const {
   BIPIE_DCHECK(start + n <= meta_.num_rows);
   switch (encoding_) {
-    case Encoding::kBitPacked: {
-      BitUnpackToWord(packed_.data(), start, n, bit_width_, out, 8);
+    case Encoding::kBitPacked:
+    case Encoding::kByteSliced: {
+      if (encoding_ == Encoding::kByteSliced) {
+        ByteSliceAssemble(packed_.data(), meta_.num_rows, bit_width_, start,
+                          n, out, 8);
+      } else {
+        BitUnpackToWord(packed_.data(), start, n, bit_width_, out, 8);
+      }
       if (base_ != 0) {
         for (size_t i = 0; i < n; ++i) {
           out[i] = static_cast<int64_t>(static_cast<uint64_t>(out[i]) +
@@ -136,7 +150,7 @@ Status EncodedColumn::Validate() const {
                             std::to_string(type_raw));
   }
   const int enc_raw = static_cast<int>(encoding_);
-  if (enc_raw < 0 || enc_raw > static_cast<int>(Encoding::kDelta)) {
+  if (enc_raw < 0 || enc_raw > static_cast<int>(Encoding::kByteSliced)) {
     return Status::DataLoss("column encoding discriminant out of range: " +
                             std::to_string(enc_raw));
   }
@@ -236,6 +250,51 @@ Status EncodedColumn::Validate() const {
       }
       return Status::OK();
     }
+    case Encoding::kByteSliced: {
+      if (bit_width_ < 1 || bit_width_ > 64) {
+        return Status::DataLoss("bit width out of [1, 64]: " +
+                                std::to_string(bit_width_));
+      }
+      if (base_ != meta_.min) {
+        return Status::DataLoss("frame-of-reference base != metadata min");
+      }
+      if (packed_.size() < ByteSliceBytes(n, bit_width_)) {
+        return Status::DataLoss("byte planes shorter than row count");
+      }
+      // The pad bits of the last plane are an invariant of the layout: the
+      // comparison kernels compare shifted values for equality, so a
+      // mutated non-zero pad bit would silently change predicate answers.
+      const int np = ByteSlicePlanes(bit_width_);
+      const int pad = ByteSlicePadBits(bit_width_);
+      if (pad > 0) {
+        const uint8_t* last_plane =
+            packed_.data() + static_cast<size_t>(np - 1) * n;
+        const uint8_t pad_mask = static_cast<uint8_t>(LowBitsMask(pad));
+        for (size_t i = 0; i < n; ++i) {
+          if ((last_plane[i] & pad_mask) != 0) {
+            return Status::DataLoss("byte-sliced pad bits are not zero");
+          }
+        }
+      }
+      // Assembled offsets must stay within the metadata spread, same as the
+      // bit-packed tier (id_bound() and segment elimination rely on it).
+      const uint64_t spread = static_cast<uint64_t>(meta_.max) -
+                              static_cast<uint64_t>(base_);
+      AlignedBuffer scratch(kBatchRows * 8);
+      uint64_t* words = scratch.data_as<uint64_t>();
+      for (size_t start = 0; start < n; start += kBatchRows) {
+        const size_t chunk = std::min(kBatchRows, n - start);
+        ByteSliceAssemble(packed_.data(), n, bit_width_, start, chunk, words,
+                          8);
+        for (size_t k = 0; k < chunk; ++k) {
+          if (words[k] > spread) {
+            return Status::DataLoss(
+                "byte-sliced offset exceeds metadata spread");
+          }
+        }
+      }
+      return Status::OK();
+    }
     case Encoding::kDelta: {
       if (bit_width_ < 1 || bit_width_ > 64) {
         return Status::DataLoss("bit width out of [1, 64]: " +
@@ -291,6 +350,7 @@ Status EncodedColumn::Validate() const {
 size_t EncodedColumn::encoded_bytes() const {
   switch (encoding_) {
     case Encoding::kBitPacked:
+    case Encoding::kByteSliced:
       return packed_.size();
     case Encoding::kDictionary: {
       size_t dict_bytes = 0;

@@ -4,7 +4,10 @@
 // frame-of-reference bit packing (base + packed unsigned offsets), optionally
 // behind a dictionary; string columns are always dictionary encoded. Every
 // column carries min/max metadata used for segment elimination and overflow
-// proofs (§2.1).
+// proofs (§2.1). kByteSliced (DESIGN.md §16) stores the same
+// frame-of-reference offsets as ceil(bit_width/8) byte planes inside
+// packed_ (plane-major, stride = num_rows, MSB plane first) so predicates
+// can evaluate plane-at-a-time with early exit.
 #ifndef BIPIE_STORAGE_ENCODED_COLUMN_H_
 #define BIPIE_STORAGE_ENCODED_COLUMN_H_
 

@@ -42,9 +42,9 @@ constexpr uint32_t kMaxColumns = 4096;
 // the byte is ever cast into the enum (constructing an out-of-range enum
 // value is UB and would poison every later comparison).
 constexpr uint8_t kMaxColumnType = static_cast<uint8_t>(ColumnType::kString);
-constexpr uint8_t kMaxEncoding = static_cast<uint8_t>(Encoding::kDelta);
+constexpr uint8_t kMaxEncoding = static_cast<uint8_t>(Encoding::kByteSliced);
 constexpr uint8_t kMaxEncodingChoice =
-    static_cast<uint8_t>(EncodingChoice::kDelta);
+    static_cast<uint8_t>(EncodingChoice::kByteSliced);
 
 // Writes straight to the file (v1 layout and the v2 outer framing).
 class FileWriter {

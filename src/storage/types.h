@@ -22,6 +22,7 @@ enum class Encoding {
   kDictionary,  // dictionary + bit-packed ids
   kRle,         // (value, count) runs
   kDelta,       // first value + bit-packed successive differences
+  kByteSliced,  // frame-of-reference base + padded byte planes, MSB first
 };
 
 // Lets tests and benchmarks pin an encoding; kAuto picks by size/usefulness.
@@ -31,6 +32,7 @@ enum class EncodingChoice {
   kDictionary,
   kRle,
   kDelta,
+  kByteSliced,
 };
 
 struct ColumnSpec {

@@ -1,0 +1,92 @@
+#include "vector/byteslice_scan.h"
+
+#include "common/cpu.h"
+#include "common/macros.h"
+#include "expr/predicate.h"
+#include "vector/selection_vector.h"
+
+namespace bipie {
+
+namespace internal {
+
+namespace {
+
+// Lexicographic plane compare of one row against a shifted literal with
+// early exit at the first differing plane. Returns -1 / 0 / +1.
+BIPIE_ALWAYS_INLINE int CompareRow(const uint8_t* planes, size_t plane_stride,
+                                   int num_planes, size_t row,
+                                   uint64_t shifted_literal) {
+  for (int p = 0; p < num_planes; ++p) {
+    const uint8_t b = planes[static_cast<size_t>(p) * plane_stride + row];
+    const uint8_t lb = LiteralPlaneByte(shifted_literal, num_planes, p);
+    if (b != lb) return b < lb ? -1 : 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+void ByteSliceCompareScalar(const uint8_t* planes, size_t plane_stride,
+                            int num_planes, size_t start, size_t n,
+                            CompareOp op, uint64_t literal, uint64_t literal2,
+                            uint8_t* sel_out) {
+  for (size_t i = 0; i < n; ++i) {
+    const size_t row = start + i;
+    bool selected = false;
+    if (op == CompareOp::kBetween) {
+      selected =
+          CompareRow(planes, plane_stride, num_planes, row, literal) >= 0 &&
+          CompareRow(planes, plane_stride, num_planes, row, literal2) <= 0;
+    } else {
+      const int c =
+          CompareRow(planes, plane_stride, num_planes, row, literal);
+      switch (op) {
+        case CompareOp::kEq:
+          selected = c == 0;
+          break;
+        case CompareOp::kNe:
+          selected = c != 0;
+          break;
+        case CompareOp::kLt:
+          selected = c < 0;
+          break;
+        case CompareOp::kLe:
+          selected = c <= 0;
+          break;
+        case CompareOp::kGt:
+          selected = c > 0;
+          break;
+        case CompareOp::kGe:
+          selected = c >= 0;
+          break;
+        case CompareOp::kBetween:
+          break;  // handled above
+      }
+    }
+    sel_out[i] = selected ? kRowSelected : kRowRejected;
+  }
+}
+
+}  // namespace internal
+
+void ByteSliceCompare(const uint8_t* planes, size_t plane_stride,
+                      int num_planes, size_t start, size_t n, CompareOp op,
+                      uint64_t literal, uint64_t literal2, uint8_t* sel_out) {
+  switch (CurrentIsaTier()) {
+    case IsaTier::kAvx512:
+      internal::ByteSliceCompareAvx512(planes, plane_stride, num_planes,
+                                       start, n, op, literal, literal2,
+                                       sel_out);
+      return;
+    case IsaTier::kAvx2:
+      internal::ByteSliceCompareAvx2(planes, plane_stride, num_planes, start,
+                                     n, op, literal, literal2, sel_out);
+      return;
+    case IsaTier::kScalar:
+      break;
+  }
+  internal::ByteSliceCompareScalar(planes, plane_stride, num_planes, start,
+                                   n, op, literal, literal2, sel_out);
+}
+
+}  // namespace bipie

@@ -1,0 +1,78 @@
+// Early-pruning predicate evaluation over byte-planar columns
+// (DESIGN.md §16; the ByteSlice scan contract).
+//
+// A byteslice column stores frame-of-reference offsets as np byte planes,
+// most-significant plane first, every value left-shifted so each plane byte
+// carries full significance (encoding/byteslice.h). A comparison against a
+// literal is then decided lexicographically, plane by plane:
+//
+//   per lane, after planes 0..p:  lt = decided "value < literal"
+//                                 eq = still equal so far (undecided)
+//
+//   plane step:  lt |= eq & (x[p] <u lit[p]);  eq &= (x[p] == lit[p])
+//
+// Once `eq` is all-zero every lane is decided and the remaining planes are
+// never read — the early-exit invariant that makes selective predicates on
+// wide values touch ~1 plane instead of np. The final masks map to every
+// CompareOp: kLt -> lt, kLe -> lt|eq, kEq -> eq, kNe -> ~eq, kGe -> ~lt,
+// kGt -> ~(lt|eq). kBetween runs two chains (x < lo, x > hi) and exits
+// when both equality masks die.
+//
+// Literals arrive pre-rebased to the offset domain and pre-shifted into the
+// padded comparison domain (ByteSliceShift); callers handle the
+// out-of-domain short-circuits (predicate.cc's RebaseLiteral).
+//
+// Output is the canonical selection byte vector: 0xFF selected, 0x00
+// rejected. sel_out needs 64 writable bytes of slack past n (AlignedBuffer
+// padding); plane tails may be over-read per the layout's padding contract.
+#ifndef BIPIE_VECTOR_BYTESLICE_SCAN_H_
+#define BIPIE_VECTOR_BYTESLICE_SCAN_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bipie {
+
+enum class CompareOp;  // expr/predicate.h
+
+// Evaluates `offset <op> literal` over rows [start, start + n) of the
+// planes (plane-major, the given stride, num_planes planes). For kBetween,
+// `literal` is the shifted lower bound and `literal2` the shifted upper
+// bound (inclusive); otherwise literal2 is ignored. Dispatches to the best
+// ISA tier at runtime.
+void ByteSliceCompare(const uint8_t* planes, size_t plane_stride,
+                      int num_planes, size_t start, size_t n, CompareOp op,
+                      uint64_t literal, uint64_t literal2, uint8_t* sel_out);
+
+namespace internal {
+
+// Portable reference tier (also the dispatch target on kScalar).
+void ByteSliceCompareScalar(const uint8_t* planes, size_t plane_stride,
+                            int num_planes, size_t start, size_t n,
+                            CompareOp op, uint64_t literal, uint64_t literal2,
+                            uint8_t* sel_out);
+
+// AVX2 tier: 32 lanes per step, defined in byteslice_scan_avx2.cc.
+void ByteSliceCompareAvx2(const uint8_t* planes, size_t plane_stride,
+                          int num_planes, size_t start, size_t n,
+                          CompareOp op, uint64_t literal, uint64_t literal2,
+                          uint8_t* sel_out);
+
+// AVX-512 tier: 64 lanes per step with mask-register accumulators, defined
+// in byteslice_scan_avx512.cc (compiled with AVX-512 flags).
+void ByteSliceCompareAvx512(const uint8_t* planes, size_t plane_stride,
+                            int num_planes, size_t start, size_t n,
+                            CompareOp op, uint64_t literal, uint64_t literal2,
+                            uint8_t* sel_out);
+
+// Byte p (0-based from the most significant plane) of a shifted literal
+// with num_planes planes.
+inline uint8_t LiteralPlaneByte(uint64_t shifted, int num_planes, int p) {
+  return static_cast<uint8_t>(shifted >> (8 * (num_planes - 1 - p)));
+}
+
+}  // namespace internal
+
+}  // namespace bipie
+
+#endif  // BIPIE_VECTOR_BYTESLICE_SCAN_H_

@@ -1,0 +1,149 @@
+// AVX2 tier of the byteslice predicate kernels: 32 lanes per step, byte
+// vectors as the decided/undecided masks, sign-bias trick for unsigned
+// byte compares (AVX2 has no unsigned cmpgt).
+#include <immintrin.h>
+
+#include "common/macros.h"
+#include "expr/predicate.h"
+#include "vector/byteslice_scan.h"
+
+namespace bipie::internal {
+
+namespace {
+
+constexpr size_t kLanes = 32;
+
+struct LiteralPlanes {
+  __m256i raw[8];     // splatted plane byte, for equality
+  __m256i biased[8];  // sign-biased, for unsigned less-than via cmpgt_epi8
+};
+
+LiteralPlanes SplatLiteral(uint64_t shifted, int num_planes) {
+  LiteralPlanes lit;
+  const __m256i bias = _mm256_set1_epi8(static_cast<char>(0x80));
+  for (int p = 0; p < num_planes; ++p) {
+    lit.raw[p] = _mm256_set1_epi8(
+        static_cast<char>(LiteralPlaneByte(shifted, num_planes, p)));
+    lit.biased[p] = _mm256_xor_si256(lit.raw[p], bias);
+  }
+  return lit;
+}
+
+// One 32-lane block of the single-literal chain: on return `*lt` holds the
+// decided x < literal lanes and `*eq` the x == literal lanes. Reads plane p
+// only while some lane is still undecided after planes 0..p-1.
+BIPIE_ALWAYS_INLINE void CompareBlock(const uint8_t* planes,
+                                      size_t plane_stride, int num_planes,
+                                      size_t row, const LiteralPlanes& lit,
+                                      __m256i* lt, __m256i* eq) {
+  const __m256i bias = _mm256_set1_epi8(static_cast<char>(0x80));
+  __m256i m_lt = _mm256_setzero_si256();
+  __m256i m_eq = _mm256_set1_epi8(static_cast<char>(0xFF));
+  for (int p = 0; p < num_planes; ++p) {
+    const __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+        planes + static_cast<size_t>(p) * plane_stride + row));
+    const __m256i is_lt =
+        _mm256_cmpgt_epi8(lit.biased[p], _mm256_xor_si256(x, bias));
+    const __m256i is_eq = _mm256_cmpeq_epi8(x, lit.raw[p]);
+    m_lt = _mm256_or_si256(m_lt, _mm256_and_si256(m_eq, is_lt));
+    m_eq = _mm256_and_si256(m_eq, is_eq);
+    // Early exit: every lane decided, the remaining planes cannot change
+    // the verdict and are never read.
+    if (p + 1 < num_planes && _mm256_testz_si256(m_eq, m_eq)) break;
+  }
+  *lt = m_lt;
+  *eq = m_eq;
+}
+
+// Dual chain for kBetween: decided x < lo and x > hi lanes.
+BIPIE_ALWAYS_INLINE void CompareBlockRange(const uint8_t* planes,
+                                           size_t plane_stride,
+                                           int num_planes, size_t row,
+                                           const LiteralPlanes& lo,
+                                           const LiteralPlanes& hi,
+                                           __m256i* lt_lo, __m256i* gt_hi) {
+  const __m256i bias = _mm256_set1_epi8(static_cast<char>(0x80));
+  __m256i m_lt = _mm256_setzero_si256();
+  __m256i m_gt = _mm256_setzero_si256();
+  __m256i eq_lo = _mm256_set1_epi8(static_cast<char>(0xFF));
+  __m256i eq_hi = eq_lo;
+  for (int p = 0; p < num_planes; ++p) {
+    const __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+        planes + static_cast<size_t>(p) * plane_stride + row));
+    const __m256i xb = _mm256_xor_si256(x, bias);
+    m_lt = _mm256_or_si256(
+        m_lt, _mm256_and_si256(eq_lo, _mm256_cmpgt_epi8(lo.biased[p], xb)));
+    eq_lo = _mm256_and_si256(eq_lo, _mm256_cmpeq_epi8(x, lo.raw[p]));
+    m_gt = _mm256_or_si256(
+        m_gt, _mm256_and_si256(eq_hi, _mm256_cmpgt_epi8(xb, hi.biased[p])));
+    eq_hi = _mm256_and_si256(eq_hi, _mm256_cmpeq_epi8(x, hi.raw[p]));
+    if (p + 1 < num_planes &&
+        _mm256_testz_si256(_mm256_or_si256(eq_lo, eq_hi),
+                           _mm256_or_si256(eq_lo, eq_hi))) {
+      break;
+    }
+  }
+  *lt_lo = m_lt;
+  *gt_hi = m_gt;
+}
+
+BIPIE_ALWAYS_INLINE __m256i FinalizeOp(CompareOp op, __m256i lt, __m256i eq) {
+  const __m256i ones = _mm256_set1_epi8(static_cast<char>(0xFF));
+  switch (op) {
+    case CompareOp::kLt:
+      return lt;
+    case CompareOp::kLe:
+      return _mm256_or_si256(lt, eq);
+    case CompareOp::kEq:
+      return eq;
+    case CompareOp::kNe:
+      return _mm256_xor_si256(eq, ones);
+    case CompareOp::kGt:
+      return _mm256_xor_si256(_mm256_or_si256(lt, eq), ones);
+    case CompareOp::kGe:
+      return _mm256_xor_si256(lt, ones);
+    case CompareOp::kBetween:
+      break;  // never reaches FinalizeOp
+  }
+  return ones;
+}
+
+}  // namespace
+
+void ByteSliceCompareAvx2(const uint8_t* planes, size_t plane_stride,
+                          int num_planes, size_t start, size_t n,
+                          CompareOp op, uint64_t literal, uint64_t literal2,
+                          uint8_t* sel_out) {
+#if defined(__AVX2__)
+  const LiteralPlanes lo = SplatLiteral(literal, num_planes);
+  const LiteralPlanes hi = op == CompareOp::kBetween
+                               ? SplatLiteral(literal2, num_planes)
+                               : LiteralPlanes{};
+  const __m256i ones = _mm256_set1_epi8(static_cast<char>(0xFF));
+  size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    __m256i sel;
+    if (op == CompareOp::kBetween) {
+      __m256i lt_lo, gt_hi;
+      CompareBlockRange(planes, plane_stride, num_planes, start + i, lo, hi,
+                        &lt_lo, &gt_hi);
+      sel = _mm256_xor_si256(_mm256_or_si256(lt_lo, gt_hi), ones);
+    } else {
+      __m256i lt, eq;
+      CompareBlock(planes, plane_stride, num_planes, start + i, lo, &lt, &eq);
+      sel = FinalizeOp(op, lt, eq);
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(sel_out + i), sel);
+  }
+  if (i < n) {
+    // Scalar tail keeps writes inside the documented 32-byte slack.
+    ByteSliceCompareScalar(planes, plane_stride, num_planes, start + i,
+                           n - i, op, literal, literal2, sel_out + i);
+  }
+#else
+  ByteSliceCompareScalar(planes, plane_stride, num_planes, start, n, op,
+                         literal, literal2, sel_out);
+#endif
+}
+
+}  // namespace bipie::internal

@@ -1,0 +1,143 @@
+// AVX-512 tier of the byteslice predicate kernels: 64 lanes per step with
+// the decided/undecided state held in mask registers (kortest gives the
+// early-exit test for free) and native unsigned byte compares.
+#include <immintrin.h>
+
+#include "common/macros.h"
+#include "expr/predicate.h"
+#include "vector/byteslice_scan.h"
+
+namespace bipie::internal {
+
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+
+namespace {
+
+constexpr size_t kLanes = 64;
+
+struct LiteralPlanes {
+  __m512i raw[8];
+};
+
+LiteralPlanes SplatLiteral(uint64_t shifted, int num_planes) {
+  LiteralPlanes lit;
+  for (int p = 0; p < num_planes; ++p) {
+    lit.raw[p] = _mm512_set1_epi8(
+        static_cast<char>(LiteralPlaneByte(shifted, num_planes, p)));
+  }
+  return lit;
+}
+
+// One 64-lane block of the single-literal chain. `valid` masks the loads of
+// a partial tail block (invalid lanes read as zero and are ignored by the
+// caller's store mask).
+BIPIE_ALWAYS_INLINE void CompareBlock(const uint8_t* planes,
+                                      size_t plane_stride, int num_planes,
+                                      size_t row, __mmask64 valid,
+                                      const LiteralPlanes& lit,
+                                      __mmask64* lt, __mmask64* eq) {
+  __mmask64 m_lt = 0;
+  __mmask64 m_eq = valid;
+  for (int p = 0; p < num_planes; ++p) {
+    const __m512i x = _mm512_maskz_loadu_epi8(
+        valid, planes + static_cast<size_t>(p) * plane_stride + row);
+    m_lt |= m_eq & _mm512_cmp_epu8_mask(x, lit.raw[p], _MM_CMPINT_LT);
+    m_eq &= _mm512_cmpeq_epu8_mask(x, lit.raw[p]);
+    if (m_eq == 0) break;  // every lane decided: skip the remaining planes
+  }
+  *lt = m_lt;
+  *eq = m_eq;
+}
+
+BIPIE_ALWAYS_INLINE void CompareBlockRange(const uint8_t* planes,
+                                           size_t plane_stride,
+                                           int num_planes, size_t row,
+                                           __mmask64 valid,
+                                           const LiteralPlanes& lo,
+                                           const LiteralPlanes& hi,
+                                           __mmask64* lt_lo,
+                                           __mmask64* gt_hi) {
+  __mmask64 m_lt = 0;
+  __mmask64 m_gt = 0;
+  __mmask64 eq_lo = valid;
+  __mmask64 eq_hi = valid;
+  for (int p = 0; p < num_planes; ++p) {
+    const __m512i x = _mm512_maskz_loadu_epi8(
+        valid, planes + static_cast<size_t>(p) * plane_stride + row);
+    m_lt |= eq_lo & _mm512_cmp_epu8_mask(x, lo.raw[p], _MM_CMPINT_LT);
+    eq_lo &= _mm512_cmpeq_epu8_mask(x, lo.raw[p]);
+    m_gt |= eq_hi & _mm512_cmp_epu8_mask(x, hi.raw[p], _MM_CMPINT_NLE);
+    eq_hi &= _mm512_cmpeq_epu8_mask(x, hi.raw[p]);
+    if ((eq_lo | eq_hi) == 0) break;
+  }
+  *lt_lo = m_lt;
+  *gt_hi = m_gt;
+}
+
+BIPIE_ALWAYS_INLINE __mmask64 FinalizeOp(CompareOp op, __mmask64 lt,
+                                         __mmask64 eq) {
+  switch (op) {
+    case CompareOp::kLt:
+      return lt;
+    case CompareOp::kLe:
+      return lt | eq;
+    case CompareOp::kEq:
+      return eq;
+    case CompareOp::kNe:
+      return ~eq;
+    case CompareOp::kGt:
+      return ~(lt | eq);
+    case CompareOp::kGe:
+      return ~lt;
+    case CompareOp::kBetween:
+      break;  // never reaches FinalizeOp
+  }
+  return ~__mmask64{0};
+}
+
+}  // namespace
+
+void ByteSliceCompareAvx512(const uint8_t* planes, size_t plane_stride,
+                            int num_planes, size_t start, size_t n,
+                            CompareOp op, uint64_t literal, uint64_t literal2,
+                            uint8_t* sel_out) {
+  const LiteralPlanes lo = SplatLiteral(literal, num_planes);
+  const LiteralPlanes hi = op == CompareOp::kBetween
+                               ? SplatLiteral(literal2, num_planes)
+                               : LiteralPlanes{};
+  for (size_t i = 0; i < n; i += kLanes) {
+    const size_t chunk = n - i < kLanes ? n - i : kLanes;
+    const __mmask64 valid =
+        chunk == kLanes ? ~__mmask64{0}
+                        : (__mmask64{1} << chunk) - 1;
+    __mmask64 sel;
+    if (op == CompareOp::kBetween) {
+      __mmask64 lt_lo, gt_hi;
+      CompareBlockRange(planes, plane_stride, num_planes, start + i, valid,
+                        lo, hi, &lt_lo, &gt_hi);
+      sel = ~(lt_lo | gt_hi);
+    } else {
+      __mmask64 lt, eq;
+      CompareBlock(planes, plane_stride, num_planes, start + i, valid, lo,
+                   &lt, &eq);
+      sel = FinalizeOp(op, lt, eq);
+    }
+    // Masked store: a partial tail writes only its rows, keeping the kernel
+    // inside the caller's selection buffer whatever its slack.
+    _mm512_mask_storeu_epi8(sel_out + i, valid, _mm512_movm_epi8(sel));
+  }
+}
+
+#else  // !(__AVX512F__ && __AVX512BW__)
+
+void ByteSliceCompareAvx512(const uint8_t* planes, size_t plane_stride,
+                            int num_planes, size_t start, size_t n,
+                            CompareOp op, uint64_t literal, uint64_t literal2,
+                            uint8_t* sel_out) {
+  ByteSliceCompareScalar(planes, plane_stride, num_planes, start, n, op,
+                         literal, literal2, sel_out);
+}
+
+#endif
+
+}  // namespace bipie::internal

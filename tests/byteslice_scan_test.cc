@@ -1,0 +1,187 @@
+// Early-pruning byteslice predicate kernels (DESIGN.md §16), every ISA
+// tier against a naive reference: all CompareOps, tail/boundary lengths
+// that are not lane multiples, the all-decided-at-plane-0 best case and
+// the never-decided (all planes read) worst case, across the width
+// classes 8/9/16/25/32 plus the extremes.
+#include "vector/byteslice_scan.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "common/bits.h"
+#include "encoding/byteslice.h"
+#include "expr/predicate.h"
+#include "tests/test_util.h"
+
+namespace bipie {
+namespace {
+
+constexpr CompareOp kAllOps[] = {CompareOp::kEq, CompareOp::kNe,
+                                 CompareOp::kLt, CompareOp::kLe,
+                                 CompareOp::kGt, CompareOp::kGe,
+                                 CompareOp::kBetween};
+
+const char* OpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "eq";
+    case CompareOp::kNe: return "ne";
+    case CompareOp::kLt: return "lt";
+    case CompareOp::kLe: return "le";
+    case CompareOp::kGt: return "gt";
+    case CompareOp::kGe: return "ge";
+    case CompareOp::kBetween: return "between";
+  }
+  return "?";
+}
+
+// Verdicts straight from the raw offsets — independent of the plane
+// representation the kernels decide on.
+std::vector<uint8_t> NaiveCompare(const std::vector<uint64_t>& values,
+                                  size_t start, size_t n, CompareOp op,
+                                  uint64_t lit, uint64_t lit2) {
+  std::vector<uint8_t> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t v = values[start + i];
+    bool sel = false;
+    switch (op) {
+      case CompareOp::kEq: sel = v == lit; break;
+      case CompareOp::kNe: sel = v != lit; break;
+      case CompareOp::kLt: sel = v < lit; break;
+      case CompareOp::kLe: sel = v <= lit; break;
+      case CompareOp::kGt: sel = v > lit; break;
+      case CompareOp::kGe: sel = v >= lit; break;
+      case CompareOp::kBetween: sel = v >= lit && v <= lit2; break;
+    }
+    out[i] = sel ? uint8_t{0xFF} : uint8_t{0x00};
+  }
+  return out;
+}
+
+// Runs every op on every available tier over rows [start, start + n) and
+// checks the kernel bytes against the naive reference.
+void CheckAllOps(const std::vector<uint64_t>& values, int w, size_t start,
+                 size_t n, uint64_t lit, uint64_t lit2) {
+  const size_t total = values.size();
+  AlignedBuffer planes(ByteSliceBytes(total, w));
+  ByteSlicePack(values.data(), total, w, planes.data());
+  const int np = ByteSlicePlanes(w);
+  for (const CompareOp op : kAllOps) {
+    const auto expected = NaiveCompare(values, start, n, op, lit, lit2);
+    test::ForEachIsaTier([&](IsaTier tier) {
+      AlignedBuffer sel(n == 0 ? 1 : n);
+      std::memset(sel.data(), 0xA5, sel.size());
+      ByteSliceCompare(planes.data(), total, np, start, n, op,
+                       ByteSliceShift(lit, w), ByteSliceShift(lit2, w),
+                       sel.data());
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(sel.data()[i], expected[i])
+            << "w=" << w << " op=" << OpName(op) << " tier="
+            << static_cast<int>(tier) << " start=" << start << " i=" << i;
+      }
+    });
+  }
+}
+
+class ByteSliceScanWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(ByteSliceScanWidths, RandomValuesAllOps) {
+  const int w = GetParam();
+  const size_t n = 1013;  // prime: exercises every tail path
+  auto values = test::RandomPackedValues(n, w, 23 * w + 7);
+  const uint64_t lit = values[n / 2];  // guarantees eq/ne lanes exist
+  const uint64_t mask = LowBitsMask(w);
+  const uint64_t lo = lit / 2;
+  const uint64_t hi = lit + ((mask - lit) / 2);
+  CheckAllOps(values, w, 0, n, lit, hi);
+  CheckAllOps(values, w, 0, n, lo, hi);
+}
+
+TEST_P(ByteSliceScanWidths, UnalignedWindows) {
+  const int w = GetParam();
+  const size_t n = 300;
+  auto values = test::RandomPackedValues(n, w, 41 * w + 1);
+  const uint64_t lit = values[17];
+  for (size_t start : {size_t{1}, size_t{31}, size_t{63}, size_t{64},
+                       size_t{65}}) {
+    CheckAllOps(values, w, start, n - start, lit, lit + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WidthClasses, ByteSliceScanWidths,
+                         ::testing::Values(1, 7, 8, 9, 16, 17, 25, 32, 33,
+                                           40, 57, 64));
+
+TEST(ByteSliceScanTest, TailBoundaryLengths) {
+  // Lengths straddling the 32- and 64-lane block sizes, never a multiple
+  // of 64 except where stated; the kernels must not write past n bytes
+  // beyond the documented slack (checked indirectly via exact bytes).
+  const int w = 25;
+  const size_t total = 1100;
+  auto values = test::RandomPackedValues(total, w, 555);
+  const uint64_t lit = values[3];
+  for (size_t n : {size_t{0}, size_t{1}, size_t{31}, size_t{32}, size_t{33},
+                   size_t{63}, size_t{64}, size_t{65}, size_t{127},
+                   size_t{128}, size_t{1000}, size_t{1023}}) {
+    CheckAllOps(values, w, 0, n, lit, lit + 1000);
+  }
+}
+
+TEST(ByteSliceScanTest, AllDecidedAtPlaneZero) {
+  // Every value differs from the literal in the most significant plane:
+  // the early exit fires after one plane, and the result must still be
+  // exact. Half the lanes decide below, half above.
+  const int w = 32;
+  const size_t n = 777;
+  std::vector<uint64_t> values(n);
+  for (size_t i = 0; i < n; ++i) {
+    values[i] = (i % 2 == 0 ? uint64_t{0x10} : uint64_t{0xF0}) << 24 |
+                (i * 2654435761u & 0xFFFFFF);
+  }
+  const uint64_t lit = uint64_t{0x80} << 24 | 0x123456;
+  CheckAllOps(values, w, 0, n, lit, lit + (uint64_t{1} << 24));
+}
+
+TEST(ByteSliceScanTest, NeverDecidedWorstCase) {
+  // All values equal the literal: the equality mask survives every plane,
+  // so no early exit is possible — the full-depth path must be exact.
+  for (const int w : {9, 25, 33}) {
+    const size_t n = 500;
+    const uint64_t lit = LowBitsMask(w) / 3;
+    std::vector<uint64_t> values(n, lit);
+    CheckAllOps(values, w, 0, n, lit, lit);
+    // And the off-by-one neighbours: decided only at the very last plane.
+    std::vector<uint64_t> near(n);
+    for (size_t i = 0; i < n; ++i) {
+      near[i] = lit + (i % 3) - 1;  // lit-1, lit, lit+1
+    }
+    CheckAllOps(near, w, 0, n, lit, lit + 1);
+  }
+}
+
+TEST(ByteSliceScanTest, ExtremeLiterals) {
+  // Domain-edge literals: all-select and all-reject outcomes per op.
+  const int w = 17;
+  const size_t n = 333;
+  auto values = test::RandomPackedValues(n, w, 86);
+  CheckAllOps(values, w, 0, n, 0, LowBitsMask(w));
+  CheckAllOps(values, w, 0, n, LowBitsMask(w), LowBitsMask(w));
+  // Inverted between range (lo > hi) must select nothing.
+  const auto expected = NaiveCompare(values, 0, n, CompareOp::kBetween, 100, 7);
+  AlignedBuffer planes(ByteSliceBytes(n, w));
+  ByteSlicePack(values.data(), n, w, planes.data());
+  test::ForEachIsaTier([&](IsaTier) {
+    AlignedBuffer sel(n);
+    ByteSliceCompare(planes.data(), n, ByteSlicePlanes(w), 0, n,
+                     CompareOp::kBetween, ByteSliceShift(100, w),
+                     ByteSliceShift(7, w), sel.data());
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(sel.data()[i], expected[i]) << i;
+    }
+  });
+}
+
+}  // namespace
+}  // namespace bipie

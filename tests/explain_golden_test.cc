@@ -205,6 +205,53 @@ TEST(ExplainGoldenTest, OverflowRiskRejection) {
   CheckCase("overflow_risk", table, query);
 }
 
+// Byte-sliced filter column next to a bit-packed one: one case per
+// admission outcome (selective filter -> admitted, near-full-range filter
+// -> rejected with the ceiling reason, forced off).
+Table MakeByteSliceTable() {
+  Table table({
+      {"g", ColumnType::kInt64, EncodingChoice::kDictionary},
+      {"sliced", ColumnType::kInt64, EncodingChoice::kByteSliced},
+      {"amount", ColumnType::kInt64, EncodingChoice::kBitPacked},
+  });
+  TableAppender app(&table, /*segment_rows=*/2048);
+  Rng rng(4004);
+  for (size_t i = 0; i < 5000; ++i) {
+    app.AppendRow({rng.NextInRange(0, 5),
+                   rng.NextInRange(0, (int64_t{1} << 22) - 1),
+                   rng.NextInRange(0, 499)});
+  }
+  app.Flush();
+  return table;
+}
+
+QuerySpec MakeByteSliceQuery(int64_t threshold) {
+  QuerySpec query;
+  query.group_by = {"g"};
+  query.aggregates = {AggregateSpec::Count(), AggregateSpec::Sum("amount")};
+  query.filters.emplace_back("sliced", CompareOp::kLt, threshold);
+  return query;
+}
+
+TEST(ExplainGoldenTest, ByteSliceAdmitted) {
+  // ~6% selectivity on a 3-plane column: well under the ceiling.
+  CheckCase("byteslice_admitted", MakeByteSliceTable(),
+            MakeByteSliceQuery(int64_t{1} << 18));
+}
+
+TEST(ExplainGoldenTest, ByteSliceRejectedBySelectivity) {
+  // ~97% selectivity: pruning cannot pay off, the decode fallback runs.
+  CheckCase("byteslice_rejected", MakeByteSliceTable(),
+            MakeByteSliceQuery((int64_t{1} << 22) - 100000));
+}
+
+TEST(ExplainGoldenTest, ByteSliceForcedOff) {
+  ScanOptions options;
+  options.overrides.byteslice = false;
+  CheckCase("byteslice_forced_off", MakeByteSliceTable(),
+            MakeByteSliceQuery(int64_t{1} << 18), options);
+}
+
 TEST(ExplainGoldenTest, JsonAndTextAgreeOnSegmentCount) {
   // Sanity beyond byte equality: both renderings describe the same plan.
   Table table = MakeMixedTable();

@@ -242,6 +242,55 @@ TEST(MemoryLimitTest, TableLoadIsGoverned) {
   std::remove(path.c_str());
 }
 
+TEST(MemoryLimitTest, ByteSliceDecodeFallbackIsGoverned) {
+  // A byte-sliced filter column with the plane kernels forced off takes the
+  // assemble-then-compare fallback, whose decode scratch is charged to the
+  // query tracker like every other scratch allocation: a tiny limit must
+  // fail structurally with a balanced tracker, a generous one must match
+  // the kernel path's result exactly.
+  Table table({{"g", ColumnType::kInt64, EncodingChoice::kBitPacked},
+               {"v", ColumnType::kInt64, EncodingChoice::kBitPacked},
+               {"s", ColumnType::kInt64, EncodingChoice::kByteSliced}});
+  TableAppender app(&table, 4096);
+  Rng rng(9);
+  for (size_t i = 0; i < 20000; ++i) {
+    app.AppendRow({rng.NextInRange(0, 7), rng.NextInRange(0, 999),
+                   rng.NextInRange(0, (int64_t{1} << 20) - 1)});
+  }
+  app.Flush();
+  QuerySpec query;
+  query.group_by = {"g"};
+  query.aggregates = {AggregateSpec::Count(), AggregateSpec::Sum("v")};
+  query.filters.emplace_back("s", CompareOp::kLt, int64_t{1} << 17);
+
+  QueryContext tiny;
+  ConfigureLimit(&tiny, kTinyLimit);
+  ScanOptions options;
+  options.context = &tiny;
+  options.overrides.byteslice = false;
+  Result<QueryResult> got = test::ExecuteChecked(table, query, options);
+  EXPECT_EQ(got.status().code(), StatusCode::kResourceExhausted)
+      << got.status().ToString();
+  EXPECT_EQ(tiny.memory_tracker().used(), 0u);
+
+  QueryContext roomy;
+  ConfigureLimit(&roomy, kGenerousLimit);
+  options.context = &roomy;
+  Result<QueryResult> fallback = test::ExecuteChecked(table, query, options);
+  ASSERT_TRUE(fallback.ok()) << fallback.status().ToString();
+  EXPECT_EQ(roomy.memory_tracker().used(), 0u);
+
+  options.overrides.byteslice = true;  // plane kernels: no decode scratch
+  options.context = nullptr;
+  Result<QueryResult> kernel = test::ExecuteChecked(table, query, options);
+  ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
+  ASSERT_EQ(kernel.value().rows.size(), fallback.value().rows.size());
+  for (size_t r = 0; r < kernel.value().rows.size(); ++r) {
+    EXPECT_EQ(kernel.value().rows[r].count, fallback.value().rows[r].count);
+    EXPECT_EQ(kernel.value().rows[r].sums, fallback.value().rows[r].sums);
+  }
+}
+
 TEST(MemoryLimitTest, ForcedStrategySettingsFlowThroughMakeScanOptions) {
   // MakeScanOptions maps the validated string settings onto ScanOptions;
   // combined with a limit this is the whole settings->execution path.
@@ -250,6 +299,7 @@ TEST(MemoryLimitTest, ForcedStrategySettingsFlowThroughMakeScanOptions) {
   ASSERT_TRUE(context.settings().SetUInt64("num_threads", 1).ok());
   ASSERT_TRUE(
       context.settings().SetString("force_selection_strategy", "gather").ok());
+  ASSERT_TRUE(context.settings().SetString("force_byteslice", "off").ok());
   ASSERT_TRUE(context.settings()
                   .SetUInt64("memory_limit_bytes", kGenerousLimit)
                   .ok());
@@ -257,6 +307,8 @@ TEST(MemoryLimitTest, ForcedStrategySettingsFlowThroughMakeScanOptions) {
   ScanOptions options = MakeScanOptions(&context);
   EXPECT_EQ(options.context, &context);
   EXPECT_EQ(options.num_threads, 1u);
+  ASSERT_TRUE(options.overrides.byteslice.has_value());
+  EXPECT_FALSE(*options.overrides.byteslice);
 
   BIPieScan scan(table, MakeQuery(true), options);
   Result<QueryResult> got = scan.Execute();

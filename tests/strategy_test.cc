@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "core/scan.h"
+#include "expr/predicate.h"
+#include "storage/table.h"
+
 namespace bipie {
 namespace {
 
@@ -65,6 +69,82 @@ TEST(AggregationStrategyTest, ScalarIsTheLastResort) {
   // register fit, many groups.
   EXPECT_EQ(ChooseAggregationStrategy(200, 6, 64, 0.9, false),
             AggregationStrategy::kScalar);
+}
+
+TEST(ByteSliceAdmissionTest, CapableRequiresAByteSliceFilter) {
+  ByteSliceAdmissionInputs in;
+  EXPECT_FALSE(ByteSliceCapable(in));
+  EXPECT_FALSE(ByteSliceAdmitted(in));
+  in.any_byteslice_filter = true;
+  in.max_planes = 3;
+  in.estimated_selectivity = 0.1;
+  EXPECT_TRUE(ByteSliceCapable(in));
+  EXPECT_TRUE(ByteSliceAdmitted(in));
+}
+
+TEST(ByteSliceAdmissionTest, SelectivityCeilingGatesMultiPlane) {
+  ByteSliceAdmissionInputs in;
+  in.any_byteslice_filter = true;
+  in.max_planes = 4;
+  in.estimated_selectivity = kByteSliceSelectivityCeiling + 0.05;
+  EXPECT_TRUE(ByteSliceCapable(in));
+  EXPECT_FALSE(ByteSliceAdmitted(in));  // pruning cannot pay off
+  in.estimated_selectivity = kByteSliceSelectivityCeiling - 0.05;
+  EXPECT_TRUE(ByteSliceAdmitted(in));
+  // Single-plane columns have nothing to prune and nothing to lose: always
+  // admitted once capable, whatever the selectivity estimate.
+  in.max_planes = 1;
+  in.estimated_selectivity = 1.0;
+  EXPECT_TRUE(ByteSliceAdmitted(in));
+}
+
+TEST(ByteSliceAdmissionTest, SelectivityEstimateQuantiles) {
+  // Uniform [0, 99]: each point mass is 1/100.
+  EXPECT_NEAR(EstimatePredicateSelectivity(CompareOp::kEq, 42, 0, 0, 99),
+              0.01, 1e-9);
+  EXPECT_NEAR(EstimatePredicateSelectivity(CompareOp::kNe, 42, 0, 0, 99),
+              0.99, 1e-9);
+  EXPECT_NEAR(EstimatePredicateSelectivity(CompareOp::kLt, 25, 0, 0, 99),
+              0.25, 1e-9);
+  EXPECT_NEAR(EstimatePredicateSelectivity(CompareOp::kLe, 24, 0, 0, 99),
+              0.25, 1e-9);
+  EXPECT_NEAR(EstimatePredicateSelectivity(CompareOp::kGt, 89, 0, 0, 99),
+              0.10, 1e-9);
+  EXPECT_NEAR(EstimatePredicateSelectivity(CompareOp::kGe, 90, 0, 0, 99),
+              0.10, 1e-9);
+  EXPECT_NEAR(
+      EstimatePredicateSelectivity(CompareOp::kBetween, 10, 19, 0, 99), 0.10,
+      1e-9);
+  // Out-of-domain literals clamp to the certain outcomes.
+  EXPECT_NEAR(EstimatePredicateSelectivity(CompareOp::kLt, -5, 0, 0, 99),
+              0.0, 1e-9);
+  EXPECT_NEAR(EstimatePredicateSelectivity(CompareOp::kGe, -5, 0, 0, 99),
+              1.0, 1e-9);
+  EXPECT_NEAR(
+      EstimatePredicateSelectivity(CompareOp::kBetween, 50, 20, 0, 99), 0.0,
+      1e-9);
+}
+
+TEST(ByteSliceAdmissionTest, ForcedOnIncapableColumnIsNotSupported) {
+  // No byteslice column anywhere: forcing the plane kernels must reject
+  // with kNotSupported instead of silently running the fallback.
+  Table table({{"v", ColumnType::kInt64, EncodingChoice::kBitPacked}});
+  TableAppender app(&table, 128);
+  for (int i = 0; i < 300; ++i) app.AppendRow({i % 50}, {""});
+  app.Flush();
+  QuerySpec query;
+  query.aggregates = {AggregateSpec::Count()};
+  query.filters.emplace_back("v", CompareOp::kLt, int64_t{25});
+  ScanOptions options;
+  options.overrides.byteslice = true;
+  auto result = ExecuteQuery(table, query, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotSupported);
+  // Forced off is always satisfiable: the fallback path runs everywhere.
+  options.overrides.byteslice = false;
+  auto off = ExecuteQuery(table, query, options);
+  ASSERT_TRUE(off.ok());
+  EXPECT_EQ(off.value().rows[0].count, 150u);
 }
 
 TEST(StrategyNamesTest, AllNamed) {

@@ -77,7 +77,7 @@ Schema MakeFuzzSchema(const CaseParams& p, Rng* rng,
     vc.lo = base;
     vc.hi = base + (bits >= 62 ? (int64_t{1} << 40)
                                : std::max<int64_t>(0, (int64_t{1} << bits) - 1));
-    switch (rng->NextBounded(5)) {
+    switch (rng->NextBounded(6)) {
       case 0:
         vc.encoding = EncodingChoice::kBitPacked;
         break;
@@ -90,6 +90,9 @@ Schema MakeFuzzSchema(const CaseParams& p, Rng* rng,
         break;
       case 3:
         vc.encoding = EncodingChoice::kRle;
+        break;
+      case 4:
+        vc.encoding = EncodingChoice::kByteSliced;
         break;
       default:
         vc.encoding = EncodingChoice::kAuto;
@@ -347,6 +350,16 @@ std::vector<Plan> MakePlans(const CaseParams& p) {
       plans.push_back(std::move(plan));
     }
   }
+  // Byteslice kernel differential: forced-on runs the plane kernels
+  // wherever a byte-sliced filter column exists (rejecting with
+  // kNotSupported when none does), forced-off pins the assemble-then-
+  // compare fallback — both against the same oracle as every other plan.
+  for (const bool on : {true, false}) {
+    Plan plan;
+    plan.name = std::string("forced byteslice-") + (on ? "on" : "off");
+    plan.options.overrides.byteslice = on;
+    plans.push_back(std::move(plan));
+  }
   return plans;
 }
 
@@ -506,7 +519,8 @@ bool RunOneCase(const CaseParams& p, std::string* error) {
     if (!got.ok()) {
       const StatusCode code = got.status().code();
       const bool forced = plan.options.overrides.selection.has_value() ||
-                          plan.options.overrides.aggregation.has_value();
+                          plan.options.overrides.aggregation.has_value() ||
+                          plan.options.overrides.byteslice.has_value();
       // Forced plans may reject shapes outside their envelope; the checked
       // scalar path may abort instead of overflowing. Anything else is a
       // bug, as is a clean rejection from the adaptive plan (it must fall
@@ -725,7 +739,8 @@ Table MakeLoadFuzzTable() {
                {"packed", ColumnType::kInt64, EncodingChoice::kBitPacked},
                {"dict", ColumnType::kInt64, EncodingChoice::kDictionary},
                {"runs", ColumnType::kInt64, EncodingChoice::kRle},
-               {"mono", ColumnType::kInt64, EncodingChoice::kDelta}});
+               {"mono", ColumnType::kInt64, EncodingChoice::kDelta},
+               {"sliced", ColumnType::kInt64, EncodingChoice::kByteSliced}});
   TableAppender app(&table, 256);
   Rng rng(2718);
   const char* flags[3] = {"A", "N", "R"};
@@ -733,8 +748,9 @@ Table MakeLoadFuzzTable() {
     app.AppendRow({0, rng.NextInRange(-500, 500),
                    100 * static_cast<int64_t>(rng.NextBounded(7)),
                    static_cast<int64_t>(i / 50),
-                   static_cast<int64_t>(i * 5) + rng.NextInRange(0, 3)},
-                  {flags[rng.NextBounded(3)], "", "", "", ""});
+                   static_cast<int64_t>(i * 5) + rng.NextInRange(0, 3),
+                   rng.NextInRange(0, (int64_t{1} << 20) - 1)},
+                  {flags[rng.NextBounded(3)], "", "", "", "", ""});
   }
   app.Flush();
   table.mutable_segment(0).DeleteRow(9);
@@ -834,6 +850,10 @@ bool RunOneLoadCase(uint64_t case_seed, const std::vector<uint8_t>& golden_v1,
   query.aggregates = {AggregateSpec::Count(), AggregateSpec::Sum("packed"),
                       AggregateSpec::Min("dict"), AggregateSpec::Max("runs")};
   query.filters.emplace_back("packed", CompareOp::kGe, int64_t{-100});
+  // Byteslice filter: a mutated byte plane must either fail validation at
+  // load (kDataLoss) or scan cleanly through the plane kernels.
+  query.filters.emplace_back("sliced", CompareOp::kLt,
+                             int64_t{1} << 19);
   auto result = ExecuteQuery(loaded.value(), query);
   if (!result.ok() && result.status().code() == StatusCode::kInternal) {
     *error = "internal error scanning loadable mutant: " +
