@@ -1,0 +1,183 @@
+// Cost model A/B benchmark (DESIGN.md §17): heuristic-vs-model admission
+// on whole scans, plus predicted-vs-measured cycles/row for the shapes the
+// model scores.
+//
+// Two questions, one cell each:
+//
+//  * Where the model's pick DIVERGES from the hand-tuned heuristics (the
+//    filtered mixed shape: heuristics keep multi-aggregate, the model
+//    prices selection folding and picks sort-based), is the model's plan
+//    actually faster? This is the acceptance A/B for cost_model=on.
+//  * Where both agree (run-shaped scan, byteslice-filtered scan), how far
+//    are the builtin profile's predicted cycles/row from the measured
+//    whole-scan numbers? The gap is the model error EXPERIMENTS.md tracks.
+//
+// Cells are single-threaded over identical tables; the only difference
+// between /heuristic and /model rows is overrides.cost_model.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/scan.h"
+#include "obs/plan_explain.h"
+
+using namespace bipie;         // NOLINT
+using namespace bipie::bench;  // NOLINT
+
+namespace {
+
+// Scaled-up clone of the golden mixed shape: dictionary string group,
+// narrow + wide packed sums, 25%-selective filter.
+Table MakeMixedTable(size_t rows) {
+  Table table({
+      {"g", ColumnType::kString},
+      {"narrow", ColumnType::kInt64, EncodingChoice::kBitPacked},
+      {"wide", ColumnType::kInt64, EncodingChoice::kBitPacked},
+      {"filter_col", ColumnType::kInt64, EncodingChoice::kBitPacked},
+  });
+  TableAppender app(&table, /*segment_rows=*/size_t{1} << 16);
+  Rng rng(6001);
+  const char* groups[4] = {"east", "west", "north", "south"};
+  for (size_t i = 0; i < rows; ++i) {
+    std::vector<int64_t> ints(4, 0);
+    std::vector<std::string> strings(4);
+    strings[0] = groups[rng.NextBounded(4)];
+    ints[1] = rng.NextInRange(0, 127);
+    ints[2] = rng.NextInRange(0, (1 << 20) - 1);
+    ints[3] = rng.NextInRange(0, 999);
+    app.AppendRow(ints, strings);
+  }
+  app.Flush();
+  return table;
+}
+
+QuerySpec MakeMixedQuery() {
+  QuerySpec query;
+  query.group_by = {"g"};
+  query.aggregates = {AggregateSpec::Count(), AggregateSpec::Sum("narrow"),
+                      AggregateSpec::Sum("wide")};
+  query.filters.emplace_back("filter_col", CompareOp::kLt, int64_t{250});
+  return query;
+}
+
+// Sorted 6-group table with packed sums: the run pipeline's home turf.
+Table MakeRunTable(size_t rows) {
+  Table table({{"g", ColumnType::kInt64, EncodingChoice::kAuto},
+               {"qty", ColumnType::kInt64, EncodingChoice::kBitPacked},
+               {"price", ColumnType::kInt64, EncodingChoice::kBitPacked}});
+  TableAppender app(&table, /*segment_rows=*/size_t{1} << 16);
+  Rng rng(6002);
+  for (size_t i = 0; i < rows; ++i) {
+    app.AppendRow({static_cast<int64_t>(i * 6 / rows),
+                   rng.NextInRange(1, 50), rng.NextInRange(1000, 100000)});
+  }
+  app.Flush();
+  return table;
+}
+
+QuerySpec MakeRunQuery() {
+  QuerySpec query;
+  query.group_by = {"g"};
+  query.aggregates = {AggregateSpec::Count(), AggregateSpec::Sum("qty"),
+                      AggregateSpec::Sum("price")};
+  return query;
+}
+
+// 22-bit byteslice filter column at ~6% selectivity.
+Table MakeByteSliceTable(size_t rows) {
+  Table table({
+      {"g", ColumnType::kInt64, EncodingChoice::kDictionary},
+      {"sliced", ColumnType::kInt64, EncodingChoice::kByteSliced},
+      {"amount", ColumnType::kInt64, EncodingChoice::kBitPacked},
+  });
+  TableAppender app(&table, /*segment_rows=*/size_t{1} << 16);
+  Rng rng(6003);
+  for (size_t i = 0; i < rows; ++i) {
+    app.AppendRow({rng.NextInRange(0, 5),
+                   rng.NextInRange(0, (int64_t{1} << 22) - 1),
+                   rng.NextInRange(0, 499)});
+  }
+  app.Flush();
+  return table;
+}
+
+QuerySpec MakeByteSliceQuery() {
+  QuerySpec query;
+  query.group_by = {"g"};
+  query.aggregates = {AggregateSpec::Count(), AggregateSpec::Sum("amount")};
+  query.filters.emplace_back("sliced", CompareOp::kLt, int64_t{1} << 18);
+  return query;
+}
+
+struct Cell {
+  std::string chosen;       // aggregation strategy of segment 0
+  double predicted = -1.0;  // model cycles/row for that strategy (-1: off)
+  double measured = 0.0;    // whole-scan cycles/row
+};
+
+Cell RunCell(const std::string& label, const Table& table,
+             const QuerySpec& query, CostModelMode mode) {
+  ScanOptions options;
+  options.num_threads = 1;
+  options.overrides.cost_model = mode;
+  Cell cell;
+  {
+    BIPieScan scan(table, query, options);
+    auto explain = scan.Explain();
+    if (explain.ok() && !explain.value().segments.empty()) {
+      const PlanDecision& d = explain.value().segments[0].decision;
+      cell.chosen = AggregationStrategyName(d.aggregation);
+      const double cpr =
+          d.model_total_cpr[static_cast<int>(d.aggregation)];
+      if (d.cost_model_mode != CostModelMode::kOff && cpr >= 0.0) {
+        cell.predicted = cpr;
+      }
+    }
+  }
+  cell.measured = MeasureCyclesPerRow(table.num_rows(), label, [&] {
+    auto result = ExecuteQuery(table, query, options);
+    if (result.ok()) {
+      Consume(result.value().rows.data(),
+              result.value().rows.size() * sizeof(result.value().rows[0]));
+    }
+  });
+  if (cell.predicted >= 0.0) {
+    BenchJsonReport::Get().Add(
+        label + "/predicted",
+        {{"predicted_cycles_per_row", cell.predicted}});
+  }
+  return cell;
+}
+
+void RunShape(const char* shape, const Table& table, const QuerySpec& query) {
+  const CostModelMode modes[3] = {CostModelMode::kOff, CostModelMode::kOn,
+                                  CostModelMode::kAdaptive};
+  const char* mode_names[3] = {"heuristic", "model", "adaptive"};
+  std::printf("%s (%zu rows)\n", shape, table.num_rows());
+  for (int m = 0; m < 3; ++m) {
+    const Cell cell = RunCell(std::string(shape) + "/" + mode_names[m],
+                              table, query, modes[m]);
+    std::printf("  %-10s %-16s measured %7.3f cycles/row", mode_names[m],
+                cell.chosen.c_str(), cell.measured);
+    if (cell.predicted >= 0.0) {
+      std::printf("  (model predicted %.3f)", cell.predicted);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  PrintBenchHeader("Cost model",
+                   "DESIGN.md 17: heuristic vs model admission A/B, "
+                   "predicted vs measured cycles/row");
+  const size_t rows = BenchRows();
+  RunShape("mixed_filtered", MakeMixedTable(rows), MakeMixedQuery());
+  RunShape("run_sorted", MakeRunTable(rows), MakeRunQuery());
+  RunShape("byteslice_selective", MakeByteSliceTable(rows),
+           MakeByteSliceQuery());
+  return 0;
+}

@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "common/bits.h"
+#include "cost/calibration.h"
+#include "cost/cost_model.h"
 #include "encoding/bitpack.h"
 #include "encoding/byteslice.h"
 #include "vector/agg_inregister.h"
@@ -265,6 +267,110 @@ Status AggregateProcessor::Bind(const Table& table, const Segment& segment,
                                      col.meta().max));
   }
 
+  // Cost model (DESIGN.md §17): score every candidate pipeline from the
+  // same metadata under the active calibration profile. Pure arithmetic on
+  // segment statistics — decisions under the builtin profile are
+  // machine-independent. The legacy heuristics stay authoritative when the
+  // mode is kOff (and remain the hedge in kAdaptive).
+  const CostModelMode cost_mode = overrides.cost_model;
+  const bool model_active = cost_mode != CostModelMode::kOff;
+  cost::SegmentCostInputs model_in;
+  cost::SegmentCosts model_costs;
+  model_gather_crossover_ = -1.0;
+  if (model_active) {
+    const cost::CostModel model(cost::ActiveProfile());
+    model_in.rows = segment.num_rows();
+    model_in.filtered = filtered;
+    // Unified selectivity (the fix for the old inconsistency: run-based
+    // admission used a constant while byteslice admission estimated — now
+    // every path sees the same per-predicate product estimate).
+    double sel_product = 1.0;
+    double filter_decode = 0.0;
+    double filter_byteslice = 0.0;
+    bool any_byteslice_filter = false;
+    for (const ColumnPredicate& pred : query.filters) {
+      const int idx = table.FindColumn(pred.column_name());
+      if (idx < 0) continue;  // Execute reports the real error
+      const EncodedColumn& col = segment.column(static_cast<size_t>(idx));
+      if (pred.MatchesAllRows(col)) continue;  // metadata-satisfied: free
+      if (pred.EliminatesSegment(col)) {
+        sel_product = 0.0;
+        continue;
+      }
+      const double s_f = std::clamp(
+          EstimatePredicateSelectivity(pred.op(), pred.literal(),
+                                       pred.literal2(), col.meta().min,
+                                       col.meta().max),
+          0.0, 1.0);
+      sel_product *= s_f;
+      const size_t col_runs =
+          col.encoding() == Encoding::kRle ? col.runs().size() : 1;
+      // The byte-sliced fallback is assemble-then-compare: the sequential
+      // plane merge runs at bit-unpack throughput, not at the per-plane
+      // scan cost, so it is priced as a plain unpack of the same width.
+      const double decode_cost =
+          (col.encoding() == Encoding::kByteSliced
+               ? model.UnpackCyclesPerRow(col.bit_width())
+               : model.DecodeCyclesPerRow(col.encoding(), col.bit_width(),
+                                          segment.num_rows(), col_runs)) +
+          model.CompareCyclesPerRow(col.bit_width());
+      filter_decode += decode_cost;
+      if (col.encoding() == Encoding::kByteSliced) {
+        any_byteslice_filter = true;
+        filter_byteslice += model.ByteSliceFilterCyclesPerRow(
+            ByteSlicePlanes(col.bit_width()), s_f);
+      } else {
+        filter_byteslice += decode_cost;
+      }
+    }
+    model_in.selectivity = filtered ? sel_product : 1.0;
+    model_in.filter_decode_cpr = filter_decode;
+    model_in.byteslice_capable =
+        any_byteslice_filter && !overrides.byteslice.has_value();
+    model_in.filter_byteslice_cpr =
+        any_byteslice_filter ? filter_byteslice : -1.0;
+    for (int idx : group_cols) {
+      const EncodedColumn& col = segment.column(static_cast<size_t>(idx));
+      const size_t col_runs =
+          col.encoding() == Encoding::kRle ? col.runs().size() : 1;
+      model_in.group_decode_cpr += model.DecodeCyclesPerRow(
+          col.encoding(), col.bit_width(), segment.num_rows(), col_runs);
+    }
+    for (const AggInput& input : inputs_) {
+      if (input.run_column != nullptr) {
+        const size_t col_runs = input.run_column->runs().size();
+        model_in.agg_decode_cpr += model.DecodeCyclesPerRow(
+            Encoding::kRle, input.run_column->bit_width(),
+            segment.num_rows(), col_runs);
+        // Run path: RLE aggregates reduce to run-metadata arithmetic.
+        model_in.run_agg_cpr +=
+            model.profile().rle_run_cycles *
+            (segment.num_rows() == 0
+                 ? 0.0
+                 : static_cast<double>(std::max<size_t>(col_runs, 1)) /
+                       static_cast<double>(segment.num_rows()));
+      } else if (input.is_expr) {
+        model_in.agg_decode_cpr += model.profile().expr_eval_cycles;
+      } else {
+        const double unpack = model.UnpackCyclesPerRow(input.bit_width);
+        model_in.agg_decode_cpr += unpack;
+        // Run path: only surviving spans unpack their rows.
+        model_in.run_agg_cpr += model_in.selectivity * unpack;
+      }
+    }
+    model_in.num_sums = num_sums;
+    model_in.in_register_feasible =
+        groups_for_choice <= kMaxInRegisterGroups && !any_expr &&
+        max_value_bits <= 32;
+    model_in.multi_fits = multi_fits;
+    model_in.sort_feasible = num_sums >= 1;
+    model_in.checked_feasible = true;
+    model_in.run_capable = RunBasedCapable(run_in);
+    model_in.run_spans = run_in.estimated_spans;
+    model_in.special_group_available = may_use_special;
+    model_costs = model.ScoreSegment(model_in);
+  }
+
   // Record the decision inputs (plain data only — Bind runs per morsel)
   // before any feasibility check can reject the bind, so an explain of a
   // forced infeasible plan still shows what drove the rejection.
@@ -291,6 +397,41 @@ Status AggregateProcessor::Bind(const Table& table, const Segment& segment,
                                      ? *overrides.byteslice
                                      : ByteSliceAdmitted(bs_in);
   decision_.forced_byteslice = overrides.byteslice;
+  decision_.cost_model_mode = cost_mode;
+  if (model_active) {
+    decision_.cost_model_profile_calibrated =
+        cost::ActiveProfile().calibrated != 0;
+    decision_.model_selectivity = model_in.selectivity;
+    for (int i = 0; i < kNumAggregationStrategies; ++i) {
+      decision_.model_total_cpr[i] = model_costs.total_cpr[i];
+    }
+    for (int i = 0; i < 3; ++i) {
+      decision_.model_selection_cpr[i] = model_costs.selection_cpr[i];
+    }
+    decision_.model_gather_crossover = model_costs.gather_crossover;
+    decision_.model_filter_decode_cpr = model_in.filter_decode_cpr;
+    decision_.model_filter_byteslice_cpr = model_in.filter_byteslice_cpr;
+
+    // Byteslice admission via predicted filter cost (forced wins below).
+    if (!overrides.byteslice.has_value() && decision_.byteslice_capable) {
+      const bool heuristic_admits = ByteSliceAdmitted(bs_in);
+      bool model_admits = model_costs.use_byteslice;
+      if (cost_mode == CostModelMode::kAdaptive &&
+          model_admits != heuristic_admits) {
+        // Keep the heuristic unless the model's pick is clearly cheaper.
+        const double model_side = model_admits
+                                      ? model_in.filter_byteslice_cpr
+                                      : model_in.filter_decode_cpr;
+        const double heuristic_side = model_admits
+                                          ? model_in.filter_decode_cpr
+                                          : model_in.filter_byteslice_cpr;
+        if (!(model_side < kCostModelAdaptiveMargin * heuristic_side)) {
+          model_admits = heuristic_admits;
+        }
+      }
+      decision_.byteslice_admitted = model_admits;
+    }
+  }
 
   if (overrides.byteslice.has_value() && *overrides.byteslice &&
       !ByteSliceCapable(bs_in)) {
@@ -330,6 +471,36 @@ Status AggregateProcessor::Bind(const Table& table, const Segment& segment,
     }
     if (agg_strategy_ == AggregationStrategy::kSortBased && num_sums == 0) {
       return Status::NotSupported("sort-based strategy needs >= 1 sum");
+    }
+  } else if (model_active) {
+    // What the legacy constants would have picked — the kOff decision, and
+    // the kAdaptive hedge the model must clearly beat.
+    const AggregationStrategy heuristic =
+        RunBasedAdmitted(run_in)
+            ? AggregationStrategy::kRunBased
+            : ChooseAggregationStrategy(groups_for_choice, num_sums,
+                                        max_value_bits, expected_selectivity,
+                                        multi_fits);
+    AggregationStrategy pick = model_costs.chosen;
+    if (cost_mode == CostModelMode::kAdaptive && pick != heuristic) {
+      const double pick_cpr =
+          model_costs.total_cpr[static_cast<int>(pick)];
+      const double heuristic_cpr =
+          model_costs.total_cpr[static_cast<int>(heuristic)];
+      if (heuristic_cpr >= 0.0 &&
+          !(pick_cpr < kCostModelAdaptiveMargin * heuristic_cpr)) {
+        pick = heuristic;
+      }
+    }
+    agg_strategy_ = pick;
+    decision_.cost_model_overrode = pick != heuristic;
+    // run_admitted reports the decision actually taken for this segment.
+    decision_.run_admitted =
+        agg_strategy_ == AggregationStrategy::kRunBased;
+    if (cost_mode == CostModelMode::kOn) {
+      // The per-batch selection crossover comes from the model too;
+      // kAdaptive keeps the Figure-7 heuristic (conservative hedge).
+      model_gather_crossover_ = model_costs.gather_crossover;
     }
   } else if (RunBasedAdmitted(run_in)) {
     agg_strategy_ = AggregationStrategy::kRunBased;
@@ -467,6 +638,13 @@ AggregateProcessor::BatchMode AggregateProcessor::PickBatchMode(
   }
   const double selectivity =
       static_cast<double>(selected) / static_cast<double>(n);
+  if (model_gather_crossover_ >= 0.0) {
+    // cost_model=on: the crossover was bisected from calibrated
+    // throughputs at Bind; the per-batch decision stays one comparison.
+    if (selectivity <= model_gather_crossover_) return BatchMode::kGather;
+    return special_group_available_ ? BatchMode::kSpecialGroup
+                                    : BatchMode::kCompact;
+  }
   switch (ChooseSelectionStrategy(selectivity, max_materialized_bits_,
                                   special_group_available_)) {
     case SelectionStrategy::kGather:

@@ -144,6 +144,10 @@ class AggregateProcessor {
   StrategyOverrides overrides_;
   bool special_group_available_ = false;
   int max_materialized_bits_ = 8;  // drives the gather/compact crossover
+  // Model-derived gather crossover for this segment (cost_model=on); < 0
+  // keeps the Figure-7 heuristic. Precomputed at Bind so PickBatchMode's
+  // per-batch cost stays one comparison.
+  double model_gather_crossover_ = -1.0;
 
   std::vector<AggInput> inputs_;      // one per SUM-like spec
   std::vector<int> spec_to_input_;    // query spec index -> inputs_ index, -1 for count

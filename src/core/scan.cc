@@ -694,6 +694,12 @@ ScanOptions MakeScanOptions(QueryContext* context) {
   if (!byteslice.empty()) {
     options.overrides.byteslice = byteslice == "on";
   }
+  const std::string& cost_model = settings.cost_model();
+  if (!cost_model.empty()) {
+    const auto mode = ParseCostModelMode(cost_model);
+    BIPIE_DCHECK(mode.has_value());
+    if (mode.has_value()) options.overrides.cost_model = *mode;
+  }
   return options;
 }
 

@@ -93,6 +93,17 @@ std::string Fixed2(double v) {
   return buf;
 }
 
+// Index of the model's cheapest feasible strategy (strict-less argmin, the
+// same tie rule ScoreSegment uses); -1 when nothing was scored.
+int ModelArgmin(const PlanDecision& d) {
+  int best = -1;
+  for (int i = 0; i < static_cast<int>(kNumAggregationStrategies); ++i) {
+    if (d.model_total_cpr[i] < 0.0) continue;
+    if (best < 0 || d.model_total_cpr[i] < d.model_total_cpr[best]) best = i;
+  }
+  return best;
+}
+
 // Why the run pipeline cannot (or should not) take this segment, from the
 // recorded admission inputs.
 std::string RunRejectionReason(const PlanDecision& d) {
@@ -128,6 +139,15 @@ std::string ByteSliceReason(const PlanDecision& d) {
   }
   if (!d.byteslice_capable) {
     return "infeasible: no filter binds to a byte-sliced column";
+  }
+  if (d.cost_model_mode != CostModelMode::kOff &&
+      d.model_filter_byteslice_cpr >= 0.0) {
+    return std::string("model: plane kernels ") +
+           Fixed2(d.model_filter_byteslice_cpr) + " vs decode " +
+           Fixed2(d.model_filter_decode_cpr) + " cycles/row" +
+           (d.cost_model_mode == CostModelMode::kAdaptive
+                ? ", adaptive margin applied"
+                : "");
   }
   if (d.byteslice_admitted) {
     return in.max_planes <= 1
@@ -313,6 +333,17 @@ Result<PlanExplain> BIPieScan::Explain() const {
               : ChooseSelectionStrategy(d.expected_selectivity,
                                         d.max_materialized_bits,
                                         d.special_group_available);
+      // cost_model=on swaps the Figure-7 crossover for the model's (the
+      // same substitution PickBatchMode makes per batch).
+      if (d.cost_model_mode == CostModelMode::kOn &&
+          !d.forced_selection.has_value()) {
+        plan.gather_crossover = d.model_gather_crossover;
+        plan.predicted_selection =
+            d.model_selectivity <= d.model_gather_crossover
+                ? SelectionStrategy::kGather
+                : (d.special_group_available ? SelectionStrategy::kSpecialGroup
+                                             : SelectionStrategy::kCompact);
+      }
       plan.rejected = DeriveRejected(d);
     }
     explain.segments.push_back(std::move(plan));
@@ -412,6 +443,51 @@ std::string PlanExplain::ToText() const {
            (d.byteslice_admitted ? "yes" : "no") + ", planes<=" +
            std::to_string(d.byteslice_inputs.max_planes) + " (" +
            ByteSliceReason(d) + ")");
+    }
+    // Cost-model block only renders when the model was consulted: off-mode
+    // explains stay byte-identical to the pre-§17 text.
+    if (d.cost_model_mode != CostModelMode::kOff) {
+      line(std::string("    cost model: ") +
+           CostModelModeName(d.cost_model_mode) + ", profile " +
+           (d.cost_model_profile_calibrated ? "calibrated" : "builtin") +
+           ", model selectivity " + Fixed2(d.model_selectivity) +
+           ", overrode heuristic: " + (d.cost_model_overrode ? "yes" : "no"));
+      {
+        const int best = ModelArgmin(d);
+        std::string cpr = "      predicted cycles/row:";
+        for (int i = 0; i < static_cast<int>(kNumAggregationStrategies); ++i) {
+          cpr += i == 0 ? " " : ", ";
+          cpr += AggregationStrategyName(static_cast<AggregationStrategy>(i));
+          cpr += ' ';
+          cpr += d.model_total_cpr[i] < 0.0 ? std::string("-")
+                                            : Fixed2(d.model_total_cpr[i]);
+          if (i == best) cpr += '*';
+        }
+        line(cpr);
+      }
+      if (d.filtered) {
+        static constexpr const char* kSelNames[3] = {"gather", "compact",
+                                                     "special-group"};
+        std::string sel = "      selection cycles/row:";
+        for (int i = 0; i < 3; ++i) {
+          sel += i == 0 ? " " : ", ";
+          sel += kSelNames[i];
+          sel += ' ';
+          sel += d.model_selection_cpr[i] < 0.0
+                     ? std::string("-")
+                     : Fixed2(d.model_selection_cpr[i]);
+        }
+        sel += "; model gather crossover " + Fixed2(d.model_gather_crossover);
+        line(sel);
+        line("      filter cycles/row: decode " +
+             (d.model_filter_decode_cpr < 0.0
+                  ? std::string("-")
+                  : Fixed2(d.model_filter_decode_cpr)) +
+             ", byteslice " +
+             (d.model_filter_byteslice_cpr < 0.0
+                  ? std::string("-")
+                  : Fixed2(d.model_filter_byteslice_cpr)));
+      }
     }
     if (!seg.selection_applies) {
       line("  selection: none (no filters or deletes reach the batch loop)");
@@ -523,6 +599,64 @@ std::string PlanExplain::ToJson(int indent) const {
       w.EndObject();
     }
     w.EndObject();
+
+    // Present only when the model was consulted, so cost_model=off JSON is
+    // byte-identical to the pre-§17 schema.
+    if (d.cost_model_mode != CostModelMode::kOff) {
+      w.Key("cost_model").BeginObject();
+      w.KV("mode", CostModelModeName(d.cost_model_mode));
+      w.KV("profile",
+           d.cost_model_profile_calibrated ? "calibrated" : "builtin");
+      w.KV("model_selectivity", d.model_selectivity);
+      w.KV("overrode_heuristic", d.cost_model_overrode);
+      {
+        const int best = ModelArgmin(d);
+        w.Key("predicted_cycles_per_row").BeginObject();
+        for (int i = 0; i < static_cast<int>(kNumAggregationStrategies); ++i) {
+          w.Key(AggregationStrategyName(static_cast<AggregationStrategy>(i)));
+          if (d.model_total_cpr[i] < 0.0) {
+            w.Null();
+          } else {
+            w.Value(d.model_total_cpr[i]);
+          }
+        }
+        if (best >= 0) {
+          w.KV("model_pick", AggregationStrategyName(
+                                 static_cast<AggregationStrategy>(best)));
+        }
+        w.EndObject();
+      }
+      if (d.filtered) {
+        static constexpr const char* kSelNames[3] = {"gather", "compact",
+                                                     "special_group"};
+        w.Key("selection_cycles_per_row").BeginObject();
+        for (int i = 0; i < 3; ++i) {
+          w.Key(kSelNames[i]);
+          if (d.model_selection_cpr[i] < 0.0) {
+            w.Null();
+          } else {
+            w.Value(d.model_selection_cpr[i]);
+          }
+        }
+        w.EndObject();
+        w.KV("model_gather_crossover", d.model_gather_crossover);
+        w.Key("filter_cycles_per_row").BeginObject();
+        w.Key("decode");
+        if (d.model_filter_decode_cpr < 0.0) {
+          w.Null();
+        } else {
+          w.Value(d.model_filter_decode_cpr);
+        }
+        w.Key("byteslice");
+        if (d.model_filter_byteslice_cpr < 0.0) {
+          w.Null();
+        } else {
+          w.Value(d.model_filter_byteslice_cpr);
+        }
+        w.EndObject();
+      }
+      w.EndObject();
+    }
 
     w.Key("selection").BeginObject();
     w.KV("applies", seg.selection_applies);

@@ -1,6 +1,7 @@
 #include "storage/column_builder.h"
 
 #include <algorithm>
+#include <string_view>
 #include <unordered_set>
 
 #include "common/bits.h"
@@ -15,6 +16,94 @@ namespace {
 // int columns (ids approach the raw offset width and the dictionary itself
 // costs memory).
 constexpr size_t kMaxIntDictionarySize = 1u << 16;
+
+// Candidate statistics shared by Finish() and Advise(): one pass computes
+// every per-encoding size estimate the kAuto tie-break and the advisor
+// score from.
+struct IntStats {
+  size_t n = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+  bool sorted = true;
+  int for_bits = 1;
+  size_t for_bytes = 0;
+  size_t run_count = 1;
+  size_t rle_bytes = 0;
+  int64_t dmin = 0;
+  int64_t dmax = 0;
+  int delta_bits = 1;
+  size_t delta_bytes = 0;
+  bool dict_feasible = false;
+  size_t distinct = 0;
+  int dict_bits = 64;
+  size_t dict_bytes = static_cast<size_t>(-1);
+};
+
+IntStats ComputeIntStats(const std::vector<int64_t>& values) {
+  IntStats st;
+  st.n = values.size();
+  if (st.n == 0) return st;
+  const auto [min_it, max_it] =
+      std::minmax_element(values.begin(), values.end());
+  st.min = *min_it;
+  st.max = *max_it;
+  const uint64_t spread =
+      static_cast<uint64_t>(st.max) - static_cast<uint64_t>(st.min);
+  st.for_bits = BitsRequired(spread);
+  st.for_bytes = BitPackedBytes(st.n, st.for_bits);
+
+  st.run_count = 1;
+  for (size_t i = 1; i < st.n; ++i) {
+    st.run_count += values[i] != values[i - 1];
+    st.sorted = st.sorted && values[i] >= values[i - 1];
+  }
+  st.rle_bytes = st.run_count * sizeof(RleRun);
+
+  if (st.n > 1) {
+    st.dmin = st.dmax = values[1] - values[0];
+    for (size_t i = 2; i < st.n; ++i) {
+      const int64_t d = values[i] - values[i - 1];
+      st.dmin = std::min(st.dmin, d);
+      st.dmax = std::max(st.dmax, d);
+    }
+  }
+  st.delta_bits = BitsRequired(static_cast<uint64_t>(st.dmax) -
+                               static_cast<uint64_t>(st.dmin));
+  st.delta_bytes = BitPackedBytes(st.n > 0 ? st.n - 1 : 0, st.delta_bits) +
+                   (st.n / kDeltaCheckpointRows + 1) * sizeof(int64_t);
+
+  std::unordered_set<int64_t> distinct;
+  for (int64_t v : values) {
+    distinct.insert(v);
+    if (distinct.size() > kMaxIntDictionarySize) break;
+  }
+  st.distinct = distinct.size();
+  st.dict_feasible = st.distinct <= kMaxIntDictionarySize;
+  st.dict_bits = st.dict_feasible ? BitsRequired(st.distinct - 1) : 64;
+  st.dict_bytes = st.dict_feasible ? BitPackedBytes(st.n, st.dict_bits) +
+                                         st.distinct * sizeof(int64_t)
+                                   : static_cast<size_t>(-1);
+  return st;
+}
+
+// The EncodingChoice::kAuto tie-break, on precomputed stats.
+Encoding AutoPick(const IntStats& st) {
+  // Usefulness tie-break: RLE must win by 2x to be chosen (it is the
+  // least useful for vectorized processing); dictionary must beat plain
+  // bit packing outright (ids narrower than offsets).
+  if (st.rle_bytes * 2 < std::min(st.for_bytes, st.dict_bytes)) {
+    return Encoding::kRle;
+  }
+  if (st.delta_bytes * 2 < std::min(st.for_bytes, st.dict_bytes)) {
+    // Delta must win big: it decodes sequentially and is the least
+    // useful representation for vectorized processing.
+    return Encoding::kDelta;
+  }
+  if (st.dict_feasible && st.dict_bytes < st.for_bytes) {
+    return Encoding::kDictionary;
+  }
+  return Encoding::kBitPacked;
+}
 
 }  // namespace
 
@@ -53,51 +142,12 @@ EncodedColumn ColumnBuilder::FinishInt() {
     col.packed_.Resize(8);
     return col;
   }
-  const auto [min_it, max_it] =
-      std::minmax_element(int_values_.begin(), int_values_.end());
-  col.meta_.min = *min_it;
-  col.meta_.max = *max_it;
-
-  // Candidate sizes.
-  const uint64_t spread = static_cast<uint64_t>(col.meta_.max) -
-                          static_cast<uint64_t>(col.meta_.min);
-  const int for_bits = BitsRequired(spread);
-  const size_t for_bytes = BitPackedBytes(n, for_bits);
-
-  size_t run_count = 1;
-  for (size_t i = 1; i < n; ++i) {
-    run_count += int_values_[i] != int_values_[i - 1];
-  }
-  const size_t rle_bytes = run_count * sizeof(RleRun);
-
-  // Delta candidate: bit width of the successive-difference spread.
-  int64_t dmin = 0, dmax = 0;
-  if (n > 1) {
-    dmin = dmax = int_values_[1] - int_values_[0];
-    for (size_t i = 2; i < n; ++i) {
-      const int64_t d = int_values_[i] - int_values_[i - 1];
-      dmin = std::min(dmin, d);
-      dmax = std::max(dmax, d);
-    }
-  }
-  const int delta_bits = BitsRequired(static_cast<uint64_t>(dmax) -
-                                      static_cast<uint64_t>(dmin));
-  const size_t delta_bytes =
-      BitPackedBytes(n > 0 ? n - 1 : 0, delta_bits) +
-      (n / kDeltaCheckpointRows + 1) * sizeof(int64_t);
-
-  std::unordered_set<int64_t> distinct;
-  for (int64_t v : int_values_) {
-    distinct.insert(v);
-    if (distinct.size() > kMaxIntDictionarySize) break;
-  }
-  const bool dict_feasible = distinct.size() <= kMaxIntDictionarySize;
-  const int dict_bits =
-      dict_feasible ? BitsRequired(distinct.size() - 1) : 64;
-  const size_t dict_bytes = dict_feasible
-                                ? BitPackedBytes(n, dict_bits) +
-                                      distinct.size() * sizeof(int64_t)
-                                : static_cast<size_t>(-1);
+  const IntStats st = ComputeIntStats(int_values_);
+  col.meta_.min = st.min;
+  col.meta_.max = st.max;
+  const int for_bits = st.for_bits;
+  const int delta_bits = st.delta_bits;
+  const int64_t dmin = st.dmin;
 
   Encoding pick;
   switch (spec_.encoding) {
@@ -105,7 +155,7 @@ EncodedColumn ColumnBuilder::FinishInt() {
       pick = Encoding::kBitPacked;
       break;
     case EncodingChoice::kDictionary:
-      BIPIE_DCHECK(dict_feasible);
+      BIPIE_DCHECK(st.dict_feasible);
       pick = Encoding::kDictionary;
       break;
     case EncodingChoice::kRle:
@@ -119,20 +169,7 @@ EncodedColumn ColumnBuilder::FinishInt() {
       break;
     case EncodingChoice::kAuto:
     default:
-      // Usefulness tie-break: RLE must win by 2x to be chosen (it is the
-      // least useful for vectorized processing); dictionary must beat plain
-      // bit packing outright (ids narrower than offsets).
-      if (rle_bytes * 2 < std::min(for_bytes, dict_bytes)) {
-        pick = Encoding::kRle;
-      } else if (delta_bytes * 2 < std::min(for_bytes, dict_bytes)) {
-        // Delta must win big: it decodes sequentially and is the least
-        // useful representation for vectorized processing.
-        pick = Encoding::kDelta;
-      } else if (dict_feasible && dict_bytes < for_bytes) {
-        pick = Encoding::kDictionary;
-      } else {
-        pick = Encoding::kBitPacked;
-      }
+      pick = AutoPick(st);
       break;
   }
 
@@ -206,6 +243,79 @@ EncodedColumn ColumnBuilder::FinishInt() {
     }
   }
   return col;
+}
+
+EncodingAdvice ColumnBuilder::Advise(const cost::CostModel& model) const {
+  EncodingAdvice advice;
+  if (spec_.type == ColumnType::kString) {
+    // Strings only encode as dictionary; the advice is the scan cost of the
+    // id stream (width set by the distinct count, bounded by n).
+    const size_t n = str_values_.size();
+    std::unordered_set<std::string_view> distinct;
+    for (const std::string& s : str_values_) distinct.insert(s);
+    advice.num_rows = n;
+    advice.distinct = distinct.size();
+    advice.run_count = n > 0 ? 1 : 0;
+    for (size_t i = 1; i < n; ++i) {
+      advice.run_count += str_values_[i] != str_values_[i - 1];
+    }
+    const int bits =
+        n == 0 ? 1 : BitsRequired(distinct.empty() ? 0 : distinct.size() - 1);
+    EncodingCandidate cand;
+    cand.encoding = Encoding::kDictionary;
+    cand.feasible = true;
+    cand.bit_width = bits;
+    cand.encoded_bytes = BitPackedBytes(n, bits);
+    cand.scan_cycles_per_row = model.ScanCyclesPerRow(
+        Encoding::kDictionary, bits, n, 1, cand.encoded_bytes);
+    advice.chosen = Encoding::kDictionary;
+    advice.builder_pick = Encoding::kDictionary;
+    advice.candidates.push_back(cand);
+    return advice;
+  }
+
+  const IntStats st = ComputeIntStats(int_values_);
+  advice.num_rows = st.n;
+  advice.min = st.min;
+  advice.max = st.max;
+  advice.distinct = st.distinct;
+  advice.run_count = st.n == 0 ? 0 : st.run_count;
+  advice.sorted = st.n > 0 && st.sorted;
+  advice.builder_pick = st.n == 0 ? Encoding::kBitPacked : AutoPick(st);
+
+  auto add = [&](Encoding enc, bool feasible, int bits, size_t bytes,
+                 size_t runs) {
+    EncodingCandidate cand;
+    cand.encoding = enc;
+    cand.feasible = feasible;
+    cand.bit_width = bits;
+    cand.encoded_bytes = bytes;
+    if (feasible && st.n > 0) {
+      cand.scan_cycles_per_row =
+          model.ScanCyclesPerRow(enc, bits, st.n, runs, bytes);
+    }
+    advice.candidates.push_back(cand);
+  };
+  add(Encoding::kBitPacked, true, st.for_bits, st.for_bytes, 1);
+  add(Encoding::kDictionary, st.dict_feasible, st.dict_bits, st.dict_bytes, 1);
+  add(Encoding::kRle, true, 64, st.rle_bytes, st.run_count);
+  add(Encoding::kDelta, true, st.delta_bits, st.delta_bytes, 1);
+  add(Encoding::kByteSliced, true, st.for_bits,
+      ByteSliceBytes(st.n, st.for_bits), 1);
+
+  // Cheapest predicted scan; ties break toward the smaller encoded size,
+  // then the lower enum value (candidates are in enum order).
+  const EncodingCandidate* best = nullptr;
+  for (const EncodingCandidate& cand : advice.candidates) {
+    if (!cand.feasible || cand.scan_cycles_per_row < 0.0) continue;
+    if (best == nullptr || cand.scan_cycles_per_row < best->scan_cycles_per_row ||
+        (cand.scan_cycles_per_row == best->scan_cycles_per_row &&
+         cand.encoded_bytes < best->encoded_bytes)) {
+      best = &cand;
+    }
+  }
+  advice.chosen = best != nullptr ? best->encoding : Encoding::kBitPacked;
+  return advice;
 }
 
 EncodedColumn ColumnBuilder::FinishString() {

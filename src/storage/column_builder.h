@@ -12,10 +12,40 @@
 #include <string>
 #include <vector>
 
+#include "cost/cost_model.h"
 #include "storage/encoded_column.h"
 #include "storage/types.h"
 
 namespace bipie {
+
+// One scored encoding candidate from ColumnBuilder::Advise(): predicted
+// roofline scan cost (cost/cost_model.h) plus the size the builder's own
+// estimators compute for the accumulated values.
+struct EncodingCandidate {
+  Encoding encoding = Encoding::kBitPacked;
+  bool feasible = false;
+  int bit_width = 0;         // packed offset / id / delta width
+  size_t encoded_bytes = 0;  // estimated, same formulas Finish() uses
+  double scan_cycles_per_row = -1.0;  // -1 when infeasible
+};
+
+// The advisor's verdict for one column of one segment. `chosen` minimizes
+// predicted scan cycles/row among feasible candidates (ties break toward
+// the smaller encoded size, then the lower Encoding enum value — fully
+// deterministic under a fixed profile). `builder_pick` is what Finish()
+// would choose under EncodingChoice::kAuto, for comparison.
+struct EncodingAdvice {
+  size_t num_rows = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+  size_t distinct = 0;  // capped at the dictionary feasibility bound + 1
+  size_t run_count = 0;
+  bool sorted = false;
+  Encoding chosen = Encoding::kBitPacked;
+  Encoding builder_pick = Encoding::kBitPacked;
+  // All candidates in Encoding enum order (not ranked; rank by cost).
+  std::vector<EncodingCandidate> candidates;
+};
 
 class ColumnBuilder {
  public:
@@ -34,6 +64,11 @@ class ColumnBuilder {
   // Encodes the accumulated values and resets the builder for the next
   // segment.
   EncodedColumn Finish();
+
+  // Scores every encoding candidate for the accumulated values under
+  // `model` without encoding or resetting anything. String columns return
+  // the trivial dictionary-only advice (the only string encoding).
+  EncodingAdvice Advise(const cost::CostModel& model) const;
 
  private:
   EncodedColumn FinishInt();

@@ -1,0 +1,418 @@
+// Calibration profile persistence + cost-model law tests (DESIGN.md §17).
+//
+// The profile file is untrusted input: the corruption sweep flips every
+// byte and tries every truncation length, and all of them must reject with
+// a structured Status — never a crash, never a silently-wrong profile. The
+// model-law tests pin the monotonicity properties the admission logic
+// relies on, and the regression tests cover the decisions the model makes
+// differently from (or identically to) the legacy heuristics on real
+// tables, including the latent run-admission inconsistency: the heuristic
+// span floor never consulted filter selectivity, the model does.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "baseline/scalar_engine.h"
+#include "common/crc32c.h"
+#include "common/random.h"
+#include "core/scan.h"
+#include "cost/calibration.h"
+#include "cost/cost_model.h"
+#include "obs/plan_explain.h"
+#include "storage/table.h"
+
+namespace bipie {
+namespace cost {
+namespace {
+
+// --- profile persistence ----------------------------------------------------
+
+TEST(CalibrationProfileTest, BuiltinIsDeterministic) {
+  const CalibrationProfile a = BuiltinProfile();
+  const CalibrationProfile b = BuiltinProfile();
+  EXPECT_EQ(SerializeProfile(a), SerializeProfile(b));
+  EXPECT_EQ(a.calibrated, 0u);
+  EXPECT_EQ(a.isa_tier, 0u);
+}
+
+TEST(CalibrationProfileTest, SerializeParseRoundTrip) {
+  CalibrationProfile profile = BuiltinProfile();
+  // Perturb every field so the round-trip can't pass by accident.
+  for (int b = 0; b < kNumWidthBuckets; ++b) {
+    profile.unpack_cycles[b] += 0.01 * (b + 1);
+    profile.compare_cycles[b] += 0.001 * (b + 1);
+  }
+  profile.byteslice_plane_cycles += 0.03;
+  profile.rle_run_cycles += 0.5;
+  profile.mem_bytes_per_cycle += 1.25;
+  profile.isa_tier = 2;
+  profile.calibrated = 1;
+
+  const std::vector<uint8_t> image = SerializeProfile(profile);
+  auto parsed = ParseProfile(image.data(), image.size());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  // Exact field equality: serialization is bit-preserving for doubles.
+  EXPECT_EQ(SerializeProfile(parsed.value()), image);
+  EXPECT_EQ(parsed.value().isa_tier, 2u);
+  EXPECT_EQ(parsed.value().calibrated, 1u);
+  for (int b = 0; b < kNumWidthBuckets; ++b) {
+    EXPECT_EQ(parsed.value().unpack_cycles[b], profile.unpack_cycles[b]);
+    EXPECT_EQ(parsed.value().compare_cycles[b], profile.compare_cycles[b]);
+  }
+  EXPECT_EQ(parsed.value().mem_bytes_per_cycle, profile.mem_bytes_per_cycle);
+}
+
+TEST(CalibrationProfileTest, EveryByteFlipRejectsCleanly) {
+  const std::vector<uint8_t> image = SerializeProfile(BuiltinProfile());
+  for (size_t i = 0; i < image.size(); ++i) {
+    std::vector<uint8_t> mutant = image;
+    mutant[i] ^= 0xFF;
+    auto parsed = ParseProfile(mutant.data(), mutant.size());
+    ASSERT_FALSE(parsed.ok()) << "byte flip at offset " << i << " accepted";
+    // Any flip breaks the CRC (or the magic/version it guards); the status
+    // must be one of the structured rejection classes.
+    const StatusCode code = parsed.status().code();
+    EXPECT_TRUE(code == StatusCode::kDataLoss ||
+                code == StatusCode::kNotSupported ||
+                code == StatusCode::kInvalidArgument)
+        << "offset " << i << ": " << parsed.status().ToString();
+    EXPECT_FALSE(parsed.status().message().empty());
+  }
+}
+
+TEST(CalibrationProfileTest, EveryTruncationRejectsCleanly) {
+  const std::vector<uint8_t> image = SerializeProfile(BuiltinProfile());
+  for (size_t n = 0; n < image.size(); ++n) {
+    auto parsed = ParseProfile(image.data(), n);
+    ASSERT_FALSE(parsed.ok()) << "truncation to " << n << " bytes accepted";
+    EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss)
+        << "length " << n;
+  }
+  // One byte extra is a size mismatch too.
+  std::vector<uint8_t> extended = image;
+  extended.push_back(0);
+  EXPECT_FALSE(ParseProfile(extended.data(), extended.size()).ok());
+}
+
+TEST(CalibrationProfileTest, NonFiniteEntryRejects) {
+  CalibrationProfile profile = BuiltinProfile();
+  profile.gather_row_cycles = -1.0;
+  const std::vector<uint8_t> image = SerializeProfile(profile);
+  auto parsed = ParseProfile(image.data(), image.size());
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CalibrationProfileTest, VersionMismatchIsNotSupported) {
+  std::vector<uint8_t> image = SerializeProfile(BuiltinProfile());
+  // Patch the version word (bytes 4..8, LE) and re-seal the CRC so the
+  // version check — not the checksum — is what fires.
+  const uint32_t bumped = kProfileVersion + 1;
+  std::memcpy(image.data() + 4, &bumped, sizeof(bumped));
+  const uint32_t crc = Crc32c(image.data(), image.size() - 4);
+  std::memcpy(image.data() + image.size() - 4, &crc, sizeof(crc));
+  auto parsed = ParseProfile(image.data(), image.size());
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kNotSupported);
+}
+
+TEST(CalibrationProfileTest, SaveLoadRoundTripsThroughDisk) {
+  const std::string path =
+      ::testing::TempDir() + "/bipie_cost_profile_roundtrip.bin";
+  const CalibrationProfile profile = BuiltinProfile();
+  ASSERT_TRUE(SaveProfile(profile, path).ok());
+  auto loaded = LoadProfile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(SerializeProfile(loaded.value()), SerializeProfile(profile));
+  std::remove(path.c_str());
+}
+
+TEST(CalibrationProfileTest, LoadOrCalibrateRecoversFromBadFile) {
+  const std::string path =
+      ::testing::TempDir() + "/bipie_cost_profile_corrupt.bin";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char garbage[] = "not a calibration profile at all";
+    std::fwrite(garbage, 1, sizeof(garbage), f);
+    std::fclose(f);
+  }
+  ASSERT_FALSE(LoadProfile(path).ok());
+  const CalibrationProfile fresh = LoadOrCalibrate(path);
+  EXPECT_EQ(fresh.calibrated, 1u);
+  // The bad file was rewritten with the fresh profile.
+  auto reloaded = LoadProfile(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(SerializeProfile(reloaded.value()), SerializeProfile(fresh));
+  std::remove(path.c_str());
+}
+
+TEST(CalibrationProfileTest, CalibrateProducesValidProfile) {
+  CalibrateOptions options;
+  options.rows = size_t{1} << 12;  // keep the test fast
+  options.repeats = 1;
+  const CalibrationProfile measured = Calibrate(options);
+  EXPECT_EQ(measured.calibrated, 1u);
+  // A measured profile must itself serialize and parse (all entries within
+  // the accepted range — Calibrate clamps absurd measurements).
+  const std::vector<uint8_t> image = SerializeProfile(measured);
+  auto parsed = ParseProfile(image.data(), image.size());
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+}
+
+// --- model laws -------------------------------------------------------------
+
+TEST(CostModelLawTest, UnpackCostNondecreasingInWidth) {
+  const CalibrationProfile profile = BuiltinProfile();
+  const CostModel model(profile);
+  double prev = 0.0;
+  for (int w = 1; w <= 64; ++w) {
+    const double c = model.UnpackCyclesPerRow(w);
+    EXPECT_GE(c, prev) << "width " << w;
+    prev = c;
+  }
+}
+
+TEST(CostModelLawTest, ByteSliceCostIncreasesWithSelectivityAndPlanes) {
+  const CalibrationProfile profile = BuiltinProfile();
+  const CostModel model(profile);
+  for (int planes = 1; planes <= 8; ++planes) {
+    double prev = -1.0;
+    for (double s = 0.0; s <= 1.0; s += 0.125) {
+      const double c = model.ByteSliceFilterCyclesPerRow(planes, s);
+      EXPECT_GE(c, prev) << "planes=" << planes << " s=" << s;
+      prev = c;
+    }
+  }
+  // More planes cost more at any fixed nonzero selectivity.
+  for (int planes = 2; planes <= 8; ++planes) {
+    EXPECT_GT(model.ByteSliceFilterCyclesPerRow(planes, 0.5),
+              model.ByteSliceFilterCyclesPerRow(planes - 1, 0.5));
+  }
+}
+
+TEST(CostModelLawTest, ThreePlaneCrossoverMatchesLegacyCeiling) {
+  // The builtin profile is tuned so the 3-plane byteslice-vs-decode
+  // crossover lands at the legacy selectivity ceiling of 0.8: below it the
+  // plane kernels win, above it assemble-and-compare wins.
+  const CalibrationProfile profile = BuiltinProfile();
+  const CostModel model(profile);
+  const int bits = 22;  // 3 planes
+  const double decode = model.UnpackCyclesPerRow(bits) +
+                        model.CompareCyclesPerRow(bits);
+  EXPECT_LT(model.ByteSliceFilterCyclesPerRow(3, 0.7), decode);
+  EXPECT_GT(model.ByteSliceFilterCyclesPerRow(3, 0.9), decode);
+}
+
+TEST(CostModelLawTest, ScoreSegmentPrefersLowerCostAndBreaksTiesByEnum) {
+  const CalibrationProfile profile = BuiltinProfile();
+  const CostModel model(profile);
+  SegmentCostInputs in;
+  in.rows = 4096;
+  in.num_sums = 2;
+  in.agg_decode_cpr = 1.0;
+  in.group_decode_cpr = 0.5;
+  in.in_register_feasible = true;
+  in.multi_fits = true;
+  in.sort_feasible = true;
+  const SegmentCosts costs = model.ScoreSegment(in);
+  // The chosen entry is the strict argmin of the feasible totals.
+  const double chosen_cpr =
+      costs.total_cpr[static_cast<int>(costs.chosen)];
+  ASSERT_GE(chosen_cpr, 0.0);
+  for (int i = 0; i < kNumAggregationStrategies; ++i) {
+    if (costs.total_cpr[i] < 0.0) continue;
+    EXPECT_GE(costs.total_cpr[i], chosen_cpr);
+    if (costs.total_cpr[i] == chosen_cpr) {
+      EXPECT_GE(i, static_cast<int>(costs.chosen));  // tie -> lower enum
+    }
+  }
+}
+
+TEST(CostModelLawTest, InfeasibleStrategiesScoreNegative) {
+  const CalibrationProfile profile = BuiltinProfile();
+  const CostModel model(profile);
+  SegmentCostInputs in;
+  in.rows = 1024;
+  in.num_sums = 1;
+  in.agg_decode_cpr = 0.8;
+  in.in_register_feasible = false;
+  in.multi_fits = false;
+  in.sort_feasible = false;
+  in.run_capable = false;
+  const SegmentCosts costs = model.ScoreSegment(in);
+  EXPECT_LT(
+      costs.total_cpr[static_cast<int>(AggregationStrategy::kInRegister)],
+      0.0);
+  EXPECT_LT(
+      costs.total_cpr[static_cast<int>(AggregationStrategy::kMultiAggregate)],
+      0.0);
+  EXPECT_LT(
+      costs.total_cpr[static_cast<int>(AggregationStrategy::kSortBased)],
+      0.0);
+  EXPECT_LT(costs.total_cpr[static_cast<int>(AggregationStrategy::kRunBased)],
+            0.0);
+  EXPECT_GE(costs.total_cpr[static_cast<int>(AggregationStrategy::kScalar)],
+            0.0);
+}
+
+// --- run-admission regression (the latent inconsistency) --------------------
+
+// Run-shaped table whose spans average `span_rows` rows. The heuristic
+// admits the run pipeline on span length alone; the model also prices the
+// filter's selectivity, which the byteslice admission always consulted but
+// run admission never did.
+Table MakeSpanTable(size_t rows, size_t span_rows) {
+  Table table({
+      {"g", ColumnType::kInt64, EncodingChoice::kRle},
+      {"f", ColumnType::kInt64, EncodingChoice::kRle},
+      {"amount", ColumnType::kInt64, EncodingChoice::kRle},
+  });
+  TableAppender app(&table, /*segment_rows=*/size_t{1} << 16);
+  for (size_t i = 0; i < rows; ++i) {
+    const int64_t span = static_cast<int64_t>(i / span_rows);
+    app.AppendRow({span % 3, span % 97, (span / 2) % 50});
+  }
+  app.Flush();
+  return table;
+}
+
+QuerySpec MakeSpanQuery(int64_t filter_lt) {
+  QuerySpec query;
+  query.group_by = {"g"};
+  query.aggregates = {AggregateSpec::Count(), AggregateSpec::Sum("amount")};
+  query.filters.emplace_back("f", CompareOp::kLt, filter_lt);
+  return query;
+}
+
+PlanDecision FirstDecision(const Table& table, const QuerySpec& query,
+                           const ScanOptions& options) {
+  BIPieScan scan(table, query, options);
+  auto explain = scan.Explain();
+  EXPECT_TRUE(explain.ok()) << explain.status().ToString();
+  EXPECT_FALSE(explain.value().segments.empty());
+  return explain.value().segments[0].decision;
+}
+
+TEST(CostModelAdmissionTest, SelectiveFilterFlipsShortSpanRunAdmission) {
+  // 17-row value runs put the combined group+filter span estimate right at
+  // the heuristic's 8-row floor, so span length alone admits the run
+  // pipeline. The filter passes ~2% of spans: the model prices the span
+  // bookkeeping against a row path that touches almost nothing after the
+  // filter, and walks away.
+  const Table table = MakeSpanTable(/*rows=*/60000, /*span_rows=*/17);
+  const QuerySpec query = MakeSpanQuery(/*filter_lt=*/2);
+
+  ScanOptions heuristic;
+  const PlanDecision off = FirstDecision(table, query, heuristic);
+  ASSERT_TRUE(off.run_capable);
+  EXPECT_TRUE(off.run_admitted);  // span floor alone admits (12 >= 8)
+  EXPECT_EQ(off.aggregation, AggregationStrategy::kRunBased);
+
+  ScanOptions model;
+  model.overrides.cost_model = CostModelMode::kOn;
+  const PlanDecision on = FirstDecision(table, query, model);
+  ASSERT_EQ(on.cost_model_mode, CostModelMode::kOn);
+  // The model prices the selective filter and walks away from the run
+  // pipeline: the row path's predicted cycles/row must be what was chosen.
+  EXPECT_NE(on.aggregation, AggregationStrategy::kRunBased)
+      << "model kept run-based at cpr="
+      << on.model_total_cpr[static_cast<int>(AggregationStrategy::kRunBased)];
+  const double run_cpr =
+      on.model_total_cpr[static_cast<int>(AggregationStrategy::kRunBased)];
+  const double chosen_cpr =
+      on.model_total_cpr[static_cast<int>(on.aggregation)];
+  ASSERT_GE(run_cpr, 0.0);
+  ASSERT_GE(chosen_cpr, 0.0);
+  EXPECT_LT(chosen_cpr, run_cpr);
+
+  // Both plans still produce the oracle answer (never wrong, only slower).
+  auto expected = ExecuteQueryNaive(table, query);
+  ASSERT_TRUE(expected.ok());
+  auto got_off = ExecuteQuery(table, query, heuristic);
+  auto got_on = ExecuteQuery(table, query, model);
+  ASSERT_TRUE(got_off.ok());
+  ASSERT_TRUE(got_on.ok());
+  ASSERT_EQ(got_on.value().rows.size(), expected.value().rows.size());
+  for (size_t r = 0; r < expected.value().rows.size(); ++r) {
+    EXPECT_EQ(got_on.value().rows[r].group, expected.value().rows[r].group);
+    EXPECT_EQ(got_on.value().rows[r].count, expected.value().rows[r].count);
+    EXPECT_EQ(got_on.value().rows[r].sums, expected.value().rows[r].sums);
+    EXPECT_EQ(got_off.value().rows[r].sums, expected.value().rows[r].sums);
+  }
+}
+
+TEST(CostModelAdmissionTest, LongSpansStayRunBasedUnderTheModel) {
+  // ~6000 rows per span: span bookkeeping is ~free and both deciders agree.
+  const Table table = MakeSpanTable(/*rows=*/60000, /*span_rows=*/6000);
+  const QuerySpec query = MakeSpanQuery(/*filter_lt=*/5);
+
+  const PlanDecision off = FirstDecision(table, query, {});
+  EXPECT_EQ(off.aggregation, AggregationStrategy::kRunBased);
+
+  ScanOptions model;
+  model.overrides.cost_model = CostModelMode::kOn;
+  const PlanDecision on = FirstDecision(table, query, model);
+  EXPECT_EQ(on.aggregation, AggregationStrategy::kRunBased);
+}
+
+// --- explain determinism across profile loads and thread counts -------------
+
+TEST(CostModelExplainTest, JsonByteIdenticalAcrossLoadsAndThreadCounts) {
+  Table table({
+      {"g", ColumnType::kString},
+      {"v", ColumnType::kInt64, EncodingChoice::kBitPacked},
+      {"f", ColumnType::kInt64, EncodingChoice::kBitPacked},
+  });
+  TableAppender app(&table, /*segment_rows=*/1024);
+  Rng rng(909);
+  const char* groups[3] = {"x", "y", "z"};
+  for (size_t i = 0; i < 4000; ++i) {
+    std::vector<int64_t> ints(3, 0);
+    std::vector<std::string> strings(3);
+    strings[0] = groups[rng.NextBounded(3)];
+    ints[1] = rng.NextInRange(0, 5000);
+    ints[2] = rng.NextInRange(0, 99);
+    app.AppendRow(ints, strings);
+  }
+  app.Flush();
+  QuerySpec query;
+  query.group_by = {"g"};
+  query.aggregates = {AggregateSpec::Count(), AggregateSpec::Sum("v")};
+  query.filters.emplace_back("f", CompareOp::kLt, int64_t{30});
+
+  std::string reference;
+  // Two independent loads of the same serialized profile, three execution
+  // models each: every combination must render byte-identical JSON.
+  for (int load = 0; load < 2; ++load) {
+    const std::vector<uint8_t> image = SerializeProfile(BuiltinProfile());
+    auto parsed = ParseProfile(image.data(), image.size());
+    ASSERT_TRUE(parsed.ok());
+    const CalibrationProfile previous =
+        InstallProfileForProcess(parsed.value());
+    for (const size_t threads : {size_t{0}, size_t{1}, size_t{4}}) {
+      ScanOptions options;
+      options.num_threads = threads;
+      options.overrides.cost_model = CostModelMode::kOn;
+      BIPieScan scan(table, query, options);
+      auto explain = scan.Explain();
+      ASSERT_TRUE(explain.ok()) << explain.status().ToString();
+      const std::string json = explain.value().ToJson();
+      EXPECT_NE(json.find("\"cost_model\""), std::string::npos);
+      if (reference.empty()) {
+        reference = json;
+      } else {
+        EXPECT_EQ(json, reference)
+            << "load " << load << " threads " << threads;
+      }
+    }
+    InstallProfileForProcess(previous);
+  }
+}
+
+}  // namespace
+}  // namespace cost
+}  // namespace bipie

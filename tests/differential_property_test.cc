@@ -10,6 +10,9 @@
 #include "baseline/scalar_engine.h"
 #include "common/random.h"
 #include "core/scan.h"
+#include "cost/calibration.h"
+#include "cost/cost_model.h"
+#include "storage/column_builder.h"
 
 namespace bipie {
 namespace {
@@ -167,6 +170,20 @@ TEST_P(DifferentialProperty, BIPieMatchesOracleOnRandomWorkloads) {
   ExpectAgreement(hashed.value(), expected.value(),
                   "hash seed=" + std::to_string(seed));
 
+  // Cost-model runs (DESIGN.md §17): the model only redirects among
+  // correct strategies, so it can never be wrong — only slower.
+  for (const CostModelMode mode :
+       {CostModelMode::kOn, CostModelMode::kAdaptive}) {
+    ScanOptions options;
+    options.overrides.cost_model = mode;
+    auto modeled = ExecuteQuery(c.table, c.query, options);
+    ASSERT_TRUE(modeled.ok())
+        << modeled.status().ToString() << " case:" << c.description;
+    ExpectAgreement(modeled.value(), expected.value(),
+                    std::string("cost_model=") + CostModelModeName(mode) +
+                        " seed=" + std::to_string(seed) + c.description);
+  }
+
   // Two pseudo-random forced combinations (skipping infeasible ones).
   Rng rng(seed + 5);
   const SelectionStrategy sels[3] = {SelectionStrategy::kGather,
@@ -197,6 +214,103 @@ TEST_P(DifferentialProperty, BIPieMatchesOracleOnRandomWorkloads) {
 
 INSTANTIATE_TEST_SUITE_P(FortyRandomWorkloads, DifferentialProperty,
                          ::testing::Range(0, 40));
+
+// Advisor property (DESIGN.md §17): whatever distribution the values have,
+// the advised encoding must (a) be the predicted-cost argmin among the
+// feasible candidates and (b) round-trip the values losslessly when the
+// column is actually built with it.
+class AdvisorProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdvisorProperty, AdvisedEncodingIsCheapestAndLossless) {
+  const uint64_t seed = 7000 + GetParam();
+  Rng rng(seed);
+  std::vector<int64_t> values;
+  const size_t n = 500 + rng.NextBounded(6000);
+  const int shape = static_cast<int>(rng.NextBounded(5));
+  values.reserve(n);
+  switch (shape) {
+    case 0:  // narrow uniform
+      for (size_t i = 0; i < n; ++i) values.push_back(rng.NextInRange(0, 100));
+      break;
+    case 1:  // wide sparse
+      for (size_t i = 0; i < n; ++i) {
+        values.push_back(rng.NextInRange(0, int64_t{1} << 44));
+      }
+      break;
+    case 2: {  // sorted runs of random length
+      int64_t v = rng.NextInRange(-100, 100);
+      while (values.size() < n) {
+        const size_t run = 1 + rng.NextBounded(500);
+        for (size_t r = 0; r < run && values.size() < n; ++r) {
+          values.push_back(v);
+        }
+        v += 1 + rng.NextInRange(0, 3);
+      }
+      break;
+    }
+    case 3: {  // near-sequential ramp
+      int64_t v = rng.NextInRange(-1000, 1000);
+      for (size_t i = 0; i < n; ++i) {
+        v += rng.NextInRange(0, 9);
+        values.push_back(v);
+      }
+      break;
+    }
+    default:  // heavy skew with wide outliers
+      for (size_t i = 0; i < n; ++i) {
+        values.push_back(rng.NextBernoulli(0.9)
+                             ? int64_t{7}
+                             : rng.NextInRange(-50000, 50000));
+      }
+      break;
+  }
+
+  ColumnBuilder builder({"c", ColumnType::kInt64});
+  builder.AppendInt64Bulk(values.data(), values.size());
+  const cost::CalibrationProfile profile = cost::BuiltinProfile();
+  const cost::CostModel model(profile);
+  const EncodingAdvice advice = builder.Advise(model);
+  ASSERT_EQ(advice.num_rows, values.size());
+
+  // (a) chosen is the feasible-candidate cost argmin (bounded-factor bound
+  // with factor 1 — ties broken by size then enum order).
+  double best = -1.0;
+  double chosen_cost = -1.0;
+  for (const EncodingCandidate& cand : advice.candidates) {
+    if (!cand.feasible) continue;
+    EXPECT_GE(cand.scan_cycles_per_row, 0.0);
+    if (best < 0.0 || cand.scan_cycles_per_row < best) {
+      best = cand.scan_cycles_per_row;
+    }
+    if (cand.encoding == advice.chosen) {
+      chosen_cost = cand.scan_cycles_per_row;
+    }
+  }
+  ASSERT_GE(chosen_cost, 0.0) << "chosen encoding not among candidates";
+  EXPECT_LE(chosen_cost, best + 1e-12)
+      << "seed=" << seed << " shape=" << shape;
+
+  // (b) building with the advised encoding reproduces the values exactly.
+  EncodingChoice choice = EncodingChoice::kAuto;
+  switch (advice.chosen) {
+    case Encoding::kBitPacked: choice = EncodingChoice::kBitPacked; break;
+    case Encoding::kDictionary: choice = EncodingChoice::kDictionary; break;
+    case Encoding::kRle: choice = EncodingChoice::kRle; break;
+    case Encoding::kDelta: choice = EncodingChoice::kDelta; break;
+    case Encoding::kByteSliced: choice = EncodingChoice::kByteSliced; break;
+  }
+  ColumnBuilder encoder({"c", ColumnType::kInt64, choice});
+  encoder.AppendInt64Bulk(values.data(), values.size());
+  EncodedColumn col = encoder.Finish();
+  ASSERT_EQ(col.encoding(), advice.chosen)
+      << "seed=" << seed << " shape=" << shape;
+  std::vector<int64_t> decoded(values.size());
+  col.DecodeInt64(0, values.size(), decoded.data());
+  EXPECT_EQ(decoded, values) << "seed=" << seed << " shape=" << shape;
+}
+
+INSTANTIATE_TEST_SUITE_P(TwentyFourRandomColumns, AdvisorProperty,
+                         ::testing::Range(0, 24));
 
 }  // namespace
 }  // namespace bipie

@@ -1,0 +1,278 @@
+// bipie_advise: the encoding advisor CLI (DESIGN.md §17).
+//
+// Scores every encoding candidate for each int/string column of a table —
+// estimated encoded size plus predicted roofline scan cycles/row under a
+// calibration profile — and prints the advisor's pick next to the
+// builder's size-based kAuto pick.
+//
+// Usage:
+//   bipie_advise [options]
+//     --table PATH         load a saved bipie table (default: synthetic demo)
+//     --column NAME        restrict advice to one column
+//     --calibrate          run the micro-calibration pass (measures this
+//                          machine) instead of the builtin profile
+//     --save-profile PATH  write the profile in use to PATH
+//     --profile PATH       load a calibrated profile from PATH (falls back
+//                          to builtin with a warning when invalid)
+//     --json               emit machine-readable JSON instead of text
+//
+// Without --table the tool advises on four synthetic demo columns chosen to
+// land on different encodings (narrow uniform, sorted runs, wide sparse,
+// sequential ramp).
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "cost/calibration.h"
+#include "cost/cost_model.h"
+#include "obs/json_writer.h"
+#include "storage/column_builder.h"
+#include "storage/table.h"
+#include "storage/table_io.h"
+
+using namespace bipie;  // NOLINT
+
+namespace {
+
+const char* EncodingName(Encoding e) {
+  switch (e) {
+    case Encoding::kBitPacked:
+      return "bit-packed";
+    case Encoding::kDictionary:
+      return "dictionary";
+    case Encoding::kRle:
+      return "rle";
+    case Encoding::kDelta:
+      return "delta";
+    case Encoding::kByteSliced:
+      return "byte-sliced";
+  }
+  return "?";
+}
+
+struct NamedColumn {
+  std::string name;
+  ColumnBuilder builder;
+};
+
+std::vector<NamedColumn> BuildDemoColumns() {
+  std::vector<NamedColumn> cols;
+  Rng rng(2024);
+  {
+    NamedColumn c{"narrow_uniform",
+                  ColumnBuilder({"narrow_uniform", ColumnType::kInt64})};
+    for (int i = 0; i < 100000; ++i) c.builder.AppendInt64(rng.NextInRange(0, 99));
+    cols.push_back(std::move(c));
+  }
+  {
+    NamedColumn c{"sorted_runs", ColumnBuilder({"sorted_runs", ColumnType::kInt64})};
+    for (int i = 0; i < 100000; ++i) c.builder.AppendInt64(i / 5000);
+    cols.push_back(std::move(c));
+  }
+  {
+    NamedColumn c{"wide_sparse", ColumnBuilder({"wide_sparse", ColumnType::kInt64})};
+    for (int i = 0; i < 100000; ++i) {
+      c.builder.AppendInt64(rng.NextInRange(0, (int64_t{1} << 40) - 1));
+    }
+    cols.push_back(std::move(c));
+  }
+  {
+    NamedColumn c{"sequential_ramp",
+                  ColumnBuilder({"sequential_ramp", ColumnType::kInt64})};
+    for (int i = 0; i < 100000; ++i) {
+      c.builder.AppendInt64(int64_t{1} << 30 | i);
+    }
+    cols.push_back(std::move(c));
+  }
+  return cols;
+}
+
+// Re-accumulates a stored column's logical values into a builder so the
+// advisor sees the same value stream the original build did.
+std::vector<NamedColumn> ColumnsFromTable(const Table& table,
+                                          const std::string& only) {
+  std::vector<NamedColumn> cols;
+  std::vector<int64_t> buf;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const ColumnSpec& spec = table.schema()[c];
+    if (!only.empty() && spec.name != only) continue;
+    NamedColumn named{spec.name, ColumnBuilder({spec.name, spec.type})};
+    for (size_t s = 0; s < table.num_segments(); ++s) {
+      const EncodedColumn& col = table.segment(s).column(c);
+      const size_t n = col.num_rows();
+      if (n == 0) continue;
+      buf.resize(n);
+      col.DecodeInt64(0, n, buf.data());
+      if (spec.type == ColumnType::kString) {
+        const StringDictionary* dict = col.string_dictionary();
+        for (size_t i = 0; i < n; ++i) {
+          named.builder.AppendString(
+              dict != nullptr ? dict->value(static_cast<uint32_t>(buf[i]))
+                              : std::string());
+        }
+      } else {
+        named.builder.AppendInt64Bulk(buf.data(), n);
+      }
+    }
+    cols.push_back(std::move(named));
+  }
+  return cols;
+}
+
+void PrintProfile(const cost::CalibrationProfile& profile) {
+  std::printf("profile: %s (isa tier %u)\n",
+              profile.calibrated != 0 ? "calibrated" : "builtin",
+              profile.isa_tier);
+  std::printf("  unpack cycles/row by width bucket: ");
+  for (int b = 0; b < cost::kNumWidthBuckets; ++b) {
+    std::printf("%s%.2f", b == 0 ? "" : " ", profile.unpack_cycles[b]);
+  }
+  std::printf("\n  memory bandwidth: %.1f bytes/cycle\n",
+              profile.mem_bytes_per_cycle);
+}
+
+void PrintAdviceText(const std::string& name, const EncodingAdvice& advice) {
+  std::printf("column %s: %zu rows, %zu distinct, %zu runs%s\n", name.c_str(),
+              advice.num_rows, advice.distinct, advice.run_count,
+              advice.sorted ? ", sorted" : "");
+  for (const EncodingCandidate& cand : advice.candidates) {
+    if (!cand.feasible) {
+      std::printf("  %-12s infeasible\n", EncodingName(cand.encoding));
+      continue;
+    }
+    std::printf("  %-12s %8zu bytes  %6.2f cycles/row%s\n",
+                EncodingName(cand.encoding), cand.encoded_bytes,
+                cand.scan_cycles_per_row,
+                cand.encoding == advice.chosen ? "  <- advised" : "");
+  }
+  if (advice.chosen != advice.builder_pick) {
+    std::printf("  note: size-based auto pick is %s\n",
+                EncodingName(advice.builder_pick));
+  }
+}
+
+void PrintAdviceJson(obs::JsonWriter* w, const std::string& name,
+                     const EncodingAdvice& advice) {
+  w->BeginObject();
+  w->KV("column", name);
+  w->KV("rows", advice.num_rows);
+  w->KV("distinct", advice.distinct);
+  w->KV("runs", advice.run_count);
+  w->KV("sorted", advice.sorted);
+  w->KV("advised", EncodingName(advice.chosen));
+  w->KV("auto_pick", EncodingName(advice.builder_pick));
+  w->Key("candidates").BeginArray();
+  for (const EncodingCandidate& cand : advice.candidates) {
+    w->BeginObject();
+    w->KV("encoding", EncodingName(cand.encoding));
+    w->KV("feasible", cand.feasible);
+    if (cand.feasible) {
+      w->KV("bit_width", cand.bit_width);
+      w->KV("encoded_bytes", cand.encoded_bytes);
+      w->KV("scan_cycles_per_row", cand.scan_cycles_per_row);
+    }
+    w->EndObject();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string table_path;
+  std::string column;
+  std::string profile_path;
+  std::string save_path;
+  bool calibrate = false;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--table") {
+      table_path = next();
+    } else if (arg == "--column") {
+      column = next();
+    } else if (arg == "--profile") {
+      profile_path = next();
+    } else if (arg == "--save-profile") {
+      save_path = next();
+    } else if (arg == "--calibrate") {
+      calibrate = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  cost::CalibrationProfile profile = cost::BuiltinProfile();
+  if (calibrate) {
+    profile = cost::Calibrate();
+  } else if (!profile_path.empty()) {
+    auto loaded = cost::LoadProfile(profile_path);
+    if (loaded.ok()) {
+      profile = loaded.value();
+    } else {
+      std::fprintf(stderr, "warning: %s: %s; using builtin profile\n",
+                   profile_path.c_str(), loaded.status().ToString().c_str());
+    }
+  }
+  if (!save_path.empty()) {
+    const Status saved = cost::SaveProfile(profile, save_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "cannot save profile: %s\n",
+                   saved.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "profile written to %s\n", save_path.c_str());
+  }
+
+  std::vector<NamedColumn> cols;
+  if (!table_path.empty()) {
+    auto loaded = LoadTable(table_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load %s: %s\n", table_path.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    cols = ColumnsFromTable(loaded.value(), column);
+    if (cols.empty()) {
+      std::fprintf(stderr, "no matching columns in %s\n", table_path.c_str());
+      return 1;
+    }
+  } else {
+    cols = BuildDemoColumns();
+  }
+
+  const cost::CostModel model(profile);
+  if (json) {
+    obs::JsonWriter w(2);
+    w.BeginObject();
+    w.KV("profile", profile.calibrated != 0 ? "calibrated" : "builtin");
+    w.Key("columns").BeginArray();
+    for (const NamedColumn& c : cols) {
+      PrintAdviceJson(&w, c.name, c.builder.Advise(model));
+    }
+    w.EndArray();
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
+  } else {
+    PrintProfile(profile);
+    for (const NamedColumn& c : cols) {
+      PrintAdviceText(c.name, c.builder.Advise(model));
+    }
+  }
+  return 0;
+}
